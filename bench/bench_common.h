@@ -1,0 +1,85 @@
+// Shared setup for the per-figure experiment binaries.
+//
+// Every binary accepts:
+//   --full    run the full 1440-step traces (default: 4x subsampled, which
+//             preserves shape and keeps each binary in seconds)
+//   --seed=N  override the workload seed
+
+#ifndef DBSCALE_BENCH_BENCH_COMMON_H_
+#define DBSCALE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+namespace dbscale::bench {
+
+struct BenchArgs {
+  bool full = false;
+  uint64_t seed = 17;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  return args;
+}
+
+/// Builds the standard experiment setup for a workload/trace pair.
+inline sim::SimulationOptions MakeSetup(const workload::WorkloadSpec& spec,
+                                        const workload::Trace& trace,
+                                        const BenchArgs& args) {
+  sim::SimulationOptions options;
+  options.catalog = container::Catalog::MakeLockStep();
+  options.workload = spec;
+  options.trace =
+      args.full ? trace : trace.Subsampled(4).value();
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = args.seed;
+  return options;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==================================================\n");
+}
+
+/// Prints a "paper vs measured" reference line for EXPERIMENTS.md.
+inline void PrintReference(const char* what, const char* paper,
+                           const std::string& measured) {
+  std::printf("  %-42s paper: %-18s measured: %s\n", what, paper,
+              measured.c_str());
+}
+
+inline void PrintComparison(const sim::ComparisonResult& cmp) {
+  std::printf("%s", cmp.ToTable().c_str());
+  const auto* auto_t = cmp.Find("Auto");
+  if (auto_t == nullptr) return;
+  const double auto_cost = auto_t->run.avg_cost_per_interval;
+  std::printf("cost ratios vs Auto:");
+  for (const auto& t : cmp.techniques) {
+    if (t.name == "Auto") continue;
+    std::printf("  %s %.2fx", t.name.c_str(),
+                t.run.avg_cost_per_interval / auto_cost);
+  }
+  std::printf("\n");
+}
+
+}  // namespace dbscale::bench
+
+#endif  // DBSCALE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,45 @@
+// Extension experiment: client model sensitivity (DESIGN.md deviation
+// analysis).
+//
+// The paper's Figure 8 axis reads "number of concurrent requests" — a
+// closed-loop client population. Our default harness is open-loop (trace =
+// offered rps), which makes under-provisioning catastrophically worse than
+// the paper's testbed: the paper's Avg baseline missed its goal by ~3x,
+// ours by orders of magnitude. This bench quantifies that modeling choice
+// by re-running the Figure 9(a) comparison under both client models.
+
+#include "bench/bench_common.h"
+
+using namespace dbscale;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Extension: client model",
+                     "Figure 9(a) under open- vs closed-loop clients");
+
+  for (workload::ArrivalMode mode :
+       {workload::ArrivalMode::kOpenLoop,
+        workload::ArrivalMode::kClosedLoop}) {
+    sim::SimulationOptions options = bench::MakeSetup(
+        workload::MakeCpuioWorkload(), workload::MakeTrace2LongBurst(),
+        args);
+    options.arrival_mode = mode;
+    sim::ComparisonOptions copts;
+    copts.goal_factor = 1.25;
+    auto cmp = sim::RunComparison(options, copts);
+    DBSCALE_CHECK_OK(cmp.status());
+    std::printf("\n--- %s clients ---\n",
+                mode == workload::ArrivalMode::kOpenLoop ? "open-loop"
+                                                         : "closed-loop");
+    bench::PrintComparison(*cmp);
+    const auto* avg_t = cmp->Find("Avg");
+    bench::PrintReference(
+        "Avg misses the goal by", "~3x (paper's testbed)",
+        StrFormat("%.1fx", avg_t->run.latency_p95_ms / cmp->goal.target_ms));
+  }
+  std::printf(
+      "\nshape check: closed-loop clients bound saturation (throughput\n"
+      "adapts), pulling the under-provisioned baselines' misses from\n"
+      "orders of magnitude toward the paper's single-digit factors.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension experiment (paper Figure 1 / Section 6): per-dimension
+// container scaling.
+//
+// "Workloads having demand in one resource can benefit if containers are
+// scaled independently in each dimension", and the auto-scaling logic "can
+// leverage that" because demand is estimated per resource. We run an
+// I/O-skewed CPUIO mix under Auto twice — once against the lock-step
+// catalog, once against the per-dimension catalog (single-dimension
+// variants priced between rungs) — and measure the savings.
+
+#include "bench/bench_common.h"
+#include "src/scaler/autoscaler.h"
+
+using namespace dbscale;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Extension: Figure 1",
+                     "per-dimension vs lock-step container scaling");
+
+  // An I/O-skewed mix: disk demand runs 2-3 rungs ahead of CPU demand.
+  workload::CpuioOptions skew;
+  skew.cpu_weight = 0.08;
+  skew.io_weight = 0.77;
+  skew.log_weight = 0.05;
+  skew.mixed_weight = 0.10;
+  sim::SimulationOptions base = bench::MakeSetup(
+      workload::MakeCpuioWorkload(skew), workload::MakeTrace2LongBurst(),
+      args);
+
+  auto max_run = sim::RunMax(base);
+  DBSCALE_CHECK_OK(max_run.status());
+  scaler::LatencyGoal goal{telemetry::LatencyAggregate::kP95,
+                           2.0 * max_run->latency_p95_ms};
+  base.telemetry.latency_aggregate = goal.aggregate;
+  std::printf("I/O-skewed CPUIO on Trace 2; goal p95 <= %.0f ms\n\n",
+              goal.target_ms);
+
+  sim::TextTable table({"catalog", "containers", "p95 ms", "p95/goal",
+                        "cost/interval", "variant intervals"});
+  double lockstep_cost = 0.0, perdim_cost = 0.0;
+  for (bool per_dimension : {false, true}) {
+    sim::SimulationOptions options = base;
+    options.catalog = per_dimension
+                          ? container::Catalog::MakePerDimension(2)
+                          : container::Catalog::MakeLockStep();
+    scaler::TenantKnobs knobs;
+    knobs.latency_goal = goal;
+    auto scaler = scaler::AutoScaler::Create(options.catalog, knobs);
+    DBSCALE_CHECK_OK(scaler.status());
+    auto run = sim::RunWithPolicy(options, scaler->get(), 3);
+    DBSCALE_CHECK_OK(run.status());
+    int variant_intervals = 0;
+    for (const auto& r : run->intervals) {
+      if (r.container.name.find('-') != std::string::npos) {
+        ++variant_intervals;
+      }
+    }
+    table.AddRow({per_dimension ? "per-dimension" : "lock-step",
+                  StrFormat("%d", options.catalog.size()),
+                  StrFormat("%.0f", run->latency_p95_ms),
+                  StrFormat("%.2f", run->latency_p95_ms / goal.target_ms),
+                  StrFormat("%.1f", run->avg_cost_per_interval),
+                  StrFormat("%d", variant_intervals)});
+    (per_dimension ? perdim_cost : lockstep_cost) =
+        run->avg_cost_per_interval;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  bench::PrintReference(
+      "per-dimension savings on skewed demand", "positive (Fig 1 claim)",
+      StrFormat("%.0f%%", 100.0 * (1.0 - perdim_cost / lockstep_cost)));
+  std::printf(
+      "\nshape check: with demand concentrated in disk I/O, single-\n"
+      "dimension variants hold comparable latency (the scaler converges to\n"
+      "p95 near the goal either way) at lower cost — the paper's abstract\n"
+      "phrasing: lower costs \"while achieving comparable query\n"
+      "latencies\".\n");
+  return 0;
+}

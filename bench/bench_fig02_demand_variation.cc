@@ -1,0 +1,74 @@
+// Figure 2 reproduction: resource-demand variation across a fleet.
+//  (a) CDF of the inter-event interval (IEI) between container-size change
+//      events (paper: 86% within 60 min, 91% within 120, 95% within 360,
+//      97% within 720, 98% within 1440).
+//  (b) Distribution of average container changes/day across tenants
+//      (paper: >=78% at least 1/day, >=52% 6+/day, 28% more than 24/day).
+// Plus the Section 4 step-size statistic (90% one rung, 98% <= two rungs).
+
+#include "bench/bench_common.h"
+#include "src/fleet/demand_analysis.h"
+#include "src/fleet/fleet_sim.h"
+
+using namespace dbscale;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 2", "fleet demand-variation analysis");
+
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  fleet::FleetOptions options;
+  options.num_tenants = args.full ? 2000 : 600;
+  options.num_intervals = 7 * 288;  // one week of 5-minute intervals
+  options.seed = args.seed;
+  fleet::FleetSimulator sim(catalog, options);
+  auto fleet = sim.Run();
+  DBSCALE_CHECK_OK(fleet.status());
+  std::printf("fleet: %d tenants, %d intervals, %zu change events\n\n",
+              fleet->num_tenants, fleet->num_intervals,
+              fleet->inter_event_minutes.size());
+
+  // --- Figure 2(a): IEI CDF ---
+  auto iei = fleet::AnalyzeInterEventIntervals(*fleet);
+  DBSCALE_CHECK_OK(iei.status());
+  std::printf("Figure 2(a): CDF of inter-event interval\n");
+  const char* paper_points[] = {"86%", "91%", "95%", "97%", "98%"};
+  for (size_t i = 0; i < iei->reference_points.size(); ++i) {
+    const std::string label = StrFormat(
+        "IEI <= %.0f min", iei->reference_points[i].first);
+    bench::PrintReference(
+        label.c_str(), paper_points[i],
+        StrFormat("%.0f%%", iei->reference_points[i].second));
+  }
+
+  // --- Figure 2(b): changes/day distribution ---
+  auto freq = fleet::AnalyzeChangeFrequency(*fleet);
+  DBSCALE_CHECK_OK(freq.status());
+  std::printf("\nFigure 2(b): average container changes per day\n");
+  sim::TextTable table({"bucket", "% of tenants", "cumulative %"});
+  for (size_t b = 0; b < freq->bucket_labels.size(); ++b) {
+    table.AddRow({freq->bucket_labels[b],
+                  StrFormat("%.1f", freq->bucket_pct[b]),
+                  StrFormat("%.1f", freq->cumulative_pct[b])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  bench::PrintReference(
+      "tenants with >=1 change/day", ">=78%",
+      StrFormat("%.0f%%", 100.0 * freq->fraction_at_least_1_per_day));
+  bench::PrintReference(
+      "tenants with >=6 changes/day", ">=52%",
+      StrFormat("%.0f%%", 100.0 * freq->fraction_at_least_6_per_day));
+  bench::PrintReference(
+      "tenants with >24 changes/day", "28%",
+      StrFormat("%.0f%%", 100.0 * freq->fraction_more_than_24_per_day));
+
+  // --- Section 4 step sizes ---
+  std::printf("\nSection 4: container-change step sizes\n");
+  bench::PrintReference(
+      "changes of exactly 1 rung", "90%",
+      StrFormat("%.0f%%", 100.0 * fleet->OneStepFraction()));
+  bench::PrintReference(
+      "changes of <= 2 rungs", "98%",
+      StrFormat("%.0f%%", 100.0 * fleet->AtMostTwoStepFraction()));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8 reproduction: the four production-derived load traces.
+// Prints per-trace statistics and an ASCII rendering of each shape.
+
+#include "bench/bench_common.h"
+
+using namespace dbscale;
+
+int main(int argc, char** argv) {
+  (void)bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 8", "the four load traces");
+
+  sim::TextTable table({"trace", "steps", "mean rps", "max rps",
+                        "steps > 80 rps", "shape"});
+  const char* shapes[] = {"steady", "one long burst", "one short burst",
+                          "many bursts"};
+  for (int i = 1; i <= 4; ++i) {
+    auto trace = workload::MakePaperTrace(i);
+    DBSCALE_CHECK_OK(trace.status());
+    int high = 0;
+    for (double v : trace->values()) {
+      if (v > 80.0) ++high;
+    }
+    table.AddRow({trace->name(), StrFormat("%zu", trace->num_steps()),
+                  StrFormat("%.1f", trace->mean_rate()),
+                  StrFormat("%.1f", trace->max_rate()),
+                  StrFormat("%d", high), shapes[i - 1]});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  for (int i = 1; i <= 4; ++i) {
+    auto trace = workload::MakePaperTrace(i);
+    std::printf("%s (rps over %zu minutes):\n%s\n",
+                trace->name().c_str(), trace->num_steps(),
+                sim::AsciiChart(trace->values(), 7, 110).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 10 reproduction: TPC-C on Trace 4 (many bursts), goal 1.25x Max.
+//
+// Paper: Max 272/270, Peak 283/30, Avg 594/15 (misses), Trace 290/47.4,
+// Util 306/66.1, Auto 341/19.5. Headlines: among techniques meeting the
+// goal, Peak costs 2x, Trace 2.4x and Util 3.4x of Auto. TPC-C is
+// lock-bound: latency barely improves with container size, so demand-driven
+// Auto stays small while utilization-driven Util over-provisions.
+
+#include "bench/bench_common.h"
+
+using namespace dbscale;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 10", "TPC-C on Trace 4, goal 1.25x Max");
+
+  sim::SimulationOptions options = bench::MakeSetup(
+      workload::MakeTpccWorkload(), workload::MakeTrace4ManyBursts(), args);
+  sim::ComparisonOptions copts;
+  copts.goal_factor = 1.25;
+  auto cmp = sim::RunComparison(options, copts);
+  DBSCALE_CHECK_OK(cmp.status());
+  bench::PrintComparison(*cmp);
+
+  const auto* auto_t = cmp->Find("Auto");
+  const auto* util_t = cmp->Find("Util");
+  const auto* max_t = cmp->Find("Max");
+  bench::PrintReference(
+      "Util cost / Auto cost", "3.4x",
+      StrFormat("%.2fx", util_t->run.avg_cost_per_interval /
+                             auto_t->run.avg_cost_per_interval));
+  bench::PrintReference(
+      "Peak cost / Auto cost", "2x",
+      StrFormat("%.2fx", cmp->Find("Peak")->run.avg_cost_per_interval /
+                             auto_t->run.avg_cost_per_interval));
+  bench::PrintReference(
+      "Trace cost / Auto cost", "2.4x",
+      StrFormat("%.2fx", cmp->Find("Trace")->run.avg_cost_per_interval /
+                             auto_t->run.avg_cost_per_interval));
+  bench::PrintReference(
+      "latency(Max) vs latency(Auto)", "272 vs 341 (1.25x)",
+      StrFormat("%.0f vs %.0f (%.2fx)", max_t->run.latency_p95_ms,
+                auto_t->run.latency_p95_ms,
+                auto_t->run.latency_p95_ms / max_t->run.latency_p95_ms));
+  bench::PrintReference(
+      "Auto dominates Util (latency AND cost)", "yes",
+      (auto_t->run.latency_p95_ms <= util_t->run.latency_p95_ms &&
+       auto_t->run.avg_cost_per_interval <=
+           util_t->run.avg_cost_per_interval)
+          ? "yes"
+          : "no");
+  std::printf(
+      "\nshape check: lock contention caps latency gains from bigger\n"
+      "containers; Auto (demand-driven) holds small containers while Util\n"
+      "(utilization+latency-driven) pays for capacity that cannot help.\n"
+      "Known deviation (EXPERIMENTS.md): our open-loop generator makes\n"
+      "burst-onset saturation far harsher than the paper's testbed, so the\n"
+      "1.25x goal is missed at burst onsets by every online technique.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Quickstart: auto-scale a bursty CPUIO workload with the paper's Auto
+// policy and compare against the utilization-only scaler.
+//
+// Demonstrates the core public API:
+//   * build a container catalog,
+//   * describe a workload and a load trace,
+//   * create an AutoScaler from tenant knobs (latency goal),
+//   * run the closed loop and read latency / cost / explanations.
+
+#include <cstdio>
+#include <map>
+
+#include "src/scaler/autoscaler.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+using namespace dbscale;  // NOLINT: example brevity
+
+int main() {
+  // A DaaS catalog: 11 lock-step container sizes, 7..270 cost units per
+  // billing interval.
+  sim::SimulationOptions options;
+  options.catalog = container::Catalog::MakeLockStep();
+  options.workload = workload::MakeCpuioWorkload();
+  // Trace 2: mostly idle with one long burst (Figure 8). Subsample 4x to
+  // keep the quickstart fast.
+  options.trace = *workload::MakeTrace2LongBurst().Subsampled(4);
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = 17;
+
+  std::printf("workload: %s, trace: %s (%zu intervals)\n",
+              options.workload.name.c_str(), options.trace.name().c_str(),
+              options.trace.num_steps());
+
+  // 1. Gold standard: the largest container.
+  auto max_run = sim::RunMax(options);
+  if (!max_run.ok()) {
+    std::fprintf(stderr, "Max run failed: %s\n",
+                 max_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Max: p95=%.0fms avg=%.0fms cost/interval=%.1f\n",
+              max_run->latency_p95_ms, max_run->latency_avg_ms,
+              max_run->avg_cost_per_interval);
+
+  // 2. Tenant knobs: p95 goal of 1.25x the gold standard.
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal = scaler::LatencyGoal{
+      telemetry::LatencyAggregate::kP95, 1.25 * max_run->latency_p95_ms};
+  std::printf("latency goal: p95 <= %.0f ms\n",
+              knobs.latency_goal->target_ms);
+
+  // 3. The Auto policy.
+  auto auto_scaler =
+      scaler::AutoScaler::Create(options.catalog, knobs);
+  if (!auto_scaler.ok()) {
+    std::fprintf(stderr, "AutoScaler: %s\n",
+                 auto_scaler.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimulationOptions online = options;
+  online.telemetry.latency_aggregate = knobs.latency_goal->aggregate;
+  auto auto_run = sim::RunWithPolicy(online, auto_scaler->get(), 3);
+  if (!auto_run.ok()) {
+    std::fprintf(stderr, "Auto run failed: %s\n",
+                 auto_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Auto: p95=%.0fms cost/interval=%.1f changes=%d (%.0f%%)\n",
+              auto_run->latency_p95_ms, auto_run->avg_cost_per_interval,
+              auto_run->container_changes,
+              100.0 * auto_run->change_fraction);
+
+  // 4. What did Auto do, and why? Print the decision mix.
+  std::map<std::string, int> decisions;
+  for (const auto& interval : auto_run->intervals) {
+    std::string kind = interval.decision_explanation.substr(
+        0, interval.decision_explanation.find(':'));
+    ++decisions[kind];
+  }
+  std::printf("\ndecision mix:\n");
+  for (const auto& [kind, count] : decisions) {
+    std::printf("  %6d  %s\n", count, kind.c_str());
+  }
+
+  // 5. The audit log: every decision with its explanation (the paper's
+  // diagnostics surface). Show the actual resizes.
+  std::printf("\nresize audit trail:\n");
+  for (const auto* record : (*auto_scaler)->audit().Resizes()) {
+    std::printf("%s\n", record->ToString().substr(0, 100).c_str());
+  }
+
+  // 6. Container rung over time (ASCII).
+  std::vector<double> rungs;
+  for (const auto& interval : auto_run->intervals) {
+    rungs.push_back(interval.container.base_rung + 1.0);
+  }
+  std::printf("\ncontainer rung over time (Auto):\n%s\n",
+              sim::AsciiChart(rungs, 6).c_str());
+  std::printf("offered load (trace):\n%s\n",
+              sim::AsciiChart(options.trace.values(), 6).c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "src/baselines/offline_profiler.h"
+
+#include "src/stats/robust.h"
+
+namespace dbscale::baselines {
+
+using container::ResourceKind;
+using container::ResourceVector;
+
+OfflineProfiler::OfflineProfiler(
+    const container::Catalog& catalog,
+    std::vector<container::ResourceVector> interval_usage,
+    ProfilerOptions options)
+    : catalog_(catalog),
+      usage_(std::move(interval_usage)),
+      options_(options) {}
+
+Result<ResourceVector> OfflineProfiler::UsageAtPercentile(double p) const {
+  if (usage_.empty()) {
+    return Status::FailedPrecondition("no profiled intervals");
+  }
+  ResourceVector result;
+  for (ResourceKind kind : container::kAllResources) {
+    std::vector<double> values;
+    values.reserve(usage_.size());
+    for (const ResourceVector& u : usage_) values.push_back(u.Get(kind));
+    DBSCALE_ASSIGN_OR_RETURN(double v, stats::Percentile(std::move(values), p));
+    result.Set(kind, v);
+  }
+  return result;
+}
+
+Result<container::ContainerSpec> OfflineProfiler::PeakContainer() const {
+  DBSCALE_ASSIGN_OR_RETURN(ResourceVector usage,
+                           UsageAtPercentile(options_.peak_percentile));
+  return catalog_.CheapestDominating(usage.Scaled(options_.headroom));
+}
+
+Result<container::ContainerSpec> OfflineProfiler::AvgContainer() const {
+  if (usage_.empty()) {
+    return Status::FailedPrecondition("no profiled intervals");
+  }
+  ResourceVector mean;
+  for (ResourceKind kind : container::kAllResources) {
+    double sum = 0.0;
+    for (const ResourceVector& u : usage_) sum += u.Get(kind);
+    mean.Set(kind, sum / static_cast<double>(usage_.size()));
+  }
+  return catalog_.CheapestDominating(mean.Scaled(options_.headroom));
+}
+
+Result<std::vector<container::ContainerSpec>>
+OfflineProfiler::TraceSchedule() const {
+  if (usage_.empty()) {
+    return Status::FailedPrecondition("no profiled intervals");
+  }
+  std::vector<container::ContainerSpec> schedule;
+  schedule.reserve(usage_.size());
+  for (const ResourceVector& u : usage_) {
+    schedule.push_back(
+        catalog_.CheapestDominating(u.Scaled(options_.headroom)));
+  }
+  return schedule;
+}
+
+}  // namespace dbscale::baselines

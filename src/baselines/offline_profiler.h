@@ -1,0 +1,58 @@
+// Offline profiling for the Peak / Avg / Trace baselines (Section 7.2.1).
+//
+// These baselines get a luxury no online policy has: they observe the
+// workload's resource demands (a profiling run under the Max container)
+// before choosing containers. Given per-interval absolute resource usage,
+// the profiler derives
+//   * Peak  — the smallest container covering the p95 of per-interval usage,
+//   * Avg   — the smallest container covering the mean usage,
+//   * Trace — a per-interval schedule of smallest covering containers
+//             ("hugs" the demand curve).
+
+#ifndef DBSCALE_BASELINES_OFFLINE_PROFILER_H_
+#define DBSCALE_BASELINES_OFFLINE_PROFILER_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/container/catalog.h"
+
+namespace dbscale::baselines {
+
+struct ProfilerOptions {
+  /// Percentile of per-interval usage the Peak container must cover.
+  double peak_percentile = 95.0;
+  /// Multiplier applied to usage before container selection (headroom so a
+  /// container running at 100% of measured usage is not chosen).
+  double headroom = 1.25;
+};
+
+/// \brief Derives baseline configurations from profiled per-interval usage.
+class OfflineProfiler {
+ public:
+  /// \param interval_usage absolute usage per billing interval: cores,
+  ///        active MB, IOPS, log MB/s (from a Max profiling run).
+  OfflineProfiler(const container::Catalog& catalog,
+                  std::vector<container::ResourceVector> interval_usage,
+                  ProfilerOptions options = {});
+
+  /// Smallest container covering the p95 (options) of per-interval usage.
+  Result<container::ContainerSpec> PeakContainer() const;
+
+  /// Smallest container covering the mean usage.
+  Result<container::ContainerSpec> AvgContainer() const;
+
+  /// Per-interval smallest covering containers.
+  Result<std::vector<container::ContainerSpec>> TraceSchedule() const;
+
+ private:
+  Result<container::ResourceVector> UsageAtPercentile(double p) const;
+
+  container::Catalog catalog_;
+  std::vector<container::ResourceVector> usage_;
+  ProfilerOptions options_;
+};
+
+}  // namespace dbscale::baselines
+
+#endif  // DBSCALE_BASELINES_OFFLINE_PROFILER_H_

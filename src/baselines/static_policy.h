@@ -1,0 +1,39 @@
+// Static container policies (Section 7.2.1): Max, Peak and Avg are all
+// "pick one container and never change it" — they differ only in how the
+// container was chosen offline (largest; from the 95th-percentile
+// utilization of a profiling run; from the average utilization).
+
+#ifndef DBSCALE_BASELINES_STATIC_POLICY_H_
+#define DBSCALE_BASELINES_STATIC_POLICY_H_
+
+#include <string>
+
+#include "src/scaler/policy.h"
+
+namespace dbscale::baselines {
+
+/// \brief Always answers with one fixed container.
+class StaticPolicy : public scaler::ScalingPolicy {
+ public:
+  StaticPolicy(std::string name, container::ContainerSpec spec)
+      : name_(std::move(name)), spec_(std::move(spec)) {}
+
+  scaler::ScalingDecision Decide(const scaler::PolicyInput& input) override {
+    (void)input;
+    scaler::ScalingDecision d;
+    d.target = spec_;
+    d.explanation = "static container";
+    return d;
+  }
+
+  std::string name() const override { return name_; }
+  const container::ContainerSpec& spec() const { return spec_; }
+
+ private:
+  std::string name_;
+  container::ContainerSpec spec_;
+};
+
+}  // namespace dbscale::baselines
+
+#endif  // DBSCALE_BASELINES_STATIC_POLICY_H_

@@ -1,0 +1,46 @@
+// The offline "Trace" baseline (Section 7.2.1): knows the workload's
+// resource demands exactly (from a profiling run under Max) and replays a
+// schedule of per-interval containers that hugs the demand curve.
+
+#ifndef DBSCALE_BASELINES_TRACE_POLICY_H_
+#define DBSCALE_BASELINES_TRACE_POLICY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/scaler/policy.h"
+
+namespace dbscale::baselines {
+
+/// \brief Applies a precomputed container schedule: interval i gets
+/// schedule[i] (clamped to the last entry past the end).
+class TracePolicy : public scaler::ScalingPolicy {
+ public:
+  explicit TracePolicy(std::vector<container::ContainerSpec> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  scaler::ScalingDecision Decide(const scaler::PolicyInput& input) override {
+    scaler::ScalingDecision d;
+    // Decide() runs at the end of interval i to pick interval i+1.
+    const size_t next = static_cast<size_t>(input.interval_index) + 1;
+    const size_t idx = schedule_.empty()
+                           ? 0
+                           : std::min(next, schedule_.size() - 1);
+    d.target = schedule_.empty() ? input.current : schedule_[idx];
+    d.explanation = "trace schedule";
+    return d;
+  }
+
+  std::string name() const override { return "Trace"; }
+  const std::vector<container::ContainerSpec>& schedule() const {
+    return schedule_;
+  }
+
+ private:
+  std::vector<container::ContainerSpec> schedule_;
+};
+
+}  // namespace dbscale::baselines
+
+#endif  // DBSCALE_BASELINES_TRACE_POLICY_H_

@@ -1,0 +1,80 @@
+#include "src/baselines/util_policy.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace dbscale::baselines {
+
+using container::ResourceKind;
+
+UtilPolicy::UtilPolicy(const container::Catalog& catalog,
+                       scaler::LatencyGoal goal, UtilPolicyOptions options)
+    : catalog_(catalog), goal_(goal), options_(options) {}
+
+scaler::ScalingDecision UtilPolicy::Decide(
+    const scaler::PolicyInput& input) {
+  scaler::ScalingDecision d;
+  d.target = input.current;
+  d.explanation = "hold";
+  const telemetry::SignalSnapshot& s = input.signals;
+  if (!s.valid) {
+    d.explanation = "warming up";
+    return d;
+  }
+
+  const bool latency_bad = s.latency_ms > goal_.target_ms;
+  const double ratio =
+      goal_.target_ms > 0.0 ? s.latency_ms / goal_.target_ms : 1.0;
+  const int cur_rung = input.current.base_rung;
+
+  double max_util = 0.0;
+  for (ResourceKind kind : container::kAllResources) {
+    max_util = std::max(max_util, s.resource(kind).utilization_pct);
+  }
+
+  if (latency_bad && max_util >= options_.util_good_pct) {
+    low_streak_ = 0;
+    const int steps = ratio >= options_.big_step_latency_ratio ? 2 : 1;
+    const int rung = catalog_.ClampRung(cur_rung + steps);
+    if (rung != cur_rung) {
+      d.target = catalog_.rung(rung);
+      d.explanation = StrFormat(
+          "Scale-up: latency %.0fms over goal %.0fms with utilization "
+          "%.0f%%",
+          s.latency_ms, goal_.target_ms, max_util);
+      return d;
+    }
+    d.explanation = "latency bad but already at the largest container";
+    return d;
+  }
+
+  if (!latency_bad) {
+    // Down-gate: physical activity low. (Memory utilization is excluded —
+    // even a naive operator knows the cache is always "full".)
+    const bool activity_low =
+        s.resource(ResourceKind::kCpu).utilization_pct <
+            options_.util_low_pct &&
+        s.resource(ResourceKind::kDiskIo).utilization_pct <
+            options_.util_low_pct &&
+        s.resource(ResourceKind::kLogIo).utilization_pct <
+            options_.util_low_pct;
+    if (activity_low && cur_rung > 0) {
+      ++low_streak_;
+      if (low_streak_ >= options_.down_patience) {
+        low_streak_ = 0;
+        d.target = catalog_.rung(cur_rung - 1);
+        d.explanation = StrFormat(
+            "Scale-down: latency %.0fms within goal and utilization low",
+            s.latency_ms);
+        return d;
+      }
+      d.explanation = "cooldown before scale-down";
+      return d;
+    }
+  }
+  low_streak_ = 0;
+  return d;
+}
+
+}  // namespace dbscale::baselines

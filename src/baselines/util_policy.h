@@ -1,0 +1,56 @@
+// The "Util" online baseline (Section 7.2.2): emulates the rule-based
+// utilization auto-scalers commercial clouds offer, translated from
+// VM-count scaling to container sizing.
+//
+//   * latency BAD and any resource utilization GOOD-or-HIGH  -> scale up
+//     (2 rungs when latency is far beyond the goal — this is the "ends up
+//     scaling much higher to compensate" behaviour of Figure 13(a));
+//   * latency GOOD and cpu/disk/log utilization all LOW      -> scale down.
+//
+// Utilization is the *only* demand evidence it has: memory utilization is
+// effectively always high (the buffer pool never releases pages), so the
+// up-gate nearly always passes and latency violations alone drive growth —
+// the exact failure mode the paper's estimator avoids.
+
+#ifndef DBSCALE_BASELINES_UTIL_POLICY_H_
+#define DBSCALE_BASELINES_UTIL_POLICY_H_
+
+#include <string>
+
+#include "src/container/catalog.h"
+#include "src/scaler/knobs.h"
+#include "src/scaler/policy.h"
+
+namespace dbscale::baselines {
+
+struct UtilPolicyOptions {
+  /// Utilization (any resource, %) at or above which the up-gate passes.
+  double util_good_pct = 30.0;
+  /// Utilization (cpu/disk/log, %) below which the down-gate passes.
+  double util_low_pct = 20.0;
+  /// Latency ratio beyond which the policy jumps 2 rungs at once.
+  double big_step_latency_ratio = 2.0;
+  /// Consecutive good+idle intervals before scaling down (commercial
+  /// autoscalers scale up fast and down slowly — the usual cooldown).
+  int down_patience = 5;
+};
+
+/// \brief Latency + utilization rule scaler (application-agnostic).
+class UtilPolicy : public scaler::ScalingPolicy {
+ public:
+  UtilPolicy(const container::Catalog& catalog, scaler::LatencyGoal goal,
+             UtilPolicyOptions options = {});
+
+  scaler::ScalingDecision Decide(const scaler::PolicyInput& input) override;
+  std::string name() const override { return "Util"; }
+
+ private:
+  container::Catalog catalog_;
+  scaler::LatencyGoal goal_;
+  UtilPolicyOptions options_;
+  int low_streak_ = 0;
+};
+
+}  // namespace dbscale::baselines
+
+#endif  // DBSCALE_BASELINES_UTIL_POLICY_H_

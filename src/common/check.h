@@ -1,0 +1,40 @@
+// Lightweight CHECK/DCHECK macros for internal invariants.
+//
+// CHECK fires in all builds; DCHECK only when NDEBUG is not defined. These
+// guard programming errors (broken invariants), never recoverable runtime
+// conditions — those must use Status.
+
+#ifndef DBSCALE_COMMON_CHECK_H_
+#define DBSCALE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#define DBSCALE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__     \
+                << ": " #cond << std::endl;                              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define DBSCALE_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    const ::dbscale::Status _st = (expr);                                \
+    if (!_st.ok()) {                                                     \
+      std::cerr << "CHECK_OK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " << _st.ToString() << std::endl;                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DBSCALE_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define DBSCALE_DCHECK(cond) DBSCALE_CHECK(cond)
+#endif
+
+#endif  // DBSCALE_COMMON_CHECK_H_

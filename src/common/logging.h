@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is single-threaded per run, so no locking is needed. The
+// level is a process-global that experiments may raise for drill-down
+// debugging; the default (kWarn) keeps benchmark output clean.
+
+#ifndef DBSCALE_COMMON_LOGGING_H_
+#define DBSCALE_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace dbscale {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DBSCALE_LOG(level)                                      \
+  ::dbscale::internal::LogMessage(::dbscale::LogLevel::level,   \
+                                  __FILE__, __LINE__)
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_LOGGING_H_

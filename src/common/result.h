@@ -1,0 +1,95 @@
+// Result<T>: value-or-Status, the companion of status.h for functions that
+// produce a value on success.
+
+#ifndef DBSCALE_COMMON_RESULT_H_
+#define DBSCALE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace dbscale {
+
+/// \brief Holds either a successfully computed T or the Status describing
+/// why the computation failed.
+///
+/// A Result constructed from an OK status is invalid; the error status must
+/// carry a non-OK code.
+template <typename T>
+class Result {
+ public:
+  /// Wraps a success value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Wraps an error. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // Programming error: an OK status carries no value. Fail loudly.
+      std::cerr << "Result<T> constructed from OK Status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the value. Must only be called when ok().
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::value() on error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status from the enclosing function.
+#define DBSCALE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define DBSCALE_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  DBSCALE_ASSIGN_OR_RETURN_IMPL(                                          \
+      DBSCALE_CONCAT_NAME(_dbscale_result_, __LINE__), lhs, rexpr)
+
+#define DBSCALE_CONCAT_NAME_INNER(x, y) x##y
+#define DBSCALE_CONCAT_NAME(x, y) DBSCALE_CONCAT_NAME_INNER(x, y)
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_RESULT_H_

@@ -1,0 +1,28 @@
+#include "src/common/sim_time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dbscale {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (us_ >= 60'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fmin", ToMinutes());
+  } else if (us_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ToSeconds());
+  } else if (us_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", us_);
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", ToSeconds());
+  return buf;
+}
+
+}  // namespace dbscale

@@ -1,0 +1,107 @@
+// Simulated-time primitives.
+//
+// All simulator timestamps and durations are int64 microseconds wrapped in
+// strong types so that seconds/milliseconds cannot be mixed up silently.
+// There is deliberately no conversion from wall-clock time.
+
+#ifndef DBSCALE_COMMON_SIM_TIME_H_
+#define DBSCALE_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dbscale {
+
+/// \brief A span of simulated time, microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Duration Hours(double h) { return Minutes(h * 60.0); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() {
+    return Duration(INT64_MAX);
+  }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToMillis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double ToSeconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double ToMinutes() const { return ToSeconds() / 60.0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(us_ + o.us_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(us_ - o.us_);
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) / k));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+/// \brief An instant on the simulated timeline (microseconds since
+/// simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToSeconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double ToMinutes() const { return ToSeconds() / 60.0; }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(us_ + d.ToMicros());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(us_ - d.ToMicros());
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+  SimTime& operator+=(Duration d) {
+    us_ += d.ToMicros();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_SIM_TIME_H_

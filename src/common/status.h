@@ -1,0 +1,151 @@
+// Status-based error handling for dbscale.
+//
+// The library does not throw exceptions across its public API. Fallible
+// operations return a Status (or a Result<T>, see result.h). The style
+// follows the conventions used by Arrow and RocksDB.
+
+#ifndef DBSCALE_COMMON_STATUS_H_
+#define DBSCALE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dbscale {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kAlreadyExists = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIoError = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code
+/// (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The result of a fallible operation: either OK or an error code
+/// plus message.
+///
+/// Status is cheap to copy in the OK case (a single pointer). Error states
+/// allocate a small heap record holding the code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : new State{code, std::move(message)}) {}
+
+  ~Status() { delete state_; }
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Factory helpers, one per error class.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  State* state_ = nullptr;  // nullptr means OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates an error Status from the enclosing function.
+#define DBSCALE_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::dbscale::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+
+#ifndef DBSCALE_COMMON_STRING_UTIL_H_
+#define DBSCALE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbscale {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,210 @@
+#include "src/container/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::container {
+
+namespace {
+
+struct Rung {
+  double cpu_cores;
+  double memory_mb;
+  double disk_iops;
+  double log_mbps;
+  double price;
+};
+
+// Eleven lock-step sizes, shaped after the 2016-era commercial catalogs the
+// paper describes: 0.5 cores to 32 cores, ~1 GB to ~192 GB, 50 to 10000
+// IOPS, price 7..270 units per billing interval. S4's memory (4 GB) and
+// S3's (2.5 GB) bracket the 3 GB working set of the Figure 14 ballooning
+// experiment.
+constexpr Rung kRungs[] = {
+    {0.5, 1024.0, 50.0, 2.0, 7.0},        // S1
+    {1.0, 1536.0, 100.0, 4.0, 15.0},      // S2
+    {2.0, 2560.0, 200.0, 8.0, 30.0},      // S3
+    {3.0, 4096.0, 300.0, 12.0, 45.0},     // S4
+    {4.0, 8192.0, 500.0, 20.0, 60.0},     // S5
+    {6.0, 16384.0, 800.0, 32.0, 90.0},    // S6
+    {8.0, 24576.0, 1200.0, 48.0, 120.0},  // S7
+    {12.0, 49152.0, 2000.0, 80.0, 150.0},  // S8
+    {16.0, 98304.0, 3500.0, 120.0, 180.0},  // S9
+    {24.0, 147456.0, 6000.0, 200.0, 240.0},  // S10
+    {32.0, 196608.0, 10000.0, 300.0, 270.0},  // S11
+};
+constexpr int kNumRungs = static_cast<int>(std::size(kRungs));
+
+// Share of a rung's price attributed to each dimension; used to price
+// single-dimension variants.
+double DimensionWeight(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return 0.40;
+    case ResourceKind::kMemory:
+      return 0.25;
+    case ResourceKind::kDiskIo:
+      return 0.25;
+    case ResourceKind::kLogIo:
+      return 0.10;
+  }
+  return 0.0;
+}
+
+ResourceVector RungResources(int i) {
+  return ResourceVector{kRungs[i].cpu_cores, kRungs[i].memory_mb,
+                        kRungs[i].disk_iops, kRungs[i].log_mbps};
+}
+
+std::vector<ContainerSpec> LockStepSpecs() {
+  std::vector<ContainerSpec> specs;
+  specs.reserve(kNumRungs);
+  for (int i = 0; i < kNumRungs; ++i) {
+    ContainerSpec spec;
+    spec.name = StrFormat("S%d", i + 1);
+    spec.resources = RungResources(i);
+    spec.price_per_interval = kRungs[i].price;
+    spec.base_rung = i;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+Catalog::Catalog(std::vector<ContainerSpec> specs, int num_rungs)
+    : specs_(std::move(specs)), num_rungs_(num_rungs) {
+  // Price order with a deterministic name tie-break.
+  std::stable_sort(specs_.begin(), specs_.end(),
+                   [](const ContainerSpec& a, const ContainerSpec& b) {
+                     if (a.price_per_interval != b.price_per_interval) {
+                       return a.price_per_interval < b.price_per_interval;
+                     }
+                     return a.name < b.name;
+                   });
+  rung_ids_.assign(static_cast<size_t>(num_rungs_), -1);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i].id = static_cast<int>(i);
+    // Lock-step rungs are the specs named "S<k>" (no variant suffix).
+    if (specs_[i].name.find('-') == std::string::npos) {
+      rung_ids_[static_cast<size_t>(specs_[i].base_rung)] =
+          static_cast<int>(i);
+    }
+  }
+  for (int id : rung_ids_) DBSCALE_CHECK(id >= 0);
+}
+
+Catalog Catalog::MakeLockStep() {
+  return Catalog(LockStepSpecs(), kNumRungs);
+}
+
+Catalog Catalog::MakePerDimension(int max_dimension_steps) {
+  DBSCALE_CHECK(max_dimension_steps >= 1);
+  std::vector<ContainerSpec> specs = LockStepSpecs();
+  for (int i = 0; i < kNumRungs; ++i) {
+    for (ResourceKind kind : kAllResources) {
+      for (int step = 1; step <= max_dimension_steps; ++step) {
+        int j = i + step;
+        if (j >= kNumRungs) break;
+        ContainerSpec spec;
+        spec.name = StrFormat("S%d-%s+%d", i + 1,
+                              ResourceKindToString(kind), step);
+        spec.resources = RungResources(i);
+        spec.resources.Set(kind, RungResources(j).Get(kind));
+        spec.price_per_interval =
+            kRungs[i].price +
+            (kRungs[j].price - kRungs[i].price) * DimensionWeight(kind);
+        spec.base_rung = i;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return Catalog(std::move(specs), kNumRungs);
+}
+
+Result<Catalog> Catalog::FromSpecs(std::vector<ContainerSpec> specs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("catalog needs at least one container");
+  }
+  // Treat every spec as its own rung when built from explicit specs.
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const ContainerSpec& a, const ContainerSpec& b) {
+                     return a.price_per_interval < b.price_per_interval;
+                   });
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].base_rung = static_cast<int>(i);
+    if (specs[i].name.empty()) specs[i].name = StrFormat("C%zu", i + 1);
+    // Rung detection keys off '-'; explicit specs become rungs as-is.
+    DBSCALE_CHECK(specs[i].name.find('-') == std::string::npos);
+  }
+  return Catalog(std::move(specs), static_cast<int>(specs.size()));
+}
+
+const ContainerSpec& Catalog::at(int id) const {
+  DBSCALE_CHECK(id >= 0 && id < size());
+  return specs_[static_cast<size_t>(id)];
+}
+
+const ContainerSpec& Catalog::largest() const {
+  // The largest container is the most expensive lock-step rung: it dominates
+  // every variant.
+  return specs_[static_cast<size_t>(rung_ids_.back())];
+}
+
+const ContainerSpec& Catalog::rung(int rung_index) const {
+  DBSCALE_CHECK(rung_index >= 0 && rung_index < num_rungs_);
+  return specs_[static_cast<size_t>(
+      rung_ids_[static_cast<size_t>(rung_index)])];
+}
+
+Result<ContainerSpec> Catalog::CheapestDominating(
+    const ResourceVector& demand, double budget) const {
+  for (const ContainerSpec& spec : specs_) {
+    if (spec.price_per_interval <= budget &&
+        spec.resources.Dominates(demand)) {
+      return spec;
+    }
+  }
+  // Demand cannot be met within budget: fall back to the most expensive
+  // affordable container (paper Section 6).
+  return MostExpensiveWithin(budget);
+}
+
+ContainerSpec Catalog::CheapestDominating(const ResourceVector& demand) const {
+  for (const ContainerSpec& spec : specs_) {
+    if (spec.resources.Dominates(demand)) return spec;
+  }
+  return largest();
+}
+
+Result<ContainerSpec> Catalog::MostExpensiveWithin(double budget) const {
+  for (auto it = specs_.rbegin(); it != specs_.rend(); ++it) {
+    if (it->price_per_interval <= budget) return *it;
+  }
+  return Status::ResourceExhausted(
+      StrFormat("no container fits budget %.2f (smallest costs %.2f)",
+                budget, specs_.front().price_per_interval));
+}
+
+int Catalog::RungForDemand(const ResourceVector& demand) const {
+  for (int r = 0; r < num_rungs_; ++r) {
+    if (rung(r).resources.Dominates(demand)) return r;
+  }
+  return num_rungs_ - 1;
+}
+
+int Catalog::ClampRung(int rung_index) const {
+  return std::clamp(rung_index, 0, num_rungs_ - 1);
+}
+
+Result<ContainerSpec> Catalog::FindByName(const std::string& name) const {
+  for (const ContainerSpec& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound(StrFormat("no container named '%s'", name.c_str()));
+}
+
+}  // namespace dbscale::container

@@ -1,0 +1,90 @@
+// Container catalogs and container search.
+//
+// The default catalog mirrors the paper's experimental setup: eleven
+// lock-step sizes spanning half a core to 32 cores, priced from 7 to 270
+// cost units per billing interval (three-plus orders of magnitude of
+// resources, ~40x in price — the paper notes three orders of magnitude of
+// *cost* across the full Azure catalog; we keep its experimental 7..270
+// range).
+//
+// A per-dimension catalog (Figure 1) additionally offers, for every
+// lock-step rung, variants that scale one resource dimension up while the
+// others stay at the rung — "high CPU" / "high memory" / "high I/O"
+// instances. Workloads with demand concentrated in one resource pick these
+// up at a lower price than the next full rung.
+
+#ifndef DBSCALE_CONTAINER_CATALOG_H_
+#define DBSCALE_CONTAINER_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/container/container.h"
+
+namespace dbscale::container {
+
+/// \brief An immutable, price-ordered set of ContainerSpecs with search
+/// operations used by the scaling policies.
+class Catalog {
+ public:
+  /// The paper-style lock-step catalog: 11 sizes S1..S11; every dimension
+  /// scales proportionally; price 7..270 units.
+  static Catalog MakeLockStep();
+
+  /// Lock-step rungs plus single-dimension scale-ups per Figure 1.
+  /// `max_dimension_steps` limits how many rungs above its base a variant's
+  /// boosted dimension may reach (2 covers the paper's 98% of changes).
+  static Catalog MakePerDimension(int max_dimension_steps = 2);
+
+  /// Builds a catalog from explicit specs (ids are reassigned in price
+  /// order). Errors if `specs` is empty.
+  static Result<Catalog> FromSpecs(std::vector<ContainerSpec> specs);
+
+  int size() const { return static_cast<int>(specs_.size()); }
+  const ContainerSpec& at(int id) const;
+  const std::vector<ContainerSpec>& specs() const { return specs_; }
+
+  const ContainerSpec& smallest() const { return specs_.front(); }
+  const ContainerSpec& largest() const;
+
+  /// Number of lock-step rungs (base sizes) in this catalog.
+  int num_rungs() const { return num_rungs_; }
+  /// The lock-step rung container at the given rung index [0, num_rungs).
+  const ContainerSpec& rung(int rung_index) const;
+
+  /// Cheapest container whose resources dominate `demand` and whose price is
+  /// <= `budget`. If no dominating container fits the budget, returns the
+  /// most expensive container within budget (the paper's budget-constrained
+  /// fallback). Errors only if even the smallest container exceeds `budget`.
+  Result<ContainerSpec> CheapestDominating(const ResourceVector& demand,
+                                           double budget) const;
+
+  /// Cheapest container dominating `demand`, ignoring budget; the largest
+  /// container if none dominates.
+  ContainerSpec CheapestDominating(const ResourceVector& demand) const;
+
+  /// Most expensive container with price <= budget. Errors if none.
+  Result<ContainerSpec> MostExpensiveWithin(double budget) const;
+
+  /// Smallest rung whose resources dominate `demand`; num_rungs()-1 if none.
+  int RungForDemand(const ResourceVector& demand) const;
+
+  /// The rung `steps` above/below `rung_index`, clamped to the catalog.
+  int ClampRung(int rung_index) const;
+
+  /// Finds a container by name.
+  Result<ContainerSpec> FindByName(const std::string& name) const;
+
+ private:
+  Catalog(std::vector<ContainerSpec> specs, int num_rungs);
+
+  std::vector<ContainerSpec> specs_;  // ascending price
+  std::vector<int> rung_ids_;         // specs_ index of each lock-step rung
+  int num_rungs_ = 0;
+};
+
+}  // namespace dbscale::container
+
+#endif  // DBSCALE_CONTAINER_CATALOG_H_

@@ -1,0 +1,85 @@
+#include "src/container/container.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::container {
+
+const char* ResourceKindToString(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kDiskIo:
+      return "disk_io";
+    case ResourceKind::kLogIo:
+      return "log_io";
+  }
+  return "?";
+}
+
+double ResourceVector::Get(ResourceKind kind) const {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return cpu_cores;
+    case ResourceKind::kMemory:
+      return memory_mb;
+    case ResourceKind::kDiskIo:
+      return disk_iops;
+    case ResourceKind::kLogIo:
+      return log_mbps;
+  }
+  DBSCALE_CHECK(false);
+  return 0.0;
+}
+
+void ResourceVector::Set(ResourceKind kind, double value) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      cpu_cores = value;
+      return;
+    case ResourceKind::kMemory:
+      memory_mb = value;
+      return;
+    case ResourceKind::kDiskIo:
+      disk_iops = value;
+      return;
+    case ResourceKind::kLogIo:
+      log_mbps = value;
+      return;
+  }
+  DBSCALE_CHECK(false);
+}
+
+bool ResourceVector::Dominates(const ResourceVector& other) const {
+  return cpu_cores >= other.cpu_cores && memory_mb >= other.memory_mb &&
+         disk_iops >= other.disk_iops && log_mbps >= other.log_mbps;
+}
+
+ResourceVector ResourceVector::Max(const ResourceVector& a,
+                                   const ResourceVector& b) {
+  return ResourceVector{
+      std::max(a.cpu_cores, b.cpu_cores), std::max(a.memory_mb, b.memory_mb),
+      std::max(a.disk_iops, b.disk_iops), std::max(a.log_mbps, b.log_mbps)};
+}
+
+ResourceVector ResourceVector::Scaled(double factor) const {
+  return ResourceVector{cpu_cores * factor, memory_mb * factor,
+                        disk_iops * factor, log_mbps * factor};
+}
+
+std::string ResourceVector::ToString() const {
+  return StrFormat("{cpu=%.2f cores, mem=%.0f MB, disk=%.0f IOPS, "
+                   "log=%.1f MB/s}",
+                   cpu_cores, memory_mb, disk_iops, log_mbps);
+}
+
+std::string ContainerSpec::ToString() const {
+  return StrFormat("%s %s @%.1f units/interval", name.c_str(),
+                   resources.ToString().c_str(), price_per_interval);
+}
+
+}  // namespace dbscale::container

@@ -1,0 +1,98 @@
+#include "src/engine/buffer_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dbscale::engine {
+
+BufferPool::BufferPool(int64_t capacity_pages, int64_t working_set_pages,
+                       int64_t database_pages, Rng* rng)
+    : capacity_pages_(capacity_pages),
+      working_set_pages_(working_set_pages),
+      database_pages_(database_pages),
+      rng_(rng) {
+  DBSCALE_CHECK(capacity_pages >= 0);
+  DBSCALE_CHECK(working_set_pages > 0);
+  DBSCALE_CHECK(database_pages >= working_set_pages);
+  DBSCALE_CHECK(rng != nullptr);
+}
+
+double BufferPool::HotHitProbability() const {
+  if (working_set_pages_ == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(hot_cached_) /
+                           static_cast<double>(working_set_pages_));
+}
+
+bool BufferPool::Access(bool hot) {
+  if (hot) {
+    // A uniformly random working-set page; cached with probability
+    // hot_cached / working_set.
+    if (rng_->Bernoulli(HotHitProbability())) return true;
+    // Miss: cache the page after the read. Prefer evicting cold pages;
+    // if the pool is smaller than the working set, hot pages replace each
+    // other and hot_cached saturates at capacity.
+    if (cached_pages() >= capacity_pages_) {
+      if (cold_cached_ > 0) {
+        --cold_cached_;
+      } else {
+        // Pool full of hot pages: replacement does not change hot_cached_.
+        return false;
+      }
+    }
+    if (hot_cached_ < std::min(capacity_pages_, working_set_pages_)) {
+      ++hot_cached_;
+    }
+    return false;
+  }
+
+  // Cold access over the non-working-set region.
+  const int64_t cold_region =
+      std::max<int64_t>(1, database_pages_ - working_set_pages_);
+  const double hit_prob =
+      std::min(1.0, static_cast<double>(cold_cached_) /
+                        static_cast<double>(cold_region));
+  if (rng_->Bernoulli(hit_prob)) return true;
+  // Miss: admit the cold page only into space not needed by the hot set —
+  // an LRU under a hot/cold mix keeps the frequently-touched hot pages.
+  const int64_t cold_budget =
+      std::max<int64_t>(0, capacity_pages_ - hot_cached_);
+  if (cold_cached_ < cold_budget) {
+    ++cold_cached_;
+  }
+  // else: replaces another cold page; cold_cached_ unchanged.
+  return false;
+}
+
+void BufferPool::PrewarmHotSet() {
+  hot_cached_ = std::min(capacity_pages_, working_set_pages_);
+  EvictTo(capacity_pages_);
+}
+
+void BufferPool::SetCapacity(int64_t capacity_pages) {
+  DBSCALE_CHECK(capacity_pages >= 0);
+  capacity_pages_ = capacity_pages;
+  EvictTo(capacity_pages_);
+}
+
+void BufferPool::SetWorkingSet(int64_t working_set_pages) {
+  DBSCALE_CHECK(working_set_pages > 0);
+  DBSCALE_CHECK(working_set_pages <= database_pages_);
+  working_set_pages_ = working_set_pages;
+  hot_cached_ = std::min(hot_cached_, working_set_pages_);
+}
+
+void BufferPool::EvictTo(int64_t target_pages) {
+  // Cold pages first.
+  int64_t excess = cached_pages() - target_pages;
+  if (excess <= 0) return;
+  int64_t cold_evicted = std::min(excess, cold_cached_);
+  cold_cached_ -= cold_evicted;
+  excess -= cold_evicted;
+  if (excess > 0) {
+    hot_cached_ -= excess;
+    DBSCALE_CHECK(hot_cached_ >= 0);
+  }
+}
+
+}  // namespace dbscale::engine

@@ -1,0 +1,95 @@
+// Statistical buffer pool model.
+//
+// Tracking millions of individual pages is unnecessary for scaling
+// experiments; what matters is the *aggregate* behaviour the paper's signals
+// react to:
+//   * hit rate as a function of pool size vs. working-set size,
+//   * slow warm-up (the pool refills one page per miss, so re-caching a
+//     3 GB working set takes hundreds of thousands of I/Os — Figure 14's
+//     "takes a long time for the working set to be entirely cached"),
+//   * an I/O cliff the moment the pool shrinks below the working set
+//     (ballooning's abort trigger),
+//   * memory that is "rarely LOW": caches do not voluntarily release pages.
+//
+// Model: accesses target the hot set (working set, `working_set_pages`)
+// with the workload's hotspot probability, otherwise a cold region of
+// `database_pages`. The pool tracks how many hot/cold pages are currently
+// cached; hot pages are only evicted when the pool cannot hold the full hot
+// set, cold pages churn in the remainder.
+
+#ifndef DBSCALE_ENGINE_BUFFER_POOL_H_
+#define DBSCALE_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace dbscale::engine {
+
+/// 8 KB pages, matching SQL Server.
+inline constexpr double kPageSizeMb = 8.0 / 1024.0;
+
+inline int64_t MbToPages(double mb) {
+  return static_cast<int64_t>(mb / kPageSizeMb);
+}
+inline double PagesToMb(int64_t pages) {
+  return static_cast<double>(pages) * kPageSizeMb;
+}
+
+/// \brief Aggregate hot/cold page-cache model.
+class BufferPool {
+ public:
+  /// \param capacity_pages pool size in pages.
+  /// \param working_set_pages size of the workload's hot set.
+  /// \param database_pages total data size (cold region =
+  ///        database_pages - working_set_pages).
+  BufferPool(int64_t capacity_pages, int64_t working_set_pages,
+             int64_t database_pages, Rng* rng);
+
+  /// Records one page access. \param hot whether the access targets the
+  /// working set. Returns true on a cache hit; a miss implies one physical
+  /// read (the caller issues it to the disk device) after which the page is
+  /// cached.
+  bool Access(bool hot);
+
+  /// Online resize (container change or balloon step). Shrinking evicts
+  /// cold pages first, then hot pages.
+  void SetCapacity(int64_t capacity_pages);
+
+  /// Marks the working set as fully cached (up to capacity): a steady-state
+  /// start that skips the coupon-collector warm-up.
+  void PrewarmHotSet();
+
+  /// Changes the workload's working-set size (e.g. between experiments).
+  void SetWorkingSet(int64_t working_set_pages);
+
+  int64_t capacity_pages() const { return capacity_pages_; }
+  int64_t working_set_pages() const { return working_set_pages_; }
+  int64_t hot_cached() const { return hot_cached_; }
+  int64_t cold_cached() const { return cold_cached_; }
+  int64_t cached_pages() const { return hot_cached_ + cold_cached_; }
+  double used_mb() const { return PagesToMb(cached_pages()); }
+
+  /// True when the pool can no longer hold the entire working set — misses
+  /// are then due to *memory pressure*, not warm-up.
+  bool UnderMemoryPressure() const {
+    return capacity_pages_ < working_set_pages_;
+  }
+
+  /// Fraction of hot accesses expected to hit right now.
+  double HotHitProbability() const;
+
+ private:
+  void EvictTo(int64_t target_pages);
+
+  int64_t capacity_pages_;
+  int64_t working_set_pages_;
+  int64_t database_pages_;
+  int64_t hot_cached_ = 0;
+  int64_t cold_cached_ = 0;
+  Rng* rng_;
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,172 @@
+// The simulated database engine.
+//
+// Substitutes for the Azure SQL DB engine of the paper's prototype: executes
+// requests against container-limited resources and emits the production
+// telemetry (utilization, wait statistics by class, latencies) that the
+// auto-scaler consumes. See DESIGN.md §2 for the substitution argument.
+//
+// Request lifecycle:
+//   arrive -> [workspace memory grant] ->
+//   { CPU slice -> page accesses (buffer pool; misses -> disk I/O) }* ->
+//   [hot-row lock, held through application think time] ->
+//   [log write] -> commit (release lock & grant)
+//
+// The hot-row lock is taken after the resource-bound read/compute phase and
+// held through application think time and the commit, so lock hold times —
+// and therefore lock contention — are essentially independent of container
+// size: the paper's "bottleneck beyond resources".
+//
+// Every microsecond a request spends blocked is attributed to a WaitClass:
+//   CPU queueing + slow-core stretch  -> CPU (signal waits)
+//   cold page-read I/O                -> DiskIO
+//   hot page-read I/O under memory pressure -> BufferPool
+//   hot page-read I/O during warm-up  -> DiskIO
+//   log-write queueing + service      -> LogIO
+//   lock queueing                     -> Lock
+//   latch interference                -> Latch
+//   memory-grant queueing             -> Memory
+//   background (checkpoint-like)      -> System
+
+#ifndef DBSCALE_ENGINE_ENGINE_H_
+#define DBSCALE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/container/container.h"
+#include "src/engine/buffer_pool.h"
+#include "src/engine/event_queue.h"
+#include "src/engine/lock_manager.h"
+#include "src/engine/memory_broker.h"
+#include "src/engine/request.h"
+#include "src/engine/server_queue.h"
+#include "src/stats/cdf.h"
+#include "src/telemetry/sample.h"
+
+namespace dbscale::engine {
+
+/// Static configuration of the simulated database and engine behaviour.
+struct EngineOptions {
+  /// Total data size (MB); cold accesses roam over this minus the working
+  /// set.
+  double database_mb = 32768.0;
+  /// Workload working-set size (MB).
+  double working_set_mb = 1024.0;
+  /// Number of contended hot rows for the lock manager.
+  int num_hot_rows = 32;
+  /// Lock-wait timeout (engine aborts the transaction afterwards).
+  Duration lock_timeout = Duration::Seconds(10);
+  /// Fraction of container memory given to the buffer pool; the rest is
+  /// workspace for memory grants.
+  double buffer_pool_fraction = 0.8;
+  /// Per-request probability and mean duration of a latch interference wait.
+  double latch_probability = 0.05;
+  double latch_mean_ms = 1.0;
+  /// Per-request probability and mean duration of background (checkpoint-
+  /// like) interference.
+  double system_wait_probability = 0.01;
+  double system_wait_mean_ms = 4.0;
+  /// Max number of CPU/I/O interleave rounds per request.
+  int max_io_batches = 4;
+};
+
+/// \brief Container-limited database engine simulator.
+class DatabaseEngine {
+ public:
+  using CompletionHook = std::function<void(const RequestResult&)>;
+
+  DatabaseEngine(EventQueue* events, const EngineOptions& options,
+                 const container::ContainerSpec& initial_container, Rng rng);
+
+  /// Submits one request; `done` (optional) fires at completion.
+  void Submit(const RequestSpec& spec, CompletionHook done = nullptr);
+
+  /// Installs a listener invoked for every completed request (in addition
+  /// to per-request hooks); the harness uses it for run-level latency
+  /// accounting.
+  void SetCompletionListener(CompletionHook listener);
+
+  /// Pre-fills the buffer pool with the working set (up to capacity), as a
+  /// steady-state start; avoids a cold-start miss storm at simulation
+  /// begin.
+  void PrewarmBufferPool();
+
+  /// Applies a container resize (online; in-flight work is unaffected
+  /// except that it now competes for the new capacity).
+  void ApplyContainer(const container::ContainerSpec& spec);
+
+  /// Balloon override: caps effective memory below the container's
+  /// allocation (used by the balloon controller's gradual shrink).
+  /// Passing a value >= the container's memory clears the override.
+  void SetMemoryLimitMb(double mb);
+  void ClearMemoryLimit();
+  double effective_memory_mb() const;
+
+  /// Builds the telemetry sample for the period since the previous call
+  /// (or construction) and resets period accumulators.
+  telemetry::TelemetrySample CollectSample();
+
+  const container::ContainerSpec& current_container() const {
+    return container_;
+  }
+  const BufferPool& buffer_pool() const { return *buffer_pool_; }
+  const LockManager& lock_manager() const { return *locks_; }
+  EventQueue* events() const { return events_; }
+
+  /// Engine-lifetime counters.
+  uint64_t requests_submitted() const { return requests_submitted_; }
+  uint64_t requests_completed() const { return requests_completed_; }
+  uint64_t requests_errored() const { return requests_errored_; }
+  /// Requests submitted but not yet completed.
+  uint64_t requests_in_flight() const {
+    return requests_submitted_ - requests_completed_;
+  }
+
+ private:
+  struct RequestState;
+
+  void AcquireGrant(std::shared_ptr<RequestState> rs);
+  void AcquireLock(std::shared_ptr<RequestState> rs);
+  void RunBatch(std::shared_ptr<RequestState> rs);
+  void DoPageAccesses(std::shared_ptr<RequestState> rs);
+  void MaybeLatch(std::shared_ptr<RequestState> rs,
+                  std::function<void()> next);
+  void WriteLog(std::shared_ptr<RequestState> rs);
+  void Finish(std::shared_ptr<RequestState> rs, bool error);
+  void AddWait(RequestState* rs, telemetry::WaitClass wc, Duration wait);
+  void ApplyMemory();
+
+  EventQueue* events_;
+  EngineOptions options_;
+  container::ContainerSpec container_;
+  Rng rng_;
+  CompletionHook completion_listener_;
+
+  std::unique_ptr<ServerQueue> cpu_;
+  std::unique_ptr<ServerQueue> disk_;
+  std::unique_ptr<ServerQueue> log_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<MemoryBroker> memory_;
+
+  double memory_limit_mb_ = -1.0;  // balloon override; <0 = none
+
+  // Period accumulators (reset by CollectSample()).
+  SimTime period_start_ = SimTime::Zero();
+  std::array<double, telemetry::kNumWaitClasses> period_wait_ms_{};
+  stats::LatencyHistogram period_latency_{0.01, 1e8, 48};
+  int64_t period_started_ = 0;
+  int64_t period_completed_ = 0;
+  int64_t period_physical_reads_ = 0;
+
+  // Lifetime counters.
+  uint64_t requests_submitted_ = 0;
+  uint64_t requests_completed_ = 0;
+  uint64_t requests_errored_ = 0;
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_ENGINE_H_

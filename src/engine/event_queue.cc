@@ -1,0 +1,40 @@
+#include "src/engine/event_queue.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::engine {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  DBSCALE_DCHECK(when >= now_);
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(Duration delay, Callback cb) {
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  DBSCALE_DCHECK(until >= now_);
+  while (!heap_.empty() && heap_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-free
+    // here because we pop immediately and Event's members are not const.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.when;
+    ++events_processed_;
+    event.cb();
+  }
+  now_ = until;
+}
+
+void EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.when;
+    ++events_processed_;
+    event.cb();
+  }
+}
+
+}  // namespace dbscale::engine

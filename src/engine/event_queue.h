@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event queue: callbacks scheduled at simulated
+// timestamps, executed in time order (FIFO among equal timestamps via a
+// monotonically increasing sequence number, so runs are deterministic).
+
+#ifndef DBSCALE_ENGINE_EVENT_QUEUE_H_
+#define DBSCALE_ENGINE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace dbscale::engine {
+
+/// \brief Deterministic discrete-event scheduler.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulated time (the timestamp of the event being processed, or
+  /// the last processed).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`. `when` must not be in the past.
+  void ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` after `delay` from Now().
+  void ScheduleAfter(Duration delay, Callback cb);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; leaves Now() == until. Events scheduled exactly at `until`
+  /// are executed.
+  void RunUntil(SimTime until);
+
+  /// Runs all remaining events.
+  void RunAll();
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::Zero();
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_EVENT_QUEUE_H_

@@ -1,0 +1,74 @@
+#include "src/engine/lock_manager.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dbscale::engine {
+
+LockManager::LockManager(EventQueue* events, int num_rows,
+                         Duration wait_timeout)
+    : events_(events), wait_timeout_(wait_timeout), rows_(num_rows) {
+  DBSCALE_CHECK(events != nullptr);
+  DBSCALE_CHECK(num_rows > 0);
+  DBSCALE_CHECK(wait_timeout > Duration::Zero());
+}
+
+void LockManager::Acquire(int row, Grant on_grant) {
+  DBSCALE_CHECK(row >= 0 && row < num_rows());
+  Row& r = rows_[static_cast<size_t>(row)];
+  if (!r.held && r.waiters.empty()) {
+    r.held = true;
+    ++grants_;
+    on_grant(true, Duration::Zero());
+    return;
+  }
+  const uint64_t ticket = next_ticket_++;
+  r.waiters.push_back(Waiter{ticket, events_->Now(), std::move(on_grant)});
+  // Arm the timeout. The waiter might have been granted (and removed) by
+  // then; the ticket identifies it.
+  events_->ScheduleAfter(wait_timeout_, [this, row, ticket]() {
+    Row& rr = rows_[static_cast<size_t>(row)];
+    for (auto it = rr.waiters.begin(); it != rr.waiters.end(); ++it) {
+      if (it->ticket == ticket) {
+        Grant grant = std::move(it->on_grant);
+        Duration waited = events_->Now() - it->enqueued;
+        rr.waiters.erase(it);
+        ++timeouts_;
+        grant(false, waited);
+        return;
+      }
+    }
+    // Already granted; nothing to do.
+  });
+}
+
+void LockManager::Release(int row) {
+  DBSCALE_CHECK(row >= 0 && row < num_rows());
+  Row& r = rows_[static_cast<size_t>(row)];
+  DBSCALE_CHECK(r.held);
+  r.held = false;
+  GrantNext(row);
+}
+
+void LockManager::GrantNext(int row) {
+  Row& r = rows_[static_cast<size_t>(row)];
+  if (r.held || r.waiters.empty()) return;
+  Waiter waiter = std::move(r.waiters.front());
+  r.waiters.pop_front();
+  r.held = true;
+  ++grants_;
+  waiter.on_grant(true, events_->Now() - waiter.enqueued);
+}
+
+bool LockManager::IsHeld(int row) const {
+  DBSCALE_CHECK(row >= 0 && row < num_rows());
+  return rows_[static_cast<size_t>(row)].held;
+}
+
+size_t LockManager::QueueLength(int row) const {
+  DBSCALE_CHECK(row >= 0 && row < num_rows());
+  return rows_[static_cast<size_t>(row)].waiters.size();
+}
+
+}  // namespace dbscale::engine

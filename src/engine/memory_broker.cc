@@ -1,0 +1,52 @@
+#include "src/engine/memory_broker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dbscale::engine {
+
+MemoryBroker::MemoryBroker(EventQueue* events, double workspace_mb)
+    : events_(events), workspace_mb_(workspace_mb) {
+  DBSCALE_CHECK(events != nullptr);
+  DBSCALE_CHECK(workspace_mb >= 0.0);
+}
+
+void MemoryBroker::Acquire(double mb, Grant on_grant) {
+  DBSCALE_DCHECK(mb > 0.0);
+  mb = std::min(mb, workspace_mb_);
+  if (waiters_.empty() && in_use_mb_ + mb <= workspace_mb_) {
+    in_use_mb_ += mb;
+    on_grant(Duration::Zero(), mb);
+    return;
+  }
+  waiters_.push_back(Waiter{mb, events_->Now(), std::move(on_grant)});
+}
+
+void MemoryBroker::Release(double mb) {
+  DBSCALE_DCHECK(mb >= 0.0);
+  in_use_mb_ = std::max(0.0, in_use_mb_ - mb);
+  TryGrant();
+}
+
+void MemoryBroker::SetWorkspace(double workspace_mb) {
+  DBSCALE_CHECK(workspace_mb >= 0.0);
+  workspace_mb_ = workspace_mb;
+  TryGrant();
+}
+
+void MemoryBroker::TryGrant() {
+  while (!waiters_.empty()) {
+    // Clamp against the current workspace so a shrink cannot wedge the
+    // queue behind an unsatisfiable request.
+    double mb = std::min(waiters_.front().mb, workspace_mb_);
+    if (in_use_mb_ + mb > workspace_mb_) break;
+    Waiter waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    in_use_mb_ += mb;
+    waiter.on_grant(events_->Now() - waiter.enqueued, mb);
+  }
+}
+
+}  // namespace dbscale::engine

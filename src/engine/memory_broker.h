@@ -1,0 +1,58 @@
+// Workspace memory grants.
+//
+// Queries that sort/hash request a workspace memory grant before executing;
+// when the workspace (a slice of container memory) is exhausted, requests
+// queue — surfacing as *memory waits* in telemetry. A FIFO counting
+// semaphore measured in MB.
+
+#ifndef DBSCALE_ENGINE_MEMORY_BROKER_H_
+#define DBSCALE_ENGINE_MEMORY_BROKER_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/engine/event_queue.h"
+
+namespace dbscale::engine {
+
+/// \brief FIFO counting semaphore over workspace memory (MB).
+class MemoryBroker {
+ public:
+  /// Receives the wait experienced and the MB actually granted (which may
+  /// be clamped); the callee must Release() exactly `granted_mb`.
+  using Grant = std::function<void(Duration wait, double granted_mb)>;
+
+  MemoryBroker(EventQueue* events, double workspace_mb);
+
+  /// Requests `mb` of workspace. Grants are FIFO; a request larger than the
+  /// whole workspace is clamped to it (engines cap grants similarly).
+  void Acquire(double mb, Grant on_grant);
+
+  /// Returns `mb` of workspace (must match the granted amount).
+  void Release(double mb);
+
+  /// Online resize; queued requests re-evaluate against the new size.
+  void SetWorkspace(double workspace_mb);
+
+  double workspace_mb() const { return workspace_mb_; }
+  double in_use_mb() const { return in_use_mb_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    double mb;
+    SimTime enqueued;
+    Grant on_grant;
+  };
+
+  void TryGrant();
+
+  EventQueue* events_;
+  double workspace_mb_;
+  double in_use_mb_ = 0.0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_MEMORY_BROKER_H_

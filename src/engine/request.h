@@ -1,0 +1,48 @@
+// Request (transaction/query) descriptors processed by the simulated engine.
+
+#ifndef DBSCALE_ENGINE_REQUEST_H_
+#define DBSCALE_ENGINE_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+
+namespace dbscale::engine {
+
+/// \brief The resource profile of one request, produced by the workload
+/// generator from a transaction-class model.
+struct RequestSpec {
+  /// Total CPU work in milliseconds at full-core speed.
+  double cpu_ms = 1.0;
+  /// Buffer-pool page accesses performed by the request.
+  int page_accesses = 0;
+  /// Probability that each page access targets the working set.
+  double hot_access_fraction = 0.95;
+  /// Log bytes written at commit (KB); 0 for read-only requests.
+  double log_kb = 0.0;
+  /// Hot row this request locks exclusively for its duration; -1 for none.
+  int lock_row = -1;
+  /// Application-side time (ms) the transaction holds its lock beyond the
+  /// engine work — multi-statement round trips, app logic between BEGIN and
+  /// COMMIT. This is what makes lock contention insensitive to container
+  /// size: no amount of resources shortens it.
+  double lock_hold_extra_ms = 0.0;
+  /// Workspace memory grant required before execution (MB); 0 for none.
+  double grant_mb = 0.0;
+  /// Transaction class (for per-class statistics only).
+  int class_id = 0;
+};
+
+/// \brief Completion record for one request.
+struct RequestResult {
+  SimTime arrival;
+  SimTime completion;
+  Duration latency() const { return completion - arrival; }
+  /// True when the request failed (lock-wait timeout).
+  bool error = false;
+  int class_id = 0;
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_REQUEST_H_

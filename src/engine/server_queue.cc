@@ -1,0 +1,79 @@
+#include "src/engine/server_queue.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dbscale::engine {
+
+ServerQueue::ServerQueue(EventQueue* events, std::string name,
+                         int num_servers, double speed)
+    : events_(events),
+      name_(std::move(name)),
+      num_servers_(num_servers),
+      speed_(speed),
+      capacity_accrued_until_(events->Now()) {
+  DBSCALE_CHECK(events != nullptr);
+  DBSCALE_CHECK(num_servers >= 1);
+  DBSCALE_CHECK(speed > 0.0);
+}
+
+void ServerQueue::Submit(double work, Completion on_complete) {
+  DBSCALE_DCHECK(work > 0.0);
+  queue_.push_back(Job{work, events_->Now(), std::move(on_complete)});
+  TryDispatch();
+}
+
+void ServerQueue::SetCapacity(int num_servers, double speed) {
+  DBSCALE_CHECK(num_servers >= 1);
+  DBSCALE_CHECK(speed > 0.0);
+  AccrueCapacity();
+  num_servers_ = num_servers;
+  speed_ = speed;
+  // More servers may now be free; dispatch queued work. (A shrink leaves
+  // busy_ > num_servers_ temporarily; dispatch stalls until drain.)
+  TryDispatch();
+}
+
+void ServerQueue::TryDispatch() {
+  while (busy_ < num_servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    const SimTime start = events_->Now();
+    const Duration queue_wait = start - job.submitted;
+    const Duration service = Duration::Seconds(job.work / speed_);
+    const double work = job.work;
+    events_->ScheduleAfter(
+        service, [this, work, queue_wait, service,
+                  on_complete = std::move(job.on_complete)]() mutable {
+          --busy_;
+          work_done_accum_ += work;
+          ++jobs_completed_;
+          // Dispatch the next job before running the completion so that
+          // the resource never idles while work is queued, regardless of
+          // what the completion callback does.
+          TryDispatch();
+          on_complete(queue_wait, service);
+        });
+  }
+}
+
+void ServerQueue::AccrueCapacity() {
+  const SimTime now = events_->Now();
+  const double elapsed = (now - capacity_accrued_until_).ToSeconds();
+  if (elapsed > 0.0) {
+    capacity_accum_ += elapsed * total_rate();
+    capacity_accrued_until_ = now;
+  }
+}
+
+ServerQueue::UsageDelta ServerQueue::ConsumeUsage() {
+  AccrueCapacity();
+  UsageDelta delta{work_done_accum_, capacity_accum_};
+  work_done_accum_ = 0.0;
+  capacity_accum_ = 0.0;
+  return delta;
+}
+
+}  // namespace dbscale::engine

@@ -1,0 +1,60 @@
+#include "src/fleet/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/fleet/wait_analysis.h"
+
+namespace dbscale::fleet {
+
+ThresholdCalibrator::ThresholdCalibrator(CalibratorOptions options)
+    : options_(options) {}
+
+Result<scaler::SignalThresholds> ThresholdCalibrator::Calibrate(
+    const FleetTelemetry& fleet,
+    const scaler::SignalThresholds& base) const {
+  scaler::SignalThresholds out = base;
+
+  for (container::ResourceKind kind : container::kAllResources) {
+    DBSCALE_ASSIGN_OR_RETURN(
+        WaitSplitCdfs split,
+        AnalyzeWaitSplit(fleet, kind, options_.low_util_below_pct,
+                         options_.high_util_above_pct));
+
+    DBSCALE_ASSIGN_OR_RETURN(
+        double low_threshold,
+        split.wait_per_req_low_util.ValueAtPercentile(
+            options_.low_group_percentile));
+    DBSCALE_ASSIGN_OR_RETURN(
+        double high_threshold,
+        split.wait_per_req_high_util.ValueAtPercentile(
+            options_.high_group_percentile));
+    // Distributions overlap; keep the categories ordered with real
+    // separation even when the percentiles cross.
+    low_threshold = std::max(low_threshold, 1e-3);
+    if (high_threshold < 2.0 * low_threshold) {
+      high_threshold = 2.0 * low_threshold;
+    }
+
+    DBSCALE_ASSIGN_OR_RETURN(
+        double share_low_p80,
+        split.wait_pct_low_util.ValueAtPercentile(80.0));
+    DBSCALE_ASSIGN_OR_RETURN(
+        double share_high_p50,
+        split.wait_pct_high_util.ValueAtPercentile(50.0));
+    double share_threshold =
+        std::sqrt(std::max(1.0, share_low_p80) *
+                  std::max(1.0, share_high_p50));
+    share_threshold = std::clamp(share_threshold, 10.0, 60.0);
+
+    scaler::ResourceThresholds& rt = out.For(kind);
+    rt.wait_low_ms_per_req = low_threshold;
+    rt.wait_high_ms_per_req = high_threshold;
+    rt.wait_pct_significant = share_threshold;
+  }
+
+  DBSCALE_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace dbscale::fleet

@@ -1,0 +1,55 @@
+// Threshold calibration from service-wide telemetry (Section 4.1).
+//
+// A DaaS observes thousands of tenants; even though waits correlate only
+// weakly with demand per tenant, across the fleet the wait distributions of
+// low-demand and high-demand populations separate cleanly (Figure 6). The
+// calibrator exploits that separation:
+//
+//   wait LOW  threshold <- p90 of waits among low-utilization hours
+//   wait HIGH threshold <- p75 of waits among high-utilization hours
+//   wait-share SIGNIFICANT threshold <- between the p80 of the low group
+//                                       and the median of the high group
+//
+// The paper re-tunes these as hardware and container SKUs evolve; this
+// class is that automation.
+
+#ifndef DBSCALE_FLEET_CALIBRATOR_H_
+#define DBSCALE_FLEET_CALIBRATOR_H_
+
+#include "src/common/result.h"
+#include "src/fleet/fleet_sim.h"
+#include "src/scaler/thresholds.h"
+
+namespace dbscale::fleet {
+
+struct CalibratorOptions {
+  double low_util_below_pct = 30.0;
+  double high_util_above_pct = 70.0;
+  /// Percentile of the low-utilization wait distribution that becomes the
+  /// LOW threshold.
+  double low_group_percentile = 90.0;
+  /// Percentile of the high-utilization wait distribution that becomes the
+  /// HIGH threshold.
+  double high_group_percentile = 75.0;
+};
+
+/// \brief Derives SignalThresholds from fleet telemetry.
+class ThresholdCalibrator {
+ public:
+  explicit ThresholdCalibrator(CalibratorOptions options = {});
+
+  /// Starts from `base` (keeping its utilization bounds and correlation
+  /// settings) and replaces the wait-magnitude and wait-share thresholds
+  /// with calibrated values.
+  Result<scaler::SignalThresholds> Calibrate(
+      const FleetTelemetry& fleet,
+      const scaler::SignalThresholds& base =
+          scaler::SignalThresholds::Default()) const;
+
+ private:
+  CalibratorOptions options_;
+};
+
+}  // namespace dbscale::fleet
+
+#endif  // DBSCALE_FLEET_CALIBRATOR_H_

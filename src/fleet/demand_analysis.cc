@@ -1,0 +1,58 @@
+#include "src/fleet/demand_analysis.h"
+
+#include <cmath>
+
+namespace dbscale::fleet {
+
+Result<IeiAnalysis> AnalyzeInterEventIntervals(const FleetTelemetry& fleet) {
+  if (fleet.inter_event_minutes.empty()) {
+    return Status::FailedPrecondition("fleet produced no change events");
+  }
+  IeiAnalysis out;
+  out.cdf = stats::EmpiricalCdf(fleet.inter_event_minutes);
+  for (double minutes : {60.0, 120.0, 360.0, 720.0, 1440.0}) {
+    DBSCALE_ASSIGN_OR_RETURN(double frac,
+                             out.cdf.FractionAtOrBelow(minutes));
+    out.reference_points.emplace_back(minutes, 100.0 * frac);
+  }
+  return out;
+}
+
+Result<ChangeFrequencyAnalysis> AnalyzeChangeFrequency(
+    const FleetTelemetry& fleet) {
+  if (fleet.tenant_changes.empty()) {
+    return Status::FailedPrecondition("fleet has no tenants");
+  }
+  ChangeFrequencyAnalysis out;
+  out.bucket_bounds = {0.0, 1.0, 2.0, 3.0, 6.0, 12.0, 24.0,
+                       std::numeric_limits<double>::infinity()};
+  out.bucket_labels = {"0", "1", "2", "3", "6", "12", "24", "More"};
+  out.bucket_pct.assign(out.bucket_bounds.size(), 0.0);
+
+  const double n = static_cast<double>(fleet.tenant_changes.size());
+  int at_least_1 = 0, at_least_6 = 0, more_than_24 = 0;
+  for (const TenantChangeStats& t : fleet.tenant_changes) {
+    // Bucket b holds tenants with bound[b-1] < changes/day <= bound[b]
+    // (bucket 0: exactly no changes, mirroring the paper's "0" bar).
+    size_t b = 0;
+    while (b + 1 < out.bucket_bounds.size() &&
+           t.changes_per_day > out.bucket_bounds[b]) {
+      ++b;
+    }
+    out.bucket_pct[b] += 100.0 / n;
+    if (t.changes_per_day >= 1.0) ++at_least_1;
+    if (t.changes_per_day >= 6.0) ++at_least_6;
+    if (t.changes_per_day > 24.0) ++more_than_24;
+  }
+  double cumulative = 0.0;
+  for (double pct : out.bucket_pct) {
+    cumulative += pct;
+    out.cumulative_pct.push_back(cumulative);
+  }
+  out.fraction_at_least_1_per_day = at_least_1 / n;
+  out.fraction_at_least_6_per_day = at_least_6 / n;
+  out.fraction_more_than_24_per_day = more_than_24 / n;
+  return out;
+}
+
+}  // namespace dbscale::fleet

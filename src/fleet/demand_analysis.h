@@ -1,0 +1,48 @@
+// Resource-demand-variation analysis over fleet telemetry (Section 2.2,
+// Figure 2): how often do tenants' resource demands cross container-size
+// boundaries, and by how much?
+
+#ifndef DBSCALE_FLEET_DEMAND_ANALYSIS_H_
+#define DBSCALE_FLEET_DEMAND_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fleet/fleet_sim.h"
+#include "src/stats/cdf.h"
+
+namespace dbscale::fleet {
+
+/// Figure 2(a): the CDF of the inter-event interval (IEI) between
+/// container-change events, pooled service-wide.
+struct IeiAnalysis {
+  stats::EmpiricalCdf cdf;  // minutes
+  /// Cumulative percentage at the paper's reference points (60, 120, 360,
+  /// 720, 1440 minutes).
+  std::vector<std::pair<double, double>> reference_points;
+};
+
+/// Figure 2(b): distribution of average container changes per day across
+/// tenants, using the paper's buckets.
+struct ChangeFrequencyAnalysis {
+  /// Bucket upper bounds: 0, 1, 2, 3, 6, 12, 24, inf ("More").
+  std::vector<double> bucket_bounds;
+  std::vector<std::string> bucket_labels;
+  /// Percentage of tenants per bucket and cumulative percentage.
+  std::vector<double> bucket_pct;
+  std::vector<double> cumulative_pct;
+  /// Headline statistics the paper quotes.
+  double fraction_at_least_1_per_day = 0.0;
+  double fraction_at_least_6_per_day = 0.0;
+  double fraction_more_than_24_per_day = 0.0;
+};
+
+Result<IeiAnalysis> AnalyzeInterEventIntervals(const FleetTelemetry& fleet);
+
+Result<ChangeFrequencyAnalysis> AnalyzeChangeFrequency(
+    const FleetTelemetry& fleet);
+
+}  // namespace dbscale::fleet
+
+#endif  // DBSCALE_FLEET_DEMAND_ANALYSIS_H_

@@ -1,0 +1,80 @@
+// Fleet simulator: service-wide telemetry over thousands of tenants.
+//
+// Produces (a) hourly-aggregated wait/utilization records (the paper
+// aggregates 5-minute wait samples to hourly medians for Figures 4 and 6
+// and for threshold calibration), and (b) container-change statistics
+// (Figure 2 and the step-size analysis of Section 4).
+
+#ifndef DBSCALE_FLEET_FLEET_SIM_H_
+#define DBSCALE_FLEET_FLEET_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fleet/tenant_model.h"
+
+namespace dbscale::fleet {
+
+/// Hourly-median telemetry for one tenant-hour.
+struct HourlyRecord {
+  int tenant_id = 0;
+  int hour = 0;
+  /// Median of the hour's 5-minute samples.
+  std::array<double, container::kNumResources> utilization_pct{};
+  std::array<double, container::kNumResources> wait_ms{};
+  std::array<double, container::kNumResources> wait_pct{};
+  /// Median wait per completed request (ms/request).
+  std::array<double, container::kNumResources> wait_ms_per_request{};
+};
+
+/// Per-tenant container-change statistics.
+struct TenantChangeStats {
+  int tenant_id = 0;
+  int num_changes = 0;
+  double changes_per_day = 0.0;
+};
+
+/// Aggregated fleet output.
+struct FleetTelemetry {
+  std::vector<HourlyRecord> hourly;
+  /// Minutes between successive container-change events, pooled across
+  /// tenants (Figure 2(a)).
+  std::vector<double> inter_event_minutes;
+  std::vector<TenantChangeStats> tenant_changes;
+  /// Distribution of |rung step| per change event (index 1..; index 0
+  /// unused).
+  std::vector<int64_t> step_size_counts;
+  int num_tenants = 0;
+  int num_intervals = 0;
+
+  /// Fraction of change events with |step| == 1 / <= 2 (Section 4: ~90% /
+  /// ~98%).
+  double OneStepFraction() const;
+  double AtMostTwoStepFraction() const;
+};
+
+struct FleetOptions {
+  int num_tenants = 2000;
+  /// 5-minute intervals to simulate (default one week).
+  int num_intervals = 7 * 288;
+  uint64_t seed = 7;
+  TenantModelOptions tenant;
+};
+
+/// \brief Runs the closed-form fleet model.
+class FleetSimulator {
+ public:
+  FleetSimulator(const container::Catalog& catalog, FleetOptions options);
+
+  /// Simulates all tenants. Deterministic for a given seed.
+  Result<FleetTelemetry> Run() const;
+
+ private:
+  container::Catalog catalog_;
+  FleetOptions options_;
+};
+
+}  // namespace dbscale::fleet
+
+#endif  // DBSCALE_FLEET_FLEET_SIM_H_

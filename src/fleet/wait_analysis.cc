@@ -1,0 +1,85 @@
+#include "src/fleet/wait_analysis.h"
+
+#include <algorithm>
+
+#include "src/stats/robust.h"
+#include "src/stats/spearman.h"
+
+namespace dbscale::fleet {
+
+Result<WaitUtilScatter> AnalyzeWaitUtilScatter(
+    const FleetTelemetry& fleet, container::ResourceKind resource) {
+  if (fleet.hourly.empty()) {
+    return Status::FailedPrecondition("fleet has no hourly records");
+  }
+  const size_t ri = static_cast<size_t>(resource);
+
+  WaitUtilScatter out;
+  out.resource = resource;
+  std::vector<double> utils, waits;
+  utils.reserve(fleet.hourly.size());
+  waits.reserve(fleet.hourly.size());
+  std::vector<std::vector<double>> buckets(10);
+  for (const HourlyRecord& r : fleet.hourly) {
+    const double util = r.utilization_pct[ri];
+    const double wait = r.wait_ms[ri];
+    utils.push_back(util);
+    waits.push_back(wait);
+    const size_t b = std::min<size_t>(9, static_cast<size_t>(util / 10.0));
+    buckets[b].push_back(wait);
+  }
+  out.num_points = utils.size();
+  DBSCALE_ASSIGN_OR_RETURN(out.spearman_rho,
+                           stats::SpearmanCorrelation(utils, waits));
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    out.util_bucket_upper.push_back(10.0 * static_cast<double>(b + 1));
+    if (buckets[b].empty()) {
+      out.wait_p10.push_back(0.0);
+      out.wait_p50.push_back(0.0);
+      out.wait_p90.push_back(0.0);
+      continue;
+    }
+    std::sort(buckets[b].begin(), buckets[b].end());
+    out.wait_p10.push_back(stats::PercentileSorted(buckets[b], 10.0));
+    out.wait_p50.push_back(stats::PercentileSorted(buckets[b], 50.0));
+    out.wait_p90.push_back(stats::PercentileSorted(buckets[b], 90.0));
+  }
+  return out;
+}
+
+Result<WaitSplitCdfs> AnalyzeWaitSplit(const FleetTelemetry& fleet,
+                                       container::ResourceKind resource,
+                                       double low_below_pct,
+                                       double high_above_pct) {
+  if (fleet.hourly.empty()) {
+    return Status::FailedPrecondition("fleet has no hourly records");
+  }
+  if (low_below_pct >= high_above_pct) {
+    return Status::InvalidArgument("low bound must be below high bound");
+  }
+  const size_t ri = static_cast<size_t>(resource);
+
+  WaitSplitCdfs out;
+  out.resource = resource;
+  out.low_util_below_pct = low_below_pct;
+  out.high_util_above_pct = high_above_pct;
+  for (const HourlyRecord& r : fleet.hourly) {
+    const double util = r.utilization_pct[ri];
+    if (util < low_below_pct) {
+      out.wait_ms_low_util.Add(r.wait_ms[ri]);
+      out.wait_pct_low_util.Add(r.wait_pct[ri]);
+      out.wait_per_req_low_util.Add(r.wait_ms_per_request[ri]);
+    } else if (util > high_above_pct) {
+      out.wait_ms_high_util.Add(r.wait_ms[ri]);
+      out.wait_pct_high_util.Add(r.wait_pct[ri]);
+      out.wait_per_req_high_util.Add(r.wait_ms_per_request[ri]);
+    }
+  }
+  if (out.wait_ms_low_util.empty() || out.wait_ms_high_util.empty()) {
+    return Status::FailedPrecondition(
+        "not enough low/high-utilization hours to split");
+  }
+  return out;
+}
+
+}  // namespace dbscale::fleet

@@ -1,0 +1,55 @@
+// Wait-vs-utilization analyses over fleet telemetry (Figures 4 and 6):
+// the evidence that utilization and waits are each weakly predictive alone,
+// and that wait distributions separate cleanly between low- and
+// high-utilization populations (the basis for threshold calibration).
+
+#ifndef DBSCALE_FLEET_WAIT_ANALYSIS_H_
+#define DBSCALE_FLEET_WAIT_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fleet/fleet_sim.h"
+#include "src/stats/cdf.h"
+
+namespace dbscale::fleet {
+
+/// Figure 4 summary for one resource: the wait-vs-utilization scatter
+/// characterized by per-utilization-bucket wait quantiles plus the overall
+/// rank correlation.
+struct WaitUtilScatter {
+  container::ResourceKind resource;
+  /// Utilization bucket upper bounds (10, 20, ..., 100).
+  std::vector<double> util_bucket_upper;
+  /// p10 / p50 / p90 of wait ms within each bucket (log-wide band).
+  std::vector<double> wait_p10, wait_p50, wait_p90;
+  /// Spearman rho of (utilization, wait): positive but far from 1.
+  double spearman_rho = 0.0;
+  size_t num_points = 0;
+};
+
+/// Figure 6 for one resource: wait distributions split by utilization.
+struct WaitSplitCdfs {
+  container::ResourceKind resource;
+  double low_util_below_pct = 30.0;
+  double high_util_above_pct = 70.0;
+  stats::EmpiricalCdf wait_ms_low_util;
+  stats::EmpiricalCdf wait_ms_high_util;
+  stats::EmpiricalCdf wait_pct_low_util;
+  stats::EmpiricalCdf wait_pct_high_util;
+  /// Wait per request, used for threshold calibration.
+  stats::EmpiricalCdf wait_per_req_low_util;
+  stats::EmpiricalCdf wait_per_req_high_util;
+};
+
+Result<WaitUtilScatter> AnalyzeWaitUtilScatter(
+    const FleetTelemetry& fleet, container::ResourceKind resource);
+
+Result<WaitSplitCdfs> AnalyzeWaitSplit(const FleetTelemetry& fleet,
+                                       container::ResourceKind resource,
+                                       double low_below_pct = 30.0,
+                                       double high_above_pct = 70.0);
+
+}  // namespace dbscale::fleet
+
+#endif  // DBSCALE_FLEET_WAIT_ANALYSIS_H_

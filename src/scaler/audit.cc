@@ -1,0 +1,86 @@
+#include "src/scaler/audit.h"
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+std::string AuditRecord::ToString() const {
+  return StrFormat("[%4d] %-4s %s %-4s | p95=%6.0fms | %s",
+                   interval_index, from_container.c_str(),
+                   resized ? "->" : "==", to_container.c_str(), latency_ms,
+                   explanation.c_str());
+}
+
+AuditLog::AuditLog(size_t max_records) : max_records_(max_records) {
+  DBSCALE_CHECK(max_records > 0);
+}
+
+void AuditLog::Record(const PolicyInput& input,
+                      const CategorizedSignals& cats,
+                      const DemandEstimate& estimate,
+                      const ScalingDecision& decision) {
+  AuditRecord record;
+  record.interval_index = input.interval_index;
+  record.time = input.now;
+  record.latency_ms = input.signals.latency_ms;
+  for (container::ResourceKind kind : container::kAllResources) {
+    const size_t ri = static_cast<size_t>(kind);
+    record.utilization_pct[ri] =
+        input.signals.resource(kind).utilization_pct;
+    record.wait_ms_per_request[ri] =
+        input.signals.resource(kind).wait_ms_per_request;
+  }
+  if (cats.valid) {
+    record.categories = cats.ToString();
+    record.estimate = estimate.Summary();
+  }
+  record.from_container = input.current.name;
+  record.to_container = decision.target.name;
+  record.resized = decision.Changed(input.current);
+  record.explanation = decision.explanation;
+
+  records_.push_back(std::move(record));
+  while (records_.size() > max_records_) records_.pop_front();
+}
+
+std::vector<const AuditRecord*> AuditLog::Resizes() const {
+  std::vector<const AuditRecord*> out;
+  for (const AuditRecord& r : records_) {
+    if (r.resized) out.push_back(&r);
+  }
+  return out;
+}
+
+std::string AuditLog::ToString(size_t n) const {
+  const size_t start =
+      (n == 0 || n >= records_.size()) ? 0 : records_.size() - n;
+  std::string out;
+  for (size_t i = start; i < records_.size(); ++i) {
+    out += records_[i].ToString() + "\n";
+  }
+  return out;
+}
+
+std::string AuditLog::ToCsv() const {
+  std::string out =
+      "interval,time_sec,latency_ms,cpu_util,mem_util,disk_util,log_util,"
+      "from,to,resized,explanation\n";
+  for (const AuditRecord& r : records_) {
+    std::string explanation = r.explanation;
+    for (char& c : explanation) {
+      if (c == ',' || c == '\n') c = ';';
+    }
+    out += StrFormat(
+        "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%s,%s,%d,%s\n",
+        r.interval_index, r.time.ToSeconds(), r.latency_ms,
+        r.utilization_pct[0], r.utilization_pct[1], r.utilization_pct[2],
+        r.utilization_pct[3], r.from_container.c_str(),
+        r.to_container.c_str(), r.resized ? 1 : 0, explanation.c_str());
+  }
+  return out;
+}
+
+void AuditLog::Clear() { records_.clear(); }
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,78 @@
+// Decision audit log (Section 4 of the paper).
+//
+// The estimator's categorical rules make every container-sizing action
+// explainable: "Scale-up due to a CPU bottleneck", "Scale-up constrained by
+// budget". The paper surfaces these explanations to end-users and exposes
+// the underlying signals to administrators for diagnostics. AuditLog is
+// that surface: a bounded history of per-decision records — the signals
+// read, the categories they mapped to, the estimate, and the action taken —
+// renderable as text or CSV.
+
+#ifndef DBSCALE_SCALER_AUDIT_H_
+#define DBSCALE_SCALER_AUDIT_H_
+
+#include <deque>
+#include <string>
+
+#include "src/scaler/categories.h"
+#include "src/scaler/demand_estimator.h"
+#include "src/scaler/policy.h"
+
+namespace dbscale::scaler {
+
+/// One decision's full story.
+struct AuditRecord {
+  int interval_index = 0;
+  SimTime time;
+  /// What the scaler saw.
+  double latency_ms = 0.0;
+  std::array<double, container::kNumResources> utilization_pct{};
+  std::array<double, container::kNumResources> wait_ms_per_request{};
+  /// How it categorized it (empty when telemetry was not yet valid).
+  std::string categories;
+  /// What it estimated.
+  std::string estimate;
+  /// What it did.
+  std::string from_container;
+  std::string to_container;
+  bool resized = false;
+  std::string explanation;
+
+  /// Single-line rendering ("[12] S4 -> S6 | Scale-up: ...").
+  std::string ToString() const;
+};
+
+/// \brief Bounded decision history with render helpers.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t max_records = 4096);
+
+  /// Builds and appends the record for one decision.
+  void Record(const PolicyInput& input, const CategorizedSignals& cats,
+              const DemandEstimate& estimate,
+              const ScalingDecision& decision);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const AuditRecord& at(size_t i) const { return records_[i]; }
+  const AuditRecord& back() const { return records_.back(); }
+
+  /// Records where the container actually changed.
+  std::vector<const AuditRecord*> Resizes() const;
+
+  /// Text rendering of the most recent `n` records (all if n == 0).
+  std::string ToString(size_t n = 0) const;
+
+  /// CSV with one row per decision (diagnostics export).
+  std::string ToCsv() const;
+
+  void Clear();
+
+ private:
+  size_t max_records_;
+  std::deque<AuditRecord> records_;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_AUDIT_H_

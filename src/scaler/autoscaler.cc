@@ -1,0 +1,371 @@
+#include "src/scaler/autoscaler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/telemetry/wait_class.h"
+
+namespace dbscale::scaler {
+
+using container::ContainerSpec;
+using container::ResourceKind;
+using container::ResourceVector;
+
+Result<std::unique_ptr<AutoScaler>> AutoScaler::Create(
+    const container::Catalog& catalog, const TenantKnobs& knobs,
+    const AutoScalerOptions& options) {
+  DBSCALE_RETURN_IF_ERROR(knobs.Validate());
+  DBSCALE_RETURN_IF_ERROR(options.thresholds.Validate());
+  std::unique_ptr<BudgetManager> budget;
+  if (knobs.budget.has_value()) {
+    BudgetManagerOptions bm;
+    bm.total_budget = knobs.budget->total_budget;
+    bm.num_intervals = knobs.budget->num_intervals;
+    bm.min_cost = catalog.smallest().price_per_interval;
+    bm.max_cost = catalog.largest().price_per_interval;
+    bm.strategy = options.budget_strategy;
+    bm.conservative_k = options.budget_conservative_k;
+    DBSCALE_ASSIGN_OR_RETURN(BudgetManager manager,
+                             BudgetManager::Create(bm));
+    budget = std::make_unique<BudgetManager>(std::move(manager));
+  }
+  return std::unique_ptr<AutoScaler>(
+      new AutoScaler(catalog, knobs, options, std::move(budget)));
+}
+
+AutoScaler::AutoScaler(const container::Catalog& catalog,
+                       const TenantKnobs& knobs,
+                       const AutoScalerOptions& options,
+                       std::unique_ptr<BudgetManager> budget)
+    : catalog_(catalog),
+      knobs_(knobs),
+      options_(options),
+      estimator_(options.estimator),
+      budget_(std::move(budget)),
+      balloon_(options.balloon) {}
+
+int AutoScaler::DownPatience() const {
+  switch (knobs_.sensitivity) {
+    case Sensitivity::kHigh:
+      return options_.down_patience_high;
+    case Sensitivity::kMedium:
+      return options_.down_patience_medium;
+    case Sensitivity::kLow:
+      return options_.down_patience_low;
+  }
+  return options_.down_patience_medium;
+}
+
+double AutoScaler::AvailableBudget() const {
+  return budget_ ? budget_->available()
+                 : std::numeric_limits<double>::infinity();
+}
+
+ScalingDecision AutoScaler::HoldCurrent(const PolicyInput& input,
+                                        std::string explanation) const {
+  ScalingDecision d;
+  d.target = input.current;
+  d.explanation = std::move(explanation);
+  return d;
+}
+
+std::string AutoScaler::DominantWaitNote(
+    const telemetry::SignalSnapshot& signals) {
+  telemetry::WaitClass dominant = telemetry::WaitClass::kSystem;
+  double best = -1.0;
+  for (telemetry::WaitClass wc : telemetry::kAllWaitClasses) {
+    const double pct = signals.wait_pct_by_class[static_cast<size_t>(wc)];
+    if (pct > best) {
+      best = pct;
+      dominant = wc;
+    }
+  }
+  if (best <= 0.0) return "no waits observed";
+  return StrFormat("dominant waits: %s %.0f%%",
+                   telemetry::WaitClassToString(dominant), best);
+}
+
+void AutoScaler::OnIntervalCharged(double cost) {
+  if (!budget_) return;
+  const Status status = budget_->ChargeAndRefill(cost);
+  if (!status.ok()) {
+    // Decide() sizes within available(); a failure here is a harness bug.
+    DBSCALE_LOG(kError) << "budget charge failed: " << status.ToString();
+  }
+}
+
+ScalingDecision AutoScaler::Decide(const PolicyInput& input) {
+  ScalingDecision d = DecideUnclamped(input);
+  const double budget = AvailableBudget();
+  if (d.target.price_per_interval > budget) {
+    // The budget is a hard constraint: even "hold" must fit the interval's
+    // tokens. Downsize to the most expensive affordable container.
+    auto affordable = catalog_.MostExpensiveWithin(budget);
+    if (affordable.ok()) {
+      d.target = *affordable;
+      d.explanation = StrFormat(
+          "Scale-down forced by budget: %.1f/interval available (%s)",
+          budget, d.explanation.c_str());
+      balloon_.Reset();
+      memory_low_confirmed_ = false;
+      low_streak_ = 0;
+    }
+    // No affordable container at all would mean Create() admitted an
+    // infeasible budget; keep the current container in that case.
+  }
+  audit_.Record(input, last_cats_, last_estimate_, d);
+  return d;
+}
+
+ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
+  const telemetry::SignalSnapshot& signals = input.signals;
+  if (!signals.valid) {
+    return HoldCurrent(input, "Hold: warming up (insufficient telemetry)");
+  }
+
+  last_cats_ = Categorize(signals, options_.thresholds, knobs_.latency_goal,
+                          options_.categorize);
+  last_estimate_ = estimator_.Estimate(last_cats_);
+  const CategorizedSignals& cats = last_cats_;
+  const DemandEstimate& est = last_estimate_;
+
+  const bool has_goal = knobs_.latency_goal.has_value();
+  const bool latency_bad =
+      has_goal && cats.latency == LatencyCategory::kBad;
+  const bool degrading = has_goal && cats.latency_degrading;
+  bad_streak_ = latency_bad ? bad_streak_ + 1 : 0;
+
+  const int cur_rung = input.current.base_rung;
+
+  // -------- Scale-up path --------
+  bool perf_trigger;
+  if (!has_goal) {
+    // No latency goal: scale purely on demand (Section 2.3).
+    perf_trigger = true;
+  } else if (knobs_.sensitivity == Sensitivity::kLow) {
+    // LOW sensitivity: slow to scale up — require persistent violations,
+    // and ignore mere degradation trends.
+    perf_trigger =
+        latency_bad && bad_streak_ >= options_.up_patience_low_sensitivity;
+  } else {
+    perf_trigger = latency_bad || degrading;
+  }
+
+  const bool in_up_cooldown =
+      input.interval_index - last_up_interval_ <
+      options_.up_cooldown_intervals;
+  if (perf_trigger && est.AnyIncrease() && in_up_cooldown) {
+    low_streak_ = 0;
+    return HoldCurrent(
+        input, "Hold: recent scale-up still taking effect (cooldown)");
+  }
+
+  if (perf_trigger && est.AnyIncrease()) {
+    low_streak_ = 0;
+    std::optional<double> memory_restore;
+    if (balloon_.active()) {
+      // Demand returned mid-balloon: cancel and restore the allocation.
+      balloon_.Reset();
+      memory_restore = input.current.resources.memory_mb;
+    }
+    memory_low_confirmed_ = false;
+
+    ResourceVector desired = input.current.resources;
+    for (ResourceKind kind : container::kAllResources) {
+      const int steps = est.For(kind).steps;
+      if (steps > 0) {
+        const int rung = catalog_.ClampRung(cur_rung + steps);
+        desired.Set(kind, catalog_.rung(rung).resources.Get(kind));
+      }
+    }
+
+    auto within_budget =
+        catalog_.CheapestDominating(desired, AvailableBudget());
+    if (!within_budget.ok()) {
+      ScalingDecision d = HoldCurrent(
+          input, "Hold: scale-up needed but no container fits the "
+                 "available budget");
+      d.memory_limit_mb = memory_restore;
+      return d;
+    }
+    const ContainerSpec unconstrained = catalog_.CheapestDominating(desired);
+
+    ScalingDecision d;
+    d.target = *within_budget;
+    d.memory_limit_mb = memory_restore;
+    if (d.target.id != input.current.id) {
+      last_up_interval_ = input.interval_index;
+    }
+    if (d.target.id == input.current.id) {
+      d.explanation = StrFormat(
+          "Hold: demand high (%s) but no larger affordable container",
+          est.SummaryIncrease().c_str());
+    } else if (within_budget->id != unconstrained.id) {
+      d.explanation = StrFormat(
+          "Scale-up constrained by budget: wanted %s (%.1f) but budget "
+          "allows %.1f",
+          unconstrained.name.c_str(), unconstrained.price_per_interval,
+          AvailableBudget());
+    } else {
+      d.explanation = est.SummaryIncrease();
+    }
+    return d;
+  }
+
+  if (latency_bad || degrading) {
+    // Latency violated without resource demand: more resources will not
+    // help (poor application code, lock contention, ...). Do not scale
+    // (Section 2.3: latency goals are a knob, not a guarantee).
+    low_streak_ = 0;
+    return HoldCurrent(
+        input,
+        StrFormat("Hold: latency above goal but no resource demand (%s) — "
+                  "scaling would not help",
+                  DominantWaitNote(signals).c_str()));
+  }
+
+  if (has_goal && est.AnyIncrease()) {
+    // Latency goal met: convert slack into savings by not chasing demand.
+    low_streak_ = 0;
+    if (balloon_.active()) {
+      balloon_.Reset();
+      ScalingDecision d = HoldCurrent(
+          input, "Hold: demand returned during balloon — reverting memory");
+      d.memory_limit_mb = input.current.resources.memory_mb;
+      return d;
+    }
+    return HoldCurrent(input,
+                       StrFormat("Hold: demand high (%s) but latency goal "
+                                 "met — holding for cost",
+                                 est.SummaryIncrease().c_str()));
+  }
+
+  // -------- Balloon progression --------
+  if (balloon_.active()) {
+    BalloonController::Advice advice =
+        balloon_.Tick(signals.physical_reads_per_sec, input.interval_index);
+    if (advice.completed) {
+      memory_low_confirmed_ = true;
+      // Fall through: the scale-down path can now shrink memory.
+    } else {
+      ScalingDecision d = HoldCurrent(
+          input, StrFormat("Hold: %s", advice.note.c_str()));
+      d.memory_limit_mb = advice.memory_limit_mb;
+      return d;
+    }
+  }
+
+  // -------- Scale-down path --------
+  // Latency slack (Section 2.3): when the goal is comfortably met, a
+  // smaller container may still meet it — try one rung down even when the
+  // estimator sees demand that is merely "not high".
+  const bool slack_low =
+      has_goal && options_.down_latency_slack_ratio > 0.0 &&
+      signals.latency_ms <= options_.down_latency_slack_ratio *
+                                knobs_.latency_goal->target_ms;
+  const bool demand_low =
+      est.SuggestsShrink() || memory_low_confirmed_ || slack_low;
+  if (!demand_low) {
+    low_streak_ = 0;
+    return HoldCurrent(input, "Hold: demand steady");
+  }
+  ++low_streak_;
+  if (low_streak_ < DownPatience()) {
+    return HoldCurrent(
+        input, StrFormat("Hold: demand low (%d/%d intervals before "
+                         "scale-down)",
+                         low_streak_, DownPatience()));
+  }
+
+  ResourceVector desired = input.current.resources;
+  for (ResourceKind kind : container::kAllResources) {
+    if (kind == ResourceKind::kMemory) continue;
+    int target_rung = cur_rung + std::min(est.For(kind).steps, 0);
+    if (slack_low) target_rung = std::min(target_rung, cur_rung - 1);
+    target_rung = catalog_.ClampRung(target_rung);
+    // Saturation guard: raise the target rung until the dimension's
+    // current usage fits under the guard utilization.
+    const double usage = signals.resource(kind).utilization_pct / 100.0 *
+                         input.current.resources.Get(kind);
+    while (target_rung < cur_rung) {
+      const double alloc = catalog_.rung(target_rung).resources.Get(kind);
+      if (alloc <= 0.0 ||
+          100.0 * usage / alloc <= options_.down_projected_util_guard_pct) {
+        break;
+      }
+      ++target_rung;
+    }
+    if (target_rung < cur_rung) {
+      desired.Set(kind, catalog_.rung(target_rung).resources.Get(kind));
+    }
+  }
+  // Memory shrinks one rung at a time, and (with ballooning enabled) only
+  // after a balloon pass confirmed the working set survives it.
+  const bool memory_may_shrink =
+      memory_low_confirmed_ || !options_.enable_ballooning;
+  if (memory_may_shrink && cur_rung > 0) {
+    desired.Set(ResourceKind::kMemory,
+                catalog_.rung(cur_rung - 1).resources.memory_mb);
+  }
+
+  auto chosen = catalog_.CheapestDominating(desired, AvailableBudget());
+  if (chosen.ok() && chosen->price_per_interval <
+                         input.current.price_per_interval) {
+    const bool memory_was_confirmed = memory_low_confirmed_;
+    low_streak_ = 0;
+    memory_low_confirmed_ = false;
+    balloon_.Reset();
+    ScalingDecision d;
+    d.target = *chosen;
+    if (est.AnyDecrease() || memory_was_confirmed) {
+      d.explanation = StrFormat(
+          "Scale-down: %s%s",
+          memory_was_confirmed ? "memory reclaimable; " : "",
+          est.SummaryDecrease().c_str());
+    } else {
+      d.explanation = StrFormat(
+          "Scale-down: latency %.0fms well within goal %.0fms — smaller "
+          "container suffices",
+          signals.latency_ms, knobs_.latency_goal->target_ms);
+    }
+    return d;
+  }
+
+  // A cheaper container is blocked by memory: validate low memory demand
+  // with a balloon pass before touching it. (If a pass already confirmed
+  // low memory demand, the shrink is merely waiting on the other
+  // dimensions — do not balloon again.)
+  if (options_.enable_ballooning && cur_rung > 0 &&
+      !memory_low_confirmed_ && balloon_.CanStart(input.interval_index)) {
+    const double target_mb =
+        catalog_.rung(cur_rung - 1).resources.memory_mb;
+    const double start_mb = input.current.resources.memory_mb;
+    if (target_mb < start_mb) {
+      // Margin scaled to the container's disk capacity: cold-page churn on
+      // a large container is not a meaningful I/O increase.
+      const double margin = std::max(
+          options_.balloon.io_abort_margin_rps,
+          0.05 * input.current.resources.disk_iops);
+      const Status started =
+          balloon_.Start(start_mb, target_mb,
+                         signals.physical_reads_per_sec,
+                         input.interval_index, margin);
+      if (started.ok()) {
+        BalloonController::Advice advice = balloon_.Tick(
+            signals.physical_reads_per_sec, input.interval_index);
+        ScalingDecision d = HoldCurrent(
+            input,
+            StrFormat("Hold: %s", advice.note.c_str()));
+        d.memory_limit_mb = advice.memory_limit_mb;
+        return d;
+      }
+    }
+  }
+  return HoldCurrent(input,
+                     "Hold: demand low but memory shrink not yet validated");
+}
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,134 @@
+// The end-to-end auto-scaling logic (Section 6 of the paper), combining the
+// telemetry-derived signals, the demand estimator, the budget manager, and
+// ballooning into one closed loop:
+//
+//   * Scale UP only when latency is BAD (or significantly degrading toward
+//     the goal) AND the estimator finds demand for a resource AND the budget
+//     allows — latency violations without resource demand (lock-bound
+//     workloads) do not scale.
+//   * If the latency goal is met, hold even when demand is high — the goal
+//     knob converts latency slack into savings.
+//   * Scale DOWN when latency is GOOD and demand is LOW for several
+//     consecutive intervals (patience set by the sensitivity knob). Memory
+//     only shrinks after a balloon pass confirms low memory demand.
+//   * Without a latency goal, scaling rests purely on estimated demand.
+//   * The chosen container is the cheapest catalog entry dominating the
+//     desired resources within the interval's token-bucket budget; if the
+//     desired container does not fit, the most expensive affordable one is
+//     taken ("Scale-up constrained by budget").
+
+#ifndef DBSCALE_SCALER_AUTOSCALER_H_
+#define DBSCALE_SCALER_AUTOSCALER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/container/catalog.h"
+#include "src/scaler/audit.h"
+#include "src/scaler/balloon.h"
+#include "src/scaler/budget_manager.h"
+#include "src/scaler/categories.h"
+#include "src/scaler/demand_estimator.h"
+#include "src/scaler/knobs.h"
+#include "src/scaler/policy.h"
+#include "src/scaler/thresholds.h"
+
+namespace dbscale::scaler {
+
+struct AutoScalerOptions {
+  SignalThresholds thresholds = SignalThresholds::Default();
+  DemandEstimatorOptions estimator;
+  CategorizeOptions categorize;
+  BalloonOptions balloon;
+  bool enable_ballooning = true;
+  /// Consecutive low-demand intervals required before scaling down, by
+  /// sensitivity.
+  int down_patience_high = 5;
+  int down_patience_medium = 3;
+  int down_patience_low = 1;
+  /// With LOW sensitivity, consecutive BAD intervals required to scale up.
+  int up_patience_low_sensitivity = 2;
+  /// Latency-slack scale-down (Section 2.3: meet the goal with a smaller
+  /// container even when demand is high): when latency stays at or below
+  /// this fraction of the goal, try stepping one rung down even without
+  /// low-demand signals. <= 0 disables.
+  double down_latency_slack_ratio = 0.5;
+  /// Intervals to wait after a scale-up before scaling up again: a resize
+  /// takes effect online but queued backlog and the robust-aggregation
+  /// window keep latency looking bad for a little while; reacting to that
+  /// stale signal overshoots.
+  int up_cooldown_intervals = 2;
+  /// Scale-down saturation guard: a dimension only shrinks if its projected
+  /// utilization on the smaller allocation (current usage / new allocation)
+  /// stays below this percentage. Prevents shrinking straight into a
+  /// queueing cliff (the "buffer for performance" both online techniques
+  /// keep, Section 7.3).
+  double down_projected_util_guard_pct = 75.0;
+  BudgetStrategy budget_strategy = BudgetStrategy::kAggressive;
+  int budget_conservative_k = 4;
+};
+
+/// \brief The paper's "Auto" policy.
+class AutoScaler : public ScalingPolicy {
+ public:
+  /// Errors if knobs are invalid or the budget cannot cover the period.
+  static Result<std::unique_ptr<AutoScaler>> Create(
+      const container::Catalog& catalog, const TenantKnobs& knobs,
+      const AutoScalerOptions& options = {});
+
+  /// Runs the closed-loop logic, then clamps the result to the available
+  /// token-bucket budget (a hold is forcibly downsized if its price no
+  /// longer fits — the budget is a hard constraint, Section 2.3).
+  ScalingDecision Decide(const PolicyInput& input) override;
+  void OnIntervalCharged(double cost) override;
+  std::string name() const override { return "Auto"; }
+
+  /// Introspection (tests, drill-down experiments).
+  const BudgetManager* budget() const { return budget_.get(); }
+  const BalloonController& balloon() const { return balloon_; }
+  const DemandEstimator& estimator() const { return estimator_; }
+  const TenantKnobs& knobs() const { return knobs_; }
+  /// Signals categorized during the last Decide (for explanation benches).
+  const CategorizedSignals& last_categories() const { return last_cats_; }
+  const DemandEstimate& last_estimate() const { return last_estimate_; }
+  /// Full decision history (Section 4's explanations + diagnostics).
+  const AuditLog& audit() const { return audit_; }
+
+ private:
+  AutoScaler(const container::Catalog& catalog, const TenantKnobs& knobs,
+             const AutoScalerOptions& options,
+             std::unique_ptr<BudgetManager> budget);
+
+  ScalingDecision DecideUnclamped(const PolicyInput& input);
+  int DownPatience() const;
+  double AvailableBudget() const;
+  ScalingDecision HoldCurrent(const PolicyInput& input,
+                              std::string explanation) const;
+  /// Dominant non-scalable wait class summary ("Lock 92% of waits"), used
+  /// in not-scaling explanations.
+  static std::string DominantWaitNote(
+      const telemetry::SignalSnapshot& signals);
+
+  container::Catalog catalog_;
+  TenantKnobs knobs_;
+  AutoScalerOptions options_;
+  DemandEstimator estimator_;
+  std::unique_ptr<BudgetManager> budget_;
+  BalloonController balloon_;
+
+  int low_streak_ = 0;
+  int bad_streak_ = 0;
+  /// Interval index of the last scale-up (-1000: none yet).
+  int last_up_interval_ = -1000;
+  /// Set when a balloon pass reached the next-smaller container's memory.
+  bool memory_low_confirmed_ = false;
+
+  CategorizedSignals last_cats_;
+  DemandEstimate last_estimate_;
+  AuditLog audit_;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_AUTOSCALER_H_

@@ -1,0 +1,89 @@
+#include "src/scaler/balloon.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+BalloonController::BalloonController(BalloonOptions options)
+    : options_(options) {
+  DBSCALE_CHECK(options.shrink_step_fraction > 0.0 &&
+                options.shrink_step_fraction <= 1.0);
+  DBSCALE_CHECK(options.io_abort_factor >= 1.0);
+  DBSCALE_CHECK(options.cooldown_ticks >= 0);
+}
+
+bool BalloonController::CanStart(int tick) const {
+  if (state_ == State::kShrinking) return false;
+  return tick >= cooldown_until_tick_;
+}
+
+Status BalloonController::Start(double start_mb, double target_mb,
+                                double baseline_reads_per_sec, int tick,
+                                double abort_margin_rps) {
+  if (!CanStart(tick)) {
+    return Status::FailedPrecondition(
+        "balloon already active or in cooldown");
+  }
+  if (target_mb <= 0.0 || target_mb >= start_mb) {
+    return Status::InvalidArgument(
+        StrFormat("balloon target %.0f MB must be in (0, %.0f)", target_mb,
+                  start_mb));
+  }
+  state_ = State::kShrinking;
+  start_mb_ = start_mb;
+  target_mb_ = target_mb;
+  current_limit_mb_ = start_mb;
+  step_mb_ = (start_mb - target_mb) * options_.shrink_step_fraction;
+  baseline_reads_per_sec_ = baseline_reads_per_sec;
+  abort_margin_rps_ =
+      abort_margin_rps >= 0.0 ? abort_margin_rps : options_.io_abort_margin_rps;
+  return Status::OK();
+}
+
+BalloonController::Advice BalloonController::Tick(double reads_per_sec,
+                                                  int tick) {
+  DBSCALE_CHECK(state_ == State::kShrinking);
+  Advice advice;
+
+  const double abort_threshold =
+      baseline_reads_per_sec_ * options_.io_abort_factor + abort_margin_rps_;
+  if (reads_per_sec > abort_threshold) {
+    // The shrink is costing I/O: revert to the container's allocation and
+    // back off.
+    advice.aborted = true;
+    advice.memory_limit_mb = start_mb_;
+    advice.note = StrFormat(
+        "balloon aborted at %.0f MB: reads %.0f/s vs baseline %.0f/s",
+        current_limit_mb_, reads_per_sec, baseline_reads_per_sec_);
+    state_ = State::kCooldown;
+    cooldown_until_tick_ = tick + options_.cooldown_ticks;
+    current_limit_mb_ = start_mb_;
+    return advice;
+  }
+
+  if (current_limit_mb_ <= target_mb_) {
+    // Held at the target with healthy I/O: low memory demand confirmed.
+    advice.completed = true;
+    advice.note = StrFormat(
+        "balloon reached %.0f MB with no I/O increase", target_mb_);
+    state_ = State::kIdle;
+    return advice;
+  }
+
+  current_limit_mb_ = std::max(target_mb_, current_limit_mb_ - step_mb_);
+  advice.memory_limit_mb = current_limit_mb_;
+  advice.note = StrFormat("balloon shrinking to %.0f MB (target %.0f)",
+                          current_limit_mb_, target_mb_);
+  return advice;
+}
+
+void BalloonController::Reset() {
+  state_ = State::kIdle;
+  start_mb_ = target_mb_ = current_limit_mb_ = step_mb_ = 0.0;
+  baseline_reads_per_sec_ = 0.0;
+}
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,94 @@
+// Balloon controller for low-memory-demand detection (Section 4.3).
+//
+// Memory utilization is rarely LOW (caches never volunteer memory back) and
+// memory waits stay low while the working set fits — so utilization and
+// waits cannot distinguish "memory is reclaimable" from "memory is exactly
+// what keeps I/O off the disk". Inspired by VM ballooning, the controller
+// *gradually* shrinks the tenant's effective memory toward the next smaller
+// container size while watching physical I/O:
+//   * reach the target with no significant I/O increase -> memory demand is
+//     genuinely low; the auto-scaler may take the smaller container;
+//   * I/O rises -> abort, restore the allocation, and back off. The impact
+//     is minimal because each step is small (Figure 14).
+
+#ifndef DBSCALE_SCALER_BALLOON_H_
+#define DBSCALE_SCALER_BALLOON_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace dbscale::scaler {
+
+struct BalloonOptions {
+  /// Fraction of the (start - target) gap removed per tick.
+  double shrink_step_fraction = 0.34;
+  /// Abort when reads/sec exceeds baseline * factor + margin.
+  double io_abort_factor = 1.5;
+  double io_abort_margin_rps = 25.0;
+  /// Ticks to wait after an abort before ballooning may restart.
+  int cooldown_ticks = 10;
+};
+
+/// \brief Gradual memory-shrink state machine.
+class BalloonController {
+ public:
+  enum class State { kIdle, kShrinking, kCooldown };
+
+  /// Result of one tick while active.
+  struct Advice {
+    /// Memory limit to apply now (nullopt: leave the current limit).
+    std::optional<double> memory_limit_mb;
+    /// Reached the target without an I/O increase: low memory demand
+    /// confirmed.
+    bool completed = false;
+    /// I/O rose: the shrink was reverted (memory_limit_mb carries the
+    /// restore value).
+    bool aborted = false;
+    std::string note;
+  };
+
+  explicit BalloonController(BalloonOptions options = {});
+
+  State state() const { return state_; }
+  bool active() const { return state_ == State::kShrinking; }
+
+  /// Whether a new balloon may start at tick `tick` (idle and out of
+  /// cooldown).
+  bool CanStart(int tick) const;
+
+  /// Begins shrinking from `start_mb` toward `target_mb` (< start_mb).
+  /// `baseline_reads_per_sec` is the current physical read rate against
+  /// which increases are judged; `abort_margin_rps` (if >= 0) overrides the
+  /// option default — callers scale it to the container's I/O capacity so
+  /// cold-page churn on large containers does not trip the abort.
+  Status Start(double start_mb, double target_mb,
+               double baseline_reads_per_sec, int tick,
+               double abort_margin_rps = -1.0);
+
+  /// Advances the shrink by one tick given the currently observed physical
+  /// read rate. Only valid while active().
+  Advice Tick(double reads_per_sec, int tick);
+
+  /// Cancels any balloon in progress (e.g. the container changed).
+  void Reset();
+
+  double current_limit_mb() const { return current_limit_mb_; }
+  double target_mb() const { return target_mb_; }
+
+ private:
+  BalloonOptions options_;
+  State state_ = State::kIdle;
+  double start_mb_ = 0.0;
+  double target_mb_ = 0.0;
+  double current_limit_mb_ = 0.0;
+  double step_mb_ = 0.0;
+  double baseline_reads_per_sec_ = 0.0;
+  double abort_margin_rps_ = 0.0;
+  int cooldown_until_tick_ = -1;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_BALLOON_H_

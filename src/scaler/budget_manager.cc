@@ -1,0 +1,99 @@
+#include "src/scaler/budget_manager.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+const char* BudgetStrategyToString(BudgetStrategy s) {
+  switch (s) {
+    case BudgetStrategy::kAggressive:
+      return "aggressive";
+    case BudgetStrategy::kConservative:
+      return "conservative";
+  }
+  return "?";
+}
+
+Result<BudgetManager> BudgetManager::Create(
+    const BudgetManagerOptions& options) {
+  if (options.num_intervals <= 0) {
+    return Status::InvalidArgument("num_intervals must be positive");
+  }
+  if (options.min_cost <= 0.0 || options.max_cost < options.min_cost) {
+    return Status::InvalidArgument(
+        "need 0 < min_cost <= max_cost");
+  }
+  if (options.total_budget <
+      options.min_cost * static_cast<double>(options.num_intervals)) {
+    return Status::InvalidArgument(StrFormat(
+        "budget %.2f cannot afford the cheapest container (%.2f) for all "
+        "%d intervals",
+        options.total_budget, options.min_cost, options.num_intervals));
+  }
+  if (options.strategy == BudgetStrategy::kConservative &&
+      options.conservative_k <= 0) {
+    return Status::InvalidArgument("conservative_k must be positive");
+  }
+  return BudgetManager(options);
+}
+
+BudgetManager::BudgetManager(const BudgetManagerOptions& options)
+    : options_(options) {
+  const double b = options.total_budget;
+  const double n = static_cast<double>(options.num_intervals);
+  const double cmin = options.min_cost;
+
+  // D = B - (n-1) * Cmin guarantees sum(C_i) <= B: the bucket can never
+  // hold more than the budget minus the floor spend of the remaining
+  // intervals.
+  depth_ = b - (n - 1.0) * cmin;
+  switch (options.strategy) {
+    case BudgetStrategy::kAggressive:
+      initial_tokens_ = depth_;
+      fill_rate_ = cmin;
+      break;
+    case BudgetStrategy::kConservative: {
+      // TI <= D keeps TR >= Cmin (so the cheapest container always fits);
+      // total issuance TI + (n-1) * TR == B either way.
+      initial_tokens_ = std::min(
+          static_cast<double>(options.conservative_k) * options.max_cost,
+          depth_);
+      fill_rate_ = n > 1.0 ? (b - initial_tokens_) / (n - 1.0) : 0.0;
+      break;
+    }
+  }
+  tokens_ = initial_tokens_;
+}
+
+Status BudgetManager::ChargeAndRefill(double cost) {
+  if (cost < 0.0) {
+    return Status::InvalidArgument("cost must be non-negative");
+  }
+  if (cost > tokens_ + 1e-9) {
+    return Status::ResourceExhausted(StrFormat(
+        "cost %.2f exceeds available budget %.2f", cost, tokens_));
+  }
+  if (intervals_charged_ >= options_.num_intervals) {
+    return Status::FailedPrecondition("budgeting period already complete");
+  }
+  tokens_ -= cost;
+  spent_ += cost;
+  ++intervals_charged_;
+  if (intervals_charged_ < options_.num_intervals) {
+    tokens_ = std::min(tokens_ + fill_rate_, depth_);
+  }
+  return Status::OK();
+}
+
+std::string BudgetManager::ToString() const {
+  return StrFormat(
+      "token-bucket{%s B=%.1f n=%d D=%.1f TI=%.1f TR=%.2f tokens=%.1f "
+      "spent=%.1f}",
+      BudgetStrategyToString(options_.strategy), options_.total_budget,
+      options_.num_intervals, depth_, initial_tokens_, fill_rate_, tokens_,
+      spent_);
+}
+
+}  // namespace dbscale::scaler

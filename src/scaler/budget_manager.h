@@ -1,0 +1,89 @@
+// Budget manager (Section 5 of the paper).
+//
+// A tenant budget B spans a budgeting period of n billing intervals; the
+// manager translates it into a per-interval available budget B_i online,
+// with no knowledge of future demand, such that sum(C_i) <= B and
+// B_i >= Cmin always. The paper adapts the *token bucket* from network
+// traffic shaping:
+//
+//   depth  D  = B - (n-1) * Cmin       (maximum burst spend)
+//   fill   TR (tokens added per interval; the guaranteed steady spend)
+//   init   TI (tokens at period start)
+//
+// Strategies:
+//   kAggressive:   TI = D, TR = Cmin — burst freely early; worst case the
+//                  tail of the period is pinned to the cheapest container.
+//   kConservative: TI = K * Cmax (K intervals of max-spend headroom),
+//                  TR = (B - TI) / (n - 1) — smooths spend, saving budget
+//                  for bursts later in the period.
+
+#ifndef DBSCALE_SCALER_BUDGET_MANAGER_H_
+#define DBSCALE_SCALER_BUDGET_MANAGER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace dbscale::scaler {
+
+/// Token-bucket configuration strategy.
+enum class BudgetStrategy { kAggressive, kConservative };
+
+const char* BudgetStrategyToString(BudgetStrategy s);
+
+struct BudgetManagerOptions {
+  /// Total budget B for the period.
+  double total_budget = 0.0;
+  /// Billing intervals n in the period.
+  int num_intervals = 0;
+  /// Cheapest / most expensive container price per interval.
+  double min_cost = 0.0;
+  double max_cost = 0.0;
+  BudgetStrategy strategy = BudgetStrategy::kAggressive;
+  /// K for the conservative strategy: bursts limited to ~K max-cost
+  /// intervals (plus accumulated surplus).
+  int conservative_k = 4;
+};
+
+/// \brief Online per-interval budget allocation via a token bucket.
+class BudgetManager {
+ public:
+  /// Validates and builds a manager. Requires B >= n * Cmin (otherwise even
+  /// the cheapest container cannot be afforded every interval).
+  static Result<BudgetManager> Create(const BudgetManagerOptions& options);
+
+  /// Tokens currently available: the budget B_i for the upcoming interval.
+  double available() const { return tokens_; }
+
+  /// Charges the cost of the interval just started; then refills TR for
+  /// the next interval (clamped to the bucket depth). Errors if `cost`
+  /// exceeds available tokens (the caller must size within available()).
+  Status ChargeAndRefill(double cost);
+
+  /// Completed charge count (intervals consumed so far).
+  int intervals_charged() const { return intervals_charged_; }
+  /// Total spend so far; invariant: spent() <= options().total_budget.
+  double spent() const { return spent_; }
+
+  double fill_rate() const { return fill_rate_; }
+  double depth() const { return depth_; }
+  double initial_tokens() const { return initial_tokens_; }
+  const BudgetManagerOptions& options() const { return options_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit BudgetManager(const BudgetManagerOptions& options);
+
+  BudgetManagerOptions options_;
+  double fill_rate_ = 0.0;
+  double depth_ = 0.0;
+  double initial_tokens_ = 0.0;
+  double tokens_ = 0.0;
+  double spent_ = 0.0;
+  int intervals_charged_ = 0;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_BUDGET_MANAGER_H_

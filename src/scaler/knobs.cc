@@ -1,0 +1,51 @@
+#include "src/scaler/knobs.h"
+
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+const char* SensitivityToString(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kLow:
+      return "LOW";
+    case Sensitivity::kMedium:
+      return "MEDIUM";
+    case Sensitivity::kHigh:
+      return "HIGH";
+  }
+  return "?";
+}
+
+Status TenantKnobs::Validate() const {
+  if (budget.has_value()) {
+    if (budget->total_budget <= 0.0) {
+      return Status::InvalidArgument("budget must be positive");
+    }
+    if (budget->num_intervals <= 0) {
+      return Status::InvalidArgument(
+          "budgeting period must cover at least one interval");
+    }
+  }
+  if (latency_goal.has_value() && latency_goal->target_ms <= 0.0) {
+    return Status::InvalidArgument("latency goal must be positive");
+  }
+  return Status::OK();
+}
+
+std::string TenantKnobs::ToString() const {
+  std::string out = "knobs{";
+  if (budget.has_value()) {
+    out += StrFormat("budget=%.0f/%d intervals, ", budget->total_budget,
+                     budget->num_intervals);
+  }
+  if (latency_goal.has_value()) {
+    out += StrFormat(
+        "goal=%s<=%.0fms, ",
+        telemetry::LatencyAggregateToString(latency_goal->aggregate),
+        latency_goal->target_ms);
+  }
+  out += StrFormat("sensitivity=%s}", SensitivityToString(sensitivity));
+  return out;
+}
+
+}  // namespace dbscale::scaler

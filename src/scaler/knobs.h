@@ -1,0 +1,50 @@
+// Tenant-facing auto-scaling knobs (Section 2.3 of the paper).
+//
+// Tenants reason about money and latency, not resources:
+//   * an optional hard budget over a budgeting period,
+//   * an optional latency goal (average or 95th percentile),
+//   * a coarse performance-sensitivity level for tenants without precise
+//     goals.
+
+#ifndef DBSCALE_SCALER_KNOBS_H_
+#define DBSCALE_SCALER_KNOBS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/telemetry/manager.h"
+
+namespace dbscale::scaler {
+
+/// Latency goal: aggregate type + target in milliseconds.
+struct LatencyGoal {
+  telemetry::LatencyAggregate aggregate = telemetry::LatencyAggregate::kP95;
+  double target_ms = 0.0;
+};
+
+/// Coarse performance sensitivity (Section 2.3): HIGH scales up eagerly and
+/// down reluctantly; LOW is the reverse. Default MEDIUM.
+enum class Sensitivity { kLow, kMedium, kHigh };
+
+const char* SensitivityToString(Sensitivity s);
+
+/// Budget over a budgeting period of `num_intervals` billing intervals.
+struct BudgetKnob {
+  double total_budget = 0.0;
+  int num_intervals = 0;
+};
+
+/// \brief Everything a tenant may (optionally) specify.
+struct TenantKnobs {
+  std::optional<BudgetKnob> budget;
+  std::optional<LatencyGoal> latency_goal;
+  Sensitivity sensitivity = Sensitivity::kMedium;
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_KNOBS_H_

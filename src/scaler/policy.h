@@ -1,0 +1,60 @@
+// ScalingPolicy: the interface between the simulation's billing-interval
+// loop and any container-sizing strategy (the paper's Auto plus every
+// baseline in Section 7.2).
+
+#ifndef DBSCALE_SCALER_POLICY_H_
+#define DBSCALE_SCALER_POLICY_H_
+
+#include <optional>
+#include <string>
+
+#include "src/container/catalog.h"
+#include "src/telemetry/manager.h"
+
+namespace dbscale::scaler {
+
+/// What a policy sees at the end of each billing interval.
+struct PolicyInput {
+  SimTime now;
+  /// Signals computed by the telemetry manager; may be !valid early on.
+  telemetry::SignalSnapshot signals;
+  /// Container in effect during the interval that just ended.
+  container::ContainerSpec current;
+  /// Zero-based index of the interval that just ended.
+  int interval_index = 0;
+};
+
+/// A policy's choice for the next billing interval.
+struct ScalingDecision {
+  container::ContainerSpec target;
+  /// Human-readable reason ("Scale-up due to CPU bottleneck", ...). The
+  /// paper surfaces these to tenants; experiments log them.
+  std::string explanation;
+  /// Balloon override for effective memory; the harness forwards it to
+  /// DatabaseEngine::SetMemoryLimitMb. nullopt leaves memory alone.
+  std::optional<double> memory_limit_mb;
+
+  bool Changed(const container::ContainerSpec& current) const {
+    return target.id != current.id;
+  }
+};
+
+/// \brief Abstract container-sizing strategy.
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+
+  /// Decides the container for the next interval.
+  virtual ScalingDecision Decide(const PolicyInput& input) = 0;
+
+  /// Notifies the policy of the price actually charged for the interval
+  /// that just started (after Decide); budget-aware policies account here.
+  virtual void OnIntervalCharged(double cost) { (void)cost; }
+
+  /// Policy display name ("Auto", "Util", "Peak", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_POLICY_H_

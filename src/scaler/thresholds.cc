@@ -1,0 +1,72 @@
+#include "src/scaler/thresholds.h"
+
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+SignalThresholds SignalThresholds::Default() {
+  SignalThresholds t;
+  // The 30/70 utilization split is the administrator folklore the paper
+  // references; wait thresholds are per-request and differ by resource:
+  // CPU waits accumulate faster than I/O waits for the same level of
+  // pressure because every execution slice queues.
+  // Disk waits are queueing-only (the IOPS quota's pacing is nominal
+  // service); log waits include the flush itself (WRITELOG semantics), so
+  // the log thresholds sit higher.
+  t.For(container::ResourceKind::kCpu) =
+      ResourceThresholds{30.0, 70.0, 2.0, 30.0, 30.0};
+  t.For(container::ResourceKind::kMemory) =
+      ResourceThresholds{30.0, 85.0, 1.0, 20.0, 25.0};
+  t.For(container::ResourceKind::kDiskIo) =
+      ResourceThresholds{30.0, 70.0, 2.0, 25.0, 30.0};
+  t.For(container::ResourceKind::kLogIo) =
+      ResourceThresholds{30.0, 70.0, 8.0, 60.0, 25.0};
+  return t;
+}
+
+Status SignalThresholds::Validate() const {
+  for (container::ResourceKind kind : container::kAllResources) {
+    const ResourceThresholds& r = For(kind);
+    if (r.util_low_pct < 0.0 || r.util_high_pct > 100.0 ||
+        r.util_low_pct >= r.util_high_pct) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: need 0 <= util_low < util_high <= 100",
+          container::ResourceKindToString(kind)));
+    }
+    if (r.wait_low_ms_per_req < 0.0 ||
+        r.wait_low_ms_per_req >= r.wait_high_ms_per_req) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: need 0 <= wait_low < wait_high",
+          container::ResourceKindToString(kind)));
+    }
+    if (r.wait_pct_significant <= 0.0 || r.wait_pct_significant > 100.0) {
+      return Status::OutOfRange(StrFormat(
+          "%s: wait_pct_significant must be in (0, 100]",
+          container::ResourceKindToString(kind)));
+    }
+  }
+  if (correlation_significant <= 0.0 || correlation_significant > 1.0) {
+    return Status::OutOfRange("correlation_significant must be in (0, 1]");
+  }
+  if (extreme_factor <= 1.0) {
+    return Status::OutOfRange("extreme_factor must exceed 1");
+  }
+  return Status::OK();
+}
+
+std::string SignalThresholds::ToString() const {
+  std::string out = "thresholds{\n";
+  for (container::ResourceKind kind : container::kAllResources) {
+    const ResourceThresholds& r = For(kind);
+    out += StrFormat(
+        "  %-8s util[%.0f, %.0f]%% wait[%.1f, %.1f]ms/req share>%.0f%%\n",
+        container::ResourceKindToString(kind), r.util_low_pct,
+        r.util_high_pct, r.wait_low_ms_per_req, r.wait_high_ms_per_req,
+        r.wait_pct_significant);
+  }
+  out += StrFormat("  corr>%.2f extreme x%.1f\n}", correlation_significant,
+                   extreme_factor);
+  return out;
+}
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,66 @@
+// Signal thresholds (Section 4.1 of the paper).
+//
+// Thresholds turn continuous signals into categories with well-understood
+// semantics (LOW/MEDIUM/HIGH utilization, LOW/MEDIUM/HIGH wait magnitude,
+// SIGNIFICANT/NOT-SIGNIFICANT wait share, GOOD/BAD latency). Utilization and
+// latency thresholds are straightforward (Figure 5); wait thresholds are
+// calibrated from service-wide fleet telemetry by separating the wait
+// distributions observed under low vs. high utilization (Figure 6) — see
+// src/fleet/calibrator.h for the calibration pipeline.
+//
+// Wait magnitudes are categorized on a per-completed-request basis
+// (milliseconds of resource wait per request) so one threshold set applies
+// across container sizes; the calibrator derives exactly this quantity from
+// fleet telemetry.
+
+#ifndef DBSCALE_SCALER_THRESHOLDS_H_
+#define DBSCALE_SCALER_THRESHOLDS_H_
+
+#include <array>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/container/container.h"
+
+namespace dbscale::scaler {
+
+/// Thresholds for one resource dimension.
+struct ResourceThresholds {
+  /// Utilization (percent): LOW below, HIGH above, MEDIUM between.
+  double util_low_pct = 30.0;
+  double util_high_pct = 70.0;
+  /// Wait magnitude per completed request (ms): LOW below, HIGH above.
+  double wait_low_ms_per_req = 2.0;
+  double wait_high_ms_per_req = 25.0;
+  /// Wait share of total waits (percent) above which the resource's waits
+  /// are SIGNIFICANT.
+  double wait_pct_significant = 30.0;
+};
+
+/// \brief Full threshold set used by the demand estimator.
+struct SignalThresholds {
+  std::array<ResourceThresholds, container::kNumResources> per_resource{};
+  /// Spearman |rho| above which a wait/latency correlation is significant.
+  double correlation_significant = 0.60;
+  /// Extreme multipliers: utilization above util_high * this (capped at
+  /// ~100%) or waits above wait_high * this indicate 2-step demand.
+  double extreme_factor = 2.0;
+
+  const ResourceThresholds& For(container::ResourceKind kind) const {
+    return per_resource[static_cast<size_t>(kind)];
+  }
+  ResourceThresholds& For(container::ResourceKind kind) {
+    return per_resource[static_cast<size_t>(kind)];
+  }
+
+  /// Hand-tuned defaults, matching the well-known administrator rules the
+  /// paper cites for utilization (30/70) and conservative wait thresholds.
+  static SignalThresholds Default();
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_THRESHOLDS_H_

@@ -1,0 +1,144 @@
+#include "src/sim/experiment.h"
+
+#include <algorithm>
+
+#include "src/baselines/offline_profiler.h"
+#include "src/baselines/static_policy.h"
+#include "src/baselines/trace_policy.h"
+#include "src/baselines/util_policy.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::sim {
+
+namespace {
+
+bool WantTechnique(const ComparisonOptions& options,
+                   const std::string& name) {
+  if (options.techniques.empty()) return true;
+  return std::find(options.techniques.begin(), options.techniques.end(),
+                   name) != options.techniques.end();
+}
+
+}  // namespace
+
+const TechniqueResult* ComparisonResult::Find(const std::string& name) const {
+  for (const TechniqueResult& t : techniques) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string ComparisonResult::ToTable() const {
+  std::string header = StrFormat("%-10s", "");
+  std::string latency_row = StrFormat("%-10s", "Latency");
+  std::string cost_row = StrFormat("%-10s", "Cost");
+  std::string changes_row = StrFormat("%-10s", "Changes%");
+  for (const TechniqueResult& t : techniques) {
+    header += StrFormat("%10s", t.name.c_str());
+    latency_row += StrFormat(
+        "%10.0f", t.run.LatencyMs(goal.aggregate));
+    cost_row += StrFormat("%10.1f", t.run.avg_cost_per_interval);
+    changes_row += StrFormat("%10.1f", 100.0 * t.run.change_fraction);
+  }
+  return StrFormat(
+      "goal: %s <= %.0f ms\n%s\n%s\n%s\n%s\n",
+      telemetry::LatencyAggregateToString(goal.aggregate), goal.target_ms,
+      header.c_str(), latency_row.c_str(), cost_row.c_str(),
+      changes_row.c_str());
+}
+
+Result<RunResult> RunWithPolicy(const SimulationOptions& base,
+                                scaler::ScalingPolicy* policy,
+                                int initial_rung) {
+  SimulationOptions options = base;
+  options.initial_rung = initial_rung;
+  Simulation simulation(std::move(options));
+  return simulation.Run(policy);
+}
+
+Result<RunResult> RunMax(const SimulationOptions& base) {
+  baselines::StaticPolicy max_policy("Max", base.catalog.largest());
+  return RunWithPolicy(base, &max_policy,
+                       base.catalog.num_rungs() - 1);
+}
+
+Result<ComparisonResult> RunComparison(const SimulationOptions& base,
+                                       const ComparisonOptions& options) {
+  ComparisonResult result;
+
+  // 1. Gold standard (always needed: it defines the goal and profiles the
+  // offline baselines).
+  DBSCALE_ASSIGN_OR_RETURN(RunResult max_run, RunMax(base));
+
+  result.goal.aggregate = options.goal_aggregate;
+  result.goal.target_ms =
+      options.goal_factor * max_run.LatencyMs(options.goal_aggregate);
+  if (result.goal.target_ms <= 0.0) {
+    return Status::Internal("Max run produced no latency measurements");
+  }
+
+  // Online policies must observe the latency aggregate the goal is
+  // expressed over.
+  SimulationOptions online_base = base;
+  online_base.telemetry.latency_aggregate = options.goal_aggregate;
+
+  baselines::OfflineProfiler profiler(base.catalog, max_run.UsageSeries());
+
+  if (WantTechnique(options, "Max")) {
+    result.techniques.push_back({"Max", std::move(max_run)});
+  }
+
+  if (WantTechnique(options, "Peak")) {
+    DBSCALE_ASSIGN_OR_RETURN(container::ContainerSpec peak,
+                             profiler.PeakContainer());
+    baselines::StaticPolicy policy("Peak", peak);
+    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
+                             RunWithPolicy(base, &policy, peak.base_rung));
+    result.techniques.push_back({"Peak", std::move(run)});
+  }
+
+  if (WantTechnique(options, "Avg")) {
+    DBSCALE_ASSIGN_OR_RETURN(container::ContainerSpec avg,
+                             profiler.AvgContainer());
+    baselines::StaticPolicy policy("Avg", avg);
+    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
+                             RunWithPolicy(base, &policy, avg.base_rung));
+    result.techniques.push_back({"Avg", std::move(run)});
+  }
+
+  if (WantTechnique(options, "Trace")) {
+    DBSCALE_ASSIGN_OR_RETURN(auto schedule, profiler.TraceSchedule());
+    const int initial_rung =
+        schedule.empty() ? 0 : schedule.front().base_rung;
+    baselines::TracePolicy policy(std::move(schedule));
+    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
+                             RunWithPolicy(base, &policy, initial_rung));
+    result.techniques.push_back({"Trace", std::move(run)});
+  }
+
+  if (WantTechnique(options, "Util")) {
+    baselines::UtilPolicy policy(base.catalog, result.goal);
+    DBSCALE_ASSIGN_OR_RETURN(
+        RunResult run, RunWithPolicy(online_base, &policy,
+                                     options.online_initial_rung));
+    result.techniques.push_back({"Util", std::move(run)});
+  }
+
+  if (WantTechnique(options, "Auto")) {
+    scaler::TenantKnobs knobs;
+    knobs.latency_goal = result.goal;
+    knobs.sensitivity = options.sensitivity;
+    DBSCALE_ASSIGN_OR_RETURN(
+        auto auto_scaler,
+        scaler::AutoScaler::Create(base.catalog, knobs,
+                                   options.auto_scaler));
+    DBSCALE_ASSIGN_OR_RETURN(
+        RunResult run, RunWithPolicy(online_base, auto_scaler.get(),
+                                     options.online_initial_rung));
+    result.techniques.push_back({"Auto", std::move(run)});
+  }
+
+  return result;
+}
+
+}  // namespace dbscale::sim

@@ -1,0 +1,67 @@
+// End-to-end experiment drivers reproducing the paper's Section 7
+// methodology:
+//
+//   1. run the workload under Max (largest container) — the gold standard;
+//   2. derive the latency goal as a multiple of Max's latency (the paper
+//      uses 1.25x and 5x);
+//   3. profile the Max run to configure the offline baselines
+//      (Peak / Avg / Trace);
+//   4. run every technique against the *same* workload (same seed) and
+//      compare 95th-percentile latency and average cost per billing
+//      interval.
+
+#ifndef DBSCALE_SIM_EXPERIMENT_H_
+#define DBSCALE_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scaler/autoscaler.h"
+#include "src/sim/simulation.h"
+
+namespace dbscale::sim {
+
+/// One technique's outcome.
+struct TechniqueResult {
+  std::string name;
+  RunResult run;
+};
+
+/// The full six-technique comparison for one workload/trace/goal.
+struct ComparisonResult {
+  scaler::LatencyGoal goal;
+  std::vector<TechniqueResult> techniques;
+
+  const TechniqueResult* Find(const std::string& name) const;
+  /// Formats the paper-style table (latency row, cost row).
+  std::string ToTable() const;
+};
+
+struct ComparisonOptions {
+  /// goal = goal_factor * latency(Max).
+  double goal_factor = 1.25;
+  telemetry::LatencyAggregate goal_aggregate =
+      telemetry::LatencyAggregate::kP95;
+  scaler::Sensitivity sensitivity = scaler::Sensitivity::kMedium;
+  scaler::AutoScalerOptions auto_scaler;
+  /// Initial rung for the online policies (Util, Auto).
+  int online_initial_rung = 3;
+  /// Run these subsets only (empty = all six).
+  std::vector<std::string> techniques;
+};
+
+/// Runs one policy over `base` with the given starting rung.
+Result<RunResult> RunWithPolicy(const SimulationOptions& base,
+                                scaler::ScalingPolicy* policy,
+                                int initial_rung);
+
+/// Runs the Max gold standard.
+Result<RunResult> RunMax(const SimulationOptions& base);
+
+/// Runs the complete comparison (Max, Peak, Avg, Trace, Util, Auto).
+Result<ComparisonResult> RunComparison(const SimulationOptions& base,
+                                       const ComparisonOptions& options);
+
+}  // namespace dbscale::sim
+
+#endif  // DBSCALE_SIM_EXPERIMENT_H_

@@ -1,0 +1,101 @@
+#include "src/sim/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::sim {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DBSCALE_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  DBSCALE_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "--";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out = StrJoin(header_, ",") + "\n";
+  for (const auto& row : rows_) out += StrJoin(row, ",") + "\n";
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IoError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+std::string AsciiChart(const std::vector<double>& values, int height,
+                       int max_width) {
+  if (values.empty() || height < 1) return "";
+  // Downsample to max_width columns by averaging.
+  const size_t width =
+      std::min<size_t>(values.size(), static_cast<size_t>(max_width));
+  std::vector<double> cols(width, 0.0);
+  for (size_t c = 0; c < width; ++c) {
+    const size_t lo = c * values.size() / width;
+    const size_t hi = std::max(lo + 1, (c + 1) * values.size() / width);
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += values[i];
+    cols[c] = sum / static_cast<double>(hi - lo);
+  }
+  double vmax = *std::max_element(cols.begin(), cols.end());
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::string out;
+  for (int r = height; r >= 1; --r) {
+    const double threshold =
+        vmax * (static_cast<double>(r) - 0.5) / static_cast<double>(height);
+    std::string line;
+    for (size_t c = 0; c < width; ++c) {
+      line += cols[c] >= threshold ? '#' : ' ';
+    }
+    out += StrFormat("%8.1f |%s\n", vmax * r / height, line.c_str());
+  }
+  out += StrFormat("%8s +%s\n", "", std::string(width, '-').c_str());
+  return out;
+}
+
+}  // namespace dbscale::sim

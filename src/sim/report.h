@@ -1,0 +1,42 @@
+// Small report helpers: aligned text tables and CSV emission for the
+// experiment binaries.
+
+#ifndef DBSCALE_SIM_REPORT_H_
+#define DBSCALE_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dbscale::sim {
+
+/// \brief Column-aligned text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Renders with columns padded to their widest cell.
+  std::string ToString() const;
+  /// Renders as CSV (no padding).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path` (creating/truncating).
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Renders a sparkline-style ASCII chart of `values` with the given height,
+/// for eyeballing trace shapes and container series in bench output.
+std::string AsciiChart(const std::vector<double>& values, int height = 8,
+                       int max_width = 120);
+
+}  // namespace dbscale::sim
+
+#endif  // DBSCALE_SIM_REPORT_H_

@@ -1,0 +1,206 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/stats/cdf.h"
+
+namespace dbscale::sim {
+
+using container::ResourceKind;
+
+std::vector<container::ResourceVector> RunResult::UsageSeries() const {
+  std::vector<container::ResourceVector> out;
+  out.reserve(intervals.size());
+  for (const IntervalRecord& r : intervals) out.push_back(r.usage);
+  return out;
+}
+
+double RunResult::LatencyMs(telemetry::LatencyAggregate aggregate) const {
+  return aggregate == telemetry::LatencyAggregate::kAverage
+             ? latency_avg_ms
+             : latency_p95_ms;
+}
+
+Simulation::Simulation(SimulationOptions options)
+    : options_(std::move(options)) {}
+
+Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("policy must not be null");
+  }
+  DBSCALE_RETURN_IF_ERROR(options_.workload.Validate());
+  if (options_.trace.empty()) {
+    return Status::InvalidArgument("trace is empty");
+  }
+  if (options_.interval_duration < options_.sample_period) {
+    return Status::InvalidArgument(
+        "interval_duration must be >= sample_period");
+  }
+  if (options_.initial_rung < 0 ||
+      options_.initial_rung >= options_.catalog.num_rungs()) {
+    return Status::OutOfRange("initial_rung outside the catalog");
+  }
+  {
+    telemetry::TelemetryManager probe(options_.telemetry);
+    DBSCALE_RETURN_IF_ERROR(probe.Validate());
+  }
+
+  Rng rng(options_.seed);
+  engine::EventQueue events;
+
+  engine::EngineOptions engine_options =
+      options_.engine.has_value() ? *options_.engine
+                                  : options_.workload.MakeEngineOptions();
+  container::ContainerSpec current =
+      options_.catalog.rung(options_.initial_rung);
+
+  engine::DatabaseEngine engine(&events, engine_options, current,
+                                rng.Fork());
+  if (options_.prewarm_buffer_pool) engine.PrewarmBufferPool();
+
+  workload::GeneratorOptions gen_options;
+  gen_options.step_duration = options_.interval_duration;
+  gen_options.rate_scale = options_.rate_scale;
+  gen_options.max_in_flight = options_.max_in_flight;
+  gen_options.mode = options_.arrival_mode;
+  workload::RequestGenerator generator(&engine, options_.workload,
+                                       options_.trace, gen_options,
+                                       rng.Fork());
+
+  telemetry::TelemetryStore store;
+  telemetry::TelemetryManager manager(options_.telemetry);
+
+  // Run- and interval-level latency tracking via the completion listener.
+  stats::LatencyHistogram run_latency(0.01, 1e8, 48);
+  stats::LatencyHistogram interval_latency(0.01, 1e8, 48);
+  uint64_t interval_errors = 0;
+  engine.SetCompletionListener(
+      [&run_latency, &interval_latency,
+       &interval_errors](const engine::RequestResult& r) {
+        const double ms = r.latency().ToMillis();
+        run_latency.Add(ms);
+        interval_latency.Add(ms);
+        if (r.error) ++interval_errors;
+      });
+
+  RunResult result;
+  result.policy_name = policy->name();
+
+  const size_t num_intervals = options_.trace.num_steps();
+  result.intervals.reserve(num_intervals);
+
+  // Interval 0 is billed at the initial container.
+  policy->OnIntervalCharged(current.price_per_interval);
+
+  generator.Start();
+  const double samples_per_interval =
+      options_.interval_duration / options_.sample_period;
+  const int whole_samples =
+      std::max(1, static_cast<int>(samples_per_interval));
+
+  SimTime interval_start = SimTime::Zero();
+  for (size_t i = 0; i < num_intervals; ++i) {
+    const SimTime interval_end =
+        interval_start + options_.interval_duration;
+
+    IntervalRecord record;
+    record.index = static_cast<int>(i);
+    record.container = current;
+    record.cost = current.price_per_interval;
+
+    // Advance sample by sample, collecting telemetry.
+    container::ResourceVector usage_sum;
+    double memory_used_sum = 0.0;
+    for (int s = 0; s < whole_samples; ++s) {
+      const SimTime sample_end =
+          (s == whole_samples - 1)
+              ? interval_end
+              : interval_start + options_.sample_period * (s + 1);
+      events.RunUntil(sample_end);
+      telemetry::TelemetrySample sample = engine.CollectSample();
+      for (ResourceKind kind : container::kAllResources) {
+        const size_t ri = static_cast<size_t>(kind);
+        record.utilization_pct[ri] += sample.utilization_pct[ri];
+        if (kind == ResourceKind::kMemory) {
+          usage_sum.Set(kind,
+                        usage_sum.Get(kind) + sample.memory_active_mb);
+        } else {
+          usage_sum.Set(kind, usage_sum.Get(kind) +
+                                  sample.utilization_pct[ri] / 100.0 *
+                                      sample.allocation.Get(kind));
+        }
+      }
+      for (size_t w = 0; w < telemetry::kNumWaitClasses; ++w) {
+        record.wait_ms[w] += sample.wait_ms[w];
+      }
+      record.completed += sample.requests_completed;
+      memory_used_sum += sample.memory_used_mb;
+      if (options_.keep_samples) result.samples.push_back(sample);
+      store.Append(std::move(sample));
+    }
+    const double inv = 1.0 / whole_samples;
+    for (ResourceKind kind : container::kAllResources) {
+      const size_t ri = static_cast<size_t>(kind);
+      record.utilization_pct[ri] *= inv;
+      record.usage.Set(kind, usage_sum.Get(kind) * inv);
+    }
+    record.memory_used_mb = memory_used_sum * inv;
+    if (interval_latency.count() > 0) {
+      record.latency_avg_ms = interval_latency.mean();
+      record.latency_p95_ms = interval_latency.ValueAtPercentile(95.0);
+    }
+    record.errors = static_cast<int64_t>(interval_errors);
+    interval_latency.Reset();
+    interval_errors = 0;
+
+    // Decision for the next interval.
+    scaler::PolicyInput input;
+    input.now = events.Now();
+    input.signals = manager.Compute(store, events.Now());
+    input.current = current;
+    input.interval_index = static_cast<int>(i);
+    scaler::ScalingDecision decision = policy->Decide(input);
+    record.decision_explanation = decision.explanation;
+
+    const bool is_last = (i + 1 == num_intervals);
+    if (decision.target.id != current.id) {
+      record.resized = true;
+      ++result.container_changes;
+      current = decision.target;
+      engine.ApplyContainer(current);
+    }
+    if (decision.memory_limit_mb.has_value()) {
+      engine.SetMemoryLimitMb(*decision.memory_limit_mb);
+    }
+    if (!is_last) {
+      policy->OnIntervalCharged(current.price_per_interval);
+    }
+
+    result.intervals.push_back(std::move(record));
+    interval_start = interval_end;
+  }
+
+  // Aggregate run-level results.
+  for (const IntervalRecord& r : result.intervals) {
+    result.total_cost += r.cost;
+    result.total_errors += static_cast<uint64_t>(r.errors);
+  }
+  result.avg_cost_per_interval =
+      result.total_cost / static_cast<double>(num_intervals);
+  result.change_fraction =
+      static_cast<double>(result.container_changes) /
+      static_cast<double>(num_intervals);
+  result.total_completed = static_cast<uint64_t>(run_latency.count());
+  if (run_latency.count() > 0) {
+    result.latency_avg_ms = run_latency.mean();
+    result.latency_p95_ms = run_latency.ValueAtPercentile(95.0);
+    result.latency_p99_ms = run_latency.ValueAtPercentile(99.0);
+    result.latency_max_ms = run_latency.max_seen();
+  }
+  result.events_processed = events.events_processed();
+  return result;
+}
+
+}  // namespace dbscale::sim

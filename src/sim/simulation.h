@@ -1,0 +1,127 @@
+// The experiment harness: wires engine + workload generator + telemetry +
+// a scaling policy into the paper's closed billing-interval loop
+// (Section 7.1 methodology).
+//
+// One trace step = one billing interval (the paper compresses time the same
+// way). Each interval:
+//   1. the engine runs under the interval's container, sampled every
+//      `sample_period` into the telemetry store;
+//   2. at the interval end, the telemetry manager computes signals and the
+//      policy decides the next interval's container;
+//   3. resizes are applied online; the interval is billed at its
+//      container's price.
+
+#ifndef DBSCALE_SIM_SIMULATION_H_
+#define DBSCALE_SIM_SIMULATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/container/catalog.h"
+#include "src/engine/engine.h"
+#include "src/scaler/policy.h"
+#include "src/telemetry/manager.h"
+#include "src/workload/generator.h"
+#include "src/workload/mix.h"
+#include "src/workload/trace.h"
+
+namespace dbscale::sim {
+
+/// Per-interval outcome record.
+struct IntervalRecord {
+  int index = 0;
+  /// Container in effect during the interval (billed).
+  container::ContainerSpec container;
+  double cost = 0.0;
+  /// Latency over requests completed within the interval (ms).
+  double latency_avg_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  int64_t completed = 0;
+  int64_t errors = 0;
+  /// Mean absolute resource usage (cores, active MB, IOPS, log MB/s).
+  container::ResourceVector usage;
+  /// Mean percent utilization per resource.
+  std::array<double, container::kNumResources> utilization_pct{};
+  /// Total wait ms per class over the interval.
+  std::array<double, telemetry::kNumWaitClasses> wait_ms{};
+  double memory_used_mb = 0.0;
+  /// Decision taken at the *end* of this interval.
+  std::string decision_explanation;
+  bool resized = false;
+};
+
+/// \brief Complete result of one simulated run.
+struct RunResult {
+  std::string policy_name;
+  std::vector<IntervalRecord> intervals;
+  /// Raw 5-second telemetry samples (kept when options.keep_samples).
+  std::vector<telemetry::TelemetrySample> samples;
+
+  /// Whole-run latency aggregates over every completed request (ms).
+  double latency_avg_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  double total_cost = 0.0;
+  double avg_cost_per_interval = 0.0;
+  int container_changes = 0;
+  double change_fraction = 0.0;
+  uint64_t total_completed = 0;
+  uint64_t total_errors = 0;
+  uint64_t events_processed = 0;
+
+  /// Per-interval absolute usage (input for OfflineProfiler).
+  std::vector<container::ResourceVector> UsageSeries() const;
+  /// Latency in the given aggregate.
+  double LatencyMs(telemetry::LatencyAggregate aggregate) const;
+};
+
+struct SimulationOptions {
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  workload::WorkloadSpec workload;
+  workload::Trace trace;
+  /// Simulated seconds per trace step == billing interval length.
+  Duration interval_duration = Duration::Seconds(20);
+  Duration sample_period = Duration::Seconds(5);
+  /// Multiplier on trace rates.
+  double rate_scale = 1.0;
+  /// Client connection-pool cap forwarded to the generator: requests beyond
+  /// this many in flight are dropped, bounding queue blow-up under deep
+  /// under-provisioning. 0 = unlimited. Open-loop only.
+  uint64_t max_in_flight = 400;
+  /// Client model: open loop (trace = offered rps) or closed loop (trace =
+  /// concurrent sessions, the paper's literal Figure 8 axis).
+  workload::ArrivalMode arrival_mode = workload::ArrivalMode::kOpenLoop;
+  telemetry::TelemetryManagerOptions telemetry;
+  /// Engine options; when unset, derived from the workload.
+  std::optional<engine::EngineOptions> engine;
+  /// Rung index of the container for interval 0.
+  int initial_rung = 3;
+  uint64_t seed = 42;
+  bool prewarm_buffer_pool = true;
+  /// Retain every telemetry sample in the result (drill-down experiments).
+  bool keep_samples = false;
+};
+
+/// \brief Runs one policy against one workload/trace.
+class Simulation {
+ public:
+  explicit Simulation(SimulationOptions options);
+
+  /// Validates options and executes the full trace. The policy is driven
+  /// closed-loop; its decisions are applied online.
+  Result<RunResult> Run(scaler::ScalingPolicy* policy);
+
+  const SimulationOptions& options() const { return options_; }
+
+ private:
+  SimulationOptions options_;
+};
+
+}  // namespace dbscale::sim
+
+#endif  // DBSCALE_SIM_SIMULATION_H_

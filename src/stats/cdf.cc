@@ -1,0 +1,135 @@
+#include "src/stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stats/robust.h"
+
+namespace dbscale::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void EmpiricalCdf::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+Result<double> EmpiricalCdf::FractionAtOrBelow(double value) const {
+  if (samples_.empty()) {
+    return Status::InvalidArgument("empty CDF");
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), value);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+Result<double> EmpiricalCdf::ValueAtPercentile(double p) const {
+  if (samples_.empty()) {
+    return Status::InvalidArgument("empty CDF");
+  }
+  if (p < 0.0 || p > 100.0) {
+    return Status::OutOfRange("percentile must be in [0, 100]");
+  }
+  EnsureSorted();
+  return PercentileSorted(samples_, p);
+}
+
+Result<std::vector<std::pair<double, double>>> EmpiricalCdf::CurvePoints(
+    size_t num_points) const {
+  if (samples_.empty()) {
+    return Status::InvalidArgument("empty CDF");
+  }
+  if (num_points < 2) {
+    return Status::InvalidArgument("need at least 2 curve points");
+  }
+  EnsureSorted();
+  std::vector<std::pair<double, double>> points;
+  points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    double frac = static_cast<double>(i) /
+                  static_cast<double>(num_points - 1);
+    size_t idx = std::min(
+        static_cast<size_t>(frac * static_cast<double>(samples_.size())),
+        samples_.size() - 1);
+    points.emplace_back(samples_[idx],
+                        static_cast<double>(idx + 1) /
+                            static_cast<double>(samples_.size()));
+  }
+  return points;
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   int buckets_per_decade)
+    : min_value_(min_value), log_min_(std::log10(min_value)) {
+  DBSCALE_CHECK(min_value > 0.0 && max_value > min_value);
+  DBSCALE_CHECK(buckets_per_decade > 0);
+  bucket_width_log_ = 1.0 / static_cast<double>(buckets_per_decade);
+  double decades = std::log10(max_value) - log_min_;
+  size_t n = static_cast<size_t>(std::ceil(decades * buckets_per_decade)) + 1;
+  buckets_.assign(n, 0);
+}
+
+size_t LatencyHistogram::BucketFor(double value) const {
+  if (value <= min_value_) return 0;
+  double offset = (std::log10(value) - log_min_) / bucket_width_log_;
+  size_t idx = static_cast<size_t>(offset);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+double LatencyHistogram::BucketUpper(size_t index) const {
+  return std::pow(10.0, log_min_ + bucket_width_log_ *
+                            static_cast<double>(index + 1));
+}
+
+void LatencyHistogram::Add(double value) {
+  value = std::max(value, 0.0);
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  DBSCALE_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+double LatencyHistogram::ValueAtPercentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  int64_t target = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpper(i), max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+}  // namespace dbscale::stats

@@ -1,0 +1,122 @@
+#include "src/stats/robust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace dbscale::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+Result<double> Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  DBSCALE_DCHECK(!sorted.empty());
+  DBSCALE_DCHECK(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Result<double> Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Percentile of empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    return Status::OutOfRange("percentile must be in [0, 100]");
+  }
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+Result<double> Mad(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("MAD of empty sample");
+  }
+  DBSCALE_ASSIGN_OR_RETURN(double med, Median(values));
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - med));
+  DBSCALE_ASSIGN_OR_RETURN(double mad, Median(std::move(deviations)));
+  // 1.4826 makes MAD a consistent estimator of sigma for normal data.
+  return 1.4826 * mad;
+}
+
+Result<double> TrimmedMean(std::vector<double> values, double trim_fraction) {
+  if (values.empty()) {
+    return Status::InvalidArgument("TrimmedMean of empty sample");
+  }
+  if (trim_fraction < 0.0 || trim_fraction >= 0.5) {
+    return Status::OutOfRange("trim_fraction must be in [0, 0.5)");
+  }
+  std::sort(values.begin(), values.end());
+  size_t k = static_cast<size_t>(trim_fraction *
+                                 static_cast<double>(values.size()));
+  size_t lo = k;
+  size_t hi = values.size() - k;
+  DBSCALE_CHECK(hi > lo);
+  double sum = 0.0;
+  for (size_t i = lo; i < hi; ++i) sum += values[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t total = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace dbscale::stats

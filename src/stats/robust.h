@@ -1,0 +1,71 @@
+// Robust statistical aggregates (Section 3 of the paper).
+//
+// Telemetry is noisy: spikes from checkpoints, transient system work, and
+// workload variance produce outliers that break mean-based estimators (the
+// mean has a breakdown point of 0). The paper therefore aggregates signals
+// with high-breakdown estimators: the median (breakdown 50%), order
+// statistics, and MAD. This header provides those primitives.
+
+#ifndef DBSCALE_STATS_ROBUST_H_
+#define DBSCALE_STATS_ROBUST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dbscale::stats {
+
+/// Arithmetic mean. Breakdown point 0 — use only where outliers are
+/// impossible by construction (e.g. bounded percentages over long windows).
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Median; breakdown point 50%. Average of the two middle order statistics
+/// for even-sized input. Errors on empty input.
+Result<double> Median(std::vector<double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Errors on empty input or
+/// p outside the range.
+Result<double> Percentile(std::vector<double> values, double p);
+
+/// Percentile on data the caller has already sorted ascending (no copy).
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/// Median absolute deviation (scaled by 1.4826 for consistency with the
+/// standard deviation under normality). Breakdown point 50%.
+Result<double> Mad(const std::vector<double>& values);
+
+/// Mean after discarding the `trim_fraction` smallest and largest values
+/// (e.g. 0.1 trims 10% from each side). Breakdown point = trim_fraction.
+Result<double> TrimmedMean(std::vector<double> values, double trim_fraction);
+
+/// \brief Streaming mean/variance/min/max accumulator (Welford), used where
+/// keeping full samples would be too expensive.
+class RunningStats {
+ public:
+  void Add(double value);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dbscale::stats
+
+#endif  // DBSCALE_STATS_ROBUST_H_

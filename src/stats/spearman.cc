@@ -1,0 +1,73 @@
+#include "src/stats/spearman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dbscale::stats {
+
+std::vector<double> RankWithTies(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Items order[i..j] are tied; assign the average of ranks i+1 .. j+1.
+    double avg_rank = (static_cast<double>(i + 1) +
+                       static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y sizes differ");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("correlation needs at least 3 points");
+  }
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    // A constant series is uncorrelated with everything by convention here;
+    // the caller treats 0 as "no signal".
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y sizes differ");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("correlation needs at least 3 points");
+  }
+  return PearsonCorrelation(RankWithTies(x), RankWithTies(y));
+}
+
+}  // namespace dbscale::stats

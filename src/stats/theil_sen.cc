@@ -1,0 +1,92 @@
+#include "src/stats/theil_sen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/robust.h"
+
+namespace dbscale::stats {
+
+const char* TrendDirectionToString(TrendDirection d) {
+  switch (d) {
+    case TrendDirection::kNone:
+      return "none";
+    case TrendDirection::kIncreasing:
+      return "increasing";
+    case TrendDirection::kDecreasing:
+      return "decreasing";
+  }
+  return "?";
+}
+
+TheilSenEstimator::TheilSenEstimator(double accept_fraction)
+    : accept_fraction_(accept_fraction) {}
+
+Result<TrendResult> TheilSenEstimator::Fit(
+    const std::vector<double>& x, const std::vector<double>& y) const {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y sizes differ");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument(
+        "Theil-Sen needs at least 3 points");
+  }
+  if (accept_fraction_ <= 0.5 || accept_fraction_ > 1.0) {
+    return Status::OutOfRange("accept_fraction must be in (0.5, 1.0]");
+  }
+  const size_t n = x.size();
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  size_t positive = 0;
+  size_t negative = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dx = x[j] - x[i];
+      if (dx == 0.0) continue;  // vertical pair carries no slope information
+      double slope = (y[j] - y[i]) / dx;
+      slopes.push_back(slope);
+      if (slope > 0.0) {
+        ++positive;
+      } else if (slope < 0.0) {
+        ++negative;
+      }
+    }
+  }
+  if (slopes.empty()) {
+    return Status::InvalidArgument("all x values identical");
+  }
+
+  TrendResult result;
+  DBSCALE_ASSIGN_OR_RETURN(result.slope, Median(slopes));
+  std::vector<double> intercepts;
+  intercepts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    intercepts.push_back(y[i] - result.slope * x[i]);
+  }
+  DBSCALE_ASSIGN_OR_RETURN(result.intercept, Median(std::move(intercepts)));
+
+  const double total = static_cast<double>(slopes.size());
+  result.fraction_positive = static_cast<double>(positive) / total;
+  result.fraction_negative = static_cast<double>(negative) / total;
+  if (result.fraction_positive >= accept_fraction_) {
+    result.significant = true;
+    result.direction = TrendDirection::kIncreasing;
+  } else if (result.fraction_negative >= accept_fraction_) {
+    result.significant = true;
+    result.direction = TrendDirection::kDecreasing;
+  } else {
+    // Noise: do not report a trend even though the median slope is nonzero.
+    result.significant = false;
+    result.direction = TrendDirection::kNone;
+  }
+  return result;
+}
+
+Result<TrendResult> TheilSenEstimator::FitSequence(
+    const std::vector<double>& y) const {
+  std::vector<double> x(y.size());
+  for (size_t i = 0; i < y.size(); ++i) x[i] = static_cast<double>(i);
+  return Fit(x, y);
+}
+
+}  // namespace dbscale::stats

@@ -1,0 +1,65 @@
+// Theil-Sen robust trend estimation (Section 3.2.1 of the paper).
+//
+// Least-squares regression has a breakdown point of 0: one large outlier
+// moves the fitted slope arbitrarily. The Theil-Sen estimator — the median
+// of the O(n^2) pairwise slopes — has a breakdown point of ~29%, needs no
+// tuning parameters, and is cheap at telemetry-window sizes.
+//
+// A trend is only *accepted* when at least `accept_fraction` (the paper's
+// alpha = 70%) of the pairwise slopes agree in sign; otherwise the data is
+// treated as trendless noise.
+
+#ifndef DBSCALE_STATS_THEIL_SEN_H_
+#define DBSCALE_STATS_THEIL_SEN_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dbscale::stats {
+
+/// Direction of an accepted trend.
+enum class TrendDirection { kNone, kIncreasing, kDecreasing };
+
+const char* TrendDirectionToString(TrendDirection d);
+
+/// Outcome of a Theil-Sen fit.
+struct TrendResult {
+  /// Median pairwise slope (units of y per unit of x).
+  double slope = 0.0;
+  /// Median intercept: median(y_i - slope * x_i).
+  double intercept = 0.0;
+  /// Fraction of pairwise slopes that are strictly positive / negative.
+  double fraction_positive = 0.0;
+  double fraction_negative = 0.0;
+  /// True when the sign-agreement test passed.
+  bool significant = false;
+  /// Direction when significant, kNone otherwise.
+  TrendDirection direction = TrendDirection::kNone;
+};
+
+/// \brief Theil-Sen estimator with a sign-agreement significance test.
+class TheilSenEstimator {
+ public:
+  /// \param accept_fraction fraction (0.5, 1.0] of pairwise slopes that must
+  ///        share a sign for a trend to be declared significant. The paper
+  ///        uses 0.70.
+  explicit TheilSenEstimator(double accept_fraction = 0.70);
+
+  /// Fits y against x. Requires at least 3 points and matching sizes;
+  /// pairs with duplicate x values contribute no slope.
+  Result<TrendResult> Fit(const std::vector<double>& x,
+                          const std::vector<double>& y) const;
+
+  /// Convenience overload with x = 0, 1, ..., n-1 (evenly spaced samples).
+  Result<TrendResult> FitSequence(const std::vector<double>& y) const;
+
+  double accept_fraction() const { return accept_fraction_; }
+
+ private:
+  double accept_fraction_;
+};
+
+}  // namespace dbscale::stats
+
+#endif  // DBSCALE_STATS_THEIL_SEN_H_

@@ -1,0 +1,65 @@
+#include "src/stats/window.h"
+
+namespace dbscale::stats {
+
+void TimedWindow::Add(SimTime time, double value) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(TimedValue{time, value});
+  } else {
+    buffer_[head_] = TimedValue{time, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void TimedWindow::Clear() {
+  buffer_.clear();
+  head_ = 0;
+}
+
+std::vector<TimedValue> TimedWindow::Snapshot() const {
+  std::vector<TimedValue> out;
+  out.reserve(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<double> TimedWindow::Values() const {
+  std::vector<double> out;
+  out.reserve(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()].value);
+  }
+  return out;
+}
+
+std::vector<double> TimedWindow::ValuesSince(SimTime since) const {
+  std::vector<double> out;
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    const TimedValue& tv = buffer_[(head_ + i) % buffer_.size()];
+    if (tv.time >= since) out.push_back(tv.value);
+  }
+  return out;
+}
+
+void TimedWindow::SeriesSince(SimTime since, std::vector<double>* times_sec,
+                              std::vector<double>* values) const {
+  times_sec->clear();
+  values->clear();
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    const TimedValue& tv = buffer_[(head_ + i) % buffer_.size()];
+    if (tv.time >= since) {
+      times_sec->push_back(tv.time.ToSeconds());
+      values->push_back(tv.value);
+    }
+  }
+}
+
+const TimedValue& TimedWindow::Latest() const {
+  DBSCALE_CHECK(!buffer_.empty());
+  if (buffer_.size() < capacity_) return buffer_.back();
+  return buffer_[(head_ + buffer_.size() - 1) % buffer_.size()];
+}
+
+}  // namespace dbscale::stats

@@ -1,0 +1,64 @@
+// Fixed-capacity time-series window over telemetry samples.
+//
+// The telemetry manager computes robust aggregates, trends, and correlations
+// over sliding windows (minutes to hours of 5-second samples). TimedWindow
+// is the ring buffer those computations read from.
+
+#ifndef DBSCALE_STATS_WINDOW_H_
+#define DBSCALE_STATS_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/sim_time.h"
+
+namespace dbscale::stats {
+
+/// A (timestamp, value) observation.
+struct TimedValue {
+  SimTime time;
+  double value = 0.0;
+};
+
+/// \brief Ring buffer of timestamped observations with a fixed capacity;
+/// the oldest observation is dropped when full.
+class TimedWindow {
+ public:
+  explicit TimedWindow(size_t capacity) : capacity_(capacity) {
+    DBSCALE_CHECK(capacity > 0);
+    buffer_.reserve(capacity);
+  }
+
+  void Add(SimTime time, double value);
+  void Clear();
+
+  size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Observations in insertion (time) order, oldest first.
+  std::vector<TimedValue> Snapshot() const;
+
+  /// Values only (time order), optionally restricted to observations at or
+  /// after `since`.
+  std::vector<double> Values() const;
+  std::vector<double> ValuesSince(SimTime since) const;
+
+  /// Times (in seconds) and values of observations at or after `since`,
+  /// shaped for regression input.
+  void SeriesSince(SimTime since, std::vector<double>* times_sec,
+                   std::vector<double>* values) const;
+
+  /// Most recent observation. Requires !empty().
+  const TimedValue& Latest() const;
+
+ private:
+  size_t capacity_;
+  std::vector<TimedValue> buffer_;  // ring storage
+  size_t head_ = 0;                 // index of oldest element when full
+};
+
+}  // namespace dbscale::stats
+
+#endif  // DBSCALE_STATS_WINDOW_H_

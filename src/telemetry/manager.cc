@@ -1,0 +1,217 @@
+#include "src/telemetry/manager.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/stats/robust.h"
+#include "src/stats/spearman.h"
+
+namespace dbscale::telemetry {
+
+namespace {
+
+using container::ResourceKind;
+
+double ResourceWaitMs(const TelemetrySample& s, ResourceKind kind) {
+  double total = 0.0;
+  auto mask = WaitClassesForResource(kind);
+  for (int wc = 0; wc < kNumWaitClasses; ++wc) {
+    if (mask[static_cast<size_t>(wc)]) {
+      total += s.wait_ms[static_cast<size_t>(wc)];
+    }
+  }
+  return total;
+}
+
+double MedianOrZero(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  return stats::Median(std::move(values)).value_or(0.0);
+}
+
+stats::TrendResult TrendOrNone(const stats::TheilSenEstimator& estimator,
+                               const std::vector<double>& values) {
+  if (values.size() < 3) return stats::TrendResult{};
+  auto result = estimator.FitSequence(values);
+  return result.ok() ? *result : stats::TrendResult{};
+}
+
+double CorrelationOrZero(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  if (x.size() < 3 || x.size() != y.size()) return 0.0;
+  auto rho = stats::SpearmanCorrelation(x, y);
+  return rho.ok() ? *rho : 0.0;
+}
+
+}  // namespace
+
+const char* LatencyAggregateToString(LatencyAggregate agg) {
+  switch (agg) {
+    case LatencyAggregate::kAverage:
+      return "average";
+    case LatencyAggregate::kP95:
+      return "p95";
+  }
+  return "?";
+}
+
+std::string SignalSnapshot::ToString() const {
+  if (!valid) return "<invalid snapshot>";
+  std::string out = StrFormat(
+      "t=%.0fs latency(%s)=%.1fms trend=%s thr=%.1frps",
+      time.ToSeconds(), LatencyAggregateToString(latency_aggregate),
+      latency_ms, stats::TrendDirectionToString(latency_trend.direction),
+      throughput_rps);
+  for (ResourceKind kind : container::kAllResources) {
+    const ResourceSignals& r = resource(kind);
+    out += StrFormat(
+        " | %s: util=%.0f%% wait=%.0fms(%.0f%%) corr=%.2f",
+        container::ResourceKindToString(kind), r.utilization_pct, r.wait_ms,
+        r.wait_pct, r.wait_latency_correlation);
+  }
+  return out;
+}
+
+TelemetryManager::TelemetryManager(TelemetryManagerOptions options)
+    : options_(options),
+      trend_estimator_(options.trend_accept_fraction) {}
+
+Status TelemetryManager::Validate() const {
+  if (options_.aggregation_samples < 1) {
+    return Status::InvalidArgument("aggregation_samples must be >= 1");
+  }
+  if (options_.trend_samples < 3) {
+    return Status::InvalidArgument("trend_samples must be >= 3");
+  }
+  if (options_.correlation_samples < 3) {
+    return Status::InvalidArgument("correlation_samples must be >= 3");
+  }
+  if (options_.trend_accept_fraction <= 0.5 ||
+      options_.trend_accept_fraction > 1.0) {
+    return Status::OutOfRange("trend_accept_fraction must be in (0.5, 1]");
+  }
+  return Status::OK();
+}
+
+SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
+                                         SimTime now) const {
+  SignalSnapshot snap;
+  snap.time = now;
+  snap.latency_aggregate = options_.latency_aggregate;
+  if (store.size() < 2) {
+    snap.valid = false;
+    return snap;
+  }
+  snap.valid = true;
+
+  const auto agg = store.Recent(options_.aggregation_samples);
+  const auto trend = store.Recent(options_.trend_samples);
+  const auto corr = store.Recent(options_.correlation_samples);
+
+  auto latency_of = [&](const TelemetrySample& s) {
+    return options_.latency_aggregate == LatencyAggregate::kAverage
+               ? s.latency_avg_ms
+               : s.latency_p95_ms;
+  };
+
+  // Latency signal: robust aggregate over the window, ignoring idle samples
+  // (no completions) which carry no latency information.
+  {
+    std::vector<double> lat;
+    for (const TelemetrySample* s : agg) {
+      if (s->requests_completed > 0) lat.push_back(latency_of(*s));
+    }
+    snap.latency_ms = MedianOrZero(std::move(lat));
+  }
+  {
+    std::vector<double> lat;
+    for (const TelemetrySample* s : trend) {
+      if (s->requests_completed > 0) lat.push_back(latency_of(*s));
+    }
+    snap.latency_trend = TrendOrNone(trend_estimator_, lat);
+  }
+
+  // Workload-level aggregates.
+  {
+    std::vector<double> thr, mem, reads, total_wait;
+    for (const TelemetrySample* s : agg) {
+      thr.push_back(s->throughput_rps());
+      mem.push_back(s->memory_used_mb);
+      double sec = s->duration_sec();
+      reads.push_back(sec > 0
+                          ? static_cast<double>(s->physical_reads) / sec
+                          : 0.0);
+      total_wait.push_back(s->total_wait_ms());
+    }
+    snap.throughput_rps = MedianOrZero(thr);
+    snap.memory_used_mb = MedianOrZero(mem);
+    snap.physical_reads_per_sec = MedianOrZero(reads);
+    snap.total_wait_ms = MedianOrZero(total_wait);
+    snap.allocation = store.back().allocation;
+  }
+
+  // Wait share per class over the aggregation window (sums, not medians:
+  // shares must add to 100).
+  {
+    double grand_total = 0.0;
+    std::array<double, kNumWaitClasses> sums{};
+    for (const TelemetrySample* s : agg) {
+      for (int wc = 0; wc < kNumWaitClasses; ++wc) {
+        sums[static_cast<size_t>(wc)] += s->wait_ms[static_cast<size_t>(wc)];
+        grand_total += s->wait_ms[static_cast<size_t>(wc)];
+      }
+    }
+    for (int wc = 0; wc < kNumWaitClasses; ++wc) {
+      snap.wait_pct_by_class[static_cast<size_t>(wc)] =
+          grand_total > 0.0
+              ? 100.0 * sums[static_cast<size_t>(wc)] / grand_total
+              : 0.0;
+    }
+  }
+
+  // Per-resource signals.
+  std::vector<double> corr_latency;
+  for (const TelemetrySample* s : corr) corr_latency.push_back(latency_of(*s));
+
+  for (ResourceKind kind : container::kAllResources) {
+    ResourceSignals& r = snap.resources[static_cast<size_t>(kind)];
+    const size_t ri = static_cast<size_t>(kind);
+
+    std::vector<double> util, wait, wait_per_req;
+    double wait_sum = 0.0, total_sum = 0.0;
+    for (const TelemetrySample* s : agg) {
+      util.push_back(s->utilization_pct[ri]);
+      double w = ResourceWaitMs(*s, kind);
+      wait.push_back(w);
+      wait_per_req.push_back(
+          w / static_cast<double>(std::max<int64_t>(
+                  1, s->requests_completed)));
+      wait_sum += w;
+      total_sum += s->total_wait_ms();
+    }
+    r.utilization_pct = MedianOrZero(util);
+    r.wait_ms = MedianOrZero(wait);
+    r.wait_ms_per_request = MedianOrZero(wait_per_req);
+    r.wait_pct = total_sum > 0.0 ? 100.0 * wait_sum / total_sum : 0.0;
+
+    std::vector<double> util_t, wait_t;
+    for (const TelemetrySample* s : trend) {
+      util_t.push_back(s->utilization_pct[ri]);
+      wait_t.push_back(ResourceWaitMs(*s, kind));
+    }
+    r.utilization_trend = TrendOrNone(trend_estimator_, util_t);
+    r.wait_trend = TrendOrNone(trend_estimator_, wait_t);
+
+    std::vector<double> util_c, wait_c;
+    for (const TelemetrySample* s : corr) {
+      util_c.push_back(s->utilization_pct[ri]);
+      wait_c.push_back(ResourceWaitMs(*s, kind));
+    }
+    r.wait_latency_correlation = CorrelationOrZero(wait_c, corr_latency);
+    r.utilization_latency_correlation =
+        CorrelationOrZero(util_c, corr_latency);
+  }
+
+  return snap;
+}
+
+}  // namespace dbscale::telemetry

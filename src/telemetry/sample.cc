@@ -1,0 +1,25 @@
+#include "src/telemetry/sample.h"
+
+#include "src/common/string_util.h"
+
+namespace dbscale::telemetry {
+
+std::string TelemetrySample::ToString() const {
+  std::string waits;
+  for (WaitClass wc : kAllWaitClasses) {
+    double w = wait_ms[static_cast<size_t>(wc)];
+    if (w > 0.0) {
+      if (!waits.empty()) waits += " ";
+      waits += StrFormat("%s=%.0fms", WaitClassToString(wc), w);
+    }
+  }
+  return StrFormat(
+      "[%.0f-%.0fs] util cpu=%.0f%% mem=%.0f%% disk=%.0f%% log=%.0f%% "
+      "lat avg=%.1fms p95=%.1fms done=%lld waits{%s}",
+      period_start.ToSeconds(), period_end.ToSeconds(), utilization_pct[0],
+      utilization_pct[1], utilization_pct[2], utilization_pct[3],
+      latency_avg_ms, latency_p95_ms,
+      static_cast<long long>(requests_completed), waits.c_str());
+}
+
+}  // namespace dbscale::telemetry

@@ -1,0 +1,53 @@
+#include "src/telemetry/store.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::telemetry {
+
+TelemetryStore::TelemetryStore(size_t max_samples)
+    : max_samples_(max_samples) {
+  DBSCALE_CHECK(max_samples > 0);
+}
+
+void TelemetryStore::Append(TelemetrySample sample) {
+  if (!samples_.empty()) {
+    // Periods must be appended in time order.
+    DBSCALE_DCHECK(sample.period_end >= samples_.back().period_end);
+  }
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > max_samples_) samples_.pop_front();
+}
+
+void TelemetryStore::Clear() { samples_.clear(); }
+
+std::vector<const TelemetrySample*> TelemetryStore::Range(
+    SimTime since, SimTime until) const {
+  std::vector<const TelemetrySample*> out;
+  for (const TelemetrySample& s : samples_) {
+    if (s.period_end > since && s.period_end <= until) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const TelemetrySample*> TelemetryStore::Recent(size_t n) const {
+  std::vector<const TelemetrySample*> out;
+  size_t start = samples_.size() > n ? samples_.size() - n : 0;
+  for (size_t i = start; i < samples_.size(); ++i) {
+    out.push_back(&samples_[i]);
+  }
+  return out;
+}
+
+std::vector<double> TelemetryStore::Extract(
+    size_t n,
+    const std::function<double(const TelemetrySample&)>& fn) const {
+  std::vector<double> out;
+  size_t start = samples_.size() > n ? samples_.size() - n : 0;
+  out.reserve(samples_.size() - start);
+  for (size_t i = start; i < samples_.size(); ++i) {
+    out.push_back(fn(samples_[i]));
+  }
+  return out;
+}
+
+}  // namespace dbscale::telemetry

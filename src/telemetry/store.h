@@ -1,0 +1,47 @@
+// TelemetryStore: the per-tenant history of telemetry samples that the
+// telemetry manager reads. Bounded retention (ring buffer) since signals
+// only look back a few hours at most.
+
+#ifndef DBSCALE_TELEMETRY_STORE_H_
+#define DBSCALE_TELEMETRY_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/telemetry/sample.h"
+
+namespace dbscale::telemetry {
+
+/// \brief Append-only bounded history of TelemetrySamples.
+class TelemetryStore {
+ public:
+  /// \param max_samples retention; oldest samples are evicted beyond this.
+  explicit TelemetryStore(size_t max_samples = 4096);
+
+  void Append(TelemetrySample sample);
+  void Clear();
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const TelemetrySample& back() const { return samples_.back(); }
+  const TelemetrySample& at(size_t i) const { return samples_[i]; }
+
+  /// Samples whose period_end falls in (since, until], oldest first.
+  std::vector<const TelemetrySample*> Range(SimTime since, SimTime until) const;
+
+  /// The most recent `n` samples (fewer if not available), oldest first.
+  std::vector<const TelemetrySample*> Recent(size_t n) const;
+
+  /// Extracts a per-sample scalar over the most recent `n` samples.
+  std::vector<double> Extract(
+      size_t n, const std::function<double(const TelemetrySample&)>& fn) const;
+
+ private:
+  size_t max_samples_;
+  std::deque<TelemetrySample> samples_;
+};
+
+}  // namespace dbscale::telemetry
+
+#endif  // DBSCALE_TELEMETRY_STORE_H_

@@ -1,0 +1,118 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dbscale::workload {
+
+RequestGenerator::RequestGenerator(engine::DatabaseEngine* engine,
+                                   const WorkloadSpec& spec, Trace trace,
+                                   GeneratorOptions options, Rng rng)
+    : engine_(engine),
+      spec_(spec),
+      trace_(std::move(trace)),
+      options_(options),
+      rng_(rng) {
+  DBSCALE_CHECK(engine != nullptr);
+  DBSCALE_CHECK(!trace_.empty());
+  DBSCALE_CHECK(options_.step_duration > Duration::Zero());
+  DBSCALE_CHECK(options_.rate_scale > 0.0);
+  DBSCALE_CHECK_OK(spec_.Validate());
+}
+
+void RequestGenerator::Start() {
+  DBSCALE_CHECK(!started_);
+  started_ = true;
+  start_time_ = engine_->events()->Now();
+  if (options_.mode == ArrivalMode::kClosedLoop) {
+    AdjustSessions();
+  } else {
+    ScheduleNextArrival();
+  }
+}
+
+void RequestGenerator::AdjustSessions() {
+  engine::EventQueue* events = engine_->events();
+  const SimTime now = events->Now();
+  if (now >= end_time()) return;
+  const int64_t target = static_cast<int64_t>(CurrentRate());
+  // Spawn sessions up to the target; surplus sessions retire on their next
+  // completion (SessionIssue checks the target again).
+  while (active_sessions_ < target) {
+    ++active_sessions_;
+    SessionIssue();
+  }
+  // Re-check at the next step boundary.
+  const SimTime next_boundary =
+      start_time_ +
+      options_.step_duration * static_cast<double>(CurrentStep() + 1);
+  events->ScheduleAt(std::min(next_boundary, end_time()),
+                     [this] { AdjustSessions(); });
+}
+
+void RequestGenerator::SessionIssue() {
+  engine::EventQueue* events = engine_->events();
+  if (events->Now() >= end_time() ||
+      active_sessions_ > static_cast<int64_t>(CurrentRate())) {
+    --active_sessions_;  // session retires
+    return;
+  }
+  ++requests_issued_;
+  engine_->Submit(spec_.Sample(&rng_), [this](const engine::RequestResult&) {
+    const Duration think = Duration::Millis(1) *
+                           rng_.Exponential(std::max(
+                               options_.think_time.ToMillis(), 1e-3));
+    engine_->events()->ScheduleAfter(think, [this] { SessionIssue(); });
+  });
+}
+
+SimTime RequestGenerator::end_time() const {
+  return start_time_ +
+         options_.step_duration * static_cast<double>(trace_.num_steps());
+}
+
+size_t RequestGenerator::CurrentStep() const {
+  const Duration elapsed = engine_->events()->Now() - start_time_;
+  return static_cast<size_t>(elapsed.ToSeconds() /
+                             options_.step_duration.ToSeconds());
+}
+
+double RequestGenerator::CurrentRate() const {
+  return trace_.rate_at(CurrentStep()) * options_.rate_scale;
+}
+
+void RequestGenerator::ScheduleNextArrival() {
+  engine::EventQueue* events = engine_->events();
+  const SimTime now = events->Now();
+  if (now >= end_time()) return;
+
+  const double rate = CurrentRate();
+  if (rate <= 0.0) {
+    // Idle step: re-check at the next step boundary.
+    const size_t next_step = CurrentStep() + 1;
+    const SimTime next_boundary =
+        start_time_ +
+        options_.step_duration * static_cast<double>(next_step);
+    events->ScheduleAt(std::min(next_boundary, end_time()),
+                       [this]() { ScheduleNextArrival(); });
+    return;
+  }
+
+  const Duration gap = Duration::Seconds(rng_.Exponential(1.0 / rate));
+  events->ScheduleAfter(gap, [this]() {
+    if (engine_->events()->Now() >= end_time()) return;
+    const bool at_capacity =
+        options_.max_in_flight > 0 &&
+        engine_->requests_in_flight() >= options_.max_in_flight;
+    if (at_capacity) {
+      ++requests_dropped_;
+    } else {
+      ++requests_issued_;
+      engine_->Submit(spec_.Sample(&rng_));
+    }
+    ScheduleNextArrival();
+  });
+}
+
+}  // namespace dbscale::workload

@@ -1,0 +1,184 @@
+#include "src/workload/mix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::workload {
+
+Status WorkloadSpec::Validate() const {
+  if (classes.empty()) {
+    return Status::InvalidArgument("workload has no transaction classes");
+  }
+  double total_weight = 0.0;
+  for (const TransactionClass& c : classes) {
+    if (c.weight <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("class '%s' has non-positive weight", c.name.c_str()));
+    }
+    if (c.cpu_ms_mean <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("class '%s' has non-positive cpu_ms_mean",
+                    c.name.c_str()));
+    }
+    if (c.hot_fraction < 0.0 || c.hot_fraction > 1.0 ||
+        c.lock_probability < 0.0 || c.lock_probability > 1.0 ||
+        c.grant_probability < 0.0 || c.grant_probability > 1.0) {
+      return Status::OutOfRange(
+          StrFormat("class '%s' has a probability outside [0, 1]",
+                    c.name.c_str()));
+    }
+    total_weight += c.weight;
+  }
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("total class weight must be positive");
+  }
+  if (working_set_mb <= 0.0 || database_mb < working_set_mb) {
+    return Status::InvalidArgument(
+        "need 0 < working_set_mb <= database_mb");
+  }
+  if (num_hot_rows <= 0) {
+    return Status::InvalidArgument("num_hot_rows must be positive");
+  }
+  return Status::OK();
+}
+
+double WorkloadSpec::MeanCpuMs() const {
+  double total_weight = 0.0, sum = 0.0;
+  for (const TransactionClass& c : classes) {
+    total_weight += c.weight;
+    sum += c.weight * c.cpu_ms_mean;
+  }
+  return total_weight > 0.0 ? sum / total_weight : 0.0;
+}
+
+double WorkloadSpec::MeanPages() const {
+  double total_weight = 0.0, sum = 0.0;
+  for (const TransactionClass& c : classes) {
+    total_weight += c.weight;
+    sum += c.weight * c.pages_mean;
+  }
+  return total_weight > 0.0 ? sum / total_weight : 0.0;
+}
+
+engine::EngineOptions WorkloadSpec::MakeEngineOptions() const {
+  engine::EngineOptions options;
+  options.working_set_mb = working_set_mb;
+  options.database_mb = database_mb;
+  options.num_hot_rows = num_hot_rows;
+  return options;
+}
+
+engine::RequestSpec WorkloadSpec::Sample(Rng* rng,
+                                         int* class_index_out) const {
+  DBSCALE_CHECK(!classes.empty());
+  double total_weight = 0.0;
+  for (const TransactionClass& c : classes) total_weight += c.weight;
+  double pick = rng->Uniform(0.0, total_weight);
+  size_t index = 0;
+  for (; index < classes.size() - 1; ++index) {
+    pick -= classes[index].weight;
+    if (pick <= 0.0) break;
+  }
+  const TransactionClass& cls = classes[index];
+  if (class_index_out != nullptr) {
+    *class_index_out = static_cast<int>(index);
+  }
+
+  engine::RequestSpec spec;
+  spec.class_id = static_cast<int>(index);
+  // Exponential work with a cap at 10x the mean keeps the tail realistic
+  // without letting one sample dominate a 5-second telemetry period.
+  spec.cpu_ms = std::min(rng->Exponential(cls.cpu_ms_mean),
+                         10.0 * cls.cpu_ms_mean);
+  spec.cpu_ms = std::max(spec.cpu_ms, 0.05);
+  spec.page_accesses =
+      cls.pages_mean > 0.0
+          ? static_cast<int>(rng->Poisson(cls.pages_mean))
+          : 0;
+  spec.hot_access_fraction = cls.hot_fraction;
+  if (cls.log_kb_mean > 0.0) {
+    spec.log_kb = std::min(rng->Exponential(cls.log_kb_mean),
+                           10.0 * cls.log_kb_mean);
+  }
+  if (cls.lock_probability > 0.0 && rng->Bernoulli(cls.lock_probability)) {
+    spec.lock_row = static_cast<int>(
+        rng->Zipf(num_hot_rows, cls.lock_zipf_theta));
+    if (cls.lock_hold_extra_ms_mean > 0.0) {
+      spec.lock_hold_extra_ms =
+          std::min(rng->Exponential(cls.lock_hold_extra_ms_mean),
+                   8.0 * cls.lock_hold_extra_ms_mean);
+    }
+  }
+  if (cls.grant_probability > 0.0 && rng->Bernoulli(cls.grant_probability)) {
+    spec.grant_mb = cls.grant_mb;
+  }
+  return spec;
+}
+
+WorkloadSpec MakeTpccWorkload() {
+  WorkloadSpec spec;
+  spec.name = "tpcc";
+  spec.working_set_mb = 700.0;
+  spec.database_mb = 16384.0;
+  spec.num_hot_rows = 6;  // warehouse-level hot rows
+
+  // Locked classes keep their transaction open across application round
+  // trips (lock_hold_extra_ms_mean), so hot-row contention — not any
+  // physical resource — dominates latency at every container size
+  // (Figure 13: lock waits > 90%).
+  spec.classes = {
+      // name       weight cpu  pages hot   log  lockP zipf hold  grant
+      {"new-order", 0.45, 6.0, 8.0, 0.92, 6.0, 0.40, 0.50, 75.0, 0.0, 0.0},
+      {"payment", 0.43, 2.5, 4.0, 0.94, 2.0, 0.35, 0.50, 45.0, 0.0, 0.0},
+      {"order-status", 0.04, 2.0, 12.0, 0.90, 0.0, 0.0, 0.50, 0.0, 0.0, 0.0},
+      {"delivery", 0.04, 10.0, 16.0, 0.90, 8.0, 0.50, 0.50, 85.0, 0.0, 0.0},
+      {"stock-level", 0.04, 15.0, 40.0, 0.85, 0.0, 0.0, 0.50, 0.0, 16.0,
+       0.5},
+  };
+  DBSCALE_CHECK_OK(spec.Validate());
+  return spec;
+}
+
+WorkloadSpec MakeDs2Workload() {
+  WorkloadSpec spec;
+  spec.name = "ds2";
+  spec.working_set_mb = 4096.0;
+  spec.database_mb = 49152.0;
+  spec.num_hot_rows = 64;
+
+  spec.classes = {
+      // name        weight cpu    pages  hot    log   lockP zipf  grant
+      {"browse", 0.55, 52.0, 150.0, 0.95, 0.0, 0.0, 0.5, 0.0, 32.0, 0.30},
+      {"product-detail", 0.25, 36.0, 80.0, 0.95, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+      {"login", 0.12, 5.0, 10.0, 0.95, 1.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+      {"purchase", 0.08, 30.0, 60.0, 0.92, 12.0, 0.10, 0.5, 10.0, 0.0, 0.0},
+  };
+  DBSCALE_CHECK_OK(spec.Validate());
+  return spec;
+}
+
+WorkloadSpec MakeCpuioWorkload(const CpuioOptions& options) {
+  WorkloadSpec spec;
+  spec.name = "cpuio";
+  spec.working_set_mb = options.working_set_mb;
+  spec.database_mb = std::max(16384.0, options.working_set_mb * 4.0);
+  spec.num_hot_rows = 128;  // effectively uncontended
+
+  spec.classes = {
+      {"cpu-heavy", options.cpu_weight, 120.0, 20.0, options.hot_fraction,
+       0.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+      {"io-heavy", options.io_weight, 20.0, 150.0, options.hot_fraction,
+       0.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+      {"log-heavy", options.log_weight, 10.0, 10.0, options.hot_fraction,
+       512.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+      {"mixed", options.mixed_weight, 40.0, 80.0, options.hot_fraction,
+       32.0, 0.0, 0.5, 0.0, 64.0, 1.0},
+  };
+  DBSCALE_CHECK_OK(spec.Validate());
+  return spec;
+}
+
+}  // namespace dbscale::workload

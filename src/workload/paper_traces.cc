@@ -1,0 +1,133 @@
+#include "src/workload/paper_traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::workload {
+
+namespace {
+
+double ClampRate(double v) { return std::clamp(v, 0.0, 200.0); }
+
+/// Smooth ramp from 0 to 1 over [0, 1].
+double SmoothStep(double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);
+}
+
+/// Adds a burst of `height` between steps [start, start+width), with
+/// `ramp`-step shoulders.
+void AddBurst(std::vector<double>* rps, size_t start, size_t width,
+              double height, size_t ramp) {
+  for (size_t i = 0; i < width && start + i < rps->size(); ++i) {
+    double shape = 1.0;
+    if (i < ramp) {
+      shape = SmoothStep(static_cast<double>(i) / static_cast<double>(ramp));
+    } else if (width - i <= ramp) {
+      shape = SmoothStep(static_cast<double>(width - i) /
+                         static_cast<double>(ramp));
+    }
+    (*rps)[start + i] += height * shape;
+  }
+}
+
+/// Production load is spiky at the minutes scale (Section 2.2): apply
+/// heavy-tailed multiplicative noise plus occasional short spikes. The
+/// spikes are what make offline "Peak" provisioning (p95 of utilization)
+/// land rungs above the sustained level, and make demand-curve hugging
+/// (the Trace baseline) pay for chasing one-minute peaks.
+void AddSpikiness(std::vector<double>* rps, Rng* rng, double sigma,
+                  double spike_probability, double spike_factor_max) {
+  for (double& v : *rps) {
+    v *= rng->LogNormal(0.0, sigma);
+    if (rng->Bernoulli(spike_probability)) {
+      v *= rng->Uniform(1.6, spike_factor_max);
+    }
+  }
+}
+
+}  // namespace
+
+Trace MakeTrace1Steady(uint64_t seed) {
+  Rng rng(seed, /*stream=*/101);
+  std::vector<double> rps(kPaperTraceSteps);
+  for (size_t i = 0; i < rps.size(); ++i) {
+    // Steady ~110 rps with a gentle diurnal wobble and noise.
+    double wobble =
+        8.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 720.0);
+    rps[i] = 110.0 + wobble + rng.Normal(0.0, 5.0);
+  }
+  AddSpikiness(&rps, &rng, /*sigma=*/0.08, /*spike_probability=*/0.008,
+               /*spike_factor_max=*/1.4);
+  for (double& v : rps) v = ClampRate(v);
+  return Trace("trace1-steady", std::move(rps));
+}
+
+Trace MakeTrace2LongBurst(uint64_t seed) {
+  Rng rng(seed, /*stream=*/102);
+  std::vector<double> rps(kPaperTraceSteps);
+  for (size_t i = 0; i < rps.size(); ++i) {
+    rps[i] = std::max(0.0, 8.0 + rng.Normal(0.0, 2.0));
+  }
+  // One long burst: ~6.5 hours, plateau ~110 rps with spikes toward 200.
+  AddBurst(&rps, 420, 390, 105.0, 30);
+  AddSpikiness(&rps, &rng, /*sigma=*/0.10, /*spike_probability=*/0.012,
+               /*spike_factor_max=*/1.6);
+  for (double& v : rps) v = ClampRate(v);
+  return Trace("trace2-long-burst", std::move(rps));
+}
+
+Trace MakeTrace3ShortBurst(uint64_t seed) {
+  Rng rng(seed, /*stream=*/103);
+  std::vector<double> rps(kPaperTraceSteps);
+  for (size_t i = 0; i < rps.size(); ++i) {
+    rps[i] = std::max(0.0, 8.0 + rng.Normal(0.0, 2.0));
+  }
+  // One short burst: ~110 minutes at ~130 rps with spikes.
+  AddBurst(&rps, 640, 110, 125.0, 20);
+  AddSpikiness(&rps, &rng, /*sigma=*/0.10, /*spike_probability=*/0.012,
+               /*spike_factor_max=*/1.6);
+  for (double& v : rps) v = ClampRate(v);
+  return Trace("trace3-short-burst", std::move(rps));
+}
+
+Trace MakeTrace4ManyBursts(uint64_t seed) {
+  Rng rng(seed, /*stream=*/104);
+  std::vector<double> rps(kPaperTraceSteps);
+  for (size_t i = 0; i < rps.size(); ++i) {
+    rps[i] = std::max(0.0, 15.0 + rng.Normal(0.0, 4.0));
+  }
+  // Many short bursts of varying height and width.
+  const int num_bursts = 16;
+  for (int b = 0; b < num_bursts; ++b) {
+    size_t start = static_cast<size_t>(rng.UniformInt(0, 1380));
+    size_t width = static_cast<size_t>(rng.UniformInt(12, 45));
+    double height = rng.Uniform(40.0, 150.0);
+    AddBurst(&rps, start, width, height, 4);
+  }
+  AddSpikiness(&rps, &rng, /*sigma=*/0.10, /*spike_probability=*/0.012,
+               /*spike_factor_max=*/1.5);
+  for (double& v : rps) v = ClampRate(v);
+  return Trace("trace4-many-bursts", std::move(rps));
+}
+
+Result<Trace> MakePaperTrace(int index, uint64_t seed) {
+  switch (index) {
+    case 1:
+      return MakeTrace1Steady(seed == 0 ? 1 : seed);
+    case 2:
+      return MakeTrace2LongBurst(seed == 0 ? 2 : seed);
+    case 3:
+      return MakeTrace3ShortBurst(seed == 0 ? 3 : seed);
+    case 4:
+      return MakeTrace4ManyBursts(seed == 0 ? 4 : seed);
+    default:
+      return Status::InvalidArgument(
+          StrFormat("paper trace index %d not in [1, 4]", index));
+  }
+}
+
+}  // namespace dbscale::workload

@@ -1,0 +1,36 @@
+// Synthetic reconstructions of the four production-derived load traces in
+// Figure 8 of the paper (concurrent requests/second over 1440 minutes):
+//
+//   Trace 1 — steady demand (~110 rps with mild noise): the static-sizing-
+//             friendly case used with DS2 (Figure 12).
+//   Trace 2 — mostly idle with one long burst (~150 rps for several hours):
+//             used with CPUIO (Figure 9).
+//   Trace 3 — mostly idle with one short burst: used with CPUIO (Figure 11).
+//   Trace 4 — many short bursts of varying height ("stress test"): used
+//             with TPC-C (Figures 10 and 13).
+//
+// Shapes are deterministic given the seed; noise is seeded PCG.
+
+#ifndef DBSCALE_WORKLOAD_PAPER_TRACES_H_
+#define DBSCALE_WORKLOAD_PAPER_TRACES_H_
+
+#include <cstdint>
+
+#include "src/workload/trace.h"
+
+namespace dbscale::workload {
+
+/// Length of the paper traces in steps (minutes).
+inline constexpr size_t kPaperTraceSteps = 1440;
+
+Trace MakeTrace1Steady(uint64_t seed = 1);
+Trace MakeTrace2LongBurst(uint64_t seed = 2);
+Trace MakeTrace3ShortBurst(uint64_t seed = 3);
+Trace MakeTrace4ManyBursts(uint64_t seed = 4);
+
+/// Returns trace `index` in [1, 4] (paper numbering).
+Result<Trace> MakePaperTrace(int index, uint64_t seed = 0);
+
+}  // namespace dbscale::workload
+
+#endif  // DBSCALE_WORKLOAD_PAPER_TRACES_H_

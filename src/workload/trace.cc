@@ -1,0 +1,91 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace dbscale::workload {
+
+Trace::Trace(std::string name, std::vector<double> rps)
+    : name_(std::move(name)), rps_(std::move(rps)) {}
+
+double Trace::rate_at(size_t i) const {
+  if (rps_.empty()) return 0.0;
+  if (i >= rps_.size()) return rps_.back();
+  return rps_[i];
+}
+
+double Trace::max_rate() const {
+  double max = 0.0;
+  for (double v : rps_) max = std::max(max, v);
+  return max;
+}
+
+double Trace::mean_rate() const {
+  if (rps_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : rps_) sum += v;
+  return sum / static_cast<double>(rps_.size());
+}
+
+Trace Trace::Scaled(double factor) const {
+  std::vector<double> scaled(rps_);
+  for (double& v : scaled) v *= factor;
+  return Trace(name_, std::move(scaled));
+}
+
+Result<Trace> Trace::Subsampled(size_t stride) const {
+  if (stride == 0) {
+    return Status::InvalidArgument("stride must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(rps_.size() / stride + 1);
+  for (size_t i = 0; i < rps_.size(); i += stride) out.push_back(rps_[i]);
+  return Trace(name_, std::move(out));
+}
+
+Result<Trace> Trace::Prefix(size_t n) const {
+  if (n == 0 || n > rps_.size()) {
+    return Status::OutOfRange(
+        StrFormat("prefix length %zu outside [1, %zu]", n, rps_.size()));
+  }
+  return Trace(name_, std::vector<double>(rps_.begin(),
+                                          rps_.begin() +
+                                              static_cast<ptrdiff_t>(n)));
+}
+
+std::string Trace::ToCsv() const {
+  std::string out = "step,rps\n";
+  for (size_t i = 0; i < rps_.size(); ++i) {
+    out += StrFormat("%zu,%.4f\n", i, rps_[i]);
+  }
+  return out;
+}
+
+Result<Trace> Trace::FromCsv(const std::string& name,
+                             const std::string& csv) {
+  std::vector<double> rps;
+  const auto lines = StrSplit(csv, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = StrTrim(lines[i]);
+    if (line.empty()) continue;
+    if (i == 0 && line.find("rps") != std::string_view::npos) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected 'step,rps'", i));
+    }
+    double value = 0.0;
+    if (!ParseDouble(fields[1], &value) || value < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: bad rate '%s'", i, fields[1].c_str()));
+    }
+    rps.push_back(value);
+  }
+  if (rps.empty()) {
+    return Status::InvalidArgument("trace CSV has no data rows");
+  }
+  return Trace(name, std::move(rps));
+}
+
+}  // namespace dbscale::workload

@@ -1,0 +1,56 @@
+// Load traces: target offered load (requests/second) per trace step.
+//
+// A trace step corresponds to one minute of the original production trace
+// (Figure 8); experiments map each step to one billing interval and may
+// compress the simulated seconds per step.
+
+#ifndef DBSCALE_WORKLOAD_TRACE_H_
+#define DBSCALE_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dbscale::workload {
+
+/// \brief A named sequence of per-step target request rates.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<double> rps);
+
+  const std::string& name() const { return name_; }
+  size_t num_steps() const { return rps_.size(); }
+  bool empty() const { return rps_.empty(); }
+
+  /// Target rate for step `i` (clamped to the last step beyond the end).
+  double rate_at(size_t i) const;
+  const std::vector<double>& values() const { return rps_; }
+
+  double max_rate() const;
+  double mean_rate() const;
+
+  /// Returns a trace with every step's rate multiplied by `factor`.
+  Trace Scaled(double factor) const;
+
+  /// Returns a trace keeping every `stride`-th step (>= 1); used to shorten
+  /// experiment runtime while preserving shape.
+  Result<Trace> Subsampled(size_t stride) const;
+
+  /// Returns the first `n` steps.
+  Result<Trace> Prefix(size_t n) const;
+
+  /// CSV serialization: lines of "step,rps" with a header.
+  std::string ToCsv() const;
+  static Result<Trace> FromCsv(const std::string& name,
+                               const std::string& csv);
+
+ private:
+  std::string name_;
+  std::vector<double> rps_;
+};
+
+}  // namespace dbscale::workload
+
+#endif  // DBSCALE_WORKLOAD_TRACE_H_

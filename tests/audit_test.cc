@@ -1,0 +1,118 @@
+#include "src/scaler/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/scaler/autoscaler.h"
+
+namespace dbscale::scaler {
+namespace {
+
+using container::Catalog;
+
+PolicyInput MakeInput(const Catalog& catalog, int rung, int interval,
+                      double latency) {
+  PolicyInput input;
+  input.now = SimTime::Zero() + Duration::Seconds(20.0 * (interval + 1));
+  input.signals.valid = true;
+  input.signals.latency_ms = latency;
+  input.current = catalog.rung(rung);
+  input.interval_index = interval;
+  return input;
+}
+
+TEST(AuditLogTest, RecordsDecisions) {
+  Catalog catalog = Catalog::MakeLockStep();
+  AuditLog log;
+  CategorizedSignals cats;
+  cats.valid = true;
+  DemandEstimate estimate;
+  ScalingDecision decision;
+  decision.target = catalog.rung(4);
+  decision.explanation = "Scale-up: cpu bottleneck";
+
+  log.Record(MakeInput(catalog, 3, 7, 150.0), cats, estimate, decision);
+  ASSERT_EQ(log.size(), 1u);
+  const AuditRecord& r = log.back();
+  EXPECT_EQ(r.interval_index, 7);
+  EXPECT_EQ(r.from_container, "S4");
+  EXPECT_EQ(r.to_container, "S5");
+  EXPECT_TRUE(r.resized);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 150.0);
+  EXPECT_NE(r.ToString().find("Scale-up"), std::string::npos);
+  EXPECT_NE(r.ToString().find("->"), std::string::npos);
+}
+
+TEST(AuditLogTest, HoldIsNotAResize) {
+  Catalog catalog = Catalog::MakeLockStep();
+  AuditLog log;
+  ScalingDecision hold;
+  hold.target = catalog.rung(3);
+  hold.explanation = "Hold: demand steady";
+  log.Record(MakeInput(catalog, 3, 0, 100.0), CategorizedSignals{},
+             DemandEstimate{}, hold);
+  EXPECT_FALSE(log.back().resized);
+  EXPECT_TRUE(log.Resizes().empty());
+  EXPECT_NE(log.back().ToString().find("=="), std::string::npos);
+}
+
+TEST(AuditLogTest, BoundedRetention) {
+  Catalog catalog = Catalog::MakeLockStep();
+  AuditLog log(4);
+  ScalingDecision hold;
+  hold.target = catalog.rung(3);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(MakeInput(catalog, 3, i, 100.0), CategorizedSignals{},
+               DemandEstimate{}, hold);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.at(0).interval_index, 6);
+}
+
+TEST(AuditLogTest, CsvEscapesDelimiters) {
+  Catalog catalog = Catalog::MakeLockStep();
+  AuditLog log;
+  ScalingDecision d;
+  d.target = catalog.rung(3);
+  d.explanation = "Hold: a, b\nc";
+  log.Record(MakeInput(catalog, 3, 0, 100.0), CategorizedSignals{},
+             DemandEstimate{}, d);
+  std::string csv = log.ToCsv();
+  // Header + one row, 11 columns each.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  size_t data_start = csv.find('\n') + 1;
+  std::string row = csv.substr(data_start);
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 10);
+  EXPECT_NE(row.find("Hold: a; b;c"), std::string::npos);
+}
+
+TEST(AuditLogTest, ToStringTailsLastN) {
+  Catalog catalog = Catalog::MakeLockStep();
+  AuditLog log;
+  ScalingDecision hold;
+  hold.target = catalog.rung(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeInput(catalog, 3, i, 100.0), CategorizedSignals{},
+               DemandEstimate{}, hold);
+  }
+  std::string tail = log.ToString(2);
+  EXPECT_EQ(std::count(tail.begin(), tail.end(), '\n'), 2);
+  EXPECT_NE(tail.find("[   3]"), std::string::npos);
+  EXPECT_NE(tail.find("[   4]"), std::string::npos);
+}
+
+TEST(AuditLogTest, AutoScalerPopulatesAudit) {
+  Catalog catalog = Catalog::MakeLockStep();
+  TenantKnobs knobs;
+  knobs.latency_goal =
+      LatencyGoal{telemetry::LatencyAggregate::kP95, 200.0};
+  auto scaler = AutoScaler::Create(catalog, knobs).value();
+  for (int i = 0; i < 3; ++i) {
+    (void)scaler->Decide(MakeInput(catalog, 3, i, 100.0));
+  }
+  EXPECT_EQ(scaler->audit().size(), 3u);
+  EXPECT_FALSE(scaler->audit().back().explanation.empty());
+  EXPECT_FALSE(scaler->audit().back().categories.empty());
+}
+
+}  // namespace
+}  // namespace dbscale::scaler

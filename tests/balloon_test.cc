@@ -1,0 +1,109 @@
+#include "src/scaler/balloon.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscale::scaler {
+namespace {
+
+TEST(BalloonTest, StartValidation) {
+  BalloonController b;
+  EXPECT_TRUE(b.CanStart(0));
+  EXPECT_TRUE(b.Start(4096, 4096, 10, 0).IsInvalidArgument());
+  EXPECT_TRUE(b.Start(4096, 5000, 10, 0).IsInvalidArgument());
+  EXPECT_TRUE(b.Start(4096, 0, 10, 0).IsInvalidArgument());
+  ASSERT_TRUE(b.Start(4096, 2560, 10, 0).ok());
+  EXPECT_TRUE(b.active());
+  // No double start.
+  EXPECT_TRUE(b.Start(4096, 2560, 10, 1).IsFailedPrecondition());
+}
+
+TEST(BalloonTest, GradualShrinkReachesTargetAndCompletes) {
+  BalloonOptions options;
+  options.shrink_step_fraction = 0.34;
+  BalloonController b(options);
+  ASSERT_TRUE(b.Start(4096, 2560, 10, 0).ok());
+  int ticks = 0;
+  double last_limit = 4096;
+  while (b.active()) {
+    auto advice = b.Tick(/*reads_per_sec=*/10, ticks);
+    if (advice.completed) break;
+    ASSERT_TRUE(advice.memory_limit_mb.has_value());
+    // Monotone non-increasing, never below target.
+    EXPECT_LE(*advice.memory_limit_mb, last_limit);
+    EXPECT_GE(*advice.memory_limit_mb, 2560.0);
+    last_limit = *advice.memory_limit_mb;
+    ++ticks;
+    ASSERT_LT(ticks, 20);
+  }
+  EXPECT_EQ(b.state(), BalloonController::State::kIdle);
+  EXPECT_DOUBLE_EQ(last_limit, 2560.0);
+  // Completion implies the target was held for a tick with healthy I/O.
+  EXPECT_GE(ticks, 3);
+}
+
+TEST(BalloonTest, AbortsOnIoIncreaseAndRestores) {
+  BalloonOptions options;
+  options.io_abort_factor = 1.5;
+  options.io_abort_margin_rps = 25.0;
+  BalloonController b(options);
+  ASSERT_TRUE(b.Start(4096, 2560, /*baseline=*/100, 0).ok());
+  auto advice = b.Tick(/*reads=*/100, 1);  // fine: below 100*1.5+25
+  EXPECT_FALSE(advice.aborted);
+  advice = b.Tick(/*reads=*/500, 2);  // cliff hit
+  EXPECT_TRUE(advice.aborted);
+  ASSERT_TRUE(advice.memory_limit_mb.has_value());
+  EXPECT_DOUBLE_EQ(*advice.memory_limit_mb, 4096.0);  // restore
+  EXPECT_EQ(b.state(), BalloonController::State::kCooldown);
+}
+
+TEST(BalloonTest, CooldownBlocksRestart) {
+  BalloonOptions options;
+  options.cooldown_ticks = 10;
+  BalloonController b(options);
+  ASSERT_TRUE(b.Start(4096, 2560, 0, 0).ok());
+  (void)b.Tick(1000, 1);  // abort at tick 1
+  EXPECT_FALSE(b.CanStart(5));
+  EXPECT_FALSE(b.Start(4096, 2560, 0, 5).ok());
+  EXPECT_TRUE(b.CanStart(11));
+  EXPECT_TRUE(b.Start(4096, 2560, 0, 11).ok());
+}
+
+TEST(BalloonTest, MarginOverrideScalesTolerance) {
+  BalloonController b;
+  // Huge margin: even a big absolute increase is tolerated.
+  ASSERT_TRUE(b.Start(4096, 2560, /*baseline=*/10, 0,
+                      /*abort_margin_rps=*/1000.0).ok());
+  auto advice = b.Tick(/*reads=*/500, 1);
+  EXPECT_FALSE(advice.aborted);
+}
+
+TEST(BalloonTest, BaselineScalesAbortThreshold) {
+  BalloonOptions options;
+  options.io_abort_factor = 2.0;
+  options.io_abort_margin_rps = 0.0;
+  BalloonController b(options);
+  ASSERT_TRUE(b.Start(4096, 2560, /*baseline=*/200, 0,
+                      /*abort_margin_rps=*/0.0).ok());
+  EXPECT_FALSE(b.Tick(399, 1).aborted);
+  EXPECT_TRUE(b.Tick(401, 2).aborted);
+}
+
+TEST(BalloonTest, ResetCancels) {
+  BalloonController b;
+  ASSERT_TRUE(b.Start(4096, 2560, 10, 0).ok());
+  b.Reset();
+  EXPECT_FALSE(b.active());
+  EXPECT_TRUE(b.CanStart(0));
+}
+
+TEST(BalloonTest, AbortAtFirstStepStillRestoresFullAllocation) {
+  BalloonController b;
+  ASSERT_TRUE(b.Start(8192, 1024, 0, 0).ok());
+  auto advice = b.Tick(1e6, 0);
+  EXPECT_TRUE(advice.aborted);
+  EXPECT_DOUBLE_EQ(*advice.memory_limit_mb, 8192.0);
+  EXPECT_DOUBLE_EQ(b.current_limit_mb(), 8192.0);
+}
+
+}  // namespace
+}  // namespace dbscale::scaler

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/offline_profiler.h"
+#include "src/baselines/static_policy.h"
+#include "src/baselines/trace_policy.h"
+#include "src/baselines/util_policy.h"
+
+namespace dbscale::baselines {
+namespace {
+
+using container::Catalog;
+using container::ContainerSpec;
+using container::ResourceKind;
+using container::ResourceVector;
+
+scaler::PolicyInput MakeInput(const Catalog& catalog, int rung,
+                              int interval) {
+  scaler::PolicyInput input;
+  input.signals.valid = true;
+  input.current = catalog.rung(rung);
+  input.interval_index = interval;
+  return input;
+}
+
+TEST(StaticPolicyTest, AlwaysSameContainer) {
+  Catalog catalog = Catalog::MakeLockStep();
+  StaticPolicy policy("Max", catalog.largest());
+  for (int i = 0; i < 5; ++i) {
+    auto d = policy.Decide(MakeInput(catalog, 2, i));
+    EXPECT_EQ(d.target.id, catalog.largest().id);
+  }
+  EXPECT_EQ(policy.name(), "Max");
+}
+
+TEST(TracePolicyTest, FollowsScheduleForNextInterval) {
+  Catalog catalog = Catalog::MakeLockStep();
+  std::vector<ContainerSpec> schedule = {catalog.rung(0), catalog.rung(3),
+                                         catalog.rung(5)};
+  TracePolicy policy(schedule);
+  // Decide at the end of interval 0 picks schedule[1].
+  auto d = policy.Decide(MakeInput(catalog, 0, 0));
+  EXPECT_EQ(d.target.base_rung, 3);
+  d = policy.Decide(MakeInput(catalog, 3, 1));
+  EXPECT_EQ(d.target.base_rung, 5);
+  // Past the end: clamps to the last entry.
+  d = policy.Decide(MakeInput(catalog, 5, 10));
+  EXPECT_EQ(d.target.base_rung, 5);
+}
+
+TEST(TracePolicyTest, EmptyScheduleHolds) {
+  Catalog catalog = Catalog::MakeLockStep();
+  TracePolicy policy({});
+  auto d = policy.Decide(MakeInput(catalog, 2, 0));
+  EXPECT_EQ(d.target.base_rung, 2);
+}
+
+class UtilPolicyTest : public ::testing::Test {
+ protected:
+  UtilPolicyTest()
+      : catalog_(Catalog::MakeLockStep()),
+        policy_(catalog_,
+                scaler::LatencyGoal{telemetry::LatencyAggregate::kP95,
+                                    200.0}) {}
+
+  scaler::PolicyInput Input(int rung, double latency, double cpu_util,
+                            double mem_util = 90.0) {
+    scaler::PolicyInput input = MakeInput(catalog_, rung, 0);
+    input.signals.latency_ms = latency;
+    input.signals
+        .resources[static_cast<size_t>(ResourceKind::kCpu)]
+        .utilization_pct = cpu_util;
+    input.signals
+        .resources[static_cast<size_t>(ResourceKind::kMemory)]
+        .utilization_pct = mem_util;
+    return input;
+  }
+
+  Catalog catalog_;
+  UtilPolicy policy_;
+};
+
+TEST_F(UtilPolicyTest, ScalesUpOnBadLatencyWithUtilization) {
+  auto d = policy_.Decide(Input(3, /*latency=*/300, /*cpu=*/50));
+  EXPECT_EQ(d.target.base_rung, 4);
+}
+
+TEST_F(UtilPolicyTest, BigViolationJumpsTwoRungs) {
+  auto d = policy_.Decide(Input(3, /*latency=*/500, /*cpu=*/50));
+  EXPECT_EQ(d.target.base_rung, 5);
+}
+
+TEST_F(UtilPolicyTest, MemoryUtilizationAlonePassesUpGate) {
+  // The failure mode the paper highlights: the cache keeps memory "busy",
+  // so Util scales on any latency violation.
+  auto d = policy_.Decide(Input(3, /*latency=*/300, /*cpu=*/2,
+                                /*mem=*/95));
+  EXPECT_EQ(d.target.base_rung, 4);
+}
+
+TEST_F(UtilPolicyTest, ScaleDownNeedsGoodLatencyLowActivityAndPatience) {
+  UtilPolicyOptions options;
+  options.down_patience = 3;
+  UtilPolicy policy(catalog_,
+                    scaler::LatencyGoal{telemetry::LatencyAggregate::kP95,
+                                        200.0},
+                    options);
+  auto idle = Input(5, /*latency=*/100, /*cpu=*/5);
+  EXPECT_EQ(policy.Decide(idle).target.base_rung, 5);
+  EXPECT_EQ(policy.Decide(idle).target.base_rung, 5);
+  EXPECT_EQ(policy.Decide(idle).target.base_rung, 4);  // third fires
+}
+
+TEST_F(UtilPolicyTest, MemoryUtilizationDoesNotBlockScaleDown) {
+  UtilPolicyOptions options;
+  options.down_patience = 1;
+  UtilPolicy policy(catalog_,
+                    scaler::LatencyGoal{telemetry::LatencyAggregate::kP95,
+                                        200.0},
+                    options);
+  auto d = policy.Decide(Input(5, 100, /*cpu=*/5, /*mem=*/100));
+  EXPECT_EQ(d.target.base_rung, 4);
+}
+
+TEST_F(UtilPolicyTest, HoldsAtLargestAndSmallest) {
+  auto top = Input(catalog_.num_rungs() - 1, 500, 50);
+  EXPECT_EQ(policy_.Decide(top).target.base_rung,
+            catalog_.num_rungs() - 1);
+  UtilPolicyOptions options;
+  options.down_patience = 1;
+  UtilPolicy p2(catalog_,
+                scaler::LatencyGoal{telemetry::LatencyAggregate::kP95,
+                                    200.0},
+                options);
+  auto bottom = Input(0, 100, 1);
+  EXPECT_EQ(p2.Decide(bottom).target.base_rung, 0);
+}
+
+TEST_F(UtilPolicyTest, LatencyBadButIdleHolds) {
+  // Bad latency with *no* utilization anywhere: the up-gate fails.
+  auto d = policy_.Decide(Input(3, 500, /*cpu=*/2, /*mem=*/5));
+  EXPECT_EQ(d.target.base_rung, 3);
+}
+
+class OfflineProfilerTest : public ::testing::Test {
+ protected:
+  OfflineProfilerTest() : catalog_(Catalog::MakeLockStep()) {}
+
+  std::vector<ResourceVector> UsageRamp() {
+    // 100 intervals: usage ramps from near-zero to ~S8-sized.
+    std::vector<ResourceVector> usage;
+    for (int i = 0; i < 100; ++i) {
+      double f = static_cast<double>(i) / 99.0;
+      usage.push_back(ResourceVector{f * 10.0, f * 30000.0, f * 1500.0,
+                                     f * 60.0});
+    }
+    return usage;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(OfflineProfilerTest, PeakCoversP95) {
+  OfflineProfiler profiler(catalog_, UsageRamp());
+  auto peak = profiler.PeakContainer();
+  ASSERT_TRUE(peak.ok());
+  // p95 of the ramp * headroom: ~11.9 cores -> S8.
+  EXPECT_GE(peak->resources.cpu_cores, 11.0);
+  auto avg = profiler.AvgContainer();
+  ASSERT_TRUE(avg.ok());
+  EXPECT_LT(avg->price_per_interval, peak->price_per_interval);
+  // Avg covers the mean (~5 cores * 1.25): S6-ish.
+  EXPECT_GE(avg->resources.cpu_cores, 6.0);
+}
+
+TEST_F(OfflineProfilerTest, TraceScheduleHugsTheCurve) {
+  OfflineProfiler profiler(catalog_, UsageRamp());
+  auto schedule = profiler.TraceSchedule();
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->size(), 100u);
+  // Non-decreasing for a ramp, small at the start, big at the end.
+  EXPECT_EQ(schedule->front().base_rung, 0);
+  EXPECT_GE(schedule->back().resources.cpu_cores, 11.0);
+  for (size_t i = 1; i < schedule->size(); ++i) {
+    EXPECT_GE((*schedule)[i].base_rung, (*schedule)[i - 1].base_rung);
+  }
+}
+
+TEST_F(OfflineProfilerTest, EmptyUsageErrors) {
+  OfflineProfiler profiler(catalog_, {});
+  EXPECT_FALSE(profiler.PeakContainer().ok());
+  EXPECT_FALSE(profiler.AvgContainer().ok());
+  EXPECT_FALSE(profiler.TraceSchedule().ok());
+}
+
+TEST_F(OfflineProfilerTest, HeadroomRaisesChoice) {
+  std::vector<ResourceVector> flat(
+      10, ResourceVector{1.9, 1000.0, 150.0, 6.0});
+  ProfilerOptions no_headroom;
+  no_headroom.headroom = 1.0;
+  OfflineProfiler tight(catalog_, flat, no_headroom);
+  ProfilerOptions with_headroom;
+  with_headroom.headroom = 1.5;
+  OfflineProfiler roomy(catalog_, flat, with_headroom);
+  EXPECT_LT(tight.PeakContainer()->price_per_interval,
+            roomy.PeakContainer()->price_per_interval);
+}
+
+}  // namespace
+}  // namespace dbscale::baselines

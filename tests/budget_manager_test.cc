@@ -1,0 +1,216 @@
+#include "src/scaler/budget_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dbscale::scaler {
+namespace {
+
+BudgetManagerOptions Options(double budget, int n,
+                             BudgetStrategy strategy =
+                                 BudgetStrategy::kAggressive,
+                             int k = 4) {
+  BudgetManagerOptions o;
+  o.total_budget = budget;
+  o.num_intervals = n;
+  o.min_cost = 7.0;
+  o.max_cost = 270.0;
+  o.strategy = strategy;
+  o.conservative_k = k;
+  return o;
+}
+
+TEST(BudgetManagerTest, CreateValidates) {
+  EXPECT_FALSE(BudgetManager::Create(Options(100, 0)).ok());
+  EXPECT_FALSE(BudgetManager::Create(Options(-5, 10)).ok());
+  // Budget below n * Cmin cannot even afford the smallest container.
+  EXPECT_FALSE(BudgetManager::Create(Options(69, 10)).ok());
+  EXPECT_TRUE(BudgetManager::Create(Options(70, 10)).ok());
+  auto bad_costs = Options(1000, 10);
+  bad_costs.min_cost = 0.0;
+  EXPECT_FALSE(BudgetManager::Create(bad_costs).ok());
+  auto bad_k = Options(1000, 10, BudgetStrategy::kConservative, 0);
+  EXPECT_FALSE(BudgetManager::Create(bad_k).ok());
+}
+
+TEST(BudgetManagerTest, AggressiveConfiguration) {
+  // Paper Section 5: D = B - (n-1)*Cmin, TI = D, TR = Cmin.
+  auto m = BudgetManager::Create(Options(1000, 10)).value();
+  EXPECT_DOUBLE_EQ(m.depth(), 1000 - 9 * 7.0);
+  EXPECT_DOUBLE_EQ(m.initial_tokens(), m.depth());
+  EXPECT_DOUBLE_EQ(m.fill_rate(), 7.0);
+  EXPECT_DOUBLE_EQ(m.available(), m.depth());
+}
+
+TEST(BudgetManagerTest, ConservativeConfiguration) {
+  // TI = K * Cmax, TR = (B - TI) / (n - 1).
+  auto m = BudgetManager::Create(
+               Options(10000, 30, BudgetStrategy::kConservative, 4))
+               .value();
+  EXPECT_DOUBLE_EQ(m.initial_tokens(), 4 * 270.0);
+  EXPECT_DOUBLE_EQ(m.fill_rate(), (10000 - 1080.0) / 29.0);
+  EXPECT_GE(m.fill_rate(), 7.0);
+}
+
+TEST(BudgetManagerTest, ConservativeInitialClampedToDepth) {
+  // With a tight budget K*Cmax would exceed D; TI clamps so TR >= Cmin.
+  auto m = BudgetManager::Create(
+               Options(100, 10, BudgetStrategy::kConservative, 4))
+               .value();
+  EXPECT_LE(m.initial_tokens(), m.depth());
+  EXPECT_GE(m.fill_rate(), 7.0 - 1e-9);
+}
+
+TEST(BudgetManagerTest, ChargeReducesAndRefills) {
+  auto m = BudgetManager::Create(Options(1000, 10)).value();
+  double before = m.available();
+  ASSERT_TRUE(m.ChargeAndRefill(100.0).ok());
+  EXPECT_DOUBLE_EQ(m.available(), before - 100.0 + 7.0);
+  EXPECT_DOUBLE_EQ(m.spent(), 100.0);
+  EXPECT_EQ(m.intervals_charged(), 1);
+}
+
+TEST(BudgetManagerTest, RefillClampsAtDepth) {
+  auto m = BudgetManager::Create(Options(1000, 10)).value();
+  // Spending nothing: tokens would exceed depth without the clamp.
+  ASSERT_TRUE(m.ChargeAndRefill(0.0).ok());
+  EXPECT_DOUBLE_EQ(m.available(), m.depth());
+}
+
+TEST(BudgetManagerTest, OverchargeRejected) {
+  auto m = BudgetManager::Create(Options(100, 10)).value();
+  EXPECT_TRUE(m.ChargeAndRefill(m.available() + 1.0)
+                  .IsResourceExhausted());
+  EXPECT_TRUE(m.ChargeAndRefill(-1.0).IsInvalidArgument());
+}
+
+TEST(BudgetManagerTest, PeriodEndsAfterNIntervals) {
+  auto m = BudgetManager::Create(Options(100, 3)).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(m.ChargeAndRefill(7.0).ok());
+  }
+  EXPECT_TRUE(m.ChargeAndRefill(7.0).IsFailedPrecondition());
+}
+
+TEST(BudgetManagerTest, HardInvariantNeverExceedsBudget) {
+  // The paper's guarantee: sum(C_i) <= B whatever the spend pattern, for
+  // both strategies. Spend greedily every interval.
+  for (BudgetStrategy strategy :
+       {BudgetStrategy::kAggressive, BudgetStrategy::kConservative}) {
+    auto m =
+        BudgetManager::Create(Options(2000, 50, strategy)).value();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(m.ChargeAndRefill(std::min(m.available(), 270.0)).ok());
+    }
+    EXPECT_LE(m.spent(), 2000.0 + 1e-9) << BudgetStrategyToString(strategy);
+  }
+}
+
+TEST(BudgetManagerTest, SmallestContainerAlwaysAffordable) {
+  // Invariant: B_i >= Cmin at every interval, any spend pattern.
+  Rng rng(5);
+  for (BudgetStrategy strategy :
+       {BudgetStrategy::kAggressive, BudgetStrategy::kConservative}) {
+    auto m =
+        BudgetManager::Create(Options(1500, 100, strategy)).value();
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_GE(m.available(), 7.0 - 1e-9);
+      double cost = std::min(m.available(),
+                             rng.Bernoulli(0.2) ? 270.0
+                                                : rng.Uniform(7.0, 60.0));
+      ASSERT_TRUE(m.ChargeAndRefill(cost).ok());
+    }
+  }
+}
+
+TEST(BudgetManagerTest, AggressiveBurstsEarlierThanConservative) {
+  // With the same budget, the aggressive bucket can afford the largest
+  // container for more *initial* intervals.
+  auto agg = BudgetManager::Create(Options(3000, 100)).value();
+  auto con = BudgetManager::Create(
+                 Options(3000, 100, BudgetStrategy::kConservative, 2))
+                 .value();
+  int agg_bursts = 0, con_bursts = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (agg.available() >= 270.0) {
+      ++agg_bursts;
+      ASSERT_TRUE(agg.ChargeAndRefill(270.0).ok());
+    } else {
+      ASSERT_TRUE(agg.ChargeAndRefill(7.0).ok());
+    }
+    if (con.available() >= 270.0) {
+      ++con_bursts;
+      ASSERT_TRUE(con.ChargeAndRefill(270.0).ok());
+    } else {
+      ASSERT_TRUE(con.ChargeAndRefill(7.0).ok());
+    }
+  }
+  EXPECT_GT(agg_bursts, con_bursts);
+}
+
+TEST(BudgetManagerTest, ConservativeSavesForLateBursts) {
+  // After a quiet first half, the conservative bucket accumulated enough
+  // for a late burst.
+  auto m = BudgetManager::Create(
+               Options(5000, 40, BudgetStrategy::kConservative, 2))
+               .value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(m.ChargeAndRefill(7.0).ok());
+  }
+  int late_bursts = 0;
+  for (int i = 20; i < 40; ++i) {
+    if (m.available() >= 270.0) {
+      ++late_bursts;
+      ASSERT_TRUE(m.ChargeAndRefill(270.0).ok());
+    } else {
+      ASSERT_TRUE(m.ChargeAndRefill(7.0).ok());
+    }
+  }
+  EXPECT_GE(late_bursts, 10);
+  EXPECT_LE(m.spent(), 5000.0);
+}
+
+TEST(BudgetManagerTest, SingleIntervalPeriod) {
+  auto m = BudgetManager::Create(Options(300, 1)).value();
+  EXPECT_DOUBLE_EQ(m.available(), 300.0);
+  ASSERT_TRUE(m.ChargeAndRefill(270.0).ok());
+  EXPECT_TRUE(m.ChargeAndRefill(7.0).IsFailedPrecondition());
+}
+
+/// Property sweep over budgets and period lengths: total issuance
+/// TI + (n-1)*TR equals B exactly, so a tenant spending every token spends
+/// the whole budget and no more.
+class BudgetIssuanceSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(BudgetIssuanceSweep, IssuanceEqualsBudget) {
+  auto [budget, n] = GetParam();
+  for (BudgetStrategy strategy :
+       {BudgetStrategy::kAggressive, BudgetStrategy::kConservative}) {
+    BudgetManagerOptions o = Options(budget, n, strategy);
+    auto created = BudgetManager::Create(o);
+    if (budget < n * o.min_cost) {
+      EXPECT_FALSE(created.ok());
+      continue;
+    }
+    ASSERT_TRUE(created.ok());
+    auto m = std::move(created).value();
+    double issuance =
+        m.initial_tokens() + (n - 1) * m.fill_rate();
+    EXPECT_NEAR(issuance, budget, 1e-6);
+    // Greedy spend exhausts exactly the budget.
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(m.ChargeAndRefill(m.available()).ok());
+    }
+    EXPECT_NEAR(m.spent(), budget, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, BudgetIssuanceSweep,
+    ::testing::Combine(::testing::Values(100.0, 720.0, 5000.0, 1e6),
+                       ::testing::Values(2, 10, 144, 1000)));
+
+}  // namespace
+}  // namespace dbscale::scaler

@@ -1,0 +1,151 @@
+#include "src/engine/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace dbscale::engine {
+namespace {
+
+constexpr int64_t kWs = 1000;      // working-set pages
+constexpr int64_t kDb = 10000;     // database pages
+
+TEST(PageMathTest, MbPageRoundTrip) {
+  EXPECT_EQ(MbToPages(8.0), 1024);
+  EXPECT_DOUBLE_EQ(PagesToMb(1024), 8.0);
+}
+
+TEST(BufferPoolTest, StartsEmpty) {
+  Rng rng(1);
+  BufferPool pool(2000, kWs, kDb, &rng);
+  EXPECT_EQ(pool.cached_pages(), 0);
+  EXPECT_DOUBLE_EQ(pool.HotHitProbability(), 0.0);
+  EXPECT_FALSE(pool.UnderMemoryPressure());
+}
+
+TEST(BufferPoolTest, WarmsUpOneMissAtATime) {
+  Rng rng(1);
+  BufferPool pool(2000, kWs, kDb, &rng);
+  int misses = 0;
+  for (int i = 0; i < 20000 && pool.hot_cached() < kWs; ++i) {
+    if (!pool.Access(true)) ++misses;
+  }
+  EXPECT_EQ(pool.hot_cached(), kWs);
+  EXPECT_EQ(misses, kWs);  // exactly one page admitted per miss
+}
+
+TEST(BufferPoolTest, WarmPoolHitsHotAccesses) {
+  Rng rng(1);
+  BufferPool pool(2000, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(pool.Access(true));
+  }
+}
+
+TEST(BufferPoolTest, PressureWhenCapacityBelowWorkingSet) {
+  Rng rng(1);
+  BufferPool pool(600, kWs, kDb, &rng);
+  EXPECT_TRUE(pool.UnderMemoryPressure());
+  for (int i = 0; i < 50000; ++i) pool.Access(true);
+  // Hot pages cap at capacity; miss rate ~ 1 - capacity/ws = 40%.
+  EXPECT_EQ(pool.hot_cached(), 600);
+  int misses = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!pool.Access(true)) ++misses;
+  }
+  EXPECT_NEAR(static_cast<double>(misses) / n, 0.4, 0.03);
+}
+
+TEST(BufferPoolTest, ColdAccessesChurnInRemainingSpace) {
+  Rng rng(1);
+  BufferPool pool(1500, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  for (int i = 0; i < 100000; ++i) pool.Access(false);
+  // Cold pages fill only capacity - hot = 500 pages.
+  EXPECT_EQ(pool.cold_cached(), 500);
+  EXPECT_EQ(pool.hot_cached(), kWs);  // hot set retained
+  EXPECT_EQ(pool.cached_pages(), 1500);
+}
+
+TEST(BufferPoolTest, ColdHitRateMatchesCoverage) {
+  Rng rng(1);
+  BufferPool pool(5500, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  for (int i = 0; i < 200000; ++i) pool.Access(false);
+  // Cold budget 4500 of 9000 cold pages: ~50% hit rate.
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (pool.Access(false)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.5, 0.05);
+}
+
+TEST(BufferPoolTest, ShrinkEvictsColdBeforeHot) {
+  Rng rng(1);
+  BufferPool pool(1500, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  for (int i = 0; i < 50000; ++i) pool.Access(false);
+  ASSERT_EQ(pool.cold_cached(), 500);
+  pool.SetCapacity(1200);
+  EXPECT_EQ(pool.hot_cached(), kWs);     // hot untouched
+  EXPECT_EQ(pool.cold_cached(), 200);    // cold evicted first
+  pool.SetCapacity(800);
+  EXPECT_EQ(pool.cold_cached(), 0);
+  EXPECT_EQ(pool.hot_cached(), 800);     // hot evicted only when forced
+}
+
+TEST(BufferPoolTest, GrowKeepsCachedPages) {
+  Rng rng(1);
+  BufferPool pool(600, kWs, kDb, &rng);
+  for (int i = 0; i < 20000; ++i) pool.Access(true);
+  ASSERT_EQ(pool.hot_cached(), 600);
+  pool.SetCapacity(2000);
+  EXPECT_EQ(pool.hot_cached(), 600);  // no eviction on grow
+  EXPECT_FALSE(pool.UnderMemoryPressure());
+  // And it can now warm the rest of the working set.
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  EXPECT_EQ(pool.hot_cached(), kWs);
+}
+
+TEST(BufferPoolTest, ShrinkBelowWorkingSetCausesMissCliff) {
+  // The Figure 14 mechanism: a pool at the working set size serves hot
+  // accesses with ~no misses; shrinking 40% below it produces a large,
+  // sustained miss rate.
+  Rng rng(1);
+  BufferPool pool(1000, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  int misses_before = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!pool.Access(true)) ++misses_before;
+  }
+  EXPECT_EQ(misses_before, 0);
+  pool.SetCapacity(600);
+  int misses_after = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!pool.Access(true)) ++misses_after;
+  }
+  EXPECT_GT(misses_after, 3000);
+}
+
+TEST(BufferPoolTest, UsedMb) {
+  Rng rng(1);
+  BufferPool pool(1024, kWs, kDb, &rng);
+  EXPECT_DOUBLE_EQ(pool.used_mb(), 0.0);
+  while (pool.hot_cached() < 512) pool.Access(true);
+  EXPECT_DOUBLE_EQ(pool.used_mb(), 4.0);  // 512 pages * 8KB
+}
+
+TEST(BufferPoolTest, SetWorkingSetClampsHotCached) {
+  Rng rng(1);
+  BufferPool pool(2000, kWs, kDb, &rng);
+  while (pool.hot_cached() < kWs) pool.Access(true);
+  pool.SetWorkingSet(400);
+  EXPECT_EQ(pool.hot_cached(), 400);
+  EXPECT_EQ(pool.working_set_pages(), 400);
+}
+
+}  // namespace
+}  // namespace dbscale::engine

@@ -1,0 +1,345 @@
+#include "src/scaler/demand_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscale::scaler {
+namespace {
+
+using container::ResourceKind;
+
+CategorizedSignals BaseSignals() {
+  CategorizedSignals cats;
+  cats.valid = true;
+  return cats;
+}
+
+ResourceCategories& Res(CategorizedSignals& cats, ResourceKind kind) {
+  return cats.resources[static_cast<size_t>(kind)];
+}
+
+TEST(DemandRuleTest, MatchingSemantics) {
+  DemandRule rule;
+  rule.utilization = Level::kHigh;
+  rule.wait_magnitude = Level::kHigh;
+  rule.wait_share = Significance::kSignificant;
+  rule.steps = 1;
+
+  ResourceCategories r;
+  r.utilization = Level::kHigh;
+  r.wait_magnitude = Level::kHigh;
+  r.wait_share = Significance::kSignificant;
+  EXPECT_TRUE(rule.Matches(r));
+  r.wait_share = Significance::kNotSignificant;
+  EXPECT_FALSE(rule.Matches(r));
+
+  // Don't-care fields.
+  DemandRule loose;
+  loose.steps = 1;
+  EXPECT_TRUE(loose.Matches(r));
+}
+
+TEST(DemandRuleTest, TrendConditions) {
+  DemandRule needs_trend;
+  needs_trend.require_increasing_trend = true;
+  needs_trend.steps = 1;
+  ResourceCategories r;
+  EXPECT_FALSE(needs_trend.Matches(r));
+  r.wait_trend = stats::TrendDirection::kIncreasing;
+  EXPECT_TRUE(needs_trend.Matches(r));
+
+  DemandRule forbids;
+  forbids.forbid_increasing_trend = true;
+  forbids.steps = -1;
+  EXPECT_FALSE(forbids.Matches(r));
+  r.wait_trend = stats::TrendDirection::kNone;
+  EXPECT_TRUE(forbids.Matches(r));
+}
+
+TEST(EstimatorTest, InvalidSignalsGiveNoDemand) {
+  DemandEstimator est;
+  CategorizedSignals cats;
+  cats.valid = false;
+  auto d = est.Estimate(cats);
+  EXPECT_FALSE(d.AnyIncrease());
+  EXPECT_FALSE(d.AnyDecrease());
+}
+
+TEST(EstimatorTest, HighUtilAloneIsNotDemand) {
+  // The paper's central claim: utilization alone does not imply demand.
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  Res(cats, ResourceKind::kCpu).utilization = Level::kHigh;
+  Res(cats, ResourceKind::kCpu).wait_magnitude = Level::kLow;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 0);
+}
+
+TEST(EstimatorTest, RuleA_HighUtilHighWaitSignificantShare) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kHigh;
+  cpu.wait_share = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).rule, "high-util-high-wait");
+  EXPECT_NE(d.For(ResourceKind::kCpu).explanation.find("cpu"),
+            std::string::npos);
+}
+
+TEST(EstimatorTest, SevereBottleneckIsTwoSteps) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.utilization_extreme = true;
+  cpu.wait_magnitude = Level::kHigh;
+  cpu.wait_extreme = true;
+  cpu.wait_share = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 2);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).rule, "severe-bottleneck");
+}
+
+TEST(EstimatorTest, RuleB_TrendCompensatesInsignificantShare) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& disk = Res(cats, ResourceKind::kDiskIo);
+  disk.utilization = Level::kHigh;
+  disk.wait_magnitude = Level::kHigh;
+  disk.wait_share = Significance::kNotSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).steps, 0);  // no trend yet
+  disk.utilization_trend = stats::TrendDirection::kIncreasing;
+  d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).steps, 1);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).rule, "high-util-high-wait-trend");
+}
+
+TEST(EstimatorTest, RuleC_MediumWaitNeedsShareAndTrend) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kMedium;
+  cpu.wait_share = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 0);
+  cpu.wait_trend = stats::TrendDirection::kIncreasing;
+  d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);
+}
+
+TEST(EstimatorTest, RuleD_CorrelationIdentifiesBottleneck) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kMedium;
+  cpu.wait_share = Significance::kSignificant;
+  cpu.wait_latency_correlation = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).rule, "high-util-corr");
+}
+
+TEST(EstimatorTest, RuleE_WaitsLeadUtilization) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& disk = Res(cats, ResourceKind::kDiskIo);
+  disk.utilization = Level::kMedium;
+  disk.wait_magnitude = Level::kHigh;
+  disk.wait_share = Significance::kSignificant;
+  disk.wait_latency_correlation = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).steps, 1);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).rule, "wait-led-demand");
+  // Without correlation it does not fire (utilization is only MEDIUM).
+  disk.wait_latency_correlation = Significance::kNotSignificant;
+  d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kDiskIo).steps, 0);
+}
+
+TEST(EstimatorTest, LowDemandRequiresCalmTrends) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kLow;
+  cpu.wait_magnitude = Level::kLow;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, -1);
+  cpu.utilization_trend = stats::TrendDirection::kIncreasing;
+  d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 0);
+}
+
+TEST(EstimatorTest, IdleIsTwoStepsDown) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kLow;
+  cpu.utilization_very_low = true;
+  cpu.wait_magnitude = Level::kLow;
+  cpu.wait_very_low = true;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, -2);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).rule, "idle");
+}
+
+TEST(EstimatorTest, MemoryNeverReportsLowDemand) {
+  // Section 4.3: buffer pools keep memory "busy"; only ballooning may
+  // conclude memory demand is low.
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& mem = Res(cats, ResourceKind::kMemory);
+  mem.utilization = Level::kLow;
+  mem.utilization_very_low = true;
+  mem.wait_magnitude = Level::kLow;
+  mem.wait_very_low = true;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kMemory).steps, 0);
+}
+
+TEST(EstimatorTest, MemoryHighDemandStillDetected) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& mem = Res(cats, ResourceKind::kMemory);
+  mem.utilization = Level::kHigh;
+  mem.wait_magnitude = Level::kHigh;
+  mem.wait_share = Significance::kSignificant;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kMemory).steps, 1);
+}
+
+TEST(EstimatorTest, IndependentPerResourceDecisions) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kHigh;
+  cpu.wait_share = Significance::kSignificant;
+  auto& log = Res(cats, ResourceKind::kLogIo);
+  log.utilization = Level::kLow;
+  log.wait_magnitude = Level::kLow;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);
+  EXPECT_EQ(d.For(ResourceKind::kLogIo).steps, -1);
+  EXPECT_TRUE(d.AnyIncrease());
+  EXPECT_TRUE(d.AnyDecrease());
+  EXPECT_FALSE(d.SuggestsShrink());  // an increase blocks shrink
+}
+
+TEST(EstimatorTest, SummariesSplitBySign) {
+  DemandEstimator est;
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kHigh;
+  cpu.wait_share = Significance::kSignificant;
+  auto& log = Res(cats, ResourceKind::kLogIo);
+  log.utilization = Level::kLow;
+  log.wait_magnitude = Level::kLow;
+  auto d = est.Estimate(cats);
+  EXPECT_NE(d.SummaryIncrease().find("cpu"), std::string::npos);
+  EXPECT_EQ(d.SummaryIncrease().find("log"), std::string::npos);
+  EXPECT_NE(d.SummaryDecrease().find("log"), std::string::npos);
+  EXPECT_EQ(d.SummaryDecrease().find("cpu"), std::string::npos);
+}
+
+TEST(EstimatorTest, StepsAlwaysWithinPaperBound) {
+  // Property: whatever the categorical combination, |steps| <= 2
+  // (Section 4: 98% of real changes are <= 2 rungs).
+  DemandEstimator est;
+  const Level levels[] = {Level::kLow, Level::kMedium, Level::kHigh};
+  const Significance sigs[] = {Significance::kNotSignificant,
+                               Significance::kSignificant};
+  const stats::TrendDirection trends[] = {
+      stats::TrendDirection::kNone, stats::TrendDirection::kIncreasing,
+      stats::TrendDirection::kDecreasing};
+  for (Level util : levels) {
+    for (Level wait : levels) {
+      for (Significance share : sigs) {
+        for (Significance corr : sigs) {
+          for (auto trend : trends) {
+            for (bool extreme : {false, true}) {
+              auto cats = BaseSignals();
+              for (ResourceKind kind : container::kAllResources) {
+                auto& r = Res(cats, kind);
+                r.utilization = util;
+                r.wait_magnitude = wait;
+                r.wait_share = share;
+                r.wait_latency_correlation = corr;
+                r.utilization_trend = trend;
+                r.utilization_extreme = extreme;
+                r.wait_extreme = extreme;
+                r.utilization_very_low = extreme && util == Level::kLow;
+                r.wait_very_low = extreme && wait == Level::kLow;
+              }
+              auto d = est.Estimate(cats);
+              for (ResourceKind kind : container::kAllResources) {
+                EXPECT_LE(std::abs(d.For(kind).steps), kMaxDemandSteps);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EstimatorTest, AblationNoWaitsIsUtilizationOnly) {
+  DemandEstimatorOptions options;
+  options.use_waits = false;
+  DemandEstimator est(options);
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kLow;  // waits say no...
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);  // ...but util-only fires
+}
+
+TEST(EstimatorTest, AblationNoTrendsDropsTrendRules) {
+  DemandEstimatorOptions options;
+  options.use_trends = false;
+  DemandEstimator est(options);
+  for (const auto& rule : est.high_rules()) {
+    EXPECT_FALSE(rule.require_increasing_trend) << rule.name;
+  }
+  // Rule (b) pattern no longer fires.
+  auto cats = BaseSignals();
+  auto& cpu = Res(cats, ResourceKind::kCpu);
+  cpu.utilization = Level::kHigh;
+  cpu.wait_magnitude = Level::kHigh;
+  cpu.wait_share = Significance::kNotSignificant;
+  cpu.utilization_trend = stats::TrendDirection::kIncreasing;
+  auto d = est.Estimate(cats);
+  EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 0);
+}
+
+TEST(EstimatorTest, AblationNoCorrelationDropsCorrelationRules) {
+  DemandEstimatorOptions options;
+  options.use_correlation = false;
+  DemandEstimator est(options);
+  for (const auto& rule : est.high_rules()) {
+    EXPECT_FALSE(rule.correlation.has_value()) << rule.name;
+  }
+}
+
+TEST(EstimatorTest, RuleTablesNonEmptyAndNamed) {
+  DemandEstimator est;
+  EXPECT_GE(est.high_rules().size(), 5u);
+  EXPECT_GE(est.low_rules().size(), 2u);
+  for (const auto& rule : est.high_rules()) {
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_GT(rule.steps, 0);
+    EXPECT_FALSE(rule.explanation.empty());
+  }
+  for (const auto& rule : est.low_rules()) {
+    EXPECT_LT(rule.steps, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dbscale::scaler

@@ -1,0 +1,85 @@
+#include "src/engine/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbscale::engine {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(SimTime::FromMicros(300), [&] { order.push_back(3); });
+  q.ScheduleAt(SimTime::FromMicros(100), [&] { order.push_back(1); });
+  q.ScheduleAt(SimTime::FromMicros(200), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.events_processed(), 3u);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(SimTime::FromMicros(100), [&, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NowAdvancesWithEvents) {
+  EventQueue q;
+  SimTime seen;
+  q.ScheduleAt(SimTime::FromMicros(500), [&] { seen = q.Now(); });
+  q.RunAll();
+  EXPECT_EQ(seen, SimTime::FromMicros(500));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(SimTime::FromMicros(100), [&] { ++ran; });
+  q.ScheduleAt(SimTime::FromMicros(200), [&] { ++ran; });
+  q.ScheduleAt(SimTime::FromMicros(300), [&] { ++ran; });
+  q.RunUntil(SimTime::FromMicros(200));  // inclusive
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.Now(), SimTime::FromMicros(200));
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesNowWhenIdle) {
+  EventQueue q;
+  q.RunUntil(SimTime::FromMicros(1000));
+  EXPECT_EQ(q.Now(), SimTime::FromMicros(1000));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      q.ScheduleAfter(Duration::Micros(10), recurse);
+    }
+  };
+  q.ScheduleAt(SimTime::FromMicros(0), recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.Now(), SimTime::FromMicros(40));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired;
+  q.ScheduleAt(SimTime::FromMicros(100), [&] {
+    q.ScheduleAfter(Duration::Micros(50), [&] { fired = q.Now(); });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, SimTime::FromMicros(150));
+}
+
+}  // namespace
+}  // namespace dbscale::engine

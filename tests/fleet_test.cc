@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "src/fleet/calibrator.h"
+#include "src/fleet/demand_analysis.h"
+#include "src/fleet/fleet_sim.h"
+#include "src/fleet/tenant_model.h"
+#include "src/fleet/wait_analysis.h"
+
+namespace dbscale::fleet {
+namespace {
+
+using container::Catalog;
+using container::ResourceKind;
+
+FleetOptions SmallFleet() {
+  FleetOptions options;
+  options.num_tenants = 150;
+  options.num_intervals = 2 * 288;  // two days
+  options.seed = 11;
+  return options;
+}
+
+TEST(TenantModelTest, DeterministicPerSeed) {
+  Catalog catalog = Catalog::MakeLockStep();
+  TenantModelOptions options;
+  TenantModel a(0, &catalog, options, Rng(5));
+  TenantModel b(0, &catalog, options, Rng(5));
+  for (int t = 0; t < 50; ++t) {
+    TenantInterval ia = a.Step(t);
+    TenantInterval ib = b.Step(t);
+    EXPECT_EQ(ia.assigned_rung, ib.assigned_rung);
+    EXPECT_DOUBLE_EQ(ia.wait_ms[0], ib.wait_ms[0]);
+  }
+}
+
+TEST(TenantModelTest, IntervalInvariants) {
+  Catalog catalog = Catalog::MakeLockStep();
+  TenantModelOptions options;
+  Rng root(3);
+  for (int tenant = 0; tenant < 20; ++tenant) {
+    TenantModel model(tenant, &catalog, options, root.Fork());
+    for (int t = 0; t < 200; ++t) {
+      TenantInterval interval = model.Step(t);
+      EXPECT_GE(interval.assigned_rung, 0);
+      EXPECT_LT(interval.assigned_rung, catalog.num_rungs());
+      EXPECT_GE(interval.completed, 1);
+      double share_sum = 0.0;
+      for (ResourceKind kind : container::kAllResources) {
+        const size_t ri = static_cast<size_t>(kind);
+        EXPECT_GE(interval.utilization_pct[ri], 0.0);
+        EXPECT_LE(interval.utilization_pct[ri], 100.0);
+        EXPECT_GE(interval.wait_ms[ri], 0.0);
+        share_sum += interval.wait_pct[ri];
+      }
+      EXPECT_NEAR(share_sum, 100.0, 1e-6);
+    }
+  }
+}
+
+TEST(FleetSimTest, ProducesExpectedVolumes) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetOptions options = SmallFleet();
+  FleetSimulator sim(catalog, options);
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet->num_tenants, 150);
+  // One hourly record per tenant-hour.
+  EXPECT_EQ(fleet->hourly.size(),
+            static_cast<size_t>(150 * 2 * 24));
+  EXPECT_EQ(fleet->tenant_changes.size(), 150u);
+  EXPECT_GT(fleet->inter_event_minutes.size(), 100u);
+}
+
+TEST(FleetSimTest, RejectsBadOptions) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetOptions options;
+  options.num_tenants = 0;
+  EXPECT_FALSE(FleetSimulator(catalog, options).Run().ok());
+}
+
+TEST(FleetSimTest, MostChangesAreSmallSteps) {
+  // Section 4: ~90% of demand-driven container changes are one rung; one
+  // and two rungs together are ~98%.
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_GT(fleet->OneStepFraction(), 0.70);
+  EXPECT_GT(fleet->AtMostTwoStepFraction(), 0.90);
+}
+
+TEST(DemandAnalysisTest, IeiCdfShapes) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  auto iei = AnalyzeInterEventIntervals(*fleet);
+  ASSERT_TRUE(iei.ok());
+  ASSERT_EQ(iei->reference_points.size(), 5u);
+  // Cumulative at 60 min is large (paper: 86%), grows toward 1440.
+  EXPECT_GT(iei->reference_points[0].second, 50.0);
+  for (size_t i = 1; i < iei->reference_points.size(); ++i) {
+    EXPECT_GE(iei->reference_points[i].second,
+              iei->reference_points[i - 1].second);
+  }
+  EXPECT_GT(iei->reference_points.back().second, 95.0);
+}
+
+TEST(DemandAnalysisTest, ChangeFrequencyBuckets) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  auto freq = AnalyzeChangeFrequency(*fleet);
+  ASSERT_TRUE(freq.ok());
+  ASSERT_EQ(freq->bucket_pct.size(), 8u);
+  double total = 0.0;
+  for (double pct : freq->bucket_pct) total += pct;
+  EXPECT_NEAR(total, 100.0, 1e-6);
+  EXPECT_NEAR(freq->cumulative_pct.back(), 100.0, 1e-6);
+  // Paper headline: the overwhelming majority change at least daily.
+  EXPECT_GT(freq->fraction_at_least_1_per_day, 0.6);
+  EXPECT_GE(freq->fraction_at_least_1_per_day,
+            freq->fraction_at_least_6_per_day);
+}
+
+TEST(WaitAnalysisTest, ScatterShowsWeakPositiveCorrelation) {
+  // Figure 4's shape: increasing trend but wide band (weak correlation).
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  for (ResourceKind kind : {ResourceKind::kCpu, ResourceKind::kDiskIo}) {
+    auto scatter = AnalyzeWaitUtilScatter(*fleet, kind);
+    ASSERT_TRUE(scatter.ok());
+    EXPECT_GT(scatter->spearman_rho, 0.15);
+    EXPECT_LT(scatter->spearman_rho, 0.85);  // weak, not tight
+    // Wide band: p90/p10 spread within buckets is orders of magnitude.
+    bool wide = false;
+    for (size_t b = 0; b < scatter->wait_p90.size(); ++b) {
+      if (scatter->wait_p10[b] > 0.0 &&
+          scatter->wait_p90[b] / scatter->wait_p10[b] > 20.0) {
+        wide = true;
+      }
+    }
+    EXPECT_TRUE(wide);
+  }
+}
+
+TEST(WaitAnalysisTest, SplitCdfsSeparate) {
+  // Figure 6's property: high-utilization hours have clearly larger waits
+  // than low-utilization hours at matched percentiles.
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  auto split = AnalyzeWaitSplit(*fleet, ResourceKind::kCpu);
+  ASSERT_TRUE(split.ok());
+  double low_p90 = split->wait_ms_low_util.ValueAtPercentile(90).value();
+  double high_p75 =
+      split->wait_ms_high_util.ValueAtPercentile(75).value();
+  EXPECT_GT(high_p75, low_p90);
+  // Wait *shares* separate too (Figure 6c/d).
+  double share_low_p80 =
+      split->wait_pct_low_util.ValueAtPercentile(80).value();
+  double share_high_p50 =
+      split->wait_pct_high_util.ValueAtPercentile(50).value();
+  EXPECT_GT(share_high_p50, share_low_p80 * 0.9);
+}
+
+TEST(WaitAnalysisTest, SplitValidatesBounds) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_FALSE(
+      AnalyzeWaitSplit(*fleet, ResourceKind::kCpu, 80.0, 30.0).ok());
+}
+
+TEST(CalibratorTest, ProducesValidOrderedThresholds) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  ThresholdCalibrator calibrator;
+  auto thresholds = calibrator.Calibrate(*fleet);
+  ASSERT_TRUE(thresholds.ok());
+  EXPECT_TRUE(thresholds->Validate().ok());
+  for (ResourceKind kind : container::kAllResources) {
+    const auto& r = thresholds->For(kind);
+    EXPECT_GT(r.wait_high_ms_per_req, r.wait_low_ms_per_req);
+    EXPECT_GE(r.wait_pct_significant, 10.0);
+    EXPECT_LE(r.wait_pct_significant, 60.0);
+    // Utilization bounds inherited from the base (administrator rules).
+    EXPECT_DOUBLE_EQ(r.util_low_pct, 30.0);
+  }
+}
+
+TEST(CalibratorTest, DeterministicForSameFleet) {
+  Catalog catalog = Catalog::MakeLockStep();
+  FleetSimulator sim(catalog, SmallFleet());
+  auto fleet = sim.Run();
+  ASSERT_TRUE(fleet.ok());
+  ThresholdCalibrator calibrator;
+  auto a = calibrator.Calibrate(*fleet);
+  auto b = calibrator.Calibrate(*fleet);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->For(ResourceKind::kCpu).wait_high_ms_per_req,
+                   b->For(ResourceKind::kCpu).wait_high_ms_per_req);
+}
+
+}  // namespace
+}  // namespace dbscale::fleet

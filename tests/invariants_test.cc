@@ -1,0 +1,158 @@
+// Cross-module property tests: conservation and sanity invariants that must
+// hold for any workload, container, and policy combination.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/static_policy.h"
+#include "src/scaler/autoscaler.h"
+#include "src/sim/experiment.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+namespace dbscale {
+namespace {
+
+using Params = std::tuple<int /*workload*/, int /*rung*/, int /*seed*/>;
+
+workload::WorkloadSpec PickWorkload(int index) {
+  switch (index) {
+    case 0:
+      return workload::MakeTpccWorkload();
+    case 1:
+      return workload::MakeDs2Workload();
+    default:
+      return workload::MakeCpuioWorkload();
+  }
+}
+
+/// Sweep: any workload on any container at any seed satisfies the engine's
+/// accounting invariants.
+class EngineInvariantSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(EngineInvariantSweep, ConservationHolds) {
+  auto [workload_index, rung, seed] = GetParam();
+
+  sim::SimulationOptions options;
+  options.workload = PickWorkload(workload_index);
+  options.trace =
+      workload::Trace("probe", std::vector<double>(20, 40.0));
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = static_cast<uint64_t>(seed);
+  options.keep_samples = true;
+
+  baselines::StaticPolicy policy("fixed", options.catalog.rung(rung));
+  auto run = sim::RunWithPolicy(options, &policy, rung);
+  ASSERT_TRUE(run.ok());
+
+  // Requests complete and none are double-counted.
+  EXPECT_GT(run->total_completed, 100u);
+  uint64_t interval_sum = 0;
+  for (const auto& r : run->intervals) {
+    interval_sum += static_cast<uint64_t>(r.completed);
+    EXPECT_GE(r.latency_p95_ms, r.latency_avg_ms * 0.5);
+    EXPECT_GE(r.latency_avg_ms, 0.0);
+    EXPECT_EQ(r.cost, options.catalog.rung(rung).price_per_interval);
+  }
+  EXPECT_EQ(interval_sum, run->total_completed);
+
+  // Telemetry sample invariants.
+  for (const auto& s : run->samples) {
+    for (int r = 0; r < container::kNumResources; ++r) {
+      EXPECT_GE(s.utilization_pct[static_cast<size_t>(r)], 0.0);
+      EXPECT_LE(s.utilization_pct[static_cast<size_t>(r)], 100.0);
+    }
+    for (int w = 0; w < telemetry::kNumWaitClasses; ++w) {
+      EXPECT_GE(s.wait_ms[static_cast<size_t>(w)], 0.0);
+    }
+    EXPECT_GE(s.memory_used_mb, 0.0);
+    EXPECT_LE(s.memory_used_mb,
+              options.catalog.rung(rung).resources.memory_mb * 1.01);
+    EXPECT_GE(s.requests_completed, 0);
+    EXPECT_GE(s.physical_reads, 0);
+    EXPECT_GT(s.period_end, s.period_start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineInvariantSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 4, 9),
+                       ::testing::Values(3, 77)));
+
+/// Auto never violates its own invariants on any paper trace.
+class AutoInvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoInvariantSweep, DecisionsStayWithinCatalogAndBudget) {
+  const int trace_index = GetParam();
+  sim::SimulationOptions options;
+  options.workload = workload::MakeCpuioWorkload();
+  options.trace =
+      workload::MakePaperTrace(trace_index).value().Subsampled(16).value();
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = 13;
+
+  const int n = static_cast<int>(options.trace.num_steps());
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 400.0};
+  knobs.budget = scaler::BudgetKnob{90.0 * n, n};
+  auto scaler = scaler::AutoScaler::Create(options.catalog, knobs).value();
+  auto run = sim::RunWithPolicy(options, scaler.get(), 3);
+  ASSERT_TRUE(run.ok());
+
+  // Budget is a hard constraint on every prefix, not just the total.
+  double prefix_cost = 0.0;
+  for (size_t i = 0; i < run->intervals.size(); ++i) {
+    const auto& r = run->intervals[i];
+    prefix_cost += r.cost;
+    EXPECT_GE(r.container.base_rung, 0);
+    EXPECT_LT(r.container.base_rung, options.catalog.num_rungs());
+    EXPECT_FALSE(r.decision_explanation.empty());
+  }
+  EXPECT_LE(run->total_cost, knobs.budget->total_budget + 1e-6);
+  // The audit log saw every decision.
+  EXPECT_EQ(scaler->audit().size(), run->intervals.size());
+  // Container changes match resize records.
+  EXPECT_EQ(static_cast<int>(scaler->audit().Resizes().size()),
+            run->container_changes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, AutoInvariantSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PerDimensionIntegrationTest, AutoUsesVariantsForSkewedDemand) {
+  // An I/O-skewed mix on the per-dimension catalog: Auto should land on a
+  // single-dimension variant at some point, and never overspend vs the
+  // lock-step equivalent.
+  workload::CpuioOptions skew;
+  skew.cpu_weight = 0.05;
+  skew.io_weight = 0.85;
+  skew.log_weight = 0.05;
+  skew.mixed_weight = 0.05;
+
+  sim::SimulationOptions options;
+  options.catalog = container::Catalog::MakePerDimension(2);
+  options.workload = workload::MakeCpuioWorkload(skew);
+  options.trace = workload::Trace(
+      "ramp", {10, 10, 10, 40, 80, 120, 120, 120, 120, 120, 120, 120,
+               120, 120, 40, 10, 10, 10, 10, 10});
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = 3;
+
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 600.0};
+  auto scaler = scaler::AutoScaler::Create(options.catalog, knobs).value();
+  auto run = sim::RunWithPolicy(options, scaler.get(), 3);
+  ASSERT_TRUE(run.ok());
+  bool used_variant = false;
+  for (const auto& r : run->intervals) {
+    if (r.container.name.find('-') != std::string::npos) {
+      used_variant = true;
+    }
+  }
+  EXPECT_TRUE(used_variant);
+}
+
+}  // namespace
+}  // namespace dbscale

@@ -1,0 +1,59 @@
+#include "src/scaler/knobs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/container/catalog.h"
+#include "src/scaler/policy.h"
+
+namespace dbscale::scaler {
+namespace {
+
+TEST(KnobsTest, DefaultsAreValid) {
+  TenantKnobs knobs;
+  EXPECT_TRUE(knobs.Validate().ok());
+  EXPECT_FALSE(knobs.budget.has_value());
+  EXPECT_FALSE(knobs.latency_goal.has_value());
+  EXPECT_EQ(knobs.sensitivity, Sensitivity::kMedium);
+}
+
+TEST(KnobsTest, ValidateRejectsBadValues) {
+  TenantKnobs knobs;
+  knobs.budget = BudgetKnob{-1.0, 10};
+  EXPECT_FALSE(knobs.Validate().ok());
+  knobs.budget = BudgetKnob{100.0, 0};
+  EXPECT_FALSE(knobs.Validate().ok());
+  knobs.budget.reset();
+  knobs.latency_goal =
+      LatencyGoal{telemetry::LatencyAggregate::kP95, 0.0};
+  EXPECT_FALSE(knobs.Validate().ok());
+}
+
+TEST(KnobsTest, ValidCombination) {
+  TenantKnobs knobs;
+  knobs.budget = BudgetKnob{5000.0, 720};
+  knobs.latency_goal =
+      LatencyGoal{telemetry::LatencyAggregate::kAverage, 250.0};
+  knobs.sensitivity = Sensitivity::kHigh;
+  EXPECT_TRUE(knobs.Validate().ok());
+  std::string s = knobs.ToString();
+  EXPECT_NE(s.find("budget=5000"), std::string::npos);
+  EXPECT_NE(s.find("average"), std::string::npos);
+  EXPECT_NE(s.find("HIGH"), std::string::npos);
+}
+
+TEST(KnobsTest, SensitivityNames) {
+  EXPECT_STREQ(SensitivityToString(Sensitivity::kLow), "LOW");
+  EXPECT_STREQ(SensitivityToString(Sensitivity::kMedium), "MEDIUM");
+  EXPECT_STREQ(SensitivityToString(Sensitivity::kHigh), "HIGH");
+}
+
+TEST(PolicyDecisionTest, ChangedComparesIds) {
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  ScalingDecision d;
+  d.target = catalog.rung(3);
+  EXPECT_FALSE(d.Changed(catalog.rung(3)));
+  EXPECT_TRUE(d.Changed(catalog.rung(4)));
+}
+
+}  // namespace
+}  // namespace dbscale::scaler

@@ -1,0 +1,132 @@
+#include "src/engine/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbscale::engine {
+namespace {
+
+TEST(LockManagerTest, UncontendedGrantIsImmediate) {
+  EventQueue events;
+  LockManager locks(&events, 4, Duration::Seconds(10));
+  bool granted = false;
+  locks.Acquire(0, [&](bool acquired, Duration wait) {
+    granted = acquired;
+    EXPECT_EQ(wait, Duration::Zero());
+  });
+  EXPECT_TRUE(granted);  // synchronous grant
+  EXPECT_TRUE(locks.IsHeld(0));
+  EXPECT_EQ(locks.grants(), 1u);
+}
+
+TEST(LockManagerTest, IndependentRows) {
+  EventQueue events;
+  LockManager locks(&events, 4, Duration::Seconds(10));
+  int grants = 0;
+  locks.Acquire(0, [&](bool, Duration) { ++grants; });
+  locks.Acquire(1, [&](bool, Duration) { ++grants; });
+  EXPECT_EQ(grants, 2);
+}
+
+TEST(LockManagerTest, FifoWaitersGrantedOnRelease) {
+  EventQueue events;
+  LockManager locks(&events, 2, Duration::Seconds(10));
+  std::vector<int> order;
+  locks.Acquire(0, [&](bool, Duration) { order.push_back(0); });
+  locks.Acquire(0, [&](bool a, Duration) {
+    ASSERT_TRUE(a);
+    order.push_back(1);
+    locks.Release(0);
+  });
+  locks.Acquire(0, [&](bool a, Duration) {
+    ASSERT_TRUE(a);
+    order.push_back(2);
+  });
+  EXPECT_EQ(locks.QueueLength(0), 2u);
+  locks.Release(0);  // grants waiter 1, whose callback releases -> waiter 2
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LockManagerTest, WaitTimeMeasured) {
+  EventQueue events;
+  LockManager locks(&events, 1, Duration::Seconds(10));
+  locks.Acquire(0, [](bool, Duration) {});
+  Duration waited;
+  locks.Acquire(0, [&](bool a, Duration w) {
+    EXPECT_TRUE(a);
+    waited = w;
+  });
+  events.ScheduleAt(SimTime::Zero() + Duration::Seconds(2),
+                    [&] { locks.Release(0); });
+  events.RunAll();
+  EXPECT_DOUBLE_EQ(waited.ToSeconds(), 2.0);
+}
+
+TEST(LockManagerTest, TimeoutAbortsWaiter) {
+  EventQueue events;
+  LockManager locks(&events, 1, Duration::Seconds(5));
+  locks.Acquire(0, [](bool, Duration) {});  // holder, never releases
+  bool acquired = true;
+  Duration waited;
+  locks.Acquire(0, [&](bool a, Duration w) {
+    acquired = a;
+    waited = w;
+  });
+  events.RunAll();
+  EXPECT_FALSE(acquired);
+  EXPECT_DOUBLE_EQ(waited.ToSeconds(), 5.0);
+  EXPECT_EQ(locks.timeouts(), 1u);
+  EXPECT_EQ(locks.QueueLength(0), 0u);
+}
+
+TEST(LockManagerTest, GrantBeforeTimeoutCancelsIt) {
+  EventQueue events;
+  LockManager locks(&events, 1, Duration::Seconds(5));
+  locks.Acquire(0, [](bool, Duration) {});
+  int outcomes = 0;
+  bool acquired = false;
+  locks.Acquire(0, [&](bool a, Duration) {
+    ++outcomes;
+    acquired = a;
+  });
+  events.ScheduleAt(SimTime::Zero() + Duration::Seconds(1),
+                    [&] { locks.Release(0); });
+  events.RunAll();  // runs past the timeout event
+  EXPECT_EQ(outcomes, 1);  // exactly one outcome
+  EXPECT_TRUE(acquired);
+  EXPECT_EQ(locks.timeouts(), 0u);
+}
+
+TEST(LockManagerTest, TimeoutSkipsToNextWaiter) {
+  EventQueue events;
+  LockManager locks(&events, 1, Duration::Seconds(5));
+  locks.Acquire(0, [](bool, Duration) {});
+  bool first_acquired = true;
+  bool second_acquired = false;
+  locks.Acquire(0, [&](bool a, Duration) { first_acquired = a; });
+  // Second waiter enqueued after 3s; holder releases at 7s. First waiter
+  // times out at 5s; second (timeout at 8s) gets the lock at 7s.
+  events.ScheduleAt(SimTime::Zero() + Duration::Seconds(3), [&] {
+    locks.Acquire(0, [&](bool a, Duration) { second_acquired = a; });
+  });
+  events.ScheduleAt(SimTime::Zero() + Duration::Seconds(7),
+                    [&] { locks.Release(0); });
+  events.RunAll();
+  EXPECT_FALSE(first_acquired);
+  EXPECT_TRUE(second_acquired);
+}
+
+TEST(LockManagerTest, ReleaseWithEmptyQueueFreesRow) {
+  EventQueue events;
+  LockManager locks(&events, 1, Duration::Seconds(5));
+  locks.Acquire(0, [](bool, Duration) {});
+  locks.Release(0);
+  EXPECT_FALSE(locks.IsHeld(0));
+  bool granted = false;
+  locks.Acquire(0, [&](bool a, Duration) { granted = a; });
+  EXPECT_TRUE(granted);
+}
+
+}  // namespace
+}  // namespace dbscale::engine

@@ -1,0 +1,75 @@
+#include "src/sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dbscale::sim {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23456"});
+  std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines equally wide (trailing pad makes columns align).
+  size_t first_nl = out.find('\n');
+  size_t second_nl = out.find('\n', first_nl + 1);
+  EXPECT_EQ(first_nl, second_nl - first_nl - 1);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(WriteFileTest, RoundTrip) {
+  const std::string path = "/tmp/dbscale_report_test.txt";
+  ASSERT_TRUE(WriteFile(path, "hello\n").ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf), f), 0u);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileTest, BadPathErrors) {
+  EXPECT_TRUE(WriteFile("/nonexistent-dir/x.txt", "x").IsIoError());
+}
+
+TEST(AsciiChartTest, RendersShape) {
+  std::vector<double> values = {0, 0, 10, 10, 0, 0};
+  std::string chart = AsciiChart(values, 4, 6);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // Top row has # only in the middle.
+  std::string top = chart.substr(0, chart.find('\n'));
+  EXPECT_EQ(top.find('#'), 12u);  // after "    10.0 |" prefix and 2 blanks
+}
+
+TEST(AsciiChartTest, EmptyAndFlatInputs) {
+  EXPECT_EQ(AsciiChart({}, 4), "");
+  std::string flat = AsciiChart({0, 0, 0}, 4);
+  EXPECT_EQ(flat.find('#'), std::string::npos);  // nothing to draw
+}
+
+TEST(AsciiChartTest, DownsamplesWideInput) {
+  std::vector<double> values(1000, 5.0);
+  std::string chart = AsciiChart(values, 2, 50);
+  // No line longer than prefix + 50 columns.
+  size_t pos = 0;
+  while (pos < chart.size()) {
+    size_t nl = chart.find('\n', pos);
+    EXPECT_LE(nl - pos, 62u);
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace dbscale::sim

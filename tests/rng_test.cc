@@ -1,0 +1,206 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dbscale {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 0);
+  Rng b(1, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 9.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(42);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    ss += v * v;
+  }
+  double mean = sum / n;
+  double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 10001; ++i) values.push_back(rng.LogNormal(1.0, 0.7));
+  std::nth_element(values.begin(), values.begin() + 5000, values.end());
+  // Median of lognormal(mu, sigma) = exp(mu).
+  EXPECT_NEAR(values[5000], std::exp(1.0), 0.15);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.Poisson(200.0);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(42);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Zipf(100, 0.8);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniform) {
+  Rng rng(42);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<size_t>(rng.Zipf(10, 0.0))];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(42);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.9) < 10) ++low;
+  }
+  // With strong skew the lowest decile gets far more than 10% of the mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint32() == child.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ca.NextUint32(), cb.NextUint32());
+  }
+}
+
+}  // namespace
+}  // namespace dbscale

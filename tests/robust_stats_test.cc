@@ -1,0 +1,153 @@
+#include "src/stats/robust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace dbscale::stats {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(StdDevTest, KnownValue) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(StdDev({1}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}).value(), 7.0);
+}
+
+TEST(MedianTest, EmptyIsError) {
+  EXPECT_TRUE(Median({}).status().IsInvalidArgument());
+}
+
+TEST(MedianTest, RobustToOutliers) {
+  // The defining property (breakdown point): one arbitrarily large value
+  // cannot move the median, while it destroys the mean.
+  std::vector<double> clean = {1, 2, 3, 4, 5};
+  std::vector<double> dirty = {1, 2, 3, 4, 1e12};
+  EXPECT_DOUBLE_EQ(Median(clean).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Median(dirty).value(), 3.0);
+  EXPECT_GT(Mean(dirty), 1e11);
+}
+
+TEST(PercentileTest, Interpolation) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100).value(), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50).value(), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25).value(), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5).value(), 15.0);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({50, 10, 40, 20, 30}, 50).value(), 30.0);
+}
+
+TEST(PercentileTest, Errors) {
+  EXPECT_TRUE(Percentile({}, 50).status().IsInvalidArgument());
+  EXPECT_TRUE(Percentile({1.0}, -1).status().IsOutOfRange());
+  EXPECT_TRUE(Percentile({1.0}, 101).status().IsOutOfRange());
+}
+
+TEST(PercentileSortedTest, SingleElement) {
+  std::vector<double> v = {42};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 95), 42.0);
+}
+
+TEST(MadTest, KnownValue) {
+  // Values 1..9: median 5, |dev| = {4,3,2,1,0,1,2,3,4}, median dev = 2.
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_NEAR(Mad(v).value(), 2.0 * 1.4826, 1e-9);
+}
+
+TEST(MadTest, RobustToOutliers) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 1e9};
+  EXPECT_LT(Mad(v).value(), 10.0);
+}
+
+TEST(MadTest, EmptyIsError) {
+  EXPECT_FALSE(Mad({}).ok());
+}
+
+TEST(TrimmedMeanTest, TrimsTails) {
+  std::vector<double> v = {1, 2, 3, 4, 100};
+  // 20% trim drops 1 value from each side: mean of {2,3,4}.
+  EXPECT_DOUBLE_EQ(TrimmedMean(v, 0.2).value(), 3.0);
+}
+
+TEST(TrimmedMeanTest, ZeroTrimIsMean) {
+  EXPECT_DOUBLE_EQ(TrimmedMean({1, 2, 3}, 0.0).value(), 2.0);
+}
+
+TEST(TrimmedMeanTest, Errors) {
+  EXPECT_FALSE(TrimmedMean({}, 0.1).ok());
+  EXPECT_TRUE(TrimmedMean({1, 2}, 0.5).status().IsOutOfRange());
+  EXPECT_TRUE(TrimmedMean({1, 2}, -0.1).status().IsOutOfRange());
+}
+
+TEST(RunningStatsTest, MatchesBatch) {
+  Rng rng(7);
+  RunningStats rs;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Normal(5.0, 3.0);
+    values.push_back(v);
+    rs.Add(v);
+  }
+  EXPECT_EQ(rs.count(), 1000);
+  EXPECT_NEAR(rs.mean(), Mean(values), 1e-9);
+  EXPECT_NEAR(rs.stddev(), StdDev(values), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  Rng rng(9);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.Exponential(2.0);
+    a.Add(v);
+    all.Add(v);
+  }
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Exponential(10.0);
+    b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStatsTest, Reset) {
+  RunningStats rs;
+  rs.Add(5.0);
+  rs.Reset();
+  EXPECT_EQ(rs.count(), 0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace dbscale::stats

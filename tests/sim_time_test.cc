@@ -1,0 +1,58 @@
+#include "src/common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace dbscale {
+namespace {
+
+TEST(DurationTest, Conversions) {
+  EXPECT_EQ(Duration::Millis(5).ToMicros(), 5000);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(2.5).ToMillis(), 2500.0);
+  EXPECT_DOUBLE_EQ(Duration::Minutes(2).ToSeconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::Hours(1).ToMinutes(), 60.0);
+  EXPECT_EQ(Duration::Zero().ToMicros(), 0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration d = Duration::Seconds(1) + Duration::Millis(500);
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 1.5);
+  d -= Duration::Millis(500);
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ((d * 3.0).ToSeconds(), 3.0);
+  EXPECT_DOUBLE_EQ((d / 4.0).ToSeconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(3) / Duration::Seconds(2), 1.5);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_GT(Duration::Max(), Duration::Hours(10000));
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::Micros(5).ToString(), "5us");
+  EXPECT_EQ(Duration::Millis(5).ToString(), "5.00ms");
+  EXPECT_EQ(Duration::Seconds(5).ToString(), "5.00s");
+  EXPECT_EQ(Duration::Minutes(5).ToString(), "5.00min");
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::Zero() + Duration::Seconds(10);
+  EXPECT_DOUBLE_EQ(t.ToSeconds(), 10.0);
+  SimTime u = t + Duration::Seconds(5);
+  EXPECT_DOUBLE_EQ((u - t).ToSeconds(), 5.0);
+  EXPECT_DOUBLE_EQ((u - Duration::Seconds(1)).ToSeconds(), 14.0);
+  t += Duration::Minutes(1);
+  EXPECT_DOUBLE_EQ(t.ToMinutes(), 1.0 + 10.0 / 60.0);
+}
+
+TEST(SimTimeTest, Ordering) {
+  SimTime a = SimTime::FromMicros(100);
+  SimTime b = SimTime::FromMicros(200);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::FromMicros(100));
+  EXPECT_GT(SimTime::Max(), b);
+}
+
+}  // namespace
+}  // namespace dbscale

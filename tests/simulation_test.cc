@@ -1,0 +1,231 @@
+// End-to-end integration tests: the full closed loop of engine + workload +
+// telemetry + policies, asserting the paper's qualitative behaviours.
+
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/static_policy.h"
+#include "src/baselines/util_policy.h"
+#include "src/scaler/autoscaler.h"
+#include "src/sim/experiment.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+namespace dbscale::sim {
+namespace {
+
+using container::Catalog;
+
+SimulationOptions SmallCpuioOptions() {
+  SimulationOptions options;
+  options.workload = workload::MakeCpuioWorkload();
+  // Short slice of trace 2 around its burst, for fast tests.
+  workload::Trace full = workload::MakeTrace2LongBurst();
+  std::vector<double> rps(full.values().begin() + 380,
+                          full.values().begin() + 500);
+  options.trace = workload::Trace("trace2-slice", rps);
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = 29;
+  return options;
+}
+
+TEST(SimulationTest, ValidatesOptions) {
+  SimulationOptions options = SmallCpuioOptions();
+  options.trace = workload::Trace();
+  baselines::StaticPolicy policy("Max", options.catalog.largest());
+  EXPECT_FALSE(Simulation(options).Run(&policy).ok());
+
+  options = SmallCpuioOptions();
+  options.initial_rung = 99;
+  EXPECT_FALSE(Simulation(options).Run(&policy).ok());
+
+  options = SmallCpuioOptions();
+  options.interval_duration = Duration::Seconds(1);  // < sample period
+  EXPECT_FALSE(Simulation(options).Run(&policy).ok());
+
+  options = SmallCpuioOptions();
+  EXPECT_FALSE(Simulation(options).Run(nullptr).ok());
+}
+
+TEST(SimulationTest, StaticRunAccounting) {
+  SimulationOptions options = SmallCpuioOptions();
+  baselines::StaticPolicy policy("Max", options.catalog.largest());
+  auto run = RunMax(options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->intervals.size(), options.trace.num_steps());
+  EXPECT_EQ(run->container_changes, 0);
+  EXPECT_DOUBLE_EQ(run->avg_cost_per_interval, 270.0);
+  EXPECT_DOUBLE_EQ(run->total_cost, 270.0 * options.trace.num_steps());
+  EXPECT_GT(run->total_completed, 1000u);
+  EXPECT_GT(run->latency_p95_ms, run->latency_avg_ms);
+  EXPECT_GE(run->latency_p99_ms, run->latency_p95_ms);
+  EXPECT_GT(run->events_processed, run->total_completed);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  SimulationOptions options = SmallCpuioOptions();
+  auto a = RunMax(options);
+  auto b = RunMax(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_completed, b->total_completed);
+  EXPECT_DOUBLE_EQ(a->latency_p95_ms, b->latency_p95_ms);
+  EXPECT_DOUBLE_EQ(a->total_cost, b->total_cost);
+}
+
+TEST(SimulationTest, SeedChangesOutcomeSlightly) {
+  SimulationOptions options = SmallCpuioOptions();
+  auto a = RunMax(options);
+  options.seed = 31;
+  auto b = RunMax(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->total_completed, b->total_completed);
+}
+
+TEST(SimulationTest, KeepSamplesRetainsTelemetry) {
+  SimulationOptions options = SmallCpuioOptions();
+  options.keep_samples = true;
+  auto run = RunMax(options);
+  ASSERT_TRUE(run.ok());
+  // 4 samples per 20s interval.
+  EXPECT_EQ(run->samples.size(), options.trace.num_steps() * 4);
+}
+
+TEST(SimulationTest, BiggerContainerGivesBetterLatency) {
+  SimulationOptions options = SmallCpuioOptions();
+  auto max_run = RunMax(options);
+  baselines::StaticPolicy small("S3", options.catalog.rung(2));
+  auto small_run = RunWithPolicy(options, &small, 2);
+  ASSERT_TRUE(max_run.ok());
+  ASSERT_TRUE(small_run.ok());
+  EXPECT_LT(max_run->latency_p95_ms, small_run->latency_p95_ms);
+}
+
+TEST(SimulationTest, AutoMeetsGoalCheaperThanPeakStatic) {
+  // The paper's headline on a burst: Auto achieves the latency goal at a
+  // fraction of static peak provisioning.
+  SimulationOptions options = SmallCpuioOptions();
+  auto max_run = RunMax(options);
+  ASSERT_TRUE(max_run.ok());
+  scaler::LatencyGoal goal{telemetry::LatencyAggregate::kP95,
+                           1.5 * max_run->latency_p95_ms};
+
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal = goal;
+  auto auto_scaler = scaler::AutoScaler::Create(options.catalog, knobs);
+  ASSERT_TRUE(auto_scaler.ok());
+  SimulationOptions online = options;
+  online.telemetry.latency_aggregate = goal.aggregate;
+  auto auto_run = RunWithPolicy(online, auto_scaler->get(), 3);
+  ASSERT_TRUE(auto_run.ok());
+  EXPECT_LT(auto_run->avg_cost_per_interval, 270.0 * 0.8);
+  EXPECT_LE(auto_run->latency_p95_ms, goal.target_ms * 1.35);
+  EXPECT_GT(auto_run->container_changes, 0);
+}
+
+TEST(SimulationTest, AutoScalesUpDuringBurstAndDownAfter) {
+  SimulationOptions options = SmallCpuioOptions();
+  // Synthetic idle-burst-idle trace with a clean shape.
+  std::vector<double> rps;
+  for (int i = 0; i < 30; ++i) rps.push_back(8.0);
+  for (int i = 0; i < 40; ++i) rps.push_back(120.0);
+  for (int i = 0; i < 50; ++i) rps.push_back(8.0);
+  options.trace = workload::Trace("idle-burst-idle", rps);
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 400.0};
+  auto auto_scaler = scaler::AutoScaler::Create(options.catalog, knobs);
+  ASSERT_TRUE(auto_scaler.ok());
+  auto run = RunWithPolicy(options, auto_scaler->get(), 2);
+  ASSERT_TRUE(run.ok());
+  int max_rung_burst = 0;
+  for (int i = 35; i < 70; ++i) {
+    max_rung_burst =
+        std::max(max_rung_burst, run->intervals[(size_t)i].container.base_rung);
+  }
+  EXPECT_GT(max_rung_burst, 3);
+  // Well after the burst it has come back down.
+  EXPECT_LT(run->intervals.back().container.base_rung, max_rung_burst);
+}
+
+TEST(SimulationTest, BudgetedAutoNeverExceedsBudget) {
+  SimulationOptions options = SmallCpuioOptions();
+  const int n = static_cast<int>(options.trace.num_steps());
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 300.0};
+  knobs.budget = scaler::BudgetKnob{
+      /*total=*/7.0 * n + 800.0, /*intervals=*/n};
+  auto auto_scaler = scaler::AutoScaler::Create(options.catalog, knobs);
+  ASSERT_TRUE(auto_scaler.ok());
+  auto run = RunWithPolicy(options, auto_scaler->get(), 0);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run->total_cost, knobs.budget->total_budget + 1e-6);
+  // The budget actually bit: an unconstrained run costs more.
+  scaler::TenantKnobs no_budget;
+  no_budget.latency_goal = knobs.latency_goal;
+  auto unconstrained =
+      scaler::AutoScaler::Create(options.catalog, no_budget);
+  auto free_run = RunWithPolicy(options, unconstrained->get(), 0);
+  ASSERT_TRUE(free_run.ok());
+  EXPECT_GT(free_run->total_cost, run->total_cost);
+}
+
+TEST(ExperimentTest, ComparisonRunsAllSixTechniques) {
+  SimulationOptions options = SmallCpuioOptions();
+  ComparisonOptions copts;
+  copts.goal_factor = 1.5;
+  auto cmp = RunComparison(options, copts);
+  ASSERT_TRUE(cmp.ok());
+  ASSERT_EQ(cmp->techniques.size(), 6u);
+  EXPECT_NE(cmp->Find("Max"), nullptr);
+  EXPECT_NE(cmp->Find("Peak"), nullptr);
+  EXPECT_NE(cmp->Find("Avg"), nullptr);
+  EXPECT_NE(cmp->Find("Trace"), nullptr);
+  EXPECT_NE(cmp->Find("Util"), nullptr);
+  EXPECT_NE(cmp->Find("Auto"), nullptr);
+  EXPECT_EQ(cmp->Find("nope"), nullptr);
+  // Goal derived from Max.
+  EXPECT_NEAR(cmp->goal.target_ms,
+              1.5 * cmp->Find("Max")->run.latency_p95_ms, 1e-6);
+  // Max is the most expensive; every other technique is cheaper.
+  for (const auto& t : cmp->techniques) {
+    EXPECT_LE(t.run.avg_cost_per_interval, 270.0);
+  }
+  // Auto undercuts static peak provisioning.
+  EXPECT_LT(cmp->Find("Auto")->run.avg_cost_per_interval,
+            cmp->Find("Peak")->run.avg_cost_per_interval);
+  // The table renders every technique.
+  std::string table = cmp->ToTable();
+  for (const auto& t : cmp->techniques) {
+    EXPECT_NE(table.find(t.name), std::string::npos);
+  }
+}
+
+TEST(ExperimentTest, TechniqueSubsetFilter) {
+  SimulationOptions options = SmallCpuioOptions();
+  ComparisonOptions copts;
+  copts.goal_factor = 1.5;
+  copts.techniques = {"Max", "Auto"};
+  auto cmp = RunComparison(options, copts);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->techniques.size(), 2u);
+}
+
+TEST(SimulationTest, UsageSeriesFeedsProfiler) {
+  SimulationOptions options = SmallCpuioOptions();
+  auto run = RunMax(options);
+  ASSERT_TRUE(run.ok());
+  auto usage = run->UsageSeries();
+  EXPECT_EQ(usage.size(), run->intervals.size());
+  // Usage never exceeds the Max container's resources.
+  for (const auto& u : usage) {
+    EXPECT_LE(u.cpu_cores, 32.0 + 1e-9);
+    EXPECT_LE(u.disk_iops, 10000.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dbscale::sim

@@ -1,0 +1,131 @@
+#include "src/stats/spearman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace dbscale::stats {
+namespace {
+
+TEST(RankTest, SimpleRanks) {
+  auto r = RankWithTies({30, 10, 20});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(RankTest, TiesGetAverageRank) {
+  auto r = RankWithTies({5, 5, 1, 9});
+  // sorted: 1(rank1), 5, 5 (ranks 2,3 -> 2.5), 9(rank4)
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(RankTest, AllEqual) {
+  auto r = RankWithTies({7, 7, 7});
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}).value(), 1.0,
+              1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}).value(), -1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}).value(), 0.0);
+}
+
+TEST(PearsonTest, Errors) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2}).ok());
+}
+
+TEST(SpearmanTest, PerfectMonotoneNonlinear) {
+  // Spearman detects any monotone relation; Pearson on raw values would be
+  // below 1 for this convex curve.
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y).value(), 1.0);
+}
+
+TEST(SpearmanTest, PerfectNegativeMonotone) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {100, 50, 20, 5, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentSeriesNearZero) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 0.0, 0.05);
+}
+
+TEST(SpearmanTest, OutlierResistance) {
+  // Pearson is destroyed by one gross outlier; Spearman bounds its effect
+  // through ranking.
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> y = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  y[9] = -1e9;
+  double rho = SpearmanCorrelation(x, y).value();
+  double pearson = PearsonCorrelation(x, y).value();
+  // Ranking bounds the outlier to one displaced rank (rho stays positive
+  // and moderate); Pearson is dragged to ~0.
+  EXPECT_GT(rho, 0.4);
+  EXPECT_LT(pearson, 0.3);
+  EXPECT_GT(rho, pearson + 0.3);
+}
+
+TEST(SpearmanTest, InvariantUnderMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.NextDouble() * 10.0;
+    x.push_back(v);
+    y.push_back(v + rng.Normal(0.0, 2.0));
+  }
+  double base = SpearmanCorrelation(x, y).value();
+  std::vector<double> x_log;
+  for (double v : x) x_log.push_back(std::log1p(v));
+  double transformed = SpearmanCorrelation(x_log, y).value();
+  EXPECT_NEAR(base, transformed, 1e-12);
+}
+
+TEST(SpearmanTest, Errors) {
+  EXPECT_FALSE(SpearmanCorrelation({1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(SpearmanCorrelation({1, 2, 3}, {1, 2}).ok());
+}
+
+/// Property: rho is always within [-1, 1] for random data of any size.
+class SpearmanRangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpearmanRangeSweep, RhoInRange) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> x, y;
+  for (int i = 0; i < GetParam(); ++i) {
+    x.push_back(rng.Normal(0, 1));
+    y.push_back(rng.Exponential(3.0));
+  }
+  double rho = SpearmanCorrelation(x, y).value();
+  EXPECT_GE(rho, -1.0);
+  EXPECT_LE(rho, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpearmanRangeSweep,
+                         ::testing::Values(3, 5, 10, 50, 500));
+
+}  // namespace
+}  // namespace dbscale::stats

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/telemetry/manager.h"
+#include "src/telemetry/sample.h"
+#include "src/telemetry/store.h"
+#include "src/telemetry/wait_class.h"
+
+namespace dbscale::telemetry {
+namespace {
+
+using container::ResourceKind;
+
+TelemetrySample MakeSample(double start_sec, double end_sec) {
+  TelemetrySample s;
+  s.period_start = SimTime::Zero() + Duration::Seconds(start_sec);
+  s.period_end = SimTime::Zero() + Duration::Seconds(end_sec);
+  s.requests_completed = 10;
+  return s;
+}
+
+TEST(WaitClassTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (WaitClass wc : kAllWaitClasses) {
+    names.insert(WaitClassToString(wc));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumWaitClasses));
+}
+
+TEST(WaitClassTest, ResourceMapping) {
+  EXPECT_EQ(WaitClassResource(WaitClass::kCpu), ResourceKind::kCpu);
+  EXPECT_EQ(WaitClassResource(WaitClass::kDiskIo), ResourceKind::kDiskIo);
+  EXPECT_EQ(WaitClassResource(WaitClass::kLogIo), ResourceKind::kLogIo);
+  EXPECT_EQ(WaitClassResource(WaitClass::kMemory), ResourceKind::kMemory);
+  // Buffer pool waits are relieved by memory, not disk.
+  EXPECT_EQ(WaitClassResource(WaitClass::kBufferPool),
+            ResourceKind::kMemory);
+  // Lock, latch and system waits cannot be fixed by scaling.
+  EXPECT_FALSE(WaitClassResource(WaitClass::kLock).has_value());
+  EXPECT_FALSE(WaitClassResource(WaitClass::kLatch).has_value());
+  EXPECT_FALSE(WaitClassResource(WaitClass::kSystem).has_value());
+}
+
+TEST(WaitClassTest, InverseMappingConsistent) {
+  for (ResourceKind kind : container::kAllResources) {
+    auto mask = WaitClassesForResource(kind);
+    for (WaitClass wc : kAllWaitClasses) {
+      bool in_mask = mask[static_cast<size_t>(wc)];
+      auto mapped = WaitClassResource(wc);
+      EXPECT_EQ(in_mask, mapped.has_value() && *mapped == kind);
+    }
+  }
+}
+
+TEST(SampleTest, WaitSharesSumTo100) {
+  TelemetrySample s = MakeSample(0, 5);
+  s.wait_ms[static_cast<size_t>(WaitClass::kCpu)] = 30;
+  s.wait_ms[static_cast<size_t>(WaitClass::kLock)] = 70;
+  EXPECT_DOUBLE_EQ(s.total_wait_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(s.wait_pct(WaitClass::kCpu), 30.0);
+  EXPECT_DOUBLE_EQ(s.wait_pct(WaitClass::kLock), 70.0);
+  double total = 0;
+  for (WaitClass wc : kAllWaitClasses) total += s.wait_pct(wc);
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST(SampleTest, NoWaitsGivesZeroShares) {
+  TelemetrySample s = MakeSample(0, 5);
+  EXPECT_DOUBLE_EQ(s.wait_pct(WaitClass::kCpu), 0.0);
+}
+
+TEST(SampleTest, Throughput) {
+  TelemetrySample s = MakeSample(0, 5);
+  s.requests_completed = 50;
+  EXPECT_DOUBLE_EQ(s.throughput_rps(), 10.0);
+}
+
+TEST(StoreTest, AppendAndRecent) {
+  TelemetryStore store(100);
+  for (int i = 0; i < 10; ++i) {
+    store.Append(MakeSample(i * 5, (i + 1) * 5));
+  }
+  EXPECT_EQ(store.size(), 10u);
+  auto recent = store.Recent(3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_DOUBLE_EQ(recent[0]->period_start.ToSeconds(), 35.0);
+  EXPECT_DOUBLE_EQ(recent[2]->period_end.ToSeconds(), 50.0);
+}
+
+TEST(StoreTest, RecentMoreThanAvailable) {
+  TelemetryStore store;
+  store.Append(MakeSample(0, 5));
+  EXPECT_EQ(store.Recent(10).size(), 1u);
+}
+
+TEST(StoreTest, BoundedRetention) {
+  TelemetryStore store(4);
+  for (int i = 0; i < 10; ++i) {
+    store.Append(MakeSample(i * 5, (i + 1) * 5));
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_DOUBLE_EQ(store.at(0).period_start.ToSeconds(), 30.0);
+}
+
+TEST(StoreTest, Range) {
+  TelemetryStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Append(MakeSample(i * 5, (i + 1) * 5));
+  }
+  auto range = store.Range(SimTime::Zero() + Duration::Seconds(10),
+                           SimTime::Zero() + Duration::Seconds(25));
+  ASSERT_EQ(range.size(), 3u);  // samples ending at 15, 20, 25
+  EXPECT_DOUBLE_EQ(range[0]->period_end.ToSeconds(), 15.0);
+}
+
+TEST(StoreTest, Extract) {
+  TelemetryStore store;
+  for (int i = 0; i < 5; ++i) {
+    TelemetrySample s = MakeSample(i * 5, (i + 1) * 5);
+    s.latency_p95_ms = 100.0 + i;
+    store.Append(std::move(s));
+  }
+  auto values = store.Extract(
+      3, [](const TelemetrySample& s) { return s.latency_p95_ms; });
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 102.0);
+  EXPECT_DOUBLE_EQ(values[2], 104.0);
+}
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  TelemetrySample Sample(int i) {
+    TelemetrySample s = MakeSample(i * 5.0, (i + 1) * 5.0);
+    s.requests_completed = 20;
+    s.latency_avg_ms = 50;
+    s.latency_p95_ms = 150;
+    s.allocation = container::ResourceVector{2, 2560, 200, 8};
+    return s;
+  }
+};
+
+TEST_F(ManagerTest, InvalidWithTooFewSamples) {
+  TelemetryStore store;
+  TelemetryManager manager;
+  auto snap = manager.Compute(store, SimTime::Zero());
+  EXPECT_FALSE(snap.valid);
+  store.Append(Sample(0));
+  snap = manager.Compute(store, SimTime::Zero() + Duration::Seconds(5));
+  EXPECT_FALSE(snap.valid);
+}
+
+TEST_F(ManagerTest, RobustAggregates) {
+  TelemetryStore store;
+  TelemetryManager manager;
+  for (int i = 0; i < 12; ++i) {
+    TelemetrySample s = Sample(i);
+    s.utilization_pct[0] = 40.0;  // cpu
+    s.wait_ms[static_cast<size_t>(WaitClass::kCpu)] = 200.0;
+    s.wait_ms[static_cast<size_t>(WaitClass::kLock)] = 600.0;
+    store.Append(std::move(s));
+  }
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(60));
+  ASSERT_TRUE(snap.valid);
+  const auto& cpu = snap.resource(ResourceKind::kCpu);
+  EXPECT_DOUBLE_EQ(cpu.utilization_pct, 40.0);
+  EXPECT_DOUBLE_EQ(cpu.wait_ms, 200.0);
+  EXPECT_DOUBLE_EQ(cpu.wait_ms_per_request, 10.0);
+  EXPECT_NEAR(cpu.wait_pct, 25.0, 1e-9);  // 200 of 800 total
+  EXPECT_NEAR(
+      snap.wait_pct_by_class[static_cast<size_t>(WaitClass::kLock)],
+      75.0, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.latency_ms, 150.0);  // p95 aggregate default
+}
+
+TEST_F(ManagerTest, OutlierSampleDoesNotMoveSignals) {
+  TelemetryStore store;
+  TelemetryManager manager;
+  for (int i = 0; i < 12; ++i) {
+    TelemetrySample s = Sample(i);
+    s.utilization_pct[0] = 30.0;
+    s.wait_ms[static_cast<size_t>(WaitClass::kCpu)] =
+        (i == 6) ? 1e9 : 100.0;  // checkpoint storm
+    store.Append(std::move(s));
+  }
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(60));
+  EXPECT_DOUBLE_EQ(snap.resource(ResourceKind::kCpu).wait_ms, 100.0);
+}
+
+TEST_F(ManagerTest, LatencyAggregateSelection) {
+  TelemetryManagerOptions options;
+  options.latency_aggregate = LatencyAggregate::kAverage;
+  TelemetryManager manager(options);
+  TelemetryStore store;
+  for (int i = 0; i < 6; ++i) store.Append(Sample(i));
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(30));
+  EXPECT_DOUBLE_EQ(snap.latency_ms, 50.0);
+}
+
+TEST_F(ManagerTest, IdleSamplesIgnoredForLatency) {
+  TelemetryManager manager;
+  TelemetryStore store;
+  for (int i = 0; i < 6; ++i) {
+    TelemetrySample s = Sample(i);
+    if (i % 2 == 0) {
+      s.requests_completed = 0;
+      s.latency_p95_ms = 0;
+    }
+    store.Append(std::move(s));
+  }
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(30));
+  EXPECT_DOUBLE_EQ(snap.latency_ms, 150.0);
+}
+
+TEST_F(ManagerTest, DetectsUtilizationTrend) {
+  TelemetryManager manager;
+  TelemetryStore store;
+  for (int i = 0; i < 24; ++i) {
+    TelemetrySample s = Sample(i);
+    s.utilization_pct[0] = 10.0 + 3.0 * i;
+    store.Append(std::move(s));
+  }
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(120));
+  const auto& cpu = snap.resource(ResourceKind::kCpu);
+  EXPECT_TRUE(cpu.utilization_trend.significant);
+  EXPECT_EQ(cpu.utilization_trend.direction,
+            stats::TrendDirection::kIncreasing);
+}
+
+TEST_F(ManagerTest, DetectsWaitLatencyCorrelation) {
+  TelemetryManager manager;
+  TelemetryStore store;
+  for (int i = 0; i < 24; ++i) {
+    TelemetrySample s = Sample(i);
+    // Latency rises exactly with cpu waits: strong rank correlation.
+    s.wait_ms[static_cast<size_t>(WaitClass::kCpu)] = 10.0 * i;
+    s.latency_p95_ms = 100.0 + 5.0 * i;
+    store.Append(std::move(s));
+  }
+  auto snap =
+      manager.Compute(store, SimTime::Zero() + Duration::Seconds(120));
+  EXPECT_GT(snap.resource(ResourceKind::kCpu).wait_latency_correlation,
+            0.9);
+}
+
+TEST_F(ManagerTest, ValidateRejectsBadOptions) {
+  TelemetryManagerOptions bad;
+  bad.trend_samples = 2;
+  EXPECT_FALSE(TelemetryManager(bad).Validate().ok());
+  bad = TelemetryManagerOptions();
+  bad.aggregation_samples = 0;
+  EXPECT_FALSE(TelemetryManager(bad).Validate().ok());
+  bad = TelemetryManagerOptions();
+  bad.trend_accept_fraction = 0.4;
+  EXPECT_FALSE(TelemetryManager(bad).Validate().ok());
+  EXPECT_TRUE(TelemetryManager().Validate().ok());
+}
+
+}  // namespace
+}  // namespace dbscale::telemetry

@@ -1,0 +1,162 @@
+#include "src/stats/theil_sen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace dbscale::stats {
+namespace {
+
+TEST(TheilSenTest, PerfectLine) {
+  TheilSenEstimator est;
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {1, 3, 5, 7, 9};  // y = 2x + 1
+  auto r = est.Fit(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->slope, 2.0);
+  EXPECT_DOUBLE_EQ(r->intercept, 1.0);
+  EXPECT_TRUE(r->significant);
+  EXPECT_EQ(r->direction, TrendDirection::kIncreasing);
+  EXPECT_DOUBLE_EQ(r->fraction_positive, 1.0);
+}
+
+TEST(TheilSenTest, DecreasingLine) {
+  TheilSenEstimator est;
+  auto r = est.FitSequence({10, 8, 6, 4, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->slope, -2.0);
+  EXPECT_EQ(r->direction, TrendDirection::kDecreasing);
+  EXPECT_TRUE(r->significant);
+}
+
+TEST(TheilSenTest, ConstantSeriesNoTrend) {
+  TheilSenEstimator est;
+  auto r = est.FitSequence({5, 5, 5, 5, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->slope, 0.0);
+  EXPECT_FALSE(r->significant);
+  EXPECT_EQ(r->direction, TrendDirection::kNone);
+}
+
+TEST(TheilSenTest, BreakdownRobustness) {
+  // ~29% breakdown point: with one gross outlier in 10 points the slope
+  // barely moves, while least squares would be destroyed.
+  TheilSenEstimator est;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) y.push_back(2.0 * i);
+  y[5] = 1e6;  // outlier
+  auto r = est.FitSequence(y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->slope, 2.0, 0.5);
+  EXPECT_TRUE(r->significant);
+  EXPECT_EQ(r->direction, TrendDirection::kIncreasing);
+}
+
+TEST(TheilSenTest, PureNoiseRejected) {
+  TheilSenEstimator est;
+  Rng rng(11);
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) y.push_back(rng.Normal(100.0, 10.0));
+  auto r = est.FitSequence(y);
+  ASSERT_TRUE(r.ok());
+  // Alternating noise: neither sign reaches the 70% agreement bar.
+  EXPECT_FALSE(r->significant);
+}
+
+TEST(TheilSenTest, NoisyTrendAccepted) {
+  TheilSenEstimator est;
+  Rng rng(13);
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    y.push_back(5.0 * i + rng.Normal(0.0, 8.0));
+  }
+  auto r = est.FitSequence(y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->significant);
+  EXPECT_EQ(r->direction, TrendDirection::kIncreasing);
+  EXPECT_NEAR(r->slope, 5.0, 1.0);
+}
+
+TEST(TheilSenTest, FractionAccounting) {
+  TheilSenEstimator est;
+  auto r = est.FitSequence({0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(r.ok());
+  // Zero slopes (tied y at different x) count in neither fraction.
+  EXPECT_LE(r->fraction_positive + r->fraction_negative, 1.0);
+  EXPECT_GT(r->fraction_positive, 0.0);
+  EXPECT_GT(r->fraction_negative, 0.0);
+  EXPECT_FALSE(r->significant);
+}
+
+TEST(TheilSenTest, ErrorsOnBadInput) {
+  TheilSenEstimator est;
+  EXPECT_FALSE(est.Fit({1, 2}, {1, 2, 3}).ok());       // size mismatch
+  EXPECT_FALSE(est.Fit({1, 2}, {1, 2}).ok());          // too few points
+  EXPECT_FALSE(est.Fit({1, 1, 1}, {1, 2, 3}).ok());    // all-equal x
+}
+
+TEST(TheilSenTest, InvalidAcceptFraction) {
+  TheilSenEstimator too_low(0.5);
+  EXPECT_TRUE(
+      too_low.FitSequence({1, 2, 3}).status().IsOutOfRange());
+  TheilSenEstimator too_high(1.01);
+  EXPECT_TRUE(
+      too_high.FitSequence({1, 2, 3}).status().IsOutOfRange());
+}
+
+TEST(TheilSenTest, DuplicateXPairsIgnored) {
+  TheilSenEstimator est;
+  std::vector<double> x = {0, 0, 1, 2, 3};
+  std::vector<double> y = {0, 100, 2, 4, 6};
+  auto r = est.Fit(x, y);
+  ASSERT_TRUE(r.ok());
+  // The vertical pair contributes nothing; the remaining slopes include the
+  // outlier's influence only through finite slopes.
+  EXPECT_GT(r->slope, 0.0);
+}
+
+TEST(TheilSenTest, StricterAcceptanceRejectsWeakTrend) {
+  // A trend where exactly ~73% of slopes are positive: accepted at 0.70,
+  // rejected at 0.90.
+  Rng rng(17);
+  std::vector<double> y;
+  for (int i = 0; i < 24; ++i) {
+    y.push_back(1.0 * i + rng.Normal(0.0, 14.0));
+  }
+  TheilSenEstimator loose(0.70);
+  TheilSenEstimator strict(0.95);
+  auto rl = loose.FitSequence(y);
+  auto rs = strict.FitSequence(y);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_FALSE(rs->significant);
+}
+
+/// Property sweep: a clean linear trend of any slope/sign is recovered.
+class TheilSenSlopeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TheilSenSlopeSweep, RecoversSlope) {
+  const double slope = GetParam();
+  TheilSenEstimator est;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) y.push_back(slope * i + 3.0);
+  auto r = est.FitSequence(y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->slope, slope, 1e-9);
+  if (slope > 0) {
+    EXPECT_EQ(r->direction, TrendDirection::kIncreasing);
+  } else if (slope < 0) {
+    EXPECT_EQ(r->direction, TrendDirection::kDecreasing);
+  } else {
+    EXPECT_EQ(r->direction, TrendDirection::kNone);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, TheilSenSlopeSweep,
+                         ::testing::Values(-100.0, -2.5, -0.001, 0.0, 0.001,
+                                           1.0, 42.0));
+
+}  // namespace
+}  // namespace dbscale::stats

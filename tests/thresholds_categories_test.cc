@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "src/scaler/categories.h"
+#include "src/scaler/thresholds.h"
+
+namespace dbscale::scaler {
+namespace {
+
+using container::ResourceKind;
+
+TEST(ThresholdsTest, DefaultsValidate) {
+  EXPECT_TRUE(SignalThresholds::Default().Validate().ok());
+}
+
+TEST(ThresholdsTest, ValidateCatchesBadRanges) {
+  SignalThresholds t = SignalThresholds::Default();
+  t.For(ResourceKind::kCpu).util_low_pct = 80.0;  // >= util_high
+  EXPECT_FALSE(t.Validate().ok());
+
+  t = SignalThresholds::Default();
+  t.For(ResourceKind::kDiskIo).wait_high_ms_per_req = 0.5;  // < low
+  EXPECT_FALSE(t.Validate().ok());
+
+  t = SignalThresholds::Default();
+  t.For(ResourceKind::kLogIo).wait_pct_significant = 0.0;
+  EXPECT_FALSE(t.Validate().ok());
+
+  t = SignalThresholds::Default();
+  t.correlation_significant = 1.5;
+  EXPECT_FALSE(t.Validate().ok());
+
+  t = SignalThresholds::Default();
+  t.extreme_factor = 0.9;
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+class CategorizeTest : public ::testing::Test {
+ protected:
+  telemetry::SignalSnapshot Snapshot() {
+    telemetry::SignalSnapshot s;
+    s.valid = true;
+    s.latency_ms = 100.0;
+    return s;
+  }
+  telemetry::ResourceSignals& Cpu(telemetry::SignalSnapshot& s) {
+    return s.resources[static_cast<size_t>(ResourceKind::kCpu)];
+  }
+  SignalThresholds thresholds_ = SignalThresholds::Default();
+};
+
+TEST_F(CategorizeTest, InvalidSnapshotStaysInvalid) {
+  telemetry::SignalSnapshot s;
+  s.valid = false;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_FALSE(cats.valid);
+}
+
+TEST_F(CategorizeTest, UtilizationLevels) {
+  auto s = Snapshot();
+  Cpu(s).utilization_pct = 10.0;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).utilization, Level::kLow);
+  EXPECT_TRUE(cats.resource(ResourceKind::kCpu).utilization_very_low);
+
+  Cpu(s).utilization_pct = 50.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).utilization, Level::kMedium);
+
+  Cpu(s).utilization_pct = 75.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).utilization, Level::kHigh);
+  EXPECT_FALSE(cats.resource(ResourceKind::kCpu).utilization_extreme);
+
+  Cpu(s).utilization_pct = 97.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_TRUE(cats.resource(ResourceKind::kCpu).utilization_extreme);
+}
+
+TEST_F(CategorizeTest, WaitMagnitudeLevels) {
+  auto s = Snapshot();
+  Cpu(s).wait_ms_per_request = 0.5;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_magnitude, Level::kLow);
+  EXPECT_TRUE(cats.resource(ResourceKind::kCpu).wait_very_low);
+
+  Cpu(s).wait_ms_per_request = 10.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_magnitude,
+            Level::kMedium);
+
+  Cpu(s).wait_ms_per_request = 40.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_magnitude, Level::kHigh);
+  EXPECT_FALSE(cats.resource(ResourceKind::kCpu).wait_extreme);
+
+  Cpu(s).wait_ms_per_request = 100.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_TRUE(cats.resource(ResourceKind::kCpu).wait_extreme);
+}
+
+TEST_F(CategorizeTest, WaitShareSignificance) {
+  auto s = Snapshot();
+  Cpu(s).wait_pct = 10.0;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_share,
+            Significance::kNotSignificant);
+  Cpu(s).wait_pct = 60.0;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_share,
+            Significance::kSignificant);
+}
+
+TEST_F(CategorizeTest, TrendsOnlyWhenSignificant) {
+  auto s = Snapshot();
+  Cpu(s).utilization_trend.slope = 5.0;
+  Cpu(s).utilization_trend.significant = false;
+  Cpu(s).utilization_trend.direction = stats::TrendDirection::kIncreasing;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).utilization_trend,
+            stats::TrendDirection::kNone);
+
+  Cpu(s).utilization_trend.significant = true;
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).utilization_trend,
+            stats::TrendDirection::kIncreasing);
+  EXPECT_TRUE(cats.resource(ResourceKind::kCpu).AnyIncreasingTrend());
+}
+
+TEST_F(CategorizeTest, CorrelationSignificance) {
+  auto s = Snapshot();
+  Cpu(s).wait_latency_correlation = 0.3;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_latency_correlation,
+            Significance::kNotSignificant);
+  Cpu(s).wait_latency_correlation = -0.8;  // |rho| counts
+  cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.resource(ResourceKind::kCpu).wait_latency_correlation,
+            Significance::kSignificant);
+}
+
+TEST_F(CategorizeTest, LatencyVsGoal) {
+  auto s = Snapshot();
+  s.latency_ms = 100.0;
+  LatencyGoal goal{telemetry::LatencyAggregate::kP95, 150.0};
+  auto cats = Categorize(s, thresholds_, goal);
+  EXPECT_EQ(cats.latency, LatencyCategory::kGood);
+  EXPECT_TRUE(cats.has_latency_goal);
+  EXPECT_NEAR(cats.latency_ratio, 100.0 / 150.0, 1e-9);
+
+  s.latency_ms = 200.0;
+  cats = Categorize(s, thresholds_, goal);
+  EXPECT_EQ(cats.latency, LatencyCategory::kBad);
+}
+
+TEST_F(CategorizeTest, SafetyBufferTriggersBadBeforeGoal) {
+  // Section 7.3: the scaler keeps a performance buffer — latency counts as
+  // BAD slightly before the goal is actually crossed.
+  auto s = Snapshot();
+  LatencyGoal goal{telemetry::LatencyAggregate::kP95, 100.0};
+  s.latency_ms = 95.0;  // within goal, above the 92% buffer
+  auto cats = Categorize(s, thresholds_, goal);
+  EXPECT_EQ(cats.latency, LatencyCategory::kBad);
+  s.latency_ms = 90.0;  // under the buffer
+  cats = Categorize(s, thresholds_, goal);
+  EXPECT_EQ(cats.latency, LatencyCategory::kGood);
+  CategorizeOptions no_buffer;
+  no_buffer.latency_bad_fraction = 1.0;
+  s.latency_ms = 95.0;
+  cats = Categorize(s, thresholds_, goal, no_buffer);
+  EXPECT_EQ(cats.latency, LatencyCategory::kGood);
+}
+
+TEST_F(CategorizeTest, NoGoalMeansGood) {
+  auto s = Snapshot();
+  s.latency_ms = 1e9;
+  auto cats = Categorize(s, thresholds_, std::nullopt);
+  EXPECT_EQ(cats.latency, LatencyCategory::kGood);
+  EXPECT_FALSE(cats.has_latency_goal);
+  EXPECT_FALSE(cats.latency_degrading);
+}
+
+TEST_F(CategorizeTest, DegradingWhenProjectionCrossesGoal) {
+  auto s = Snapshot();
+  s.latency_ms = 120.0;
+  s.latency_trend.significant = true;
+  s.latency_trend.direction = stats::TrendDirection::kIncreasing;
+  s.latency_trend.slope = 5.0;  // ms per sample
+  LatencyGoal goal{telemetry::LatencyAggregate::kP95, 150.0};
+  auto cats = Categorize(s, thresholds_, goal);
+  EXPECT_TRUE(cats.latency_degrading);
+
+  // A flat-enough slope does not project over the goal.
+  s.latency_trend.slope = 0.01;
+  cats = Categorize(s, thresholds_, goal);
+  EXPECT_FALSE(cats.latency_degrading);
+
+  // A decreasing trend is never degrading.
+  s.latency_trend.slope = -5.0;
+  s.latency_trend.direction = stats::TrendDirection::kDecreasing;
+  cats = Categorize(s, thresholds_, goal);
+  EXPECT_FALSE(cats.latency_degrading);
+}
+
+TEST_F(CategorizeTest, BadLatencyIsNotAlsoDegrading) {
+  auto s = Snapshot();
+  s.latency_ms = 500.0;
+  s.latency_trend.significant = true;
+  s.latency_trend.direction = stats::TrendDirection::kIncreasing;
+  s.latency_trend.slope = 50.0;
+  LatencyGoal goal{telemetry::LatencyAggregate::kP95, 150.0};
+  auto cats = Categorize(s, thresholds_, goal);
+  EXPECT_EQ(cats.latency, LatencyCategory::kBad);
+  EXPECT_FALSE(cats.latency_degrading);  // BAD subsumes it
+}
+
+}  // namespace
+}  // namespace dbscale::scaler

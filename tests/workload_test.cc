@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/container/catalog.h"
+#include "src/workload/generator.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+#include "src/workload/trace.h"
+
+namespace dbscale::workload {
+namespace {
+
+TEST(TraceTest, Basics) {
+  Trace t("t", {10, 20, 30});
+  EXPECT_EQ(t.num_steps(), 3u);
+  EXPECT_DOUBLE_EQ(t.rate_at(0), 10);
+  EXPECT_DOUBLE_EQ(t.rate_at(2), 30);
+  EXPECT_DOUBLE_EQ(t.rate_at(99), 30);  // clamps to last
+  EXPECT_DOUBLE_EQ(t.max_rate(), 30);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 20);
+}
+
+TEST(TraceTest, Scaled) {
+  Trace t("t", {10, 20});
+  Trace s = t.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.rate_at(0), 5);
+  EXPECT_DOUBLE_EQ(s.rate_at(1), 10);
+}
+
+TEST(TraceTest, Subsampled) {
+  Trace t("t", {0, 1, 2, 3, 4, 5, 6});
+  Trace s = t.Subsampled(3).value();
+  ASSERT_EQ(s.num_steps(), 3u);
+  EXPECT_DOUBLE_EQ(s.rate_at(1), 3);
+  EXPECT_FALSE(t.Subsampled(0).ok());
+}
+
+TEST(TraceTest, Prefix) {
+  Trace t("t", {1, 2, 3});
+  EXPECT_EQ(t.Prefix(2).value().num_steps(), 2u);
+  EXPECT_FALSE(t.Prefix(0).ok());
+  EXPECT_FALSE(t.Prefix(4).ok());
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace t("orig", {1.5, 0.0, 42.25});
+  auto parsed = Trace::FromCsv("copy", t.ToCsv());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_steps(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->rate_at(0), 1.5);
+  EXPECT_DOUBLE_EQ(parsed->rate_at(2), 42.25);
+}
+
+TEST(TraceTest, CsvRejectsGarbage) {
+  EXPECT_FALSE(Trace::FromCsv("x", "step,rps\n0,abc\n").ok());
+  EXPECT_FALSE(Trace::FromCsv("x", "step,rps\n0\n").ok());
+  EXPECT_FALSE(Trace::FromCsv("x", "step,rps\n0,-5\n").ok());
+  EXPECT_FALSE(Trace::FromCsv("x", "").ok());
+}
+
+TEST(PaperTracesTest, AllFourHaveExpectedShape) {
+  for (int i = 1; i <= 4; ++i) {
+    auto t = MakePaperTrace(i);
+    ASSERT_TRUE(t.ok()) << i;
+    EXPECT_EQ(t->num_steps(), kPaperTraceSteps);
+    EXPECT_LE(t->max_rate(), 200.0);  // Figure 8 axis cap
+    EXPECT_GT(t->max_rate(), 50.0);
+  }
+  EXPECT_FALSE(MakePaperTrace(0).ok());
+  EXPECT_FALSE(MakePaperTrace(5).ok());
+}
+
+TEST(PaperTracesTest, Deterministic) {
+  Trace a = MakeTrace2LongBurst(7);
+  Trace b = MakeTrace2LongBurst(7);
+  EXPECT_EQ(a.values(), b.values());
+  Trace c = MakeTrace2LongBurst(8);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(PaperTracesTest, Trace1IsSteady) {
+  Trace t = MakeTrace1Steady();
+  // Coefficient of variation stays small: no deep idle, no huge bursts.
+  EXPECT_GT(t.mean_rate(), 80.0);
+  EXPECT_LT(t.max_rate() / t.mean_rate(), 2.0);
+}
+
+TEST(PaperTracesTest, Trace2HasOneLongBurst) {
+  Trace t = MakeTrace2LongBurst();
+  // Mostly idle: mean well below the burst plateau.
+  EXPECT_LT(t.mean_rate(), 60.0);
+  // The burst spans hours: many steps above 80 rps.
+  int high = static_cast<int>(std::count_if(
+      t.values().begin(), t.values().end(),
+      [](double v) { return v > 80.0; }));
+  EXPECT_GT(high, 250);
+  EXPECT_LT(high, 500);
+}
+
+TEST(PaperTracesTest, Trace3BurstShorterThanTrace2) {
+  auto count_high = [](const Trace& t) {
+    return std::count_if(t.values().begin(), t.values().end(),
+                         [](double v) { return v > 80.0; });
+  };
+  EXPECT_LT(count_high(MakeTrace3ShortBurst()),
+            count_high(MakeTrace2LongBurst()) / 2);
+}
+
+TEST(PaperTracesTest, Trace4HasManyBursts) {
+  Trace t = MakeTrace4ManyBursts();
+  // Count rising edges across 60 rps.
+  int edges = 0;
+  const auto& v = t.values();
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] <= 60.0 && v[i] > 60.0) ++edges;
+  }
+  EXPECT_GE(edges, 8);
+}
+
+TEST(MixTest, BuildersValidate) {
+  EXPECT_TRUE(MakeTpccWorkload().Validate().ok());
+  EXPECT_TRUE(MakeDs2Workload().Validate().ok());
+  EXPECT_TRUE(MakeCpuioWorkload().Validate().ok());
+}
+
+TEST(MixTest, ValidateRejectsBadSpecs) {
+  WorkloadSpec spec = MakeTpccWorkload();
+  spec.classes.clear();
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeTpccWorkload();
+  spec.classes[0].weight = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeTpccWorkload();
+  spec.classes[0].lock_probability = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeTpccWorkload();
+  spec.working_set_mb = spec.database_mb + 1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeTpccWorkload();
+  spec.num_hot_rows = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MixTest, MeanCpuMsWeighted) {
+  WorkloadSpec spec;
+  spec.name = "w";
+  spec.working_set_mb = 1;
+  spec.database_mb = 1;
+  spec.num_hot_rows = 1;
+  TransactionClass a;
+  a.name = "a";
+  a.weight = 1.0;
+  a.cpu_ms_mean = 10.0;
+  TransactionClass b;
+  b.name = "b";
+  b.weight = 3.0;
+  b.cpu_ms_mean = 2.0;
+  spec.classes = {a, b};
+  EXPECT_DOUBLE_EQ(spec.MeanCpuMs(), (10.0 + 3 * 2.0) / 4.0);
+}
+
+TEST(MixTest, SampleRespectsClassWeights) {
+  WorkloadSpec spec = MakeTpccWorkload();
+  Rng rng(5);
+  std::vector<int> counts(spec.classes.size(), 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int cls = -1;
+    spec.Sample(&rng, &cls);
+    ASSERT_GE(cls, 0);
+    ++counts[static_cast<size_t>(cls)];
+  }
+  // new-order 45%, payment 43%.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.45, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.43, 0.02);
+}
+
+TEST(MixTest, TpccIsLockHeavy) {
+  WorkloadSpec spec = MakeTpccWorkload();
+  Rng rng(5);
+  int locked = 0;
+  const int n = 10000;
+  double hold_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto req = spec.Sample(&rng);
+    if (req.lock_row >= 0) {
+      ++locked;
+      hold_sum += req.lock_hold_extra_ms;
+      EXPECT_LT(req.lock_row, spec.num_hot_rows);
+    }
+  }
+  EXPECT_GT(locked, n / 4);  // a third-ish of transactions lock
+  EXPECT_GT(hold_sum / locked, 10.0);  // app-held locks
+}
+
+TEST(MixTest, CpuioIsEffectivelyLockFree) {
+  WorkloadSpec spec = MakeCpuioWorkload();
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(spec.Sample(&rng).lock_row, 0);
+  }
+}
+
+TEST(MixTest, CpuioKnobsShiftTheMix) {
+  CpuioOptions io_only;
+  io_only.cpu_weight = 0.01;
+  io_only.io_weight = 0.97;
+  io_only.log_weight = 0.01;
+  io_only.mixed_weight = 0.01;
+  WorkloadSpec spec = MakeCpuioWorkload(io_only);
+  EXPECT_LT(spec.MeanCpuMs(), 30.0);
+  EXPECT_GT(spec.MeanPages(), 100.0);
+}
+
+TEST(MixTest, SampleValuesWithinCaps) {
+  WorkloadSpec spec = MakeCpuioWorkload();
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    auto req = spec.Sample(&rng);
+    EXPECT_GE(req.cpu_ms, 0.05);
+    EXPECT_LE(req.cpu_ms, 10.0 * 120.0 + 1);
+    EXPECT_GE(req.page_accesses, 0);
+    EXPECT_GE(req.log_kb, 0.0);
+  }
+}
+
+TEST(GeneratorTest, HitsTargetRate) {
+  engine::EventQueue events;
+  auto spec = MakeCpuioWorkload();
+  engine::EngineOptions eo = spec.MakeEngineOptions();
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  engine::DatabaseEngine engine(&events, eo, catalog.largest(), Rng(3));
+  GeneratorOptions go;
+  go.step_duration = Duration::Seconds(10);
+  Trace trace("t", {50.0});
+  RequestGenerator generator(&engine, spec, trace, go, Rng(4));
+  generator.Start();
+  events.RunUntil(generator.end_time());
+  // Poisson arrivals at 50 rps over 10s: ~500 +- noise.
+  EXPECT_NEAR(static_cast<double>(generator.requests_issued()), 500.0,
+              70.0);
+}
+
+TEST(GeneratorTest, FollowsRateChanges) {
+  engine::EventQueue events;
+  auto spec = MakeCpuioWorkload();
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  engine::DatabaseEngine engine(&events, spec.MakeEngineOptions(),
+                                catalog.largest(), Rng(3));
+  GeneratorOptions go;
+  go.step_duration = Duration::Seconds(10);
+  Trace trace("t", {100.0, 0.0, 100.0});
+  RequestGenerator generator(&engine, spec, trace, go, Rng(4));
+  generator.Start();
+  events.RunUntil(SimTime::Zero() + Duration::Seconds(10));
+  uint64_t after_step1 = generator.requests_issued();
+  events.RunUntil(SimTime::Zero() + Duration::Seconds(20));
+  uint64_t after_step2 = generator.requests_issued();
+  events.RunUntil(generator.end_time());
+  uint64_t after_step3 = generator.requests_issued();
+  EXPECT_NEAR(static_cast<double>(after_step1), 1000.0, 150.0);
+  // Idle step produces (almost) nothing: allow the one arrival already
+  // scheduled across the boundary.
+  EXPECT_LE(after_step2 - after_step1, 2u);
+  EXPECT_NEAR(static_cast<double>(after_step3 - after_step2), 1000.0,
+              150.0);
+}
+
+TEST(GeneratorTest, StopsAtTraceEnd) {
+  engine::EventQueue events;
+  auto spec = MakeCpuioWorkload();
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  engine::DatabaseEngine engine(&events, spec.MakeEngineOptions(),
+                                catalog.largest(), Rng(3));
+  GeneratorOptions go;
+  go.step_duration = Duration::Seconds(5);
+  Trace trace("t", {20.0, 20.0});
+  RequestGenerator generator(&engine, spec, trace, go, Rng(4));
+  generator.Start();
+  events.RunAll();
+  EXPECT_DOUBLE_EQ(generator.end_time().ToSeconds(), 10.0);
+  uint64_t total = generator.requests_issued();
+  EXPECT_NEAR(static_cast<double>(total), 200.0, 50.0);
+}
+
+TEST(GeneratorTest, RateScaleMultiplies) {
+  engine::EventQueue events;
+  auto spec = MakeCpuioWorkload();
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  engine::DatabaseEngine engine(&events, spec.MakeEngineOptions(),
+                                catalog.largest(), Rng(3));
+  GeneratorOptions go;
+  go.step_duration = Duration::Seconds(10);
+  go.rate_scale = 0.1;
+  Trace trace("t", {100.0});
+  RequestGenerator generator(&engine, spec, trace, go, Rng(4));
+  generator.Start();
+  events.RunAll();
+  EXPECT_NEAR(static_cast<double>(generator.requests_issued()), 100.0,
+              35.0);
+}
+
+TEST(GeneratorTest, InFlightCapDropsExcess) {
+  engine::EventQueue events;
+  auto spec = MakeCpuioWorkload();
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+  // Tiny container: requests pile up immediately.
+  engine::DatabaseEngine engine(&events, spec.MakeEngineOptions(),
+                                catalog.smallest(), Rng(3));
+  GeneratorOptions go;
+  go.step_duration = Duration::Seconds(10);
+  go.max_in_flight = 10;
+  Trace trace("t", {200.0});
+  RequestGenerator generator(&engine, spec, trace, go, Rng(4));
+  generator.Start();
+  events.RunUntil(generator.end_time());
+  EXPECT_GT(generator.requests_dropped(), 100u);
+  EXPECT_LE(engine.requests_in_flight(), 10u);
+}
+
+}  // namespace
+}  // namespace dbscale::workload
