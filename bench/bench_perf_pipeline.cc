@@ -1,0 +1,243 @@
+// Performance benchmark for the parallel simulation pipeline (fleet
+// fan-out) and the allocation-free per-interval signal path.
+//
+// Writes machine-readable results to BENCH_perf.json (override with
+// --out=PATH):
+//   * fleet wall time, serial vs 1/2/4/8 threads, with a determinism
+//     checksum per run (must be identical across thread counts);
+//   * TelemetryManager::Compute throughput and heap allocations per call,
+//     with and without a reusable SignalScratch.
+//
+// Numbers are only meaningful relative to `hardware_concurrency`, which is
+// recorded alongside them: on a single-core host the parallel runs cannot
+// beat serial and the interesting result is the allocation counts.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/container/catalog.h"
+#include "src/fleet/fleet_sim.h"
+#include "src/telemetry/manager.h"
+
+namespace {
+
+/// Heap allocations made by the calling thread. Thread-local so worker
+/// threads (and the global pool) never pollute single-threaded
+/// measurements.
+thread_local std::int64_t t_alloc_count = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbscale::bench {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Order-sensitive digest of a fleet run; identical inputs must produce
+/// identical digests at every thread count.
+double FleetChecksum(const fleet::FleetTelemetry& t) {
+  double sum = 0.0;
+  double weight = 1.0;
+  for (const fleet::HourlyRecord& r : t.hourly) {
+    weight = weight >= 1e9 ? 1.0 : weight + 1e-3;
+    for (size_t ri = 0; ri < container::kNumResources; ++ri) {
+      sum += weight * (r.utilization_pct[ri] + r.wait_ms_per_request[ri]);
+    }
+  }
+  for (double m : t.inter_event_minutes) sum += m;
+  for (size_t i = 0; i < t.step_size_counts.size(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(t.step_size_counts[i]);
+  }
+  return sum;
+}
+
+struct FleetRunStats {
+  int num_threads = 0;
+  double seconds = 0.0;
+  double checksum = 0.0;
+};
+
+FleetRunStats TimeFleetRun(const container::Catalog& catalog,
+                           fleet::FleetOptions options, int num_threads) {
+  options.num_threads = num_threads;
+  fleet::FleetSimulator sim(catalog, options);
+  const double start = NowSeconds();
+  auto telemetry = sim.Run();
+  const double elapsed = NowSeconds() - start;
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "fleet run failed: %s\n",
+                 telemetry.status().ToString().c_str());
+  }
+  DBSCALE_CHECK(telemetry.ok());
+  return {num_threads, elapsed, FleetChecksum(*telemetry)};
+}
+
+telemetry::TelemetryStore MakeSignalStore(const container::Catalog& catalog) {
+  telemetry::TelemetryStore store;
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    telemetry::TelemetrySample sample;
+    sample.period_start = SimTime::Zero() + Duration::Seconds(i * 5);
+    sample.period_end = SimTime::Zero() + Duration::Seconds((i + 1) * 5);
+    sample.requests_completed = 100;
+    sample.latency_p95_ms = rng.LogNormal(5.0, 0.3);
+    for (size_t r = 0; r < container::kNumResources; ++r) {
+      sample.utilization_pct[r] = rng.Uniform(0, 100);
+    }
+    for (size_t w = 0; w < telemetry::kNumWaitClasses; ++w) {
+      sample.wait_ms[w] = rng.LogNormal(4.0, 1.0);
+    }
+    sample.allocation = catalog.rung(4).resources;
+    store.Append(std::move(sample));
+  }
+  return store;
+}
+
+struct ComputeStats {
+  double calls_per_sec = 0.0;
+  double allocs_per_call = 0.0;
+};
+
+ComputeStats TimeCompute(const telemetry::TelemetryManager& manager,
+                         const telemetry::TelemetryStore& store,
+                         telemetry::SignalScratch* scratch, int iterations) {
+  const SimTime now = SimTime::Zero() + Duration::Seconds(64 * 5);
+  // Warm up (first scratch call sizes the buffers; later calls must not
+  // allocate).
+  for (int i = 0; i < 16; ++i) manager.Compute(store, now, scratch);
+  const std::int64_t allocs_before = t_alloc_count;
+  const double start = NowSeconds();
+  double sink = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    sink += manager.Compute(store, now, scratch).latency_ms;
+  }
+  const double elapsed = NowSeconds() - start;
+  const std::int64_t allocs = t_alloc_count - allocs_before;
+  DBSCALE_CHECK(sink > 0.0);
+  ComputeStats stats;
+  stats.calls_per_sec = iterations / elapsed;
+  stats.allocs_per_call =
+      static_cast<double>(allocs) / static_cast<double>(iterations);
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  fleet::FleetOptions fleet_options;
+  fleet_options.num_tenants = 200;
+  fleet_options.num_intervals = 288;  // one simulated day
+  fleet_options.seed = 17;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      fleet_options.num_tenants = 1000;
+      fleet_options.num_intervals = 7 * 288;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", hw);
+  std::printf("default threads (DBSCALE_NUM_THREADS aware): %d\n\n",
+              ThreadPool::DefaultNumThreads());
+
+  container::Catalog catalog = container::Catalog::MakeLockStep();
+
+  std::printf("fleet: %d tenants x %d intervals\n",
+              fleet_options.num_tenants, fleet_options.num_intervals);
+  std::vector<FleetRunStats> fleet_runs;
+  for (int threads : {1, 2, 4, 8}) {
+    fleet_runs.push_back(TimeFleetRun(catalog, fleet_options, threads));
+    const FleetRunStats& run = fleet_runs.back();
+    std::printf("  threads=%d  %.3fs  speedup=%.2fx  checksum=%.6f\n",
+                run.num_threads, run.seconds,
+                fleet_runs.front().seconds / run.seconds, run.checksum);
+    // Bit-identical output is a hard guarantee, not a tolerance.
+    DBSCALE_CHECK(run.checksum == fleet_runs.front().checksum);
+  }
+
+  telemetry::TelemetryStore store = MakeSignalStore(catalog);
+  telemetry::TelemetryManager manager;
+  telemetry::SignalScratch scratch;
+  const int iterations = 20000;
+  ComputeStats no_scratch = TimeCompute(manager, store, nullptr, iterations);
+  ComputeStats with_scratch =
+      TimeCompute(manager, store, &scratch, iterations);
+  std::printf("\nTelemetryManager::Compute (64-sample store):\n");
+  std::printf("  no scratch:   %10.0f calls/s  %6.1f allocs/call\n",
+              no_scratch.calls_per_sec, no_scratch.allocs_per_call);
+  std::printf("  with scratch: %10.0f calls/s  %6.1f allocs/call\n",
+              with_scratch.calls_per_sec, with_scratch.allocs_per_call);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  DBSCALE_CHECK(out != nullptr);
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(out, "  \"fleet\": {\n");
+  std::fprintf(out, "    \"num_tenants\": %d,\n", fleet_options.num_tenants);
+  std::fprintf(out, "    \"num_intervals\": %d,\n",
+               fleet_options.num_intervals);
+  std::fprintf(out, "    \"runs\": [\n");
+  for (size_t i = 0; i < fleet_runs.size(); ++i) {
+    const FleetRunStats& run = fleet_runs[i];
+    std::fprintf(out,
+                 "      {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"speedup_vs_serial\": %.4f, \"checksum\": %.6f}%s\n",
+                 run.num_threads, run.seconds,
+                 fleet_runs.front().seconds / run.seconds, run.checksum,
+                 i + 1 < fleet_runs.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"deterministic_across_threads\": true\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"telemetry_compute\": {\n");
+  std::fprintf(out, "    \"iterations\": %d,\n", iterations);
+  std::fprintf(out,
+               "    \"no_scratch\": {\"calls_per_sec\": %.0f, "
+               "\"allocs_per_call\": %.2f},\n",
+               no_scratch.calls_per_sec, no_scratch.allocs_per_call);
+  std::fprintf(out,
+               "    \"with_scratch\": {\"calls_per_sec\": %.0f, "
+               "\"allocs_per_call\": %.2f}\n",
+               with_scratch.calls_per_sec, with_scratch.allocs_per_call);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbscale::bench
+
+int main(int argc, char** argv) { return dbscale::bench::Main(argc, argv); }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full check: normal build + complete test suite, then a ThreadSanitizer
+# build running the concurrency-sensitive tests (thread pool, parallel
+# fleet fan-out, experiment comparison).
+#
+# Usage: ci/check.sh [build-dir-prefix]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc)"
+
+echo "=== normal build + full test suite ==="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== ThreadSanitizer build (concurrency tests) ==="
+# Benchmarks/examples are skipped under TSan: they triple the build for no
+# extra race coverage beyond what the targeted tests exercise.
+cmake -B "${PREFIX}-tsan" -S . \
+  -DSANITIZE=thread \
+  -DDBSCALE_BUILD_BENCHMARKS=OFF \
+  -DDBSCALE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R 'ThreadPool|Fleet|Comparison|Experiment'
+
+echo
+echo "All checks passed."

@@ -1,0 +1,140 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dbscale {
+
+namespace {
+
+// True while this thread is executing a ParallelFor body; nested calls must
+// not re-enter the pool (the workers are already busy) so they run inline.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunChunk();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunChunk() {
+  t_in_parallel_region = true;
+  const std::function<void(int64_t)>* fn = job_fn_;
+  const int64_t end = job_end_;
+  for (;;) {
+    const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) break;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+      // Abandon the remaining indices; workers drain out on the next claim.
+      next_.store(end, std::memory_order_relaxed);
+    }
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::RunSerial(int64_t begin, int64_t end,
+                           const std::function<void(int64_t)>& fn) {
+  const bool was_inside = t_in_parallel_region;
+  t_in_parallel_region = true;
+  try {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  } catch (...) {
+    t_in_parallel_region = was_inside;
+    throw;
+  }
+  t_in_parallel_region = was_inside;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin == 1 || t_in_parallel_region) {
+    RunSerial(begin, end, fn);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_end_ = end;
+    next_.store(begin, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    workers_active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunk();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+  if (job_error_) {
+    std::exception_ptr error = job_error_;
+    job_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+int ThreadPool::DefaultNumThreads() {
+  const char* env = std::getenv("DBSCALE_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* parse_end = nullptr;
+    const long value = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && value >= 1 &&
+        value <= 1024) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, fn);
+}
+
+}  // namespace dbscale

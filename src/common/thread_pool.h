@@ -1,0 +1,93 @@
+// Deterministic fork-join task pool.
+//
+// Fleet-scale runs (thousands of tenants) and multi-technique experiments
+// are embarrassingly parallel, but every result in this repo must stay
+// bit-reproducible. The pool therefore does plain dynamic index claiming —
+// no work stealing, no per-thread queues — and callers are required to make
+// each index write only to its own output slot; merging slots in index
+// order afterwards makes the result independent of scheduling.
+//
+// Thread count resolution: an explicit constructor argument wins, else the
+// DBSCALE_NUM_THREADS environment variable, else hardware concurrency.
+
+#ifndef DBSCALE_COMMON_THREAD_POOL_H_
+#define DBSCALE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbscale {
+
+/// \brief Fixed-size fork-join pool. One instance may be shared across the
+/// process (see Global()); ParallelFor calls from different threads are
+/// serialized against each other.
+class ThreadPool {
+ public:
+  /// \param num_threads total parallelism including the calling thread
+  ///        (clamped to >= 1). The pool spawns num_threads - 1 workers; the
+  ///        caller participates in every ParallelFor.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) once for every i in [begin, end) and blocks until all
+  /// complete. Indices are claimed dynamically, so fn must not depend on
+  /// execution order and must write only to per-index state. The first
+  /// exception thrown by fn is rethrown here (remaining indices are
+  /// abandoned). Calls from inside a running ParallelFor body execute the
+  /// nested range serially inline on the calling thread.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn);
+
+  /// DBSCALE_NUM_THREADS if set to a positive integer, else hardware
+  /// concurrency (>= 1). Reads the environment on every call.
+  static int DefaultNumThreads();
+
+  /// Process-wide shared pool, sized by DefaultNumThreads() at first use.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices of the current job until none remain.
+  void RunChunk();
+  void RunSerial(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  /// Serializes concurrent ParallelFor callers (one job at a time).
+  std::mutex dispatch_mu_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  ///< bumped per job; workers wait on changes
+  int workers_active_ = 0;
+  bool shutdown_ = false;
+
+  // Current job; written under mu_ before the generation bump, read by
+  // workers after they observe the bump.
+  std::atomic<int64_t> next_{0};
+  int64_t job_end_ = 0;
+  const std::function<void(int64_t)>* job_fn_ = nullptr;
+  std::exception_ptr job_error_;  ///< guarded by mu_
+};
+
+/// ParallelFor on the shared Global() pool.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace dbscale
+
+#endif  // DBSCALE_COMMON_THREAD_POOL_H_

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/thread_pool.h"
 #include "src/stats/robust.h"
 
 namespace dbscale::fleet {
 
 using container::ResourceKind;
+
+namespace {
+constexpr int kIntervalsPerHour = 12;  // 5-minute intervals
+constexpr double kIntervalMinutes = 5.0;
+}  // namespace
 
 double FleetTelemetry::OneStepFraction() const {
   int64_t total = 0, ones = 0;
@@ -33,86 +39,140 @@ FleetSimulator::FleetSimulator(const container::Catalog& catalog,
                                FleetOptions options)
     : catalog_(catalog), options_(options) {}
 
+FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
+                                                             Rng rng) const {
+  TenantPartial out;
+  out.step_size_counts.assign(static_cast<size_t>(catalog_.num_rungs()) + 1,
+                              0);
+  const double days = static_cast<double>(options_.num_intervals) *
+                      kIntervalMinutes / (60.0 * 24.0);
+
+  TenantModel model(tenant, &catalog_, options_.tenant, rng);
+
+  int prev_rung = -1;
+  int last_change_interval = -1;
+  int changes = 0;
+
+  std::array<std::vector<double>, container::kNumResources> hour_util;
+  std::array<std::vector<double>, container::kNumResources> hour_wait;
+  std::array<std::vector<double>, container::kNumResources> hour_pct;
+  std::array<std::vector<double>, container::kNumResources> hour_wpr;
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t ri = static_cast<size_t>(kind);
+    hour_util[ri].reserve(kIntervalsPerHour);
+    hour_wait[ri].reserve(kIntervalsPerHour);
+    hour_pct[ri].reserve(kIntervalsPerHour);
+    hour_wpr[ri].reserve(kIntervalsPerHour);
+  }
+  out.hourly.reserve(
+      static_cast<size_t>(options_.num_intervals / kIntervalsPerHour));
+
+  for (int t = 0; t < options_.num_intervals; ++t) {
+    const TenantInterval interval = model.Step(t);
+
+    // Change-event tracking (Figure 2).
+    if (prev_rung >= 0 && interval.assigned_rung != prev_rung) {
+      ++changes;
+      const int step = std::abs(interval.assigned_rung - prev_rung);
+      out.step_size_counts[static_cast<size_t>(
+          std::min<int>(step, catalog_.num_rungs()))] += 1;
+      if (last_change_interval >= 0) {
+        out.inter_event_minutes.push_back(
+            (t - last_change_interval) * kIntervalMinutes);
+      }
+      last_change_interval = t;
+    }
+    prev_rung = interval.assigned_rung;
+
+    // Hourly aggregation.
+    for (ResourceKind kind : container::kAllResources) {
+      const size_t ri = static_cast<size_t>(kind);
+      hour_util[ri].push_back(interval.utilization_pct[ri]);
+      hour_wait[ri].push_back(interval.wait_ms[ri]);
+      hour_pct[ri].push_back(interval.wait_pct[ri]);
+      hour_wpr[ri].push_back(
+          interval.wait_ms[ri] /
+          static_cast<double>(std::max<int64_t>(1, interval.completed)));
+    }
+    if ((t + 1) % kIntervalsPerHour == 0) {
+      HourlyRecord record;
+      record.tenant_id = tenant;
+      record.hour = t / kIntervalsPerHour;
+      for (ResourceKind kind : container::kAllResources) {
+        const size_t ri = static_cast<size_t>(kind);
+        record.utilization_pct[ri] =
+            stats::MedianInPlace(hour_util[ri]).value_or(0.0);
+        record.wait_ms[ri] =
+            stats::MedianInPlace(hour_wait[ri]).value_or(0.0);
+        record.wait_pct[ri] =
+            stats::MedianInPlace(hour_pct[ri]).value_or(0.0);
+        record.wait_ms_per_request[ri] =
+            stats::MedianInPlace(hour_wpr[ri]).value_or(0.0);
+        hour_util[ri].clear();
+        hour_wait[ri].clear();
+        hour_pct[ri].clear();
+        hour_wpr[ri].clear();
+      }
+      out.hourly.push_back(record);
+    }
+  }
+  out.changes =
+      TenantChangeStats{tenant, changes, days > 0.0 ? changes / days : 0.0};
+  return out;
+}
+
 Result<FleetTelemetry> FleetSimulator::Run() const {
   if (options_.num_tenants <= 0 || options_.num_intervals <= 0) {
     return Status::InvalidArgument(
         "num_tenants and num_intervals must be positive");
   }
-  constexpr int kIntervalsPerHour = 12;  // 5-minute intervals
-  constexpr double kIntervalMinutes = 5.0;
 
+  // Pre-fork every tenant's generator from the root *before* dispatch: the
+  // fork sequence — and therefore each tenant's stream — is fixed by the
+  // seed alone, independent of how tenants are later scheduled on threads.
+  Rng root(options_.seed);
+  std::vector<Rng> tenant_rngs;
+  tenant_rngs.reserve(static_cast<size_t>(options_.num_tenants));
+  for (int tenant = 0; tenant < options_.num_tenants; ++tenant) {
+    tenant_rngs.push_back(root.Fork());
+  }
+
+  std::vector<TenantPartial> partials(
+      static_cast<size_t>(options_.num_tenants));
+  auto simulate = [&](int64_t tenant) {
+    partials[static_cast<size_t>(tenant)] = SimulateTenant(
+        static_cast<int>(tenant), tenant_rngs[static_cast<size_t>(tenant)]);
+  };
+  if (options_.num_threads == 0) {
+    ThreadPool::Global().ParallelFor(0, options_.num_tenants, simulate);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(0, options_.num_tenants, simulate);
+  }
+
+  // Merge in tenant order: byte-identical output at any thread count.
   FleetTelemetry out;
   out.num_tenants = options_.num_tenants;
   out.num_intervals = options_.num_intervals;
-  out.step_size_counts.assign(
-      static_cast<size_t>(catalog_.num_rungs()) + 1, 0);
-  const double days = static_cast<double>(options_.num_intervals) *
-                      kIntervalMinutes / (60.0 * 24.0);
-
-  Rng root(options_.seed);
-  for (int tenant = 0; tenant < options_.num_tenants; ++tenant) {
-    TenantModel model(tenant, &catalog_, options_.tenant, root.Fork());
-
-    int prev_rung = -1;
-    int last_change_interval = -1;
-    int changes = 0;
-
-    std::array<std::vector<double>, container::kNumResources> hour_util;
-    std::array<std::vector<double>, container::kNumResources> hour_wait;
-    std::array<std::vector<double>, container::kNumResources> hour_pct;
-    std::array<std::vector<double>, container::kNumResources> hour_wpr;
-
-    for (int t = 0; t < options_.num_intervals; ++t) {
-      const TenantInterval interval = model.Step(t);
-
-      // Change-event tracking (Figure 2).
-      if (prev_rung >= 0 && interval.assigned_rung != prev_rung) {
-        ++changes;
-        const int step = std::abs(interval.assigned_rung - prev_rung);
-        out.step_size_counts[static_cast<size_t>(
-            std::min<int>(step, catalog_.num_rungs()))] += 1;
-        if (last_change_interval >= 0) {
-          out.inter_event_minutes.push_back(
-              (t - last_change_interval) * kIntervalMinutes);
-        }
-        last_change_interval = t;
-      }
-      prev_rung = interval.assigned_rung;
-
-      // Hourly aggregation.
-      for (ResourceKind kind : container::kAllResources) {
-        const size_t ri = static_cast<size_t>(kind);
-        hour_util[ri].push_back(interval.utilization_pct[ri]);
-        hour_wait[ri].push_back(interval.wait_ms[ri]);
-        hour_pct[ri].push_back(interval.wait_pct[ri]);
-        hour_wpr[ri].push_back(
-            interval.wait_ms[ri] /
-            static_cast<double>(std::max<int64_t>(1, interval.completed)));
-      }
-      if ((t + 1) % kIntervalsPerHour == 0) {
-        HourlyRecord record;
-        record.tenant_id = tenant;
-        record.hour = t / kIntervalsPerHour;
-        for (ResourceKind kind : container::kAllResources) {
-          const size_t ri = static_cast<size_t>(kind);
-          record.utilization_pct[ri] =
-              stats::Median(std::move(hour_util[ri])).value_or(0.0);
-          record.wait_ms[ri] =
-              stats::Median(std::move(hour_wait[ri])).value_or(0.0);
-          record.wait_pct[ri] =
-              stats::Median(std::move(hour_pct[ri])).value_or(0.0);
-          record.wait_ms_per_request[ri] =
-              stats::Median(std::move(hour_wpr[ri])).value_or(0.0);
-          hour_util[ri].clear();
-          hour_wait[ri].clear();
-          hour_pct[ri].clear();
-          hour_wpr[ri].clear();
-        }
-        out.hourly.push_back(record);
-      }
+  out.step_size_counts.assign(static_cast<size_t>(catalog_.num_rungs()) + 1,
+                              0);
+  size_t hourly_total = 0, iei_total = 0;
+  for (const TenantPartial& p : partials) {
+    hourly_total += p.hourly.size();
+    iei_total += p.inter_event_minutes.size();
+  }
+  out.hourly.reserve(hourly_total);
+  out.inter_event_minutes.reserve(iei_total);
+  out.tenant_changes.reserve(partials.size());
+  for (TenantPartial& p : partials) {
+    out.hourly.insert(out.hourly.end(), p.hourly.begin(), p.hourly.end());
+    out.inter_event_minutes.insert(out.inter_event_minutes.end(),
+                                   p.inter_event_minutes.begin(),
+                                   p.inter_event_minutes.end());
+    out.tenant_changes.push_back(p.changes);
+    for (size_t s = 0; s < p.step_size_counts.size(); ++s) {
+      out.step_size_counts[s] += p.step_size_counts[s];
     }
-    out.tenant_changes.push_back(TenantChangeStats{
-        tenant, changes, days > 0.0 ? changes / days : 0.0});
   }
   return out;
 }

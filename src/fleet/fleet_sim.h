@@ -59,6 +59,9 @@ struct FleetOptions {
   /// 5-minute intervals to simulate (default one week).
   int num_intervals = 7 * 288;
   uint64_t seed = 7;
+  /// Worker threads for the tenant fan-out. 0 = the process default
+  /// (DBSCALE_NUM_THREADS env var, else hardware concurrency); 1 = serial.
+  int num_threads = 0;
   TenantModelOptions tenant;
 };
 
@@ -67,10 +70,23 @@ class FleetSimulator {
  public:
   FleetSimulator(const container::Catalog& catalog, FleetOptions options);
 
-  /// Simulates all tenants. Deterministic for a given seed.
+  /// Simulates all tenants, fanning out across threads. Deterministic for
+  /// a given seed and bit-identical at any thread count: every tenant's RNG
+  /// is pre-forked from the root RNG before dispatch and per-tenant outputs
+  /// are merged in tenant order.
   Result<FleetTelemetry> Run() const;
 
  private:
+  /// One tenant's contribution, merged into FleetTelemetry in tenant order.
+  struct TenantPartial {
+    std::vector<HourlyRecord> hourly;
+    std::vector<double> inter_event_minutes;
+    std::vector<int64_t> step_size_counts;
+    TenantChangeStats changes;
+  };
+
+  TenantPartial SimulateTenant(int tenant, Rng rng) const;
+
   container::Catalog catalog_;
   FleetOptions options_;
 };

@@ -1,12 +1,16 @@
 #include "src/sim/experiment.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
 
 #include "src/baselines/offline_profiler.h"
 #include "src/baselines/static_policy.h"
 #include "src/baselines/trace_policy.h"
 #include "src/baselines/util_policy.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace dbscale::sim {
 
@@ -84,58 +88,95 @@ Result<ComparisonResult> RunComparison(const SimulationOptions& base,
 
   baselines::OfflineProfiler profiler(base.catalog, max_run.UsageSeries());
 
-  if (WantTechnique(options, "Max")) {
-    result.techniques.push_back({"Max", std::move(max_run)});
-  }
+  // The remaining techniques are independent given the Max profiling run:
+  // each simulates the same seeded workload under its own policy. Their
+  // (cheap) profiler-derived configurations are resolved serially here so
+  // any profiling error surfaces deterministically; the (expensive)
+  // simulations then fan out across threads. Results are assembled in
+  // canonical technique order, so the output is identical at any thread
+  // count.
+  struct TechniqueJob {
+    const char* name;
+    std::function<Result<RunResult>()> run;
+  };
+  std::vector<TechniqueJob> jobs;
+  const scaler::LatencyGoal goal = result.goal;
 
   if (WantTechnique(options, "Peak")) {
     DBSCALE_ASSIGN_OR_RETURN(container::ContainerSpec peak,
                              profiler.PeakContainer());
-    baselines::StaticPolicy policy("Peak", peak);
-    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
-                             RunWithPolicy(base, &policy, peak.base_rung));
-    result.techniques.push_back({"Peak", std::move(run)});
+    jobs.push_back({"Peak", [&base, peak]() -> Result<RunResult> {
+                      baselines::StaticPolicy policy("Peak", peak);
+                      return RunWithPolicy(base, &policy, peak.base_rung);
+                    }});
   }
 
   if (WantTechnique(options, "Avg")) {
     DBSCALE_ASSIGN_OR_RETURN(container::ContainerSpec avg,
                              profiler.AvgContainer());
-    baselines::StaticPolicy policy("Avg", avg);
-    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
-                             RunWithPolicy(base, &policy, avg.base_rung));
-    result.techniques.push_back({"Avg", std::move(run)});
+    jobs.push_back({"Avg", [&base, avg]() -> Result<RunResult> {
+                      baselines::StaticPolicy policy("Avg", avg);
+                      return RunWithPolicy(base, &policy, avg.base_rung);
+                    }});
   }
 
   if (WantTechnique(options, "Trace")) {
     DBSCALE_ASSIGN_OR_RETURN(auto schedule, profiler.TraceSchedule());
-    const int initial_rung =
-        schedule.empty() ? 0 : schedule.front().base_rung;
-    baselines::TracePolicy policy(std::move(schedule));
-    DBSCALE_ASSIGN_OR_RETURN(RunResult run,
-                             RunWithPolicy(base, &policy, initial_rung));
-    result.techniques.push_back({"Trace", std::move(run)});
+    jobs.push_back(
+        {"Trace",
+         [&base, schedule = std::move(schedule)]() -> Result<RunResult> {
+           const int initial_rung =
+               schedule.empty() ? 0 : schedule.front().base_rung;
+           baselines::TracePolicy policy(schedule);
+           return RunWithPolicy(base, &policy, initial_rung);
+         }});
   }
 
   if (WantTechnique(options, "Util")) {
-    baselines::UtilPolicy policy(base.catalog, result.goal);
-    DBSCALE_ASSIGN_OR_RETURN(
-        RunResult run, RunWithPolicy(online_base, &policy,
-                                     options.online_initial_rung));
-    result.techniques.push_back({"Util", std::move(run)});
+    jobs.push_back(
+        {"Util", [&online_base, &options, goal]() -> Result<RunResult> {
+           baselines::UtilPolicy policy(online_base.catalog, goal);
+           return RunWithPolicy(online_base, &policy,
+                                options.online_initial_rung);
+         }});
   }
 
   if (WantTechnique(options, "Auto")) {
-    scaler::TenantKnobs knobs;
-    knobs.latency_goal = result.goal;
-    knobs.sensitivity = options.sensitivity;
-    DBSCALE_ASSIGN_OR_RETURN(
-        auto auto_scaler,
-        scaler::AutoScaler::Create(base.catalog, knobs,
-                                   options.auto_scaler));
-    DBSCALE_ASSIGN_OR_RETURN(
-        RunResult run, RunWithPolicy(online_base, auto_scaler.get(),
-                                     options.online_initial_rung));
-    result.techniques.push_back({"Auto", std::move(run)});
+    jobs.push_back(
+        {"Auto", [&online_base, &options, goal]() -> Result<RunResult> {
+           scaler::TenantKnobs knobs;
+           knobs.latency_goal = goal;
+           knobs.sensitivity = options.sensitivity;
+           DBSCALE_ASSIGN_OR_RETURN(
+               auto auto_scaler,
+               scaler::AutoScaler::Create(online_base.catalog, knobs,
+                                          options.auto_scaler));
+           return RunWithPolicy(online_base, auto_scaler.get(),
+                                options.online_initial_rung);
+         }});
+  }
+
+  std::vector<std::optional<Result<RunResult>>> outcomes(jobs.size());
+  auto run_job = [&](int64_t i) {
+    outcomes[static_cast<size_t>(i)] =
+        jobs[static_cast<size_t>(i)].run();
+  };
+  if (options.num_threads == 0) {
+    ThreadPool::Global().ParallelFor(
+        0, static_cast<int64_t>(jobs.size()), run_job);
+  } else {
+    ThreadPool pool(options.num_threads);
+    pool.ParallelFor(0, static_cast<int64_t>(jobs.size()), run_job);
+  }
+
+  if (WantTechnique(options, "Max")) {
+    result.techniques.push_back({"Max", std::move(max_run)});
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    Result<RunResult>& outcome = *outcomes[i];
+    if (!outcome.ok()) return outcome.status();
+    result.techniques.push_back(
+        {jobs[i].name, std::move(outcome).value()});
   }
 
   return result;

@@ -48,6 +48,12 @@ struct ComparisonOptions {
   int online_initial_rung = 3;
   /// Run these subsets only (empty = all six).
   std::vector<std::string> techniques;
+  /// Threads for the post-Max technique fan-out (Peak/Avg/Trace/Util/Auto
+  /// are independent given the Max profiling run). 0 = process default
+  /// (DBSCALE_NUM_THREADS env var, else hardware concurrency); 1 = serial.
+  /// The result is identical at any thread count: every technique runs the
+  /// same seeded simulation and results are assembled in canonical order.
+  int num_threads = 0;
 };
 
 /// Runs one policy over `base` with the given starting rung.

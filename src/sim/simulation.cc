@@ -71,6 +71,9 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
 
   telemetry::TelemetryStore store;
   telemetry::TelemetryManager manager(options_.telemetry);
+  // Reused across intervals so Compute stays allocation-free on the hot
+  // per-interval path.
+  telemetry::SignalScratch signal_scratch;
 
   // Run- and interval-level latency tracking via the completion listener.
   stats::LatencyHistogram run_latency(0.01, 1e8, 48);
@@ -158,7 +161,7 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     // Decision for the next interval.
     scaler::PolicyInput input;
     input.now = events.Now();
-    input.signals = manager.Compute(store, events.Now());
+    input.signals = manager.Compute(store, events.Now(), &signal_scratch);
     input.current = current;
     input.interval_index = static_cast<int>(i);
     scaler::ScalingDecision decision = policy->Decide(input);

@@ -24,7 +24,7 @@ double StdDev(const std::vector<double>& values) {
 }
 
 Result<double> Median(std::vector<double> values) {
-  return Percentile(std::move(values), 50.0);
+  return MedianInPlace(values);
 }
 
 double PercentileSorted(const std::vector<double>& sorted, double p) {
@@ -39,25 +39,49 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
 }
 
 Result<double> Percentile(std::vector<double> values, double p) {
+  return PercentileInPlace(values, p);
+}
+
+Result<double> PercentileInPlace(std::vector<double>& values, double p) {
   if (values.empty()) {
     return Status::InvalidArgument("Percentile of empty sample");
   }
   if (p < 0.0 || p > 100.0) {
     return Status::OutOfRange("percentile must be in [0, 100]");
   }
-  std::sort(values.begin(), values.end());
-  return PercentileSorted(values, p);
+  if (values.size() == 1) return values[0];
+  // Mirror PercentileSorted's interpolation exactly: select the lo-th order
+  // statistic, then take the minimum of the upper partition as the hi-th.
+  double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  auto lo_it = values.begin() + static_cast<ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  double lo_value = *lo_it;
+  double hi_value =
+      hi == lo ? lo_value : *std::min_element(lo_it + 1, values.end());
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
+Result<double> MedianInPlace(std::vector<double>& values) {
+  return PercentileInPlace(values, 50.0);
 }
 
 Result<double> Mad(const std::vector<double>& values) {
+  std::vector<double> scratch(values);
+  return MadInPlace(scratch);
+}
+
+Result<double> MadInPlace(std::vector<double>& values) {
   if (values.empty()) {
     return Status::InvalidArgument("MAD of empty sample");
   }
-  DBSCALE_ASSIGN_OR_RETURN(double med, Median(values));
-  std::vector<double> deviations;
-  deviations.reserve(values.size());
-  for (double v : values) deviations.push_back(std::fabs(v - med));
-  DBSCALE_ASSIGN_OR_RETURN(double mad, Median(std::move(deviations)));
+  // MedianInPlace only permutes, so the multiset survives for the
+  // deviation pass.
+  DBSCALE_ASSIGN_OR_RETURN(double med, MedianInPlace(values));
+  for (double& v : values) v = std::fabs(v - med);
+  DBSCALE_ASSIGN_OR_RETURN(double mad, MedianInPlace(values));
   // 1.4826 makes MAD a consistent estimator of sigma for normal data.
   return 1.4826 * mad;
 }

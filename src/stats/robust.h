@@ -32,11 +32,26 @@ Result<double> Median(std::vector<double> values);
 Result<double> Percentile(std::vector<double> values, double p);
 
 /// Percentile on data the caller has already sorted ascending (no copy).
+/// Use this when a caller needs several percentiles or the full CDF of one
+/// sample; the selection-based variants below are cheaper for a single
+/// order statistic.
 double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/// Selection-based (nth_element) percentile that permutes `values` instead
+/// of sorting or copying. O(n) expected vs O(n log n); returns values
+/// bit-identical to Percentile on the same input.
+Result<double> PercentileInPlace(std::vector<double>& values, double p);
+
+/// Selection-based median that permutes `values`; bit-identical to Median.
+Result<double> MedianInPlace(std::vector<double>& values);
 
 /// Median absolute deviation (scaled by 1.4826 for consistency with the
 /// standard deviation under normality). Breakdown point 50%.
 Result<double> Mad(const std::vector<double>& values);
+
+/// MAD computed with zero allocations by permuting/overwriting `values`
+/// (the input is consumed). Same result as Mad.
+Result<double> MadInPlace(std::vector<double>& values);
 
 /// Mean after discarding the `trim_fraction` smallest and largest values
 /// (e.g. 0.1 trims 10% from each side). Breakdown point = trim_fraction.

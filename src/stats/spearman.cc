@@ -7,13 +7,22 @@
 namespace dbscale::stats {
 
 std::vector<double> RankWithTies(const std::vector<double>& values) {
+  std::vector<size_t> order;
+  std::vector<double> ranks;
+  RankWithTiesInto(values, order, ranks);
+  return ranks;
+}
+
+void RankWithTiesInto(const std::vector<double>& values,
+                      std::vector<size_t>& order,
+                      std::vector<double>& ranks) {
   const size_t n = values.size();
-  std::vector<size_t> order(n);
+  order.resize(n);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return values[a] < values[b]; });
 
-  std::vector<double> ranks(n, 0.0);
+  ranks.assign(n, 0.0);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
@@ -24,7 +33,6 @@ std::vector<double> RankWithTies(const std::vector<double>& values) {
     for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
     i = j + 1;
   }
-  return ranks;
 }
 
 Result<double> PearsonCorrelation(const std::vector<double>& x,
@@ -60,14 +68,19 @@ Result<double> PearsonCorrelation(const std::vector<double>& x,
 }
 
 Result<double> SpearmanCorrelation(const std::vector<double>& x,
-                                   const std::vector<double>& y) {
+                                   const std::vector<double>& y,
+                                   SpearmanScratch* scratch) {
   if (x.size() != y.size()) {
     return Status::InvalidArgument("x and y sizes differ");
   }
   if (x.size() < 3) {
     return Status::InvalidArgument("correlation needs at least 3 points");
   }
-  return PearsonCorrelation(RankWithTies(x), RankWithTies(y));
+  SpearmanScratch local;
+  if (scratch == nullptr) scratch = &local;
+  RankWithTiesInto(x, scratch->order, scratch->rank_x);
+  RankWithTiesInto(y, scratch->order, scratch->rank_y);
+  return PearsonCorrelation(scratch->rank_x, scratch->rank_y);
 }
 
 }  // namespace dbscale::stats

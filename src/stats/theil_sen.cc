@@ -20,28 +20,47 @@ const char* TrendDirectionToString(TrendDirection d) {
 }
 
 TheilSenEstimator::TheilSenEstimator(double accept_fraction)
-    : accept_fraction_(accept_fraction) {}
+    : accept_fraction_(accept_fraction),
+      config_status_(accept_fraction > 0.5 && accept_fraction <= 1.0
+                         ? Status::OK()
+                         : Status::OutOfRange(
+                               "accept_fraction must be in (0.5, 1.0]")) {}
 
-Result<TrendResult> TheilSenEstimator::Fit(
-    const std::vector<double>& x, const std::vector<double>& y) const {
+Result<TrendResult> TheilSenEstimator::Fit(const std::vector<double>& x,
+                                           const std::vector<double>& y,
+                                           TheilSenScratch* scratch) const {
   if (x.size() != y.size()) {
     return Status::InvalidArgument("x and y sizes differ");
   }
-  if (x.size() < 3) {
-    return Status::InvalidArgument(
-        "Theil-Sen needs at least 3 points");
+  return FitImpl(&x, y, scratch);
+}
+
+Result<TrendResult> TheilSenEstimator::FitSequence(
+    const std::vector<double>& y, TheilSenScratch* scratch) const {
+  return FitImpl(nullptr, y, scratch);
+}
+
+Result<TrendResult> TheilSenEstimator::FitImpl(
+    const std::vector<double>* x, const std::vector<double>& y,
+    TheilSenScratch* scratch) const {
+  if (!config_status_.ok()) return config_status_;
+  if (y.size() < 3) {
+    return Status::InvalidArgument("Theil-Sen needs at least 3 points");
   }
-  if (accept_fraction_ <= 0.5 || accept_fraction_ > 1.0) {
-    return Status::OutOfRange("accept_fraction must be in (0.5, 1.0]");
-  }
-  const size_t n = x.size();
-  std::vector<double> slopes;
+  TheilSenScratch local;
+  if (scratch == nullptr) scratch = &local;
+
+  const size_t n = y.size();
+  std::vector<double>& slopes = scratch->slopes;
+  slopes.clear();
   slopes.reserve(n * (n - 1) / 2);
   size_t positive = 0;
   size_t negative = 0;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      double dx = x[j] - x[i];
+      const double dx = x != nullptr
+                            ? (*x)[j] - (*x)[i]
+                            : static_cast<double>(j) - static_cast<double>(i);
       if (dx == 0.0) continue;  // vertical pair carries no slope information
       double slope = (y[j] - y[i]) / dx;
       slopes.push_back(slope);
@@ -57,13 +76,15 @@ Result<TrendResult> TheilSenEstimator::Fit(
   }
 
   TrendResult result;
-  DBSCALE_ASSIGN_OR_RETURN(result.slope, Median(slopes));
-  std::vector<double> intercepts;
+  DBSCALE_ASSIGN_OR_RETURN(result.slope, MedianInPlace(slopes));
+  std::vector<double>& intercepts = scratch->intercepts;
+  intercepts.clear();
   intercepts.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    intercepts.push_back(y[i] - result.slope * x[i]);
+    const double xi = x != nullptr ? (*x)[i] : static_cast<double>(i);
+    intercepts.push_back(y[i] - result.slope * xi);
   }
-  DBSCALE_ASSIGN_OR_RETURN(result.intercept, Median(std::move(intercepts)));
+  DBSCALE_ASSIGN_OR_RETURN(result.intercept, MedianInPlace(intercepts));
 
   const double total = static_cast<double>(slopes.size());
   result.fraction_positive = static_cast<double>(positive) / total;
@@ -80,13 +101,6 @@ Result<TrendResult> TheilSenEstimator::Fit(
     result.direction = TrendDirection::kNone;
   }
   return result;
-}
-
-Result<TrendResult> TheilSenEstimator::FitSequence(
-    const std::vector<double>& y) const {
-  std::vector<double> x(y.size());
-  for (size_t i = 0; i < y.size(); ++i) x[i] = static_cast<double>(i);
-  return Fit(x, y);
 }
 
 }  // namespace dbscale::stats

@@ -38,26 +38,51 @@ struct TrendResult {
   TrendDirection direction = TrendDirection::kNone;
 };
 
+/// Reusable buffers for the O(n^2) pairwise-slope computation. One scratch
+/// per caller thread; hand the same instance to every Fit call so the
+/// buffers are allocated once per simulation instead of per interval.
+struct TheilSenScratch {
+  std::vector<double> slopes;
+  std::vector<double> intercepts;
+};
+
 /// \brief Theil-Sen estimator with a sign-agreement significance test.
+///
+/// Thread-compatible: a const estimator may be shared across threads, but
+/// each thread must bring its own TheilSenScratch.
 class TheilSenEstimator {
  public:
   /// \param accept_fraction fraction (0.5, 1.0] of pairwise slopes that must
   ///        share a sign for a trend to be declared significant. The paper
-  ///        uses 0.70.
+  ///        uses 0.70. Validated here, once; an out-of-range value makes
+  ///        every Fit return the error.
   explicit TheilSenEstimator(double accept_fraction = 0.70);
 
   /// Fits y against x. Requires at least 3 points and matching sizes;
-  /// pairs with duplicate x values contribute no slope.
+  /// pairs with duplicate x values contribute no slope. With a scratch the
+  /// call performs no allocations beyond scratch growth.
   Result<TrendResult> Fit(const std::vector<double>& x,
-                          const std::vector<double>& y) const;
+                          const std::vector<double>& y,
+                          TheilSenScratch* scratch = nullptr) const;
 
-  /// Convenience overload with x = 0, 1, ..., n-1 (evenly spaced samples).
-  Result<TrendResult> FitSequence(const std::vector<double>& y) const;
+  /// Fit with implicit x = 0, 1, ..., n-1 (evenly spaced samples). The x
+  /// sequence is never materialized.
+  Result<TrendResult> FitSequence(const std::vector<double>& y,
+                                  TheilSenScratch* scratch = nullptr) const;
 
   double accept_fraction() const { return accept_fraction_; }
 
+  /// Constructor-time validation outcome of accept_fraction.
+  Status Validate() const { return config_status_; }
+
  private:
+  /// x == nullptr means implicit x_i = i.
+  Result<TrendResult> FitImpl(const std::vector<double>* x,
+                              const std::vector<double>& y,
+                              TheilSenScratch* scratch) const;
+
   double accept_fraction_;
+  Status config_status_;
 };
 
 }  // namespace dbscale::stats

@@ -23,22 +23,24 @@ double ResourceWaitMs(const TelemetrySample& s, ResourceKind kind) {
   return total;
 }
 
-double MedianOrZero(std::vector<double> values) {
+double MedianOrZero(std::vector<double>& values) {
   if (values.empty()) return 0.0;
-  return stats::Median(std::move(values)).value_or(0.0);
+  return stats::MedianInPlace(values).value_or(0.0);
 }
 
 stats::TrendResult TrendOrNone(const stats::TheilSenEstimator& estimator,
-                               const std::vector<double>& values) {
+                               const std::vector<double>& values,
+                               stats::TheilSenScratch* scratch) {
   if (values.size() < 3) return stats::TrendResult{};
-  auto result = estimator.FitSequence(values);
+  auto result = estimator.FitSequence(values, scratch);
   return result.ok() ? *result : stats::TrendResult{};
 }
 
 double CorrelationOrZero(const std::vector<double>& x,
-                         const std::vector<double>& y) {
+                         const std::vector<double>& y,
+                         stats::SpearmanScratch* scratch) {
   if (x.size() < 3 || x.size() != y.size()) return 0.0;
-  auto rho = stats::SpearmanCorrelation(x, y);
+  auto rho = stats::SpearmanCorrelation(x, y, scratch);
   return rho.ok() ? *rho : 0.0;
 }
 
@@ -93,7 +95,11 @@ Status TelemetryManager::Validate() const {
 }
 
 SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
-                                         SimTime now) const {
+                                         SimTime now,
+                                         SignalScratch* scratch) const {
+  SignalScratch local;
+  if (scratch == nullptr) scratch = &local;
+
   SignalSnapshot snap;
   snap.time = now;
   snap.latency_aggregate = options_.latency_aggregate;
@@ -103,9 +109,12 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
   }
   snap.valid = true;
 
-  const auto agg = store.Recent(options_.aggregation_samples);
-  const auto trend = store.Recent(options_.trend_samples);
-  const auto corr = store.Recent(options_.correlation_samples);
+  store.RecentInto(options_.aggregation_samples, scratch->agg_window);
+  store.RecentInto(options_.trend_samples, scratch->trend_window);
+  store.RecentInto(options_.correlation_samples, scratch->corr_window);
+  const auto& agg = scratch->agg_window;
+  const auto& trend = scratch->trend_window;
+  const auto& corr = scratch->corr_window;
 
   auto latency_of = [&](const TelemetrySample& s) {
     return options_.latency_aggregate == LatencyAggregate::kAverage
@@ -116,23 +125,33 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
   // Latency signal: robust aggregate over the window, ignoring idle samples
   // (no completions) which carry no latency information.
   {
-    std::vector<double> lat;
+    std::vector<double>& lat = scratch->values_a;
+    lat.clear();
     for (const TelemetrySample* s : agg) {
       if (s->requests_completed > 0) lat.push_back(latency_of(*s));
     }
-    snap.latency_ms = MedianOrZero(std::move(lat));
+    snap.latency_ms = MedianOrZero(lat);
   }
   {
-    std::vector<double> lat;
+    std::vector<double>& lat = scratch->values_a;
+    lat.clear();
     for (const TelemetrySample* s : trend) {
       if (s->requests_completed > 0) lat.push_back(latency_of(*s));
     }
-    snap.latency_trend = TrendOrNone(trend_estimator_, lat);
+    snap.latency_trend =
+        TrendOrNone(trend_estimator_, lat, &scratch->theil_sen);
   }
 
   // Workload-level aggregates.
   {
-    std::vector<double> thr, mem, reads, total_wait;
+    std::vector<double>& thr = scratch->values_a;
+    std::vector<double>& mem = scratch->values_b;
+    std::vector<double>& reads = scratch->values_c;
+    std::vector<double>& total_wait = scratch->values_d;
+    thr.clear();
+    mem.clear();
+    reads.clear();
+    total_wait.clear();
     for (const TelemetrySample* s : agg) {
       thr.push_back(s->throughput_rps());
       mem.push_back(s->memory_used_mb);
@@ -169,14 +188,20 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
   }
 
   // Per-resource signals.
-  std::vector<double> corr_latency;
+  std::vector<double>& corr_latency = scratch->corr_latency;
+  corr_latency.clear();
   for (const TelemetrySample* s : corr) corr_latency.push_back(latency_of(*s));
 
   for (ResourceKind kind : container::kAllResources) {
     ResourceSignals& r = snap.resources[static_cast<size_t>(kind)];
     const size_t ri = static_cast<size_t>(kind);
 
-    std::vector<double> util, wait, wait_per_req;
+    std::vector<double>& util = scratch->values_a;
+    std::vector<double>& wait = scratch->values_b;
+    std::vector<double>& wait_per_req = scratch->values_c;
+    util.clear();
+    wait.clear();
+    wait_per_req.clear();
     double wait_sum = 0.0, total_sum = 0.0;
     for (const TelemetrySample* s : agg) {
       util.push_back(s->utilization_pct[ri]);
@@ -193,22 +218,30 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
     r.wait_ms_per_request = MedianOrZero(wait_per_req);
     r.wait_pct = total_sum > 0.0 ? 100.0 * wait_sum / total_sum : 0.0;
 
-    std::vector<double> util_t, wait_t;
+    std::vector<double>& util_t = scratch->values_a;
+    std::vector<double>& wait_t = scratch->values_b;
+    util_t.clear();
+    wait_t.clear();
     for (const TelemetrySample* s : trend) {
       util_t.push_back(s->utilization_pct[ri]);
       wait_t.push_back(ResourceWaitMs(*s, kind));
     }
-    r.utilization_trend = TrendOrNone(trend_estimator_, util_t);
-    r.wait_trend = TrendOrNone(trend_estimator_, wait_t);
+    r.utilization_trend =
+        TrendOrNone(trend_estimator_, util_t, &scratch->theil_sen);
+    r.wait_trend = TrendOrNone(trend_estimator_, wait_t, &scratch->theil_sen);
 
-    std::vector<double> util_c, wait_c;
+    std::vector<double>& util_c = scratch->values_a;
+    std::vector<double>& wait_c = scratch->values_b;
+    util_c.clear();
+    wait_c.clear();
     for (const TelemetrySample* s : corr) {
       util_c.push_back(s->utilization_pct[ri]);
       wait_c.push_back(ResourceWaitMs(*s, kind));
     }
-    r.wait_latency_correlation = CorrelationOrZero(wait_c, corr_latency);
+    r.wait_latency_correlation =
+        CorrelationOrZero(wait_c, corr_latency, &scratch->spearman);
     r.utilization_latency_correlation =
-        CorrelationOrZero(util_c, corr_latency);
+        CorrelationOrZero(util_c, corr_latency, &scratch->spearman);
   }
 
   return snap;

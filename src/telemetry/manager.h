@@ -17,8 +17,10 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
+#include "src/stats/spearman.h"
 #include "src/stats/theil_sen.h"
 #include "src/telemetry/store.h"
 
@@ -95,6 +97,25 @@ struct TelemetryManagerOptions {
   LatencyAggregate latency_aggregate = LatencyAggregate::kP95;
 };
 
+/// Reusable buffers for Compute. The per-interval signal path is hot at
+/// fleet scale (one Compute per tenant-interval); handing the same scratch
+/// to every call makes Compute allocation-free after the first interval.
+/// One scratch per caller thread — never share across threads.
+struct SignalScratch {
+  std::vector<const TelemetrySample*> agg_window;
+  std::vector<const TelemetrySample*> trend_window;
+  std::vector<const TelemetrySample*> corr_window;
+  /// General per-window value buffers (cleared and refilled per signal).
+  std::vector<double> values_a;
+  std::vector<double> values_b;
+  std::vector<double> values_c;
+  std::vector<double> values_d;
+  /// Latency over the correlation window; alive across the resource loop.
+  std::vector<double> corr_latency;
+  stats::TheilSenScratch theil_sen;
+  stats::SpearmanScratch spearman;
+};
+
 /// \brief Computes SignalSnapshots from a TelemetryStore.
 class TelemetryManager {
  public:
@@ -104,8 +125,11 @@ class TelemetryManager {
   Status Validate() const;
 
   /// Computes the signal snapshot as of `now`. If fewer than 2 samples are
-  /// available the snapshot is returned with valid = false.
-  SignalSnapshot Compute(const TelemetryStore& store, SimTime now) const;
+  /// available the snapshot is returned with valid = false. Passing the
+  /// same `scratch` every interval eliminates all per-call heap
+  /// allocations; nullptr falls back to call-local buffers.
+  SignalSnapshot Compute(const TelemetryStore& store, SimTime now,
+                         SignalScratch* scratch = nullptr) const;
 
   const TelemetryManagerOptions& options() const { return options_; }
 

@@ -31,11 +31,17 @@ std::vector<const TelemetrySample*> TelemetryStore::Range(
 
 std::vector<const TelemetrySample*> TelemetryStore::Recent(size_t n) const {
   std::vector<const TelemetrySample*> out;
+  RecentInto(n, out);
+  return out;
+}
+
+void TelemetryStore::RecentInto(
+    size_t n, std::vector<const TelemetrySample*>& out) const {
+  out.clear();
   size_t start = samples_.size() > n ? samples_.size() - n : 0;
   for (size_t i = start; i < samples_.size(); ++i) {
     out.push_back(&samples_[i]);
   }
-  return out;
 }
 
 std::vector<double> TelemetryStore::Extract(

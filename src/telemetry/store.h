@@ -33,6 +33,10 @@ class TelemetryStore {
   /// The most recent `n` samples (fewer if not available), oldest first.
   std::vector<const TelemetrySample*> Recent(size_t n) const;
 
+  /// Recent() into a caller-provided buffer (cleared first); no allocation
+  /// beyond buffer growth.
+  void RecentInto(size_t n, std::vector<const TelemetrySample*>& out) const;
+
   /// Extracts a per-sample scalar over the most recent `n` samples.
   std::vector<double> Extract(
       size_t n, const std::function<double(const TelemetrySample&)>& fn) const;

@@ -71,6 +71,59 @@ TEST(FleetSimTest, ProducesExpectedVolumes) {
   EXPECT_GT(fleet->inter_event_minutes.size(), 100u);
 }
 
+void ExpectFleetTelemetryIdentical(const FleetTelemetry& a,
+                                   const FleetTelemetry& b) {
+  EXPECT_EQ(a.num_tenants, b.num_tenants);
+  EXPECT_EQ(a.num_intervals, b.num_intervals);
+  ASSERT_EQ(a.hourly.size(), b.hourly.size());
+  for (size_t i = 0; i < a.hourly.size(); ++i) {
+    const HourlyRecord& ra = a.hourly[i];
+    const HourlyRecord& rb = b.hourly[i];
+    ASSERT_EQ(ra.tenant_id, rb.tenant_id);
+    ASSERT_EQ(ra.hour, rb.hour);
+    for (ResourceKind kind : container::kAllResources) {
+      const size_t ri = static_cast<size_t>(kind);
+      // Bit-identical, not approximately equal: the parallel path must
+      // reproduce the serial arithmetic exactly.
+      ASSERT_EQ(ra.utilization_pct[ri], rb.utilization_pct[ri]);
+      ASSERT_EQ(ra.wait_ms[ri], rb.wait_ms[ri]);
+      ASSERT_EQ(ra.wait_pct[ri], rb.wait_pct[ri]);
+      ASSERT_EQ(ra.wait_ms_per_request[ri], rb.wait_ms_per_request[ri]);
+    }
+  }
+  ASSERT_EQ(a.inter_event_minutes, b.inter_event_minutes);
+  ASSERT_EQ(a.step_size_counts, b.step_size_counts);
+  ASSERT_EQ(a.tenant_changes.size(), b.tenant_changes.size());
+  for (size_t i = 0; i < a.tenant_changes.size(); ++i) {
+    ASSERT_EQ(a.tenant_changes[i].tenant_id, b.tenant_changes[i].tenant_id);
+    ASSERT_EQ(a.tenant_changes[i].num_changes,
+              b.tenant_changes[i].num_changes);
+    ASSERT_EQ(a.tenant_changes[i].changes_per_day,
+              b.tenant_changes[i].changes_per_day);
+  }
+}
+
+TEST(FleetSimTest, ParallelRunBitIdenticalToSerial) {
+  Catalog catalog = Catalog::MakeLockStep();
+  for (uint64_t seed : {11u, 29u, 73u}) {
+    FleetOptions options;
+    options.num_tenants = 60;
+    options.num_intervals = 288;  // one day
+    options.seed = seed;
+
+    options.num_threads = 1;
+    auto serial = FleetSimulator(catalog, options).Run();
+    ASSERT_TRUE(serial.ok());
+
+    for (int threads : {2, 4, 8}) {
+      options.num_threads = threads;
+      auto parallel = FleetSimulator(catalog, options).Run();
+      ASSERT_TRUE(parallel.ok());
+      ExpectFleetTelemetryIdentical(*serial, *parallel);
+    }
+  }
+}
+
 TEST(FleetSimTest, RejectsBadOptions) {
   Catalog catalog = Catalog::MakeLockStep();
   FleetOptions options;

@@ -96,6 +96,62 @@ TEST(TrimmedMeanTest, Errors) {
   EXPECT_TRUE(TrimmedMean({1, 2}, -0.1).status().IsOutOfRange());
 }
 
+TEST(InPlaceSelectionTest, MedianInPlaceMatchesMedian) {
+  Rng rng(21);
+  for (size_t n : {1u, 2u, 3u, 10u, 11u, 100u, 101u}) {
+    std::vector<double> values;
+    for (size_t i = 0; i < n; ++i) values.push_back(rng.LogNormal(2.0, 1.5));
+    std::vector<double> scratch = values;
+    // Bit-identical to the sort-based path, not merely close.
+    EXPECT_EQ(MedianInPlace(scratch).value(), Median(values).value());
+  }
+}
+
+TEST(InPlaceSelectionTest, PercentileInPlaceMatchesSortedPath) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 257; ++i) values.push_back(rng.Normal(50.0, 20.0));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 5.0, 12.5, 25.0, 50.0, 75.0, 90.0, 95.0, 100.0}) {
+    std::vector<double> scratch = values;
+    EXPECT_EQ(PercentileInPlace(scratch, p).value(),
+              PercentileSorted(sorted, p))
+        << "p = " << p;
+  }
+}
+
+TEST(InPlaceSelectionTest, PermutesButPreservesMultiset) {
+  std::vector<double> values = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  std::vector<double> scratch = values;
+  EXPECT_DOUBLE_EQ(MedianInPlace(scratch).value(), 5.0);
+  std::sort(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  EXPECT_EQ(values, scratch);
+}
+
+TEST(InPlaceSelectionTest, Errors) {
+  std::vector<double> empty;
+  EXPECT_TRUE(MedianInPlace(empty).status().IsInvalidArgument());
+  std::vector<double> one = {1.0};
+  EXPECT_TRUE(PercentileInPlace(one, -1).status().IsOutOfRange());
+  EXPECT_TRUE(PercentileInPlace(one, 101).status().IsOutOfRange());
+}
+
+TEST(MadInPlaceTest, MatchesMad) {
+  Rng rng(25);
+  std::vector<double> values;
+  for (int i = 0; i < 101; ++i) values.push_back(rng.LogNormal(3.0, 1.0));
+  const double expected = Mad(values).value();
+  std::vector<double> consumed = values;
+  EXPECT_EQ(MadInPlace(consumed).value(), expected);
+}
+
+TEST(MadInPlaceTest, EmptyIsError) {
+  std::vector<double> empty;
+  EXPECT_FALSE(MadInPlace(empty).ok());
+}
+
 TEST(RunningStatsTest, MatchesBatch) {
   Rng rng(7);
   RunningStats rs;

@@ -249,6 +249,53 @@ TEST_F(ManagerTest, DetectsWaitLatencyCorrelation) {
             0.9);
 }
 
+void ExpectTrendEqual(const stats::TrendResult& a,
+                      const stats::TrendResult& b) {
+  EXPECT_EQ(a.slope, b.slope);
+  EXPECT_EQ(a.intercept, b.intercept);
+  EXPECT_EQ(a.significant, b.significant);
+  EXPECT_EQ(a.direction, b.direction);
+}
+
+TEST_F(ManagerTest, ScratchPathMatchesScratchless) {
+  TelemetryManager manager;
+  TelemetryStore store;
+  SignalScratch scratch;
+  for (int i = 0; i < 48; ++i) {
+    TelemetrySample s = Sample(i);
+    s.utilization_pct[0] = 20.0 + 1.5 * i;
+    s.wait_ms[static_cast<size_t>(WaitClass::kCpu)] = 8.0 * i;
+    s.wait_ms[static_cast<size_t>(WaitClass::kDiskIo)] = 120.0;
+    s.latency_p95_ms = 100.0 + 4.0 * i;
+    store.Append(std::move(s));
+    SimTime now = SimTime::Zero() + Duration::Seconds(5.0 * (i + 1));
+    // Same scratch reused every interval: results must be bit-identical
+    // to the scratch-free path at each step.
+    SignalSnapshot plain = manager.Compute(store, now);
+    SignalSnapshot reused = manager.Compute(store, now, &scratch);
+    ASSERT_EQ(plain.valid, reused.valid);
+    if (!plain.valid) continue;
+    EXPECT_EQ(plain.latency_ms, reused.latency_ms);
+    ExpectTrendEqual(plain.latency_trend, reused.latency_trend);
+    EXPECT_EQ(plain.total_wait_ms, reused.total_wait_ms);
+    EXPECT_EQ(plain.throughput_rps, reused.throughput_rps);
+    EXPECT_EQ(plain.wait_pct_by_class, reused.wait_pct_by_class);
+    for (ResourceKind kind : container::kAllResources) {
+      const ResourceSignals& p = plain.resource(kind);
+      const ResourceSignals& r = reused.resource(kind);
+      EXPECT_EQ(p.utilization_pct, r.utilization_pct);
+      EXPECT_EQ(p.wait_ms, r.wait_ms);
+      EXPECT_EQ(p.wait_ms_per_request, r.wait_ms_per_request);
+      EXPECT_EQ(p.wait_pct, r.wait_pct);
+      ExpectTrendEqual(p.utilization_trend, r.utilization_trend);
+      ExpectTrendEqual(p.wait_trend, r.wait_trend);
+      EXPECT_EQ(p.wait_latency_correlation, r.wait_latency_correlation);
+      EXPECT_EQ(p.utilization_latency_correlation,
+                r.utilization_latency_correlation);
+    }
+  }
+}
+
 TEST_F(ManagerTest, ValidateRejectsBadOptions) {
   TelemetryManagerOptions bad;
   bad.trend_samples = 2;

@@ -134,6 +134,38 @@ TEST(TheilSenTest, StricterAcceptanceRejectsWeakTrend) {
   EXPECT_FALSE(rs->significant);
 }
 
+TEST(TheilSenTest, ValidateReportsConfigStatus) {
+  EXPECT_TRUE(TheilSenEstimator().Validate().ok());
+  EXPECT_TRUE(TheilSenEstimator(0.7).Validate().ok());
+  EXPECT_TRUE(TheilSenEstimator(1.0).Validate().ok());
+  EXPECT_TRUE(TheilSenEstimator(0.5).Validate().IsOutOfRange());
+  EXPECT_TRUE(TheilSenEstimator(1.01).Validate().IsOutOfRange());
+  EXPECT_TRUE(TheilSenEstimator(-2.0).Validate().IsOutOfRange());
+}
+
+TEST(TheilSenTest, ScratchPathMatchesScratchless) {
+  TheilSenEstimator est;
+  Rng rng(19);
+  TheilSenScratch scratch;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+      y.push_back(0.3 * i + rng.Normal(0.0, 5.0));
+    }
+    auto plain = est.FitSequence(y);
+    auto reused = est.FitSequence(y, &scratch);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(reused.ok());
+    // Reusing scratch across rounds must not leak state between fits.
+    EXPECT_EQ(plain->slope, reused->slope);
+    EXPECT_EQ(plain->intercept, reused->intercept);
+    EXPECT_EQ(plain->fraction_positive, reused->fraction_positive);
+    EXPECT_EQ(plain->fraction_negative, reused->fraction_negative);
+    EXPECT_EQ(plain->significant, reused->significant);
+    EXPECT_EQ(plain->direction, reused->direction);
+  }
+}
+
 /// Property sweep: a clean linear trend of any slope/sign is recovered.
 class TheilSenSlopeSweep : public ::testing::TestWithParam<double> {};
 

@@ -1,0 +1,147 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dbscale {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000,
+                   [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 20, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, [&](int64_t) { calls++; });
+  pool.ParallelFor(5, 5, [&](int64_t) { calls++; });
+  pool.ParallelFor(7, 3, [&](int64_t) { calls++; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&](int64_t i) {
+    order.push_back(static_cast<int>(i));  // no synchronization needed
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(0).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(-3).num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [](int64_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 10, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSerialPath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 3,
+                                [](int64_t) {
+                                  throw std::runtime_error("serial boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyAndCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.ParallelFor(0, 16, [&](int64_t outer) {
+    // The workers are all busy with the outer job; a nested call must not
+    // deadlock waiting for them.
+    pool.ParallelFor(0, 16, [&](int64_t inner) {
+      hits[static_cast<size_t>(outer * 16 + inner)]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResultIndependentOfThreadCount) {
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(200);
+    pool.ParallelFor(0, 200, [&](int64_t i) {
+      double v = static_cast<double>(i);
+      out[static_cast<size_t>(i)] = v * v + 1.0;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsReadsEnvVar) {
+  ASSERT_EQ(setenv("DBSCALE_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  ASSERT_EQ(setenv("DBSCALE_NUM_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  unsetenv("DBSCALE_NUM_THREADS");
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsIgnoresInvalidEnvValues) {
+  for (const char* bad : {"", "0", "-2", "abc", "4x", "99999"}) {
+    ASSERT_EQ(setenv("DBSCALE_NUM_THREADS", bad, 1), 0);
+    EXPECT_GE(ThreadPool::DefaultNumThreads(), 1) << "value: " << bad;
+    if (*bad != '\0') {
+      // Invalid values fall back to hardware concurrency, never parse.
+      EXPECT_NE(ThreadPool::DefaultNumThreads(), -2);
+    }
+  }
+  unsetenv("DBSCALE_NUM_THREADS");
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 50, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1225);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerialize) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(0, 100, [&](int64_t) { total++; });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+}  // namespace
+}  // namespace dbscale
