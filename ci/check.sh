@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Full check: normal build + complete test suite, then a ThreadSanitizer
-# build running the concurrency-sensitive tests (thread pool, parallel
-# fleet fan-out, experiment comparison).
+# Full correctness gate, five stages:
+#   1. normal build + complete test suite (includes dbscale_lint ctest leg)
+#   2. ThreadSanitizer build, concurrency-sensitive tests
+#   3. UndefinedBehaviorSanitizer build, complete test suite
+#   4. clang-tidy over src/ (skipped with a notice when not installed)
+#   5. custom invariant lint (tools/lint/dbscale_lint.py + its self-test)
+# Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
 
@@ -11,13 +15,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== normal build + full test suite ==="
+echo "=== [1/5] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/5] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -27,6 +31,36 @@ cmake -B "${PREFIX}-tsan" -S . \
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fleet|Comparison|Experiment'
+
+echo
+echo "=== [3/5] UndefinedBehaviorSanitizer build (full test suite) ==="
+# -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
+# UB diagnostic into a test failure, so a green run means zero reports.
+cmake -B "${PREFIX}-ubsan" -S . \
+  -DSANITIZE=undefined \
+  -DDBSCALE_BUILD_BENCHMARKS=OFF \
+  -DDBSCALE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== [4/5] clang-tidy (checks from .clang-tidy) ==="
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "${cand}" >/dev/null 2>&1; then TIDY="${cand}"; break; fi
+done
+if [[ -n "${TIDY}" ]]; then
+  # compile_commands.json is exported by the stage-1 configure.
+  mapfile -t TIDY_SRCS < <(find src -name '*.cc' | sort)
+  "${TIDY}" -p "${PREFIX}" --warnings-as-errors='*' --quiet "${TIDY_SRCS[@]}"
+else
+  echo "clang-tidy not on PATH: stage skipped (install clang-tidy to run it)"
+fi
+
+echo
+echo "=== [5/5] custom invariant lint ==="
+ci/lint.sh
 
 echo
 echo "All checks passed."

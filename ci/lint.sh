@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Custom invariant lint: runs tools/lint/dbscale_lint.py over src/ and
+# tests/, plus the linter's own fixture self-test. Exits non-zero on any
+# finding or self-test failure.
+#
+# Usage: ci/lint.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PY="${PYTHON:-python3}"
+if ! command -v "${PY}" >/dev/null 2>&1; then
+  echo "ci/lint.sh: ${PY} not found; cannot run dbscale_lint" >&2
+  exit 1
+fi
+
+echo "--- dbscale_lint self-test (fixtures) ---"
+"${PY}" tools/lint/lint_test.py
+
+echo "--- dbscale_lint over src/ and tests/ ---"
+"${PY}" tools/lint/dbscale_lint.py

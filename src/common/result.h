@@ -18,8 +18,12 @@ namespace dbscale {
 ///
 /// A Result constructed from an OK status is invalid; the error status must
 /// carry a non-OK code.
+///
+/// [[nodiscard]]: discarding a Result drops both the computed value and any
+/// error, so call sites must consume it (or cast to void with an inline
+/// `dbscale-lint: allow(discarded-status)` annotation when intentional).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Wraps a success value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

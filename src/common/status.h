@@ -37,7 +37,10 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (a single pointer). Error states
 /// allocate a small heap record holding the code and message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently-swallowed error, so every
+/// call site must inspect, propagate, or explicitly discard the value.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -100,8 +103,8 @@ class Status {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const {
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
     return state_ ? state_->code : StatusCode::kOk;
   }
   /// Error message; empty for OK statuses.

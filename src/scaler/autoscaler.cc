@@ -141,7 +141,7 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
   const int cur_rung = input.current.base_rung;
 
   // -------- Scale-up path --------
-  bool perf_trigger;
+  bool perf_trigger = false;
   if (!has_goal) {
     // No latency goal: scale purely on demand (Section 2.3).
     perf_trigger = true;

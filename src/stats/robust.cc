@@ -23,6 +23,8 @@ double StdDev(const std::vector<double>& values) {
   return std::sqrt(ss / static_cast<double>(values.size() - 1));
 }
 
+// Allocating convenience wrapper; hot callers use MedianInPlace.
+// dbscale-lint: allow(alloc-hot-path)
 Result<double> Median(std::vector<double> values) {
   return MedianInPlace(values);
 }
@@ -38,6 +40,8 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+// Allocating convenience wrapper; hot callers use PercentileInPlace.
+// dbscale-lint: allow(alloc-hot-path)
 Result<double> Percentile(std::vector<double> values, double p) {
   return PercentileInPlace(values, p);
 }
@@ -69,7 +73,8 @@ Result<double> MedianInPlace(std::vector<double>& values) {
 }
 
 Result<double> Mad(const std::vector<double>& values) {
-  std::vector<double> scratch(values);
+  // Allocating convenience wrapper; hot callers use MadInPlace.
+  std::vector<double> scratch(values);  // dbscale-lint: allow(alloc-hot-path)
   return MadInPlace(scratch);
 }
 
@@ -86,6 +91,8 @@ Result<double> MadInPlace(std::vector<double>& values) {
   return 1.4826 * mad;
 }
 
+// Sorting copy by design: TrimmedMean is report-path only, never hot.
+// dbscale-lint: allow(alloc-hot-path)
 Result<double> TrimmedMean(std::vector<double> values, double trim_fraction) {
   if (values.empty()) {
     return Status::InvalidArgument("TrimmedMean of empty sample");

@@ -6,9 +6,11 @@
 
 namespace dbscale::stats {
 
-std::vector<double> RankWithTies(const std::vector<double>& values) {
-  std::vector<size_t> order;
-  std::vector<double> ranks;
+// Allocating convenience wrapper; hot callers use RankWithTiesInto.
+std::vector<double> RankWithTies(  // dbscale-lint: allow(alloc-hot-path)
+    const std::vector<double>& values) {
+  std::vector<size_t> order;   // dbscale-lint: allow(alloc-hot-path)
+  std::vector<double> ranks;   // dbscale-lint: allow(alloc-hot-path)
   RankWithTiesInto(values, order, ranks);
   return ranks;
 }
@@ -17,7 +19,8 @@ void RankWithTiesInto(const std::vector<double>& values,
                       std::vector<size_t>& order,
                       std::vector<double>& ranks) {
   const size_t n = values.size();
-  order.resize(n);
+  // Grows the caller's scratch once; steady-state calls reuse capacity.
+  order.resize(n);  // dbscale-lint: allow(alloc-hot-path)
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return values[a] < values[b]; });

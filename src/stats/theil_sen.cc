@@ -53,7 +53,8 @@ Result<TrendResult> TheilSenEstimator::FitImpl(
   const size_t n = y.size();
   std::vector<double>& slopes = scratch->slopes;
   slopes.clear();
-  slopes.reserve(n * (n - 1) / 2);
+  // Grows the scratch once; steady-state calls reuse capacity.
+  slopes.reserve(n * (n - 1) / 2);  // dbscale-lint: allow(alloc-hot-path)
   size_t positive = 0;
   size_t negative = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -79,7 +80,7 @@ Result<TrendResult> TheilSenEstimator::FitImpl(
   DBSCALE_ASSIGN_OR_RETURN(result.slope, MedianInPlace(slopes));
   std::vector<double>& intercepts = scratch->intercepts;
   intercepts.clear();
-  intercepts.reserve(n);
+  intercepts.reserve(n);  // dbscale-lint: allow(alloc-hot-path)
   for (size_t i = 0; i < n; ++i) {
     const double xi = x != nullptr ? (*x)[i] : static_cast<double>(i);
     intercepts.push_back(y[i] - result.slope * xi);

@@ -1,0 +1,51 @@
+// Heap-allocation counting for allocation-freedom regression tests.
+//
+// The counters are fed by replacement global operator new/delete defined in
+// alloc_guard_test.cc; they must live in exactly one translation unit of a
+// dedicated test binary (dbscale_alloc_guard_test) so the replacement does
+// not leak into the main test executable. Counting is per-thread, so gtest
+// bookkeeping on other threads can never pollute a measurement.
+
+#ifndef DBSCALE_TESTS_ALLOC_GUARD_H_
+#define DBSCALE_TESTS_ALLOC_GUARD_H_
+
+#include <cstddef>
+
+namespace dbscale::testing {
+
+/// Number of operator-new invocations on the calling thread since it
+/// started. Monotonic; only meaningful in a binary that links the counting
+/// operator new replacement.
+std::size_t ThreadAllocCount() noexcept;
+
+/// Number of operator-delete invocations on the calling thread.
+std::size_t ThreadDeallocCount() noexcept;
+
+/// \brief RAII measurement span: how many heap allocations happened on this
+/// thread since construction.
+///
+/// Usage:
+///   AllocSpan span;
+///   code_under_test();
+///   EXPECT_EQ(span.allocations(), 0u);
+class AllocSpan {
+ public:
+  AllocSpan() noexcept
+      : start_allocs_(ThreadAllocCount()),
+        start_frees_(ThreadDeallocCount()) {}
+
+  std::size_t allocations() const noexcept {
+    return ThreadAllocCount() - start_allocs_;
+  }
+  std::size_t deallocations() const noexcept {
+    return ThreadDeallocCount() - start_frees_;
+  }
+
+ private:
+  std::size_t start_allocs_;
+  std::size_t start_frees_;
+};
+
+}  // namespace dbscale::testing
+
+#endif  // DBSCALE_TESTS_ALLOC_GUARD_H_

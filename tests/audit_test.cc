@@ -107,7 +107,9 @@ TEST(AuditLogTest, AutoScalerPopulatesAudit) {
       LatencyGoal{telemetry::LatencyAggregate::kP95, 200.0};
   auto scaler = AutoScaler::Create(catalog, knobs).value();
   for (int i = 0; i < 3; ++i) {
-    (void)scaler->Decide(MakeInput(catalog, 3, i, 100.0));
+    // Decisions only feed the audit log here; outputs are irrelevant.
+    (void)scaler->Decide(  // dbscale-lint: allow(discarded-status)
+        MakeInput(catalog, 3, i, 100.0));
   }
   EXPECT_EQ(scaler->audit().size(), 3u);
   EXPECT_FALSE(scaler->audit().back().explanation.empty());

@@ -236,6 +236,7 @@ TEST_F(AutoScalerTest, BalloonAbortBlocksMemoryShrink) {
   auto s = Snapshot(5, 100);
   SetAllIdle(&s);
   s.physical_reads_per_sec = 10.0;
+  // dbscale-lint: allow(discarded-status)
   (void)scaler->Decide(Input(s, 5, 0));  // balloon starts
   ASSERT_TRUE(scaler->balloon().active());
   // I/O explodes as memory shrinks: abort, restore, and no resize.
@@ -258,6 +259,7 @@ TEST_F(AutoScalerTest, DemandReturnMidBalloonRevertsMemory) {
   auto scaler = MakeScaler(GoalKnobs(200), options);
   auto idle = Snapshot(5, 100);
   SetAllIdle(&idle);
+  // dbscale-lint: allow(discarded-status)
   (void)scaler->Decide(Input(idle, 5, 0));
   ASSERT_TRUE(scaler->balloon().active());
   auto busy = Snapshot(5, 400);
@@ -298,6 +300,7 @@ TEST_F(AutoScalerTest, LatencySlackShrinksDespiteSteadyDemand) {
   for (container::ResourceKind kind : container::kAllResources) {
     s.resources[static_cast<size_t>(kind)].utilization_pct = 30.0;
   }
+  // dbscale-lint: allow(discarded-status)
   (void)scaler->Decide(Input(s, 5, 0));
   auto d = scaler->Decide(Input(s, 5, 1));
   EXPECT_LT(d.target.base_rung, 5);

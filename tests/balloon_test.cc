@@ -61,6 +61,7 @@ TEST(BalloonTest, CooldownBlocksRestart) {
   options.cooldown_ticks = 10;
   BalloonController b(options);
   ASSERT_TRUE(b.Start(4096, 2560, 0, 0).ok());
+  // dbscale-lint: allow(discarded-status)
   (void)b.Tick(1000, 1);  // abort at tick 1
   EXPECT_FALSE(b.CanStart(5));
   EXPECT_FALSE(b.Start(4096, 2560, 0, 5).ok());

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Self-test for dbscale_lint.py.
+
+Runs the linter over the known-bad and known-good fixture trees in
+testdata/ and asserts, per rule, that every seeded violation is detected
+and that every suppression mechanism (same-line, previous-line, file-level,
+path exemption, comment/string stripping) keeps the good tree clean.
+
+Registered in CTest as `dbscale_lint_selftest`, so a silently-rotted rule
+fails the tier-1 suite.
+"""
+
+import collections
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import dbscale_lint  # noqa: E402
+
+BAD_TREE = os.path.join(HERE, "testdata", "tree_bad")
+GOOD_TREE = os.path.join(HERE, "testdata", "tree_good")
+
+
+def run_tree(root):
+    """Returns {rule: count} over all findings in `root`."""
+    counts = collections.Counter()
+    for rel in dbscale_lint.iter_source_files(root):
+        for finding in dbscale_lint.lint_file(root, rel):
+            counts[finding.rule] += 1
+    return counts
+
+
+class BadTreeTest(unittest.TestCase):
+    """Every seeded violation must be found, with the expected multiplicity."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.counts = run_tree(BAD_TREE)
+
+    def test_wall_clock(self):
+        # system_clock in report.cc; random_device + std::rand in fleet_sim.cc.
+        self.assertEqual(self.counts["wall-clock"], 3)
+
+    def test_unordered_container(self):
+        # unordered_map in report.cc; unordered_set in fleet_sim.cc.
+        self.assertEqual(self.counts["unordered-container"], 2)
+
+    def test_alloc_hot_path(self):
+        # fresh local, resize, reserve, make_unique, new, by-value param.
+        self.assertEqual(self.counts["alloc-hot-path"], 6)
+
+    def test_float_equality(self):
+        # == literal, != literal, and literal == (reversed operands).
+        self.assertEqual(self.counts["float-equality"], 3)
+
+    def test_discarded_status(self):
+        # (void)Flush() and (void)obj.Apply(1).
+        self.assertEqual(self.counts["discarded-status"], 2)
+
+    def test_nodiscard_guard(self):
+        # status.h fixture is missing class [[nodiscard]].
+        self.assertEqual(self.counts["nodiscard-guard"], 1)
+
+    def test_no_unexpected_rules(self):
+        expected = {"wall-clock", "unordered-container", "alloc-hot-path",
+                    "float-equality", "discarded-status", "nodiscard-guard"}
+        self.assertEqual(set(self.counts), expected)
+
+
+class GoodTreeTest(unittest.TestCase):
+    """Suppressions and exemptions must keep the good tree finding-free."""
+
+    def test_clean(self):
+        counts = run_tree(GOOD_TREE)
+        self.assertEqual(dict(counts), {},
+                         "good fixture tree produced findings")
+
+
+class CliTest(unittest.TestCase):
+    """The command-line entry point must exit 1 on findings, 0 when clean."""
+
+    def run_cli(self, root):
+        return subprocess.run(
+            [sys.executable, os.path.join(HERE, "dbscale_lint.py"),
+             "--root", root],
+            capture_output=True, text=True, check=False)
+
+    def test_bad_tree_exits_nonzero(self):
+        proc = self.run_cli(BAD_TREE)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[wall-clock]", proc.stdout)
+        self.assertIn("finding(s)", proc.stderr)
+
+    def test_good_tree_exits_zero(self):
+        proc = self.run_cli(GOOD_TREE)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_missing_root_is_usage_error(self):
+        proc = self.run_cli(os.path.join(HERE, "testdata", "no_such_tree"))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_shipped_tree_is_clean(self):
+        repo_root = os.path.normpath(os.path.join(HERE, "..", ".."))
+        proc = self.run_cli(repo_root)
+        self.assertEqual(proc.returncode, 0,
+                         "shipped tree has lint findings:\n" + proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,7 @@
+// Fixture: Status lost its [[nodiscard]] attribute.
+namespace dbscale {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace dbscale

@@ -1,0 +1,12 @@
+// Fixture: (void)-cast discarding a [[nodiscard]] Status.
+namespace dbscale {
+
+struct Status { bool ok() { return true; } };
+Status Flush();
+
+void Shutdown() {
+  (void)Flush();
+  (void)obj.Apply(1);
+}
+
+}  // namespace dbscale

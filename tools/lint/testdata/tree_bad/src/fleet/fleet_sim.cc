@@ -1,0 +1,17 @@
+// Fixture: nondeterministic randomness + unordered set in a merge path.
+#include <cstdlib>
+#include <random>
+#include <unordered_set>
+
+namespace dbscale {
+
+int PickTenant(int n) {
+  std::random_device rd;
+  return static_cast<int>(rd()) % n;
+}
+
+int LegacyPick(int n) { return std::rand() % n; }
+
+std::unordered_set<int> active_tenants;
+
+}  // namespace dbscale

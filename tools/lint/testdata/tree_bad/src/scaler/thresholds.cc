@@ -1,0 +1,10 @@
+// Fixture: naked floating-point equality in threshold logic.
+namespace dbscale {
+
+bool AtGoal(double latency_ms) { return latency_ms == 250.0; }
+
+bool NotIdle(double util_pct) { return util_pct != 0.0; }
+
+bool ReversedOperands(double frac) { return 0.7 == frac; }
+
+}  // namespace dbscale

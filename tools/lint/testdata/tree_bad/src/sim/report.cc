@@ -1,0 +1,18 @@
+// Fixture: wall-clock + unordered-container violations in a report path.
+#include <chrono>
+#include <unordered_map>
+
+namespace dbscale {
+
+long StampReport() {
+  auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+int CountTenants(const std::unordered_map<int, double>& by_tenant) {
+  int n = 0;
+  for (const auto& kv : by_tenant) n += kv.first > 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace dbscale

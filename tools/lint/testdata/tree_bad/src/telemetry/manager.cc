@@ -1,0 +1,20 @@
+// Fixture: allocations and container growth in the hot signal path.
+#include <memory>
+#include <vector>
+
+namespace dbscale {
+
+void Compute(std::vector<double>& scratch) {
+  std::vector<double> fresh_local;
+  fresh_local.push_back(1.0);
+  scratch.resize(128);
+  scratch.reserve(256);
+  auto owned = std::make_unique<std::vector<double>>();
+  double* raw = new double[8];
+  delete[] raw;
+  (void)owned;
+}
+
+void CopiesParam(std::vector<double> by_value) { by_value.clear(); }
+
+}  // namespace dbscale

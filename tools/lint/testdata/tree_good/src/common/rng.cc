@@ -1,0 +1,11 @@
+// Fixture: rng.cc is exempt from wall-clock — seeding helpers live here.
+#include <random>
+
+namespace dbscale {
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace dbscale

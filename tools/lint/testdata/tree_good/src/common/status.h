@@ -1,0 +1,7 @@
+// Fixture: nodiscard guard satisfied.
+namespace dbscale {
+class [[nodiscard]] Status {
+ public:
+  [[nodiscard]] bool ok() const { return true; }
+};
+}  // namespace dbscale

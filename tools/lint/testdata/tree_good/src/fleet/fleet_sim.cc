@@ -1,0 +1,12 @@
+// Fixture: suppressed finding via same-line and previous-line annotations.
+#include <unordered_set>
+
+namespace dbscale {
+
+// Lookup-only set: never iterated, so ordering cannot leak into output.
+std::unordered_set<int> lookup_only;  // dbscale-lint: allow(unordered-container)
+
+// dbscale-lint: allow(unordered-container)
+std::unordered_set<int> also_allowed;
+
+}  // namespace dbscale

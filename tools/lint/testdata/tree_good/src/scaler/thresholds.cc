@@ -1,0 +1,12 @@
+// Fixture: epsilon comparison instead of naked equality.
+#include <cmath>
+
+namespace dbscale {
+
+bool AtGoal(double latency_ms) {
+  return std::fabs(latency_ms - 250.0) < 1e-9;
+}
+
+bool Above(double util_pct) { return util_pct >= 70.0; }
+
+}  // namespace dbscale

@@ -1,0 +1,16 @@
+// Fixture: clean report path — ordered map, sim-time only.
+#include <map>
+
+namespace dbscale {
+
+int CountTenants(const std::map<int, double>& by_tenant) {
+  int n = 0;
+  for (const auto& kv : by_tenant) n += kv.first > 0 ? 1 : 0;
+  return n;
+}
+
+// Mentions of system_clock or std::rand inside comments must not fire.
+/* Neither should new or resize inside a block comment. */
+const char* kDoc = "system_clock in a string literal is also fine";
+
+}  // namespace dbscale

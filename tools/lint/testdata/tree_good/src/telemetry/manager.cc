@@ -1,0 +1,13 @@
+// Fixture: hot path using scratch buffers only; file-level suppression.
+// dbscale-lint: allow-file(alloc-hot-path)
+#include <vector>
+
+namespace dbscale {
+
+void Compute(std::vector<double>& scratch) {
+  scratch.reserve(64);
+  std::vector<double> fresh;
+  fresh.push_back(0.0);
+}
+
+}  // namespace dbscale
