@@ -5,12 +5,24 @@
 // --out=PATH):
 //   * fleet wall time, serial vs 1/2/4/8 threads, with a determinism
 //     checksum per run (must be identical across thread counts);
-//   * TelemetryManager::Compute throughput and heap allocations per call,
-//     with and without a reusable SignalScratch.
+//   * TelemetryManager::Compute throughput and heap allocations per call
+//     on a static store, with and without a reusable SignalScratch (both
+//     rows use the batch path so they stay comparable to earlier runs);
+//   * incremental vs batch Compute on a *sliding* store (one appended
+//     sample per call — the deployment access pattern) at window sizes
+//     W in {32, 128, 512}, with per-call allocation counts and an
+//     order-sensitive snapshot digest that must match between the two
+//     paths exactly (the incremental engine's bit-identity contract).
 //
 // Numbers are only meaningful relative to `hardware_concurrency`, which is
-// recorded alongside them: on a single-core host the parallel runs cannot
-// beat serial and the interesting result is the allocation counts.
+// recorded alongside them (as is DBSCALE_NUM_THREADS when set): on a
+// single-core host the parallel runs cannot beat serial and the
+// interesting results are the allocation counts and the incremental
+// speedups, which do not depend on core count.
+//
+// --quick shrinks every section to a few seconds total; ci/check.sh runs
+// it as a smoke stage and asserts on the JSON (zero allocations on the
+// scratch paths, digests match).
 
 #include <chrono>
 #include <cstdio>
@@ -102,23 +114,29 @@ FleetRunStats TimeFleetRun(const container::Catalog& catalog,
   return {num_threads, elapsed, FleetChecksum(*telemetry)};
 }
 
+telemetry::TelemetrySample MakeSlidingSample(
+    const container::Catalog& catalog, int i, Rng& rng) {
+  telemetry::TelemetrySample sample;
+  sample.period_start = SimTime::Zero() + Duration::Seconds(i * 5);
+  sample.period_end = SimTime::Zero() + Duration::Seconds((i + 1) * 5);
+  sample.requests_completed = 100;
+  sample.latency_p95_ms = rng.LogNormal(5.0, 0.3);
+  sample.latency_avg_ms = sample.latency_p95_ms * 0.5;
+  for (size_t r = 0; r < container::kNumResources; ++r) {
+    sample.utilization_pct[r] = rng.Uniform(0, 100);
+  }
+  for (size_t w = 0; w < telemetry::kNumWaitClasses; ++w) {
+    sample.wait_ms[w] = rng.LogNormal(4.0, 1.0);
+  }
+  sample.allocation = catalog.rung(4).resources;
+  return sample;
+}
+
 telemetry::TelemetryStore MakeSignalStore(const container::Catalog& catalog) {
   telemetry::TelemetryStore store;
   Rng rng(3);
   for (int i = 0; i < 64; ++i) {
-    telemetry::TelemetrySample sample;
-    sample.period_start = SimTime::Zero() + Duration::Seconds(i * 5);
-    sample.period_end = SimTime::Zero() + Duration::Seconds((i + 1) * 5);
-    sample.requests_completed = 100;
-    sample.latency_p95_ms = rng.LogNormal(5.0, 0.3);
-    for (size_t r = 0; r < container::kNumResources; ++r) {
-      sample.utilization_pct[r] = rng.Uniform(0, 100);
-    }
-    for (size_t w = 0; w < telemetry::kNumWaitClasses; ++w) {
-      sample.wait_ms[w] = rng.LogNormal(4.0, 1.0);
-    }
-    sample.allocation = catalog.rung(4).resources;
-    store.Append(std::move(sample));
+    store.Append(MakeSlidingSample(catalog, i, rng));
   }
   return store;
 }
@@ -151,8 +169,111 @@ ComputeStats TimeCompute(const telemetry::TelemetryManager& manager,
   return stats;
 }
 
+double TrendDigest(const stats::TrendResult& t) {
+  return t.slope + 3.0 * t.intercept + 7.0 * t.fraction_positive +
+         11.0 * t.fraction_negative + (t.significant ? 13.0 : 0.0) +
+         17.0 * static_cast<double>(t.direction);
+}
+
+/// Order-sensitive digest over every field of a snapshot. The incremental
+/// and batch paths must produce identical digests over identical sample
+/// streams — any divergence in any signal on any slide changes the sum.
+double SnapshotDigest(const telemetry::SignalSnapshot& snap, double weight) {
+  double sum = snap.latency_ms + TrendDigest(snap.latency_trend) +
+               snap.total_wait_ms + snap.throughput_rps +
+               snap.memory_used_mb + snap.physical_reads_per_sec;
+  for (size_t r = 0; r < container::kNumResources; ++r) {
+    const telemetry::ResourceSignals& rs = snap.resources[r];
+    sum += rs.utilization_pct + rs.wait_ms + rs.wait_ms_per_request +
+           rs.wait_pct + TrendDigest(rs.utilization_trend) +
+           TrendDigest(rs.wait_trend) + rs.wait_latency_correlation +
+           rs.utilization_latency_correlation;
+  }
+  for (double pct : snap.wait_pct_by_class) sum += pct;
+  return weight * sum;
+}
+
+struct SlidingStats {
+  double calls_per_sec = 0.0;
+  double allocs_per_call = 0.0;
+  double digest = 0.0;
+};
+
+/// The deployment access pattern: one sample appended per Compute. Only
+/// the Compute calls are timed and allocation-counted (the store's own
+/// append may grow its deque). The same seed gives both managers an
+/// identical sample stream so their digests are comparable bit-for-bit.
+SlidingStats TimeSlidingCompute(const telemetry::TelemetryManager& manager,
+                                const container::Catalog& catalog,
+                                size_t window, int slides, uint64_t seed) {
+  telemetry::TelemetryStore store;
+  Rng rng(seed);
+  int index = 0;
+  for (size_t i = 0; i < window; ++i) {
+    store.Append(MakeSlidingSample(catalog, index++, rng));
+  }
+  telemetry::SignalScratch scratch;
+  // Warm up: sizes scratch / configures the incremental engine.
+  manager.Compute(store, store.back().period_end, &scratch);
+
+  SlidingStats stats;
+  double compute_seconds = 0.0;
+  std::int64_t allocs = 0;
+  double weight = 1.0;
+  for (int i = 0; i < slides; ++i) {
+    store.Append(MakeSlidingSample(catalog, index++, rng));
+    const std::int64_t allocs_before = t_alloc_count;
+    const double start = NowSeconds();
+    const telemetry::SignalSnapshot snap =
+        manager.Compute(store, store.back().period_end, &scratch);
+    compute_seconds += NowSeconds() - start;
+    allocs += t_alloc_count - allocs_before;
+    weight = weight >= 1e9 ? 1.0 : weight + 1e-3;
+    stats.digest += SnapshotDigest(snap, weight);
+  }
+  stats.calls_per_sec = slides / compute_seconds;
+  stats.allocs_per_call =
+      static_cast<double>(allocs) / static_cast<double>(slides);
+  return stats;
+}
+
+struct SlidingComparison {
+  size_t window = 0;
+  int slides = 0;
+  SlidingStats incremental;
+  SlidingStats batch;
+};
+
+SlidingComparison CompareSlidingPaths(const container::Catalog& catalog,
+                                      size_t window, int slides) {
+  telemetry::TelemetryManagerOptions options;
+  options.aggregation_samples = window / 2;
+  options.trend_samples = window;
+  options.correlation_samples = window;
+
+  SlidingComparison cmp;
+  cmp.window = window;
+  cmp.slides = slides;
+
+  options.incremental = true;
+  const telemetry::TelemetryManager incremental(options);
+  cmp.incremental =
+      TimeSlidingCompute(incremental, catalog, window, slides, /*seed=*/29);
+
+  options.incremental = false;
+  const telemetry::TelemetryManager batch(options);
+  cmp.batch =
+      TimeSlidingCompute(batch, catalog, window, slides, /*seed=*/29);
+
+  // Bit-identical signals are a hard guarantee, not a tolerance: the
+  // incremental engine must reproduce the batch oracle on every slide.
+  DBSCALE_CHECK(cmp.incremental.digest == cmp.batch.digest);
+  return cmp;
+}
+
 int Main(int argc, char** argv) {
   std::string out_path = "BENCH_perf.json";
+  bool quick = false;
   fleet::FleetOptions fleet_options;
   fleet_options.num_tenants = 200;
   fleet_options.num_intervals = 288;  // one simulated day
@@ -163,20 +284,34 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--full") == 0) {
       fleet_options.num_tenants = 1000;
       fleet_options.num_intervals = 7 * 288;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      fleet_options.num_tenants = 24;
+      fleet_options.num_intervals = 48;
     }
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
+  const char* threads_env = std::getenv("DBSCALE_NUM_THREADS");
   std::printf("hardware_concurrency: %u\n", hw);
-  std::printf("default threads (DBSCALE_NUM_THREADS aware): %d\n\n",
-              ThreadPool::DefaultNumThreads());
+  std::printf("DBSCALE_NUM_THREADS: %s\n",
+              threads_env != nullptr ? threads_env : "(unset)");
+  std::printf("default threads: %d\n\n", ThreadPool::DefaultNumThreads());
+  if (hw <= 1) {
+    std::printf(
+        "WARNING: single-core host — fleet speedups cannot exceed 1x here; "
+        "read the allocation counts and incremental-vs-batch rows instead.\n"
+        "\n");
+  }
 
   container::Catalog catalog = container::Catalog::MakeLockStep();
 
   std::printf("fleet: %d tenants x %d intervals\n",
               fleet_options.num_tenants, fleet_options.num_intervals);
   std::vector<FleetRunStats> fleet_runs;
-  for (int threads : {1, 2, 4, 8}) {
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : thread_counts) {
     fleet_runs.push_back(TimeFleetRun(catalog, fleet_options, threads));
     const FleetRunStats& run = fleet_runs.back();
     std::printf("  threads=%d  %.3fs  speedup=%.2fx  checksum=%.6f\n",
@@ -186,23 +321,57 @@ int Main(int argc, char** argv) {
     DBSCALE_CHECK(run.checksum == fleet_runs.front().checksum);
   }
 
+  // Static-store rows, batch path on both: comparable to historical runs
+  // and isolates what the scratch alone buys.
+  telemetry::TelemetryManagerOptions batch_options;
+  batch_options.incremental = false;
   telemetry::TelemetryStore store = MakeSignalStore(catalog);
-  telemetry::TelemetryManager manager;
+  telemetry::TelemetryManager batch_manager(batch_options);
   telemetry::SignalScratch scratch;
-  const int iterations = 20000;
-  ComputeStats no_scratch = TimeCompute(manager, store, nullptr, iterations);
+  const int iterations = quick ? 2000 : 20000;
+  ComputeStats no_scratch =
+      TimeCompute(batch_manager, store, nullptr, iterations);
   ComputeStats with_scratch =
-      TimeCompute(manager, store, &scratch, iterations);
-  std::printf("\nTelemetryManager::Compute (64-sample store):\n");
+      TimeCompute(batch_manager, store, &scratch, iterations);
+  std::printf("\nTelemetryManager::Compute (static 64-sample store, batch):\n");
   std::printf("  no scratch:   %10.0f calls/s  %6.1f allocs/call\n",
               no_scratch.calls_per_sec, no_scratch.allocs_per_call);
   std::printf("  with scratch: %10.0f calls/s  %6.1f allocs/call\n",
               with_scratch.calls_per_sec, with_scratch.allocs_per_call);
 
+  // Sliding store: incremental engine vs batch oracle at growing windows.
+  // The batch pairwise-slope pass is O(W^2) per call, so its slide counts
+  // shrink with W to keep the section bounded.
+  std::printf("\nSliding Compute, incremental vs batch "
+              "(1 append per call):\n");
+  std::vector<SlidingComparison> sliding;
+  const std::vector<std::pair<size_t, int>> sliding_cases =
+      quick ? std::vector<std::pair<size_t, int>>{{32, 200}, {128, 60},
+                                                  {512, 16}}
+            : std::vector<std::pair<size_t, int>>{{32, 4000}, {128, 1000},
+                                                  {512, 150}};
+  for (const auto& [window, slides] : sliding_cases) {
+    sliding.push_back(CompareSlidingPaths(catalog, window, slides));
+    const SlidingComparison& cmp = sliding.back();
+    std::printf(
+        "  W=%-4zu incremental %10.0f calls/s %5.2f allocs/call | "
+        "batch %10.0f calls/s %5.2f allocs/call | speedup %5.2fx\n",
+        cmp.window, cmp.incremental.calls_per_sec,
+        cmp.incremental.allocs_per_call, cmp.batch.calls_per_sec,
+        cmp.batch.allocs_per_call,
+        cmp.incremental.calls_per_sec / cmp.batch.calls_per_sec);
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   DBSCALE_CHECK(out != nullptr);
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  if (threads_env != nullptr) {
+    std::fprintf(out, "  \"dbscale_num_threads_env\": \"%s\",\n", threads_env);
+  } else {
+    std::fprintf(out, "  \"dbscale_num_threads_env\": null,\n");
+  }
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(out, "  \"fleet\": {\n");
   std::fprintf(out, "    \"num_tenants\": %d,\n", fleet_options.num_tenants);
   std::fprintf(out, "    \"num_intervals\": %d,\n",
@@ -230,7 +399,26 @@ int Main(int argc, char** argv) {
                "    \"with_scratch\": {\"calls_per_sec\": %.0f, "
                "\"allocs_per_call\": %.2f}\n",
                with_scratch.calls_per_sec, with_scratch.allocs_per_call);
-  std::fprintf(out, "  }\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"incremental_vs_batch\": [\n");
+  for (size_t i = 0; i < sliding.size(); ++i) {
+    const SlidingComparison& cmp = sliding[i];
+    std::fprintf(
+        out,
+        "    {\"window\": %zu, \"slides\": %d,\n"
+        "     \"incremental\": {\"calls_per_sec\": %.0f, "
+        "\"allocs_per_call\": %.4f},\n"
+        "     \"batch\": {\"calls_per_sec\": %.0f, "
+        "\"allocs_per_call\": %.4f},\n"
+        "     \"speedup\": %.4f, \"digest\": %.6f, "
+        "\"digests_match\": true}%s\n",
+        cmp.window, cmp.slides, cmp.incremental.calls_per_sec,
+        cmp.incremental.allocs_per_call, cmp.batch.calls_per_sec,
+        cmp.batch.allocs_per_call,
+        cmp.incremental.calls_per_sec / cmp.batch.calls_per_sec,
+        cmp.incremental.digest, i + 1 < sliding.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Full correctness gate, five stages:
+# Full correctness gate, six stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests
 #   3. UndefinedBehaviorSanitizer build, complete test suite
 #   4. clang-tidy over src/ (skipped with a notice when not installed)
 #   5. custom invariant lint (tools/lint/dbscale_lint.py + its self-test)
+#   6. quick-mode perf-pipeline smoke: hot paths must stay allocation-free
+#      and the incremental signal engine bit-identical to the batch oracle
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -15,13 +17,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/5] normal build + full test suite ==="
+echo "=== [1/6] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/5] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/6] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -33,7 +35,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fleet|Comparison|Experiment'
 
 echo
-echo "=== [3/5] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/6] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -44,7 +46,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/5] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/6] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -59,8 +61,52 @@ else
 fi
 
 echo
-echo "=== [5/5] custom invariant lint ==="
+echo "=== [5/6] custom invariant lint ==="
 ci/lint.sh
+
+echo
+echo "=== [6/6] perf-pipeline smoke (quick mode) ==="
+# Small workloads, large signal: any steady-state allocation on a hot path
+# or any bit-level divergence between the incremental signal engine and the
+# batch oracle fails the gate, regardless of throughput numbers.
+SMOKE_JSON="${PREFIX}/bench_smoke.json"
+"${PREFIX}/bench/bench_perf_pipeline" --quick --out="${SMOKE_JSON}" >/dev/null
+python3 - "${SMOKE_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+
+compute = report["telemetry_compute"]
+if compute["with_scratch"]["allocs_per_call"] > 0:
+    failures.append("TelemetryManager::Compute (scratch path) allocated "
+                    f"{compute['with_scratch']['allocs_per_call']}/call")
+
+for case in report["incremental_vs_batch"]:
+    window = case["window"]
+    if case["incremental"]["allocs_per_call"] > 0:
+        failures.append(f"incremental Compute at W={window} allocated "
+                        f"{case['incremental']['allocs_per_call']}/call")
+    if not case["digests_match"]:
+        failures.append(f"incremental vs batch digests diverge at W={window}")
+
+checksums = {run["checksum"] for run in report["fleet"]["runs"]}
+if len(checksums) != 1:
+    failures.append(f"fleet checksums diverge across thread counts: "
+                    f"{sorted(checksums)}")
+if not report["fleet"]["deterministic_across_threads"]:
+    failures.append("fleet reports non-deterministic across thread counts")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench smoke ok: {len(report['incremental_vs_batch'])} sliding cases "
+      "bit-identical, hot paths allocation-free")
+PY
 
 echo
 echo "All checks passed."

@@ -9,48 +9,71 @@
 
 namespace dbscale::sim {
 
+// Sink argument by design: the table takes ownership of the cells.
+// dbscale-lint: allow(alloc-hot-path)
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
   DBSCALE_CHECK(!header_.empty());
 }
 
+// Sink argument by design: the table takes ownership of the cells.
+// dbscale-lint: allow(alloc-hot-path)
 void TextTable::AddRow(std::vector<std::string> row) {
   DBSCALE_CHECK(row.size() == header_.size());
   rows_.push_back(std::move(row));
 }
 
-std::string TextTable::ToString() const {
-  std::vector<size_t> widths(header_.size());
+void TextTable::AppendTo(std::string& out, ReportScratch* scratch) const {
+  ReportScratch local;
+  if (scratch == nullptr) scratch = &local;
+  std::vector<size_t>& widths = scratch->widths;
+  widths.assign(header_.size(), 0);
   for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
   for (const auto& row : rows_) {
     for (size_t c = 0; c < row.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto render_row = [&](const std::vector<std::string>& row) {
-    std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out += "  ";
       out += row[c];
       out.append(widths[c] - row[c].size(), ' ');
     }
     out += "\n";
-    return out;
   };
-  std::string out = render_row(header_);
-  std::string rule;
+  append_row(header_);
   for (size_t c = 0; c < widths.size(); ++c) {
-    if (c > 0) rule += "--";
-    rule.append(widths[c], '-');
+    if (c > 0) out += "--";
+    out.append(widths[c], '-');
   }
-  out += rule + "\n";
-  for (const auto& row : rows_) out += render_row(row);
+  out += "\n";
+  for (const auto& row : rows_) append_row(row);
+}
+
+void TextTable::AppendCsvTo(std::string& out) const {
+  auto append_joined = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_joined(header_);
+  for (const auto& row : rows_) append_joined(row);
+}
+
+// Allocating convenience wrapper; hot callers use AppendTo.
+std::string TextTable::ToString() const {
+  std::string out;
+  AppendTo(out);
   return out;
 }
 
+// Allocating convenience wrapper; hot callers use AppendCsvTo.
 std::string TextTable::ToCsv() const {
-  std::string out = StrJoin(header_, ",") + "\n";
-  for (const auto& row : rows_) out += StrJoin(row, ",") + "\n";
+  std::string out;
+  AppendCsvTo(out);
   return out;
 }
 
@@ -67,13 +90,17 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
-std::string AsciiChart(const std::vector<double>& values, int height,
-                       int max_width) {
-  if (values.empty() || height < 1) return "";
+void AsciiChartInto(const std::vector<double>& values, std::string& out,
+                    int height, int max_width, ReportScratch* scratch) {
+  if (values.empty() || height < 1) return;
+  ReportScratch local;
+  if (scratch == nullptr) scratch = &local;
+
   // Downsample to max_width columns by averaging.
   const size_t width =
       std::min<size_t>(values.size(), static_cast<size_t>(max_width));
-  std::vector<double> cols(width, 0.0);
+  std::vector<double>& cols = scratch->chart_cols;
+  cols.assign(width, 0.0);
   for (size_t c = 0; c < width; ++c) {
     const size_t lo = c * values.size() / width;
     const size_t hi = std::max(lo + 1, (c + 1) * values.size() / width);
@@ -84,17 +111,34 @@ std::string AsciiChart(const std::vector<double>& values, int height,
   double vmax = *std::max_element(cols.begin(), cols.end());
   if (vmax <= 0.0) vmax = 1.0;
 
-  std::string out;
+  // snprintf into a stack buffer instead of StrFormat: same printf
+  // semantics (so the bytes match the historical output) without the
+  // temporary std::string per line.
+  char buf[64];
+  std::string& line = scratch->line;
   for (int r = height; r >= 1; --r) {
     const double threshold =
         vmax * (static_cast<double>(r) - 0.5) / static_cast<double>(height);
-    std::string line;
+    line.clear();
     for (size_t c = 0; c < width; ++c) {
       line += cols[c] >= threshold ? '#' : ' ';
     }
-    out += StrFormat("%8.1f |%s\n", vmax * r / height, line.c_str());
+    std::snprintf(buf, sizeof(buf), "%8.1f |", vmax * r / height);
+    out += buf;
+    out += line;
+    out += '\n';
   }
-  out += StrFormat("%8s +%s\n", "", std::string(width, '-').c_str());
+  out.append(8, ' ');
+  out += " +";
+  out.append(width, '-');
+  out += '\n';
+}
+
+// Allocating convenience wrapper; hot callers use AsciiChartInto.
+std::string AsciiChart(const std::vector<double>& values, int height,
+                       int max_width) {
+  std::string out;
+  AsciiChartInto(values, out, height, max_width);
   return out;
 }
 

@@ -11,12 +11,31 @@
 
 namespace dbscale::sim {
 
+/// Reusable buffers for the Append* renderers below. Report rendering runs
+/// once per interval inside fleet/experiment loops, so the steady-state
+/// path must not allocate: hand the same scratch (and output string) to
+/// every call and both reuse their capacity.
+struct ReportScratch {
+  std::vector<size_t> widths;
+  std::vector<double> chart_cols;
+  std::string line;
+};
+
 /// \brief Column-aligned text table builder.
 class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 
   void AddRow(std::vector<std::string> row);
+
+  /// Appends the padded rendering to `out` (not cleared first). With a
+  /// reused scratch and a capacity-retaining `out` the call performs no
+  /// allocations beyond growth to the table's high-water size.
+  void AppendTo(std::string& out, ReportScratch* scratch = nullptr) const;
+  /// Appends the CSV rendering (no padding) to `out`; allocation-free
+  /// once `out` has capacity.
+  void AppendCsvTo(std::string& out) const;
+
   /// Renders with columns padded to their widest cell.
   std::string ToString() const;
   /// Renders as CSV (no padding).
@@ -31,6 +50,12 @@ class TextTable {
 
 /// Writes `content` to `path` (creating/truncating).
 Status WriteFile(const std::string& path, const std::string& content);
+
+/// AsciiChart appended to `out` (not cleared first); byte-identical to
+/// AsciiChart and allocation-free in steady state with a reused scratch.
+void AsciiChartInto(const std::vector<double>& values, std::string& out,
+                    int height = 8, int max_width = 120,
+                    ReportScratch* scratch = nullptr);
 
 /// Renders a sparkline-style ASCII chart of `values` with the given height,
 /// for eyeballing trace shapes and container series in bench output.

@@ -8,6 +8,8 @@
 
 namespace dbscale::stats {
 
+// Sink argument by design: the CDF takes ownership of the sample.
+// dbscale-lint: allow(alloc-hot-path)
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
     : samples_(std::move(samples)) {}
 
@@ -44,8 +46,17 @@ Result<double> EmpiricalCdf::ValueAtPercentile(double p) const {
   return PercentileSorted(samples_, p);
 }
 
+// Allocating convenience wrapper; hot callers use CurvePointsInto.
 Result<std::vector<std::pair<double, double>>> EmpiricalCdf::CurvePoints(
     size_t num_points) const {
+  std::vector<std::pair<double, double>> points;  // dbscale-lint: allow(alloc-hot-path)
+  Status status = CurvePointsInto(num_points, points);
+  if (!status.ok()) return status;
+  return points;
+}
+
+Status EmpiricalCdf::CurvePointsInto(
+    size_t num_points, std::vector<std::pair<double, double>>& out) const {
   if (samples_.empty()) {
     return Status::InvalidArgument("empty CDF");
   }
@@ -53,19 +64,20 @@ Result<std::vector<std::pair<double, double>>> EmpiricalCdf::CurvePoints(
     return Status::InvalidArgument("need at least 2 curve points");
   }
   EnsureSorted();
-  std::vector<std::pair<double, double>> points;
-  points.reserve(num_points);
+  out.clear();
+  // Grows the caller's scratch once; steady-state calls reuse capacity.
+  out.reserve(num_points);  // dbscale-lint: allow(alloc-hot-path)
   for (size_t i = 0; i < num_points; ++i) {
     double frac = static_cast<double>(i) /
                   static_cast<double>(num_points - 1);
     size_t idx = std::min(
         static_cast<size_t>(frac * static_cast<double>(samples_.size())),
         samples_.size() - 1);
-    points.emplace_back(samples_[idx],
-                        static_cast<double>(idx + 1) /
-                            static_cast<double>(samples_.size()));
+    out.emplace_back(samples_[idx],
+                     static_cast<double>(idx + 1) /
+                         static_cast<double>(samples_.size()));
   }
-  return points;
+  return Status::OK();
 }
 
 LatencyHistogram::LatencyHistogram(double min_value, double max_value,

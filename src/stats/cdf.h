@@ -37,6 +37,12 @@ class EmpiricalCdf {
   Result<std::vector<std::pair<double, double>>> CurvePoints(
       size_t num_points) const;
 
+  /// CurvePoints into a caller-provided buffer (cleared first); no
+  /// allocation beyond buffer growth, so per-interval report loops can
+  /// reuse one buffer across calls.
+  Status CurvePointsInto(size_t num_points,
+                         std::vector<std::pair<double, double>>& out) const;
+
  private:
   void EnsureSorted() const;
 

@@ -1,0 +1,582 @@
+#include "src/stats/incremental.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/stats/robust.h"
+#include "src/stats/spearman.h"
+
+namespace dbscale::stats {
+
+namespace {
+
+/// Deepest tree the erase path stack must hold: even at the Theil-Sen point
+/// cap (~8.4M slopes) a fan-32/min-11 B+-tree is under 8 levels.
+constexpr size_t kMaxTreeDepth = 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SlopeArena
+// ---------------------------------------------------------------------------
+
+void SlopeArena::Reset(size_t value_capacity) {
+  // Worst-case node count: every non-root node keeps >= SlopeArena::kMin entries, so
+  // leaves number at most value_capacity / SlopeArena::kMin and each internal level
+  // shrinks by another factor SlopeArena::kMin; value_capacity / 8 over-covers the
+  // geometric series, + 16 covers the root chain and transient splits.
+  const size_t node_budget = value_capacity / 8 + 16;
+  DBSCALE_DCHECK(node_budget < static_cast<size_t>(kNil));
+  nodes_.clear();
+  // One-time sizing: every node the engine will ever need, up front.
+  nodes_.resize(node_budget);   // dbscale-lint: allow(alloc-hot-path)
+  free_.clear();
+  free_.reserve(node_budget);   // dbscale-lint: allow(alloc-hot-path)
+  // Popped from the back, so nodes are handed out in index order 0, 1, ...
+  for (size_t i = node_budget; i > 0; --i) {
+    free_.push_back(static_cast<uint32_t>(i - 1));
+  }
+  live_ = 0;
+}
+
+uint32_t SlopeArena::Allocate(bool leaf) {
+  uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    // Undersized Reset; cold growth keeps the structure correct.
+    index = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});  // dbscale-lint: allow(alloc-hot-path)
+  }
+  Node& n = nodes_[index];
+  n.entries = 0;
+  n.leaf = leaf;
+  ++live_;
+  return index;
+}
+
+void SlopeArena::Free(uint32_t index) {
+  DBSCALE_DCHECK(live_ > 0);
+  free_.push_back(index);
+  --live_;
+}
+
+// ---------------------------------------------------------------------------
+// OrderStatMultiset
+// ---------------------------------------------------------------------------
+
+void OrderStatMultiset::Reset(SlopeArena* arena) {
+  DBSCALE_DCHECK(arena != nullptr);
+  arena_ = arena;
+  root_ = SlopeArena::kNil;
+  total_ = 0;
+}
+
+size_t OrderStatMultiset::CountLess(const Node& n, double value) {
+  // Branch-free scan the compiler vectorizes; at SlopeArena::kFan == 32 the whole key
+  // array is four cache lines.
+  size_t c = 0;
+  for (size_t i = 0; i < n.entries; ++i) c += n.keys[i] < value ? 1 : 0;
+  return c;
+}
+
+size_t OrderStatMultiset::CountLessEq(const Node& n, double value) {
+  size_t c = 0;
+  for (size_t i = 0; i < n.entries; ++i) c += n.keys[i] <= value ? 1 : 0;
+  return c;
+}
+
+void OrderStatMultiset::SplitChild(uint32_t parent, size_t slot) {
+  // Allocate first: cold growth may move the node pool, so references are
+  // taken only afterwards.
+  const uint32_t left = NodeAt(parent).child[slot];
+  const uint32_t right = arena_->Allocate(NodeAt(left).leaf);
+  Node& p = NodeAt(parent);
+  Node& l = NodeAt(left);
+  Node& r = NodeAt(right);
+  DBSCALE_DCHECK(l.entries == SlopeArena::kFan && p.entries < SlopeArena::kFan);
+
+  constexpr size_t kHalf = SlopeArena::kFan / 2;
+  r.entries = static_cast<uint16_t>(SlopeArena::kFan - kHalf);
+  std::memcpy(r.keys, l.keys + kHalf, (SlopeArena::kFan - kHalf) * sizeof(double));
+  uint32_t moved = 0;
+  if (l.leaf) {
+    moved = static_cast<uint32_t>(SlopeArena::kFan - kHalf);
+  } else {
+    std::memcpy(r.child, l.child + kHalf, (SlopeArena::kFan - kHalf) * sizeof(uint32_t));
+    std::memcpy(r.child_total, l.child_total + kHalf,
+                (SlopeArena::kFan - kHalf) * sizeof(uint32_t));
+    for (size_t i = 0; i < r.entries; ++i) moved += r.child_total[i];
+  }
+  l.entries = static_cast<uint16_t>(kHalf);
+
+  // Open slot + 1 in the parent for the new right half.
+  const size_t tail = p.entries - slot - 1;
+  std::memmove(p.keys + slot + 2, p.keys + slot + 1, tail * sizeof(double));
+  std::memmove(p.child + slot + 2, p.child + slot + 1,
+               tail * sizeof(uint32_t));
+  std::memmove(p.child_total + slot + 2, p.child_total + slot + 1,
+               tail * sizeof(uint32_t));
+  p.keys[slot + 1] = p.keys[slot];  // right half keeps the combined max
+  p.child[slot + 1] = right;
+  p.child_total[slot + 1] = moved;
+  p.keys[slot] = NodeMax(l);
+  p.child_total[slot] -= moved;
+  ++p.entries;
+}
+
+void OrderStatMultiset::FillChild(uint32_t parent, size_t* slot) {
+  // No allocation on this path (merges only free), so references hold.
+  Node& p = NodeAt(parent);
+  size_t s = *slot;
+
+  // Borrow one entry from the right sibling when it has entries to spare.
+  if (s + 1 < p.entries && NodeAt(p.child[s + 1]).entries > SlopeArena::kMin) {
+    Node& c = NodeAt(p.child[s]);
+    Node& rs = NodeAt(p.child[s + 1]);
+    uint32_t moved = 1;
+    c.keys[c.entries] = rs.keys[0];
+    if (!c.leaf) {
+      moved = rs.child_total[0];
+      c.child[c.entries] = rs.child[0];
+      c.child_total[c.entries] = moved;
+      std::memmove(rs.child, rs.child + 1,
+                   (rs.entries - 1) * sizeof(uint32_t));
+      std::memmove(rs.child_total, rs.child_total + 1,
+                   (rs.entries - 1) * sizeof(uint32_t));
+    }
+    std::memmove(rs.keys, rs.keys + 1, (rs.entries - 1) * sizeof(double));
+    ++c.entries;
+    --rs.entries;
+    p.keys[s] = NodeMax(c);
+    p.child_total[s] += moved;
+    p.child_total[s + 1] -= moved;
+    return;
+  }
+
+  // Borrow the last entry of the left sibling.
+  if (s > 0 && NodeAt(p.child[s - 1]).entries > SlopeArena::kMin) {
+    Node& c = NodeAt(p.child[s]);
+    Node& ls = NodeAt(p.child[s - 1]);
+    uint32_t moved = 1;
+    std::memmove(c.keys + 1, c.keys, c.entries * sizeof(double));
+    c.keys[0] = ls.keys[ls.entries - 1];
+    if (!c.leaf) {
+      moved = ls.child_total[ls.entries - 1];
+      std::memmove(c.child + 1, c.child, c.entries * sizeof(uint32_t));
+      std::memmove(c.child_total + 1, c.child_total,
+                   c.entries * sizeof(uint32_t));
+      c.child[0] = ls.child[ls.entries - 1];
+      c.child_total[0] = moved;
+    }
+    ++c.entries;
+    --ls.entries;
+    p.keys[s - 1] = NodeMax(ls);
+    p.child_total[s] += moved;
+    p.child_total[s - 1] -= moved;
+    return;
+  }
+
+  // Both siblings sit at minimum occupancy: merge with one of them. The
+  // merged node holds at most 2 * SlopeArena::kMin + 1 <= SlopeArena::kFan entries.
+  const size_t a = s + 1 < p.entries ? s : s - 1;  // merge child[a], child[a+1]
+  const uint32_t left = p.child[a];
+  const uint32_t right = p.child[a + 1];
+  Node& l = NodeAt(left);
+  Node& r = NodeAt(right);
+  std::memcpy(l.keys + l.entries, r.keys, r.entries * sizeof(double));
+  if (!l.leaf) {
+    std::memcpy(l.child + l.entries, r.child, r.entries * sizeof(uint32_t));
+    std::memcpy(l.child_total + l.entries, r.child_total,
+                r.entries * sizeof(uint32_t));
+  }
+  l.entries = static_cast<uint16_t>(l.entries + r.entries);
+  p.keys[a] = p.keys[a + 1];
+  p.child_total[a] += p.child_total[a + 1];
+  const size_t tail = p.entries - a - 2;
+  std::memmove(p.keys + a + 1, p.keys + a + 2, tail * sizeof(double));
+  std::memmove(p.child + a + 1, p.child + a + 2, tail * sizeof(uint32_t));
+  std::memmove(p.child_total + a + 1, p.child_total + a + 2,
+               tail * sizeof(uint32_t));
+  --p.entries;
+  arena_->Free(right);
+  *slot = a;
+}
+
+void OrderStatMultiset::Insert(double value) {
+  if (root_ == SlopeArena::kNil) {
+    root_ = arena_->Allocate(/*leaf=*/true);
+  }
+  if (NodeAt(root_).entries == SlopeArena::kFan) {
+    // Grow the tree: new internal root over the old one, then split. The
+    // preemptive split on the way down is what keeps every insert a single
+    // root-to-leaf pass with no upward cascade.
+    const uint32_t old_root = root_;
+    const uint32_t new_root = arena_->Allocate(/*leaf=*/false);
+    Node& nr = NodeAt(new_root);
+    nr.entries = 1;
+    nr.child[0] = old_root;
+    nr.child_total[0] = static_cast<uint32_t>(total_);
+    nr.keys[0] = NodeMax(NodeAt(old_root));
+    root_ = new_root;
+    SplitChild(new_root, 0);
+  }
+  uint32_t t = root_;
+  for (;;) {
+    if (NodeAt(t).leaf) {
+      Node& n = NodeAt(t);
+      const size_t pos = CountLessEq(n, value);
+      std::memmove(n.keys + pos + 1, n.keys + pos,
+                   (n.entries - pos) * sizeof(double));
+      n.keys[pos] = value;
+      ++n.entries;
+      break;
+    }
+    size_t slot = CountLess(NodeAt(t), value);
+    if (slot == NodeAt(t).entries) --slot;  // beyond max: extend last child
+    if (NodeAt(NodeAt(t).child[slot]).entries == SlopeArena::kFan) {
+      SplitChild(t, slot);  // may grow the pool; re-read the node after
+      if (value > NodeAt(t).keys[slot]) ++slot;
+    }
+    Node& n = NodeAt(t);
+    n.child_total[slot] += 1;
+    if (value > n.keys[slot]) n.keys[slot] = value;
+    t = n.child[slot];
+  }
+  ++total_;
+}
+
+bool OrderStatMultiset::Erase(double value) {
+  if (root_ == SlopeArena::kNil) return false;
+  struct PathEntry {
+    uint32_t node;
+    uint32_t slot;
+  };
+  PathEntry path[kMaxTreeDepth];
+  size_t depth = 0;
+
+  uint32_t t = root_;
+  while (!NodeAt(t).leaf) {
+    size_t slot = CountLess(NodeAt(t), value);
+    if (slot == NodeAt(t).entries) return false;  // beyond max: absent
+    if (NodeAt(NodeAt(t).child[slot]).entries <= SlopeArena::kMin) {
+      // Boost the child above minimum before descending so the removal
+      // itself can never underflow a node — single downward pass.
+      FillChild(t, &slot);
+      if (t == root_ && NodeAt(root_).entries == 1) {
+        root_ = NodeAt(root_).child[0];
+        arena_->Free(t);
+        t = root_;
+        continue;  // re-route from the collapsed root
+      }
+      slot = CountLess(NodeAt(t), value);  // entries shifted; re-route
+      DBSCALE_DCHECK(slot < NodeAt(t).entries);
+    }
+    DBSCALE_DCHECK(depth < kMaxTreeDepth);
+    path[depth++] = {t, static_cast<uint32_t>(slot)};
+    t = NodeAt(t).child[slot];
+  }
+
+  Node& leaf = NodeAt(t);
+  const size_t pos = CountLess(leaf, value);
+  if (pos == leaf.entries || leaf.keys[pos] != value) return false;
+  std::memmove(leaf.keys + pos, leaf.keys + pos + 1,
+               (leaf.entries - pos - 1) * sizeof(double));
+  --leaf.entries;
+  --total_;
+  if (leaf.entries == 0) {
+    // Only the root may empty out: descents keep every other node > SlopeArena::kMin.
+    DBSCALE_DCHECK(t == root_ && depth == 0);
+    arena_->Free(t);
+    root_ = SlopeArena::kNil;
+    return true;
+  }
+  // One upward pass over the recorded path: shrink the subtree counts and
+  // refresh the max keys (the removed value may have been a subtree max).
+  for (size_t i = depth; i > 0; --i) {
+    Node& pn = NodeAt(path[i - 1].node);
+    const uint32_t s = path[i - 1].slot;
+    pn.child_total[s] -= 1;
+    pn.keys[s] = NodeMax(NodeAt(pn.child[s]));
+  }
+  return true;
+}
+
+double OrderStatMultiset::Kth(size_t k) const {
+  DBSCALE_DCHECK(k < total_);
+  uint32_t t = root_;
+  for (;;) {
+    const Node& n = NodeAt(t);
+    if (n.leaf) return n.keys[k];
+    size_t slot = 0;
+    while (k >= n.child_total[slot]) {
+      k -= n.child_total[slot];
+      ++slot;
+    }
+    t = n.child[slot];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlidingOrderStats
+// ---------------------------------------------------------------------------
+
+void SlidingOrderStats::Reset(size_t capacity) {
+  DBSCALE_DCHECK(capacity >= 1);
+  ring_.clear();
+  ring_.resize(capacity);       // dbscale-lint: allow(alloc-hot-path)
+  head_ = 0;
+  entries_ = 0;
+  sorted_.clear();
+  sorted_.reserve(capacity);    // dbscale-lint: allow(alloc-hot-path)
+  mad_scratch_.clear();
+  mad_scratch_.reserve(capacity);  // dbscale-lint: allow(alloc-hot-path)
+}
+
+void SlidingOrderStats::Push(double value) {
+  PushEntry(Entry{value, true});
+}
+
+void SlidingOrderStats::PushAbsent() { PushEntry(Entry{}); }
+
+void SlidingOrderStats::PushEntry(Entry e) {
+  const size_t cap = ring_.size();
+  if (entries_ == cap) {
+    const Entry& old = ring_[head_];
+    if (old.present) RemoveSorted(old.value);
+    head_ = (head_ + 1) % cap;
+    --entries_;
+  }
+  ring_[(head_ + entries_) % cap] = e;
+  ++entries_;
+  if (e.present) InsertSorted(e.value);
+}
+
+void SlidingOrderStats::InsertSorted(double value) {
+  // Within the capacity Reset reserved: a memmove, never an allocation.
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), value),
+                 value);
+}
+
+void SlidingOrderStats::RemoveSorted(double value) {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), value);
+  DBSCALE_DCHECK(it != sorted_.end() && *it == value);
+  sorted_.erase(it);
+}
+
+double SlidingOrderStats::Median() const { return Percentile(50.0); }
+
+double SlidingOrderStats::Percentile(double p) const {
+  // PercentileSorted shares its placement and interpolation kernels with
+  // PercentileInPlace, so this read is bit-identical to the batch path on
+  // the same value multiset.
+  return PercentileSorted(sorted_, p);
+}
+
+Result<double> SlidingOrderStats::Mad() {
+  if (sorted_.empty()) {
+    return Status::InvalidArgument("MAD of empty sample");
+  }
+  // MAD is O(W) inherently — every deviation changes when the median moves —
+  // so delegate to the batch kernel on a capacity-retaining copy; the
+  // result depends only on the value multiset, hence bit-identical.
+  mad_scratch_.assign(sorted_.begin(), sorted_.end());
+  return MadInPlace(mad_scratch_);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalTheilSen
+// ---------------------------------------------------------------------------
+
+void IncrementalTheilSen::Reset(size_t capacity, SlopeArena* arena) {
+  DBSCALE_DCHECK(capacity >= 1 && capacity <= kMaxTheilSenPoints);
+  ring_.clear();
+  ring_.resize(capacity);  // dbscale-lint: allow(alloc-hot-path)
+  head_ = 0;
+  entries_ = 0;
+  present_ = 0;
+  slopes_.Reset(arena);
+  positive_ = 0;
+  negative_ = 0;
+}
+
+void IncrementalTheilSen::Push(double y) {
+  if (entries_ == ring_.size()) EvictOldest();
+  Admit(y);
+  ring_[(head_ + entries_) % ring_.size()] = Entry{y, true};
+  ++entries_;
+  ++present_;
+}
+
+void IncrementalTheilSen::PushAbsent() {
+  if (entries_ == ring_.size()) EvictOldest();
+  ring_[(head_ + entries_) % ring_.size()] = Entry{};
+  ++entries_;
+}
+
+void IncrementalTheilSen::EvictOldest() {
+  const size_t cap = ring_.size();
+  const Entry old = ring_[head_];
+  head_ = (head_ + 1) % cap;
+  --entries_;
+  if (!old.present) return;
+  // The departing present point had filtered index 0, so its slope with
+  // the point now at filtered index k is (y_k - y_old) / (k - 0) — the
+  // exact expression the batch pass evaluates for that pair (pairwise
+  // slopes depend only on index differences, which slides preserve, and
+  // window-sized integers are exact doubles). Recomputing it reproduces
+  // the stored node's bits, so Erase finds it.
+  size_t k = 1;
+  size_t pos = head_;  // conditional wrap: no per-element integer division
+  for (size_t i = 0; i < entries_; ++i) {
+    const Entry& e = ring_[pos];
+    pos = pos + 1 == cap ? 0 : pos + 1;
+    if (!e.present) continue;
+    const double dx = static_cast<double>(k) - 0.0;
+    const double slope = (e.value - old.value) / dx;
+    bool erased = slopes_.Erase(slope);
+    DBSCALE_DCHECK(erased);
+    (void)erased;
+    if (slope > 0.0) {
+      --positive_;
+    } else if (slope < 0.0) {
+      --negative_;
+    }
+    ++k;
+  }
+  --present_;
+}
+
+void IncrementalTheilSen::Admit(double y) {
+  const size_t cap = ring_.size();
+  // The arriving point takes filtered index m = present_; pair it with
+  // every surviving present point at filtered index k < m.
+  const double xj = static_cast<double>(present_);
+  size_t k = 0;
+  size_t pos = head_;
+  for (size_t i = 0; i < entries_; ++i) {
+    const Entry& e = ring_[pos];
+    pos = pos + 1 == cap ? 0 : pos + 1;
+    if (!e.present) continue;
+    const double dx = xj - static_cast<double>(k);
+    const double slope = (y - e.value) / dx;
+    slopes_.Insert(slope);
+    if (slope > 0.0) {
+      ++positive_;
+    } else if (slope < 0.0) {
+      ++negative_;
+    }
+    ++k;
+  }
+}
+
+Result<TrendResult> IncrementalTheilSen::Fit(const TheilSenEstimator& estimator,
+                                             TheilSenScratch* scratch) const {
+  DBSCALE_DCHECK(scratch != nullptr);
+  Status config = estimator.Validate();
+  if (!config.ok()) return config;
+  if (present_ < 3) {
+    return Status::InvalidArgument("Theil-Sen needs at least 3 points");
+  }
+  const size_t m = slopes_.size();
+  DBSCALE_DCHECK(m == present_ * (present_ - 1) / 2);
+
+  TrendResult result;
+  // Median of the slope multiset via the shared placement/interpolation
+  // kernels: the same two order statistics MedianInPlace selects, blended
+  // by the same machine code.
+  const PercentilePlacement pos = PlacePercentile(m, 50.0);
+  const double lo = slopes_.Kth(pos.lo);
+  const double hi = pos.hi == pos.lo ? lo : slopes_.Kth(pos.hi);
+  result.slope = InterpolateOrderStats(lo, hi, pos.frac);
+
+  std::vector<double>& intercepts = scratch->intercepts;
+  intercepts.clear();
+  intercepts.reserve(present_);  // dbscale-lint: allow(alloc-hot-path)
+  const size_t cap = ring_.size();
+  size_t k = 0;
+  size_t pos_idx = head_;
+  for (size_t i = 0; i < entries_; ++i) {
+    const Entry& e = ring_[pos_idx];
+    pos_idx = pos_idx + 1 == cap ? 0 : pos_idx + 1;
+    if (!e.present) continue;
+    intercepts.push_back(
+        detail::InterceptAt(e.value, static_cast<double>(k), result.slope));
+    ++k;
+  }
+  DBSCALE_ASSIGN_OR_RETURN(result.intercept, MedianInPlace(intercepts));
+
+  detail::ClassifySignAgreement(positive_, negative_, m,
+                                estimator.accept_fraction(), &result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SlidingRankWindow
+// ---------------------------------------------------------------------------
+
+void SlidingRankWindow::Reset(size_t capacity) {
+  DBSCALE_DCHECK(capacity >= 1);
+  ring_.clear();
+  ring_.resize(capacity);    // dbscale-lint: allow(alloc-hot-path)
+  head_ = 0;
+  size_ = 0;
+  sorted_.clear();
+  sorted_.reserve(capacity);  // dbscale-lint: allow(alloc-hot-path)
+  ranks_.clear();
+  ranks_.reserve(capacity);   // dbscale-lint: allow(alloc-hot-path)
+  rank_by_pos_.clear();
+  rank_by_pos_.reserve(capacity);  // dbscale-lint: allow(alloc-hot-path)
+  ranks_valid_ = false;
+}
+
+void SlidingRankWindow::Push(double value) {
+  const size_t cap = ring_.size();
+  if (size_ == cap) {
+    const double old = ring_[head_];
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), old);
+    DBSCALE_DCHECK(it != sorted_.end() && *it == old);
+    sorted_.erase(it);
+    head_ = (head_ + 1) % cap;
+    --size_;
+  }
+  ring_[(head_ + size_) % cap] = value;
+  ++size_;
+  // Within the capacity Reset reserved: a memmove, never an allocation.
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), value),
+                 value);
+  ranks_valid_ = false;
+}
+
+const std::vector<double>& SlidingRankWindow::Ranks() {
+  if (ranks_valid_) return ranks_;
+  ranks_.resize(size_);        // dbscale-lint: allow(alloc-hot-path)
+  rank_by_pos_.resize(size_);  // dbscale-lint: allow(alloc-hot-path)
+  // One sweep over the sorted window resolves every tie run: positions
+  // [first, last] of equal values all take TieAveragedRank(first, last),
+  // the kernel RankWithTiesInto uses, so tie handling is identical by
+  // construction. Each window element then needs a single binary search
+  // (to `first`) instead of a lower/upper-bound pair.
+  for (size_t first = 0; first < size_;) {
+    size_t last = first;
+    while (last + 1 < size_ && sorted_[last + 1] == sorted_[first]) ++last;
+    const double rank = detail::TieAveragedRank(first, last);
+    for (size_t j = first; j <= last; ++j) rank_by_pos_[j] = rank;
+    first = last + 1;
+  }
+  const size_t cap = ring_.size();
+  size_t pos = head_;
+  for (size_t i = 0; i < size_; ++i) {
+    const double v = ring_[pos];
+    pos = pos + 1 == cap ? 0 : pos + 1;
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(sorted_.begin(), sorted_.end(), v) - sorted_.begin());
+    ranks_[i] = rank_by_pos_[first];
+  }
+  ranks_valid_ = true;
+  return ranks_;
+}
+
+}  // namespace dbscale::stats

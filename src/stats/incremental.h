@@ -1,0 +1,274 @@
+// Incremental sliding-window statistics (the per-interval signal engine).
+//
+// The telemetry manager recomputes every robust signal from the full window
+// on every billing interval, yet successive intervals share W-1 of W
+// samples. The structures here maintain each statistic across single-sample
+// slides instead:
+//
+//   * SlidingOrderStats  — sorted ring over the window: O(log W) compares
+//     (plus a small memmove) per slide, O(1) median/percentile reads, O(W)
+//     MAD (every deviation changes when the median moves, so O(W) is the
+//     incremental optimum).
+//   * IncrementalTheilSen — maintains the pairwise-slope order statistics
+//     and sign-agreement counters. A slide evicts the W-1 slopes of the
+//     departing point and admits W-1 for the arriving one, each O(log W²),
+//     turning the O(W²) per-interval batch pass into O(W log W).
+//   * SlidingRankWindow   — maintains the sorted order of a series so
+//     tie-averaged ranks (and from them Spearman's rho) are produced
+//     without re-sorting per interval.
+//
+// Exact-equality contract: every read is bit-identical to the batch
+// kernels in robust.h / theil_sen.h / spearman.h on the same window
+// contents — the batch path stays as the oracle and the randomized
+// equivalence tests assert `==` on doubles, never a tolerance. This holds
+// because the interpolation / intercept / tie-rank arithmetic is shared
+// (single out-of-line definitions) and because pairwise Theil-Sen slopes
+// depend only on index *differences*, which a slide preserves. (The one
+// unobservable exception: where a window contains both +0.0 and -0.0 the
+// two paths may return differently signed zeros, which compare equal.)
+//
+// All structures are allocation-free in steady state: Reset() sizes every
+// buffer once, slides reuse capacity, and the Theil-Sen slope nodes come
+// from a caller-supplied SlopeArena sized once for the whole engine.
+// Values must be NaN-free (NaN breaks the ordering invariants).
+
+#ifndef DBSCALE_STATS_INCREMENTAL_H_
+#define DBSCALE_STATS_INCREMENTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/stats/theil_sen.h"
+
+namespace dbscale::stats {
+
+/// \brief Node pool for OrderStatMultiset B+-trees, shared engine-wide.
+///
+/// One arena serves every slope multiset of an incremental engine, sized
+/// once at configuration time for the total live *values* (quadratic in the
+/// trend window: each tracked series holds up to W*(W-1)/2 slopes — see
+/// TheilSenScratch's bound). Reset() reclaims every node at once; all
+/// attached multisets must be Reset() alongside it.
+class SlopeArena {
+ public:
+  /// Drops all nodes and sizes the pool so `value_capacity` live values can
+  /// be held without further heap allocation (worst-case node count under
+  /// the B+-tree's minimum-occupancy invariant, plus margin).
+  void Reset(size_t value_capacity);
+
+  size_t live_nodes() const { return live_; }
+  /// Pool size in nodes. Diagnostic: steady-state slides must not grow it.
+  size_t allocated_nodes() const { return nodes_.size(); }
+
+ private:
+  friend class OrderStatMultiset;
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+  /// B+-tree geometry. kFan entries keep one node's keys within four cache
+  /// lines, so routing is a short vectorizable scan instead of the
+  /// pointer-chase-per-element a binary tree pays; kMin is the non-root
+  /// minimum occupancy the erase rebalancing maintains, which bounds the
+  /// worst-case node count by value_capacity / kMin (times a small factor
+  /// for internal levels).
+  static constexpr size_t kFan = 32;
+  static constexpr size_t kMin = 11;
+
+  struct Node {
+    double keys[kFan];           ///< leaf: values; internal: max of child i
+    uint32_t child[kFan];        ///< internal only
+    uint32_t child_total[kFan];  ///< internal: value count under child i
+    uint16_t entries = 0;
+    bool leaf = true;
+  };
+
+  uint32_t Allocate(bool leaf);
+  void Free(uint32_t index);
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
+};
+
+/// \brief Order-statistic multiset: a counted B+-tree keyed by value, over
+/// a shared SlopeArena.
+///
+/// Insert/Erase/Kth (0-based order statistic) are worst-case O(log n), and
+/// the wide nodes keep the constant small: the treap alternative costs a
+/// dependent cache miss per level at ~3 log2(n) expected depth, which
+/// measures ~5x slower on the sliding Theil-Sen workload. Duplicate values
+/// are kept as separate entries; Erase removes one instance. Values must
+/// be NaN-free.
+class OrderStatMultiset {
+ public:
+  /// Attaches to `arena` and forgets any previous contents. Call only
+  /// after (or together with) SlopeArena::Reset — nodes are not returned
+  /// individually.
+  void Reset(SlopeArena* arena);
+
+  size_t size() const { return total_; }
+  void Insert(double value);
+  /// Removes one instance of `value`; false when absent.
+  bool Erase(double value);
+  /// k-th smallest value, 0-based. Requires k < size().
+  double Kth(size_t k) const;
+
+ private:
+  using Node = SlopeArena::Node;
+
+  Node& NodeAt(uint32_t index) const { return arena_->nodes_[index]; }
+  /// Number of keys < value (== first slot whose key is >= value).
+  static size_t CountLess(const Node& n, double value);
+  /// Number of keys <= value (leaf insertion point, after duplicates).
+  static size_t CountLessEq(const Node& n, double value);
+  static double NodeMax(const Node& n) { return n.keys[n.entries - 1]; }
+  /// Splits the full child at `slot` in half; parent must have room.
+  void SplitChild(uint32_t parent, size_t slot);
+  /// Ensures the child at *slot has > kMin entries before a descent, by
+  /// borrowing from or merging with a sibling; *slot may shift left.
+  void FillChild(uint32_t parent, size_t* slot);
+
+  SlopeArena* arena_ = nullptr;
+  uint32_t root_ = SlopeArena::kNil;
+  size_t total_ = 0;
+};
+
+/// \brief Sliding FIFO window with sorted order statistics.
+///
+/// Entries are pushed newest-last; once `capacity` entries are held, each
+/// push evicts the oldest. An entry can be "absent" (PushAbsent) to model
+/// filtered series — e.g. latency samples with no completions — which
+/// occupy a window slot but contribute no value.
+///
+/// Reads are bit-identical to the batch kernels on the present values:
+/// Median()/Percentile() to MedianInPlace/PercentileInPlace, Mad() to
+/// MadInPlace.
+class SlidingOrderStats {
+ public:
+  void Reset(size_t capacity);
+
+  void Push(double value);
+  void PushAbsent();
+
+  /// Entries currently in the window, including absent ones.
+  size_t window_entries() const { return entries_; }
+  /// Present values in the window.
+  size_t count() const { return sorted_.size(); }
+
+  /// Present values in ascending order (alive until the next push).
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Require count() > 0; p in [0, 100].
+  double Median() const;
+  double Percentile(double p) const;
+  /// MAD of the present values (scaled 1.4826); errors when empty. O(W):
+  /// uses an internal deviation scratch, no allocation in steady state.
+  Result<double> Mad();
+
+  /// Visits present values oldest-first.
+  template <typename Fn>
+  void ForEachPresent(Fn&& fn) const {
+    const size_t cap = ring_.size();
+    size_t pos = head_;
+    for (size_t i = 0; i < entries_; ++i) {
+      const Entry& e = ring_[pos];
+      pos = pos + 1 == cap ? 0 : pos + 1;
+      if (e.present) fn(e.value);
+    }
+  }
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    bool present = false;
+  };
+
+  void PushEntry(Entry e);
+  void InsertSorted(double value);
+  void RemoveSorted(double value);
+
+  std::vector<Entry> ring_;  ///< fixed size == capacity after Reset
+  size_t head_ = 0;
+  size_t entries_ = 0;
+  std::vector<double> sorted_;
+  std::vector<double> mad_scratch_;
+};
+
+/// \brief Incremental Theil-Sen over an implicit x = 0, 1, ... sequence.
+///
+/// Mirrors TheilSenEstimator::FitSequence over the present values of a
+/// sliding window: because slopes depend only on index differences, a
+/// slide leaves every surviving pairwise slope unchanged — eviction
+/// removes the departing point's slopes (recomputed, bit-identical, from
+/// the stored y values) and admission adds the arriving point's, each
+/// O(log W²) in the shared slope multiset. Fit() is then O(W log W) per
+/// interval: O(1) sign fractions, O(log) median slope, O(W) intercepts.
+class IncrementalTheilSen {
+ public:
+  /// `capacity` is the window size (<= kMaxTheilSenPoints); `arena` must
+  /// outlive this object and have room for capacity*(capacity-1)/2 nodes
+  /// beyond its other users.
+  void Reset(size_t capacity, SlopeArena* arena);
+
+  void Push(double y);
+  void PushAbsent();
+
+  /// Present points in the window.
+  size_t count() const { return present_; }
+
+  /// Bit-identical to estimator.FitSequence(present values, scratch).
+  /// `scratch` (required) provides the intercept buffer.
+  Result<TrendResult> Fit(const TheilSenEstimator& estimator,
+                          TheilSenScratch* scratch) const;
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    bool present = false;
+  };
+
+  void EvictOldest();
+  void Admit(double y);
+
+  std::vector<Entry> ring_;
+  size_t head_ = 0;
+  size_t entries_ = 0;
+  size_t present_ = 0;
+  OrderStatMultiset slopes_;
+  size_t positive_ = 0;
+  size_t negative_ = 0;
+};
+
+/// \brief Sliding window with tie-averaged ranks, for incremental Spearman.
+///
+/// Maintains the window's sorted order across slides; Ranks() yields the
+/// 1-based tie-averaged ranks in window (oldest-first) order, bit-identical
+/// to RankWithTies on the same sequence, without re-sorting. Spearman's rho
+/// is then PearsonCorrelation(x.Ranks(), y.Ranks()) — the same kernel the
+/// batch path ends in.
+class SlidingRankWindow {
+ public:
+  void Reset(size_t capacity);
+
+  void Push(double value);
+
+  size_t size() const { return size_; }
+
+  /// Ranks in window order; cached until the next Push. O(W log W)
+  /// compares on first read after a slide, no allocation in steady state.
+  const std::vector<double>& Ranks();
+
+ private:
+  std::vector<double> ring_;  ///< fixed size == capacity after Reset
+  size_t head_ = 0;
+  size_t size_ = 0;
+  std::vector<double> sorted_;
+  std::vector<double> ranks_;
+  std::vector<double> rank_by_pos_;  ///< rank per sorted position (scratch)
+  bool ranks_valid_ = false;
+};
+
+}  // namespace dbscale::stats
+
+#endif  // DBSCALE_STATS_INCREMENTAL_H_

@@ -29,15 +29,27 @@ Result<double> Median(std::vector<double> values) {
   return MedianInPlace(values);
 }
 
+PercentilePlacement PlacePercentile(size_t n, double p) {
+  DBSCALE_DCHECK(n >= 1);
+  DBSCALE_DCHECK(p >= 0.0 && p <= 100.0);
+  PercentilePlacement out;
+  double pos = p / 100.0 * static_cast<double>(n - 1);
+  out.lo = static_cast<size_t>(pos);
+  out.hi = std::min(out.lo + 1, n - 1);
+  out.frac = pos - static_cast<double>(out.lo);
+  return out;
+}
+
+double InterpolateOrderStats(double lo_value, double hi_value, double frac) {
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
 double PercentileSorted(const std::vector<double>& sorted, double p) {
   DBSCALE_DCHECK(!sorted.empty());
   DBSCALE_DCHECK(p >= 0.0 && p <= 100.0);
   if (sorted.size() == 1) return sorted[0];
-  double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  PercentilePlacement pos = PlacePercentile(sorted.size(), p);
+  return InterpolateOrderStats(sorted[pos.lo], sorted[pos.hi], pos.frac);
 }
 
 // Allocating convenience wrapper; hot callers use PercentileInPlace.
@@ -56,16 +68,13 @@ Result<double> PercentileInPlace(std::vector<double>& values, double p) {
   if (values.size() == 1) return values[0];
   // Mirror PercentileSorted's interpolation exactly: select the lo-th order
   // statistic, then take the minimum of the upper partition as the hi-th.
-  double pos = p / 100.0 * static_cast<double>(values.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, values.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  auto lo_it = values.begin() + static_cast<ptrdiff_t>(lo);
+  PercentilePlacement pos = PlacePercentile(values.size(), p);
+  auto lo_it = values.begin() + static_cast<ptrdiff_t>(pos.lo);
   std::nth_element(values.begin(), lo_it, values.end());
   double lo_value = *lo_it;
   double hi_value =
-      hi == lo ? lo_value : *std::min_element(lo_it + 1, values.end());
-  return lo_value * (1.0 - frac) + hi_value * frac;
+      pos.hi == pos.lo ? lo_value : *std::min_element(lo_it + 1, values.end());
+  return InterpolateOrderStats(lo_value, hi_value, pos.frac);
 }
 
 Result<double> MedianInPlace(std::vector<double>& values) {

@@ -6,6 +6,15 @@
 
 namespace dbscale::stats {
 
+namespace detail {
+
+double TieAveragedRank(size_t first, size_t last) {
+  return (static_cast<double>(first + 1) + static_cast<double>(last + 1)) /
+         2.0;
+}
+
+}  // namespace detail
+
 // Allocating convenience wrapper; hot callers use RankWithTiesInto.
 std::vector<double> RankWithTies(  // dbscale-lint: allow(alloc-hot-path)
     const std::vector<double>& values) {
@@ -31,8 +40,7 @@ void RankWithTiesInto(const std::vector<double>& values,
     size_t j = i;
     while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
     // Items order[i..j] are tied; assign the average of ranks i+1 .. j+1.
-    double avg_rank = (static_cast<double>(i + 1) +
-                       static_cast<double>(j + 1)) / 2.0;
+    double avg_rank = detail::TieAveragedRank(i, j);
     for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
     i = j + 1;
   }

@@ -7,6 +7,33 @@
 
 namespace dbscale::stats {
 
+namespace detail {
+
+double InterceptAt(double y, double x, double slope) {
+  return y - slope * x;
+}
+
+void ClassifySignAgreement(std::size_t positive, std::size_t negative,
+                           std::size_t total_slopes, double accept_fraction,
+                           TrendResult* result) {
+  const double total = static_cast<double>(total_slopes);
+  result->fraction_positive = static_cast<double>(positive) / total;
+  result->fraction_negative = static_cast<double>(negative) / total;
+  if (result->fraction_positive >= accept_fraction) {
+    result->significant = true;
+    result->direction = TrendDirection::kIncreasing;
+  } else if (result->fraction_negative >= accept_fraction) {
+    result->significant = true;
+    result->direction = TrendDirection::kDecreasing;
+  } else {
+    // Noise: do not report a trend even though the median slope is nonzero.
+    result->significant = false;
+    result->direction = TrendDirection::kNone;
+  }
+}
+
+}  // namespace detail
+
 const char* TrendDirectionToString(TrendDirection d) {
   switch (d) {
     case TrendDirection::kNone:
@@ -47,6 +74,12 @@ Result<TrendResult> TheilSenEstimator::FitImpl(
   if (y.size() < 3) {
     return Status::InvalidArgument("Theil-Sen needs at least 3 points");
   }
+  if (y.size() > kMaxTheilSenPoints) {
+    // The pairwise pass needs n*(n-1)/2 slope doubles of scratch; beyond
+    // the cap that quadratic bound is a configuration error, not a fit.
+    return Status::InvalidArgument("Theil-Sen window exceeds "
+                                   "kMaxTheilSenPoints");
+  }
   TheilSenScratch local;
   if (scratch == nullptr) scratch = &local;
 
@@ -83,24 +116,12 @@ Result<TrendResult> TheilSenEstimator::FitImpl(
   intercepts.reserve(n);  // dbscale-lint: allow(alloc-hot-path)
   for (size_t i = 0; i < n; ++i) {
     const double xi = x != nullptr ? (*x)[i] : static_cast<double>(i);
-    intercepts.push_back(y[i] - result.slope * xi);
+    intercepts.push_back(detail::InterceptAt(y[i], xi, result.slope));
   }
   DBSCALE_ASSIGN_OR_RETURN(result.intercept, MedianInPlace(intercepts));
 
-  const double total = static_cast<double>(slopes.size());
-  result.fraction_positive = static_cast<double>(positive) / total;
-  result.fraction_negative = static_cast<double>(negative) / total;
-  if (result.fraction_positive >= accept_fraction_) {
-    result.significant = true;
-    result.direction = TrendDirection::kIncreasing;
-  } else if (result.fraction_negative >= accept_fraction_) {
-    result.significant = true;
-    result.direction = TrendDirection::kDecreasing;
-  } else {
-    // Noise: do not report a trend even though the median slope is nonzero.
-    result.significant = false;
-    result.direction = TrendDirection::kNone;
-  }
+  detail::ClassifySignAgreement(positive, negative, slopes.size(),
+                                accept_fraction_, &result);
   return result;
 }
 

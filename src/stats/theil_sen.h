@@ -12,11 +12,20 @@
 #ifndef DBSCALE_STATS_THEIL_SEN_H_
 #define DBSCALE_STATS_THEIL_SEN_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/result.h"
 
 namespace dbscale::stats {
+
+/// Hard cap on the number of points per fit. The pairwise-slope pass needs
+/// n*(n-1)/2 doubles of scratch — quadratic in the window — so an unbounded
+/// n would let a misconfigured window silently demand gigabytes (at the cap
+/// the slope buffer is ~67 MB). Telemetry trend windows are tens to a few
+/// hundred samples; anything beyond the cap is a configuration error and
+/// Fit returns InvalidArgument.
+inline constexpr std::size_t kMaxTheilSenPoints = 4096;
 
 /// Direction of an accepted trend.
 enum class TrendDirection { kNone, kIncreasing, kDecreasing };
@@ -41,10 +50,32 @@ struct TrendResult {
 /// Reusable buffers for the O(n^2) pairwise-slope computation. One scratch
 /// per caller thread; hand the same instance to every Fit call so the
 /// buffers are allocated once per simulation instead of per interval.
+///
+/// Memory bound: `slopes` grows to n*(n-1)/2 doubles for the largest window
+/// ever fitted — quadratic in the window size, capped by kMaxTheilSenPoints
+/// (Fit rejects larger inputs). The incremental sliding path
+/// (stats/incremental.h) instead keeps its pairwise slopes in a single
+/// engine-wide SlopeArena sized once, shared by every tracked series.
 struct TheilSenScratch {
   std::vector<double> slopes;
   std::vector<double> intercepts;
 };
+
+namespace detail {
+
+/// Intercept of one point given the fitted slope: y - slope * x. Out of
+/// line on purpose: batch and incremental paths call the one definition so
+/// their intercept medians stay bit-identical under FP contraction.
+double InterceptAt(double y, double x, double slope);
+
+/// Applies the alpha sign-agreement test: fills fraction_positive /
+/// fraction_negative / significant / direction from the slope-sign counts.
+/// Shared by the batch fit and the incremental engine.
+void ClassifySignAgreement(std::size_t positive, std::size_t negative,
+                           std::size_t total_slopes, double accept_fraction,
+                           TrendResult* result);
+
+}  // namespace detail
 
 /// \brief Theil-Sen estimator with a sign-agreement significance test.
 ///

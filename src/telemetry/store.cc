@@ -15,10 +15,14 @@ void TelemetryStore::Append(TelemetrySample sample) {
     DBSCALE_DCHECK(sample.period_end >= samples_.back().period_end);
   }
   samples_.push_back(std::move(sample));
+  ++total_appended_;
   while (samples_.size() > max_samples_) samples_.pop_front();
 }
 
-void TelemetryStore::Clear() { samples_.clear(); }
+void TelemetryStore::Clear() {
+  samples_.clear();
+  ++clear_epoch_;
+}
 
 std::vector<const TelemetrySample*> TelemetryStore::Range(
     SimTime since, SimTime until) const {

@@ -5,6 +5,7 @@
 #ifndef DBSCALE_TELEMETRY_STORE_H_
 #define DBSCALE_TELEMETRY_STORE_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -27,6 +28,18 @@ class TelemetryStore {
   const TelemetrySample& back() const { return samples_.back(); }
   const TelemetrySample& at(size_t i) const { return samples_[i]; }
 
+  /// Retention bound this store was constructed with.
+  size_t max_samples() const { return max_samples_; }
+
+  /// Total samples ever appended (monotone; unaffected by eviction).
+  /// Incremental consumers diff this against their own high-water mark to
+  /// learn how many samples arrived since they last observed the store.
+  uint64_t total_appended() const { return total_appended_; }
+
+  /// Bumped by every Clear(). A changed epoch tells incremental consumers
+  /// that history was discarded and their derived state must be rebuilt.
+  uint64_t clear_epoch() const { return clear_epoch_; }
+
   /// Samples whose period_end falls in (since, until], oldest first.
   std::vector<const TelemetrySample*> Range(SimTime since, SimTime until) const;
 
@@ -44,6 +57,8 @@ class TelemetryStore {
  private:
   size_t max_samples_;
   std::deque<TelemetrySample> samples_;
+  uint64_t total_appended_ = 0;
+  uint64_t clear_epoch_ = 0;
 };
 
 }  // namespace dbscale::telemetry

@@ -11,10 +11,14 @@
 
 #include <cstdlib>
 #include <new>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/sim/report.h"
+#include "src/stats/cdf.h"
+#include "src/stats/incremental.h"
 #include "src/stats/robust.h"
 #include "src/stats/spearman.h"
 #include "src/stats/theil_sen.h"
@@ -248,6 +252,175 @@ TEST(AllocGuardTest, RecentIntoWithWarmBufferIsAllocationFree) {
   store.RecentInto(32, buf);
   EXPECT_EQ(span.allocations(), 0u) << "TelemetryStore::RecentInto allocated";
   EXPECT_EQ(buf.size(), 32u);
+}
+
+// The tentpole contract: the incremental engine slides (one new sample per
+// Compute) without allocating. The store's own Append may grow its deque,
+// so it happens outside the measured span — only Compute is on trial.
+TEST(AllocGuardTest, ComputeIncrementalSlidingIsAllocationFree) {
+  TelemetryStore store = MakeStore(64);
+  TelemetryManager manager;
+  SignalScratch scratch;
+
+  // Warm-up: configures the engine, replays the window, grows every ring,
+  // arena, and scratch buffer to its high-water mark.
+  auto warm = manager.Compute(store, store.back().period_end, &scratch);
+  ASSERT_TRUE(warm.valid);
+
+  for (int i = 0; i < 32; ++i) {
+    store.Append(MakeSample(64 + i));
+    AllocSpan span;
+    auto snap = manager.Compute(store, store.back().period_end, &scratch);
+    EXPECT_EQ(span.allocations(), 0u)
+        << "incremental Compute allocated on slide " << i;
+    ASSERT_TRUE(snap.valid);
+  }
+}
+
+TEST(AllocGuardTest, SlidingOrderStatsSteadyStateIsAllocationFree) {
+  stats::SlidingOrderStats win;
+  win.Reset(32);
+  for (int i = 0; i < 64; ++i) {
+    if (i % 7 == 3) {
+      win.PushAbsent();
+    } else {
+      win.Push(static_cast<double>((i * 37) % 101));
+    }
+  }
+  auto warm_mad = win.Mad();  // grows the internal deviation scratch once
+  ASSERT_TRUE(warm_mad.ok());
+
+  AllocSpan span;
+  for (int i = 0; i < 64; ++i) {
+    win.Push(static_cast<double>((i * 53) % 97));
+    const double median = win.Median();
+    const double p95 = win.Percentile(95.0);
+    auto mad = win.Mad();
+    ASSERT_TRUE(mad.ok());
+    EXPECT_LE(median, p95);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "SlidingOrderStats allocated in steady state";
+}
+
+TEST(AllocGuardTest, IncrementalTheilSenSteadyStateIsAllocationFree) {
+  constexpr size_t kWindow = 24;
+  stats::SlopeArena arena;
+  arena.Reset(kWindow * (kWindow - 1) / 2);
+  stats::IncrementalTheilSen trend;
+  trend.Reset(kWindow, &arena);
+  stats::TheilSenEstimator estimator(0.70);
+  stats::TheilSenScratch scratch;
+  for (int i = 0; i < 48; ++i) {
+    trend.Push(0.5 * i + ((i % 3) - 1) * 0.25);
+  }
+  auto warm = trend.Fit(estimator, &scratch);
+  ASSERT_TRUE(warm.ok());
+
+  AllocSpan span;
+  for (int i = 0; i < 64; ++i) {
+    trend.Push(0.5 * i + ((i % 5) - 2) * 0.125);
+    auto fit = trend.Fit(estimator, &scratch);
+    ASSERT_TRUE(fit.ok());
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "IncrementalTheilSen allocated in steady state";
+}
+
+TEST(AllocGuardTest, SlidingRankWindowSteadyStateIsAllocationFree) {
+  stats::SlidingRankWindow win;
+  win.Reset(24);
+  for (int i = 0; i < 48; ++i) {
+    win.Push(static_cast<double>((i * i) % 23));
+  }
+  const auto& warm_ranks = win.Ranks();
+  ASSERT_EQ(warm_ranks.size(), 24u);
+
+  AllocSpan span;
+  for (int i = 0; i < 64; ++i) {
+    win.Push(static_cast<double>((i * 31) % 29));
+    const auto& ranks = win.Ranks();
+    ASSERT_EQ(ranks.size(), 24u);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "SlidingRankWindow allocated in steady state";
+}
+
+TEST(AllocGuardTest, LatencyHistogramSteadyOpsAreAllocationFree) {
+  stats::LatencyHistogram hist(1.0, 1e6, 48);
+  stats::LatencyHistogram other(1.0, 1e6, 48);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(1.0 + static_cast<double>((i * 97) % 5000));
+    other.Add(1.0 + static_cast<double>((i * 41) % 5000));
+  }
+
+  AllocSpan span;
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(1.0 + static_cast<double>((i * 61) % 5000));
+  }
+  const double p95 = hist.ValueAtPercentile(95.0);
+  hist.Merge(other);
+  const double merged_p95 = hist.ValueAtPercentile(95.0);
+  hist.Reset();
+  EXPECT_EQ(span.allocations(), 0u)
+      << "LatencyHistogram steady-state ops allocated";
+  EXPECT_GT(p95, 0.0);
+  EXPECT_GT(merged_p95, 0.0);
+}
+
+TEST(AllocGuardTest, CurvePointsIntoWithWarmBufferIsAllocationFree) {
+  stats::EmpiricalCdf cdf;
+  for (int i = 0; i < 200; ++i) {
+    cdf.Add(static_cast<double>((i * 37) % 101));
+  }
+  std::vector<std::pair<double, double>> points;
+  ASSERT_TRUE(cdf.CurvePointsInto(50, points).ok());
+
+  AllocSpan span;
+  ASSERT_TRUE(cdf.CurvePointsInto(50, points).ok());
+  EXPECT_EQ(span.allocations(), 0u)
+      << "EmpiricalCdf::CurvePointsInto allocated with warm buffer";
+  EXPECT_EQ(points.size(), 50u);
+}
+
+TEST(AllocGuardTest, TextTableAppendWithWarmBuffersIsAllocationFree) {
+  sim::TextTable table({"metric", "value", "unit"});
+  for (int i = 0; i < 8; ++i) {
+    table.AddRow({"p95_latency", std::to_string(40 + i), "ms"});
+  }
+  sim::ReportScratch scratch;
+  std::string out;
+  std::string csv;
+  table.AppendTo(out, &scratch);
+  table.AppendCsvTo(csv);
+
+  AllocSpan span;
+  out.clear();
+  table.AppendTo(out, &scratch);
+  csv.clear();
+  table.AppendCsvTo(csv);
+  EXPECT_EQ(span.allocations(), 0u)
+      << "TextTable::AppendTo/AppendCsvTo allocated with warm buffers";
+  EXPECT_FALSE(out.empty());
+  EXPECT_FALSE(csv.empty());
+}
+
+TEST(AllocGuardTest, AsciiChartIntoWithWarmBuffersIsAllocationFree) {
+  std::vector<double> values;
+  values.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<double>((i * 13) % 50));
+  }
+  sim::ReportScratch scratch;
+  std::string out;
+  sim::AsciiChartInto(values, out, 8, 120, &scratch);
+
+  AllocSpan span;
+  out.clear();
+  sim::AsciiChartInto(values, out, 8, 120, &scratch);
+  EXPECT_EQ(span.allocations(), 0u)
+      << "AsciiChartInto allocated with warm scratch";
+  EXPECT_FALSE(out.empty());
 }
 
 }  // namespace

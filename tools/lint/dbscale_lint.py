@@ -57,6 +57,9 @@ HOT_PATH_FILES = (
     "src/stats/robust.cc",
     "src/stats/theil_sen.cc",
     "src/stats/spearman.cc",
+    "src/stats/incremental.cc",
+    "src/stats/cdf.cc",
+    "src/sim/report.cc",
 )
 
 ORDER_SENSITIVE_PREFIXES = ("src/fleet/", "src/sim/", "src/telemetry/")
