@@ -45,7 +45,8 @@ class BalloonScenarioPolicy : public scaler::ScalingPolicy {
   scaler::ScalingDecision Decide(const scaler::PolicyInput& input) override {
     scaler::ScalingDecision d;
     d.target = container_;
-    d.explanation = "scenario";
+    d.explanation = scaler::Explanation(
+        scaler::ExplanationCode::kNote, "scenario");
     const int i = input.interval_index;
     const double full_mb = container_.resources.memory_mb;
 
@@ -54,14 +55,18 @@ class BalloonScenarioPolicy : public scaler::ScalingPolicy {
         // "Low memory demand" acted on at once: next-smaller container's
         // allocation.
         d.memory_limit_mb = target_mb_;
-        d.explanation = "abrupt shrink to next smaller container";
+        d.explanation = scaler::Explanation(
+            scaler::ExplanationCode::kNote,
+            "abrupt shrink to next smaller container");
       } else if (i > start_interval_ && !reverted_ &&
                  input.signals.valid &&
                  input.signals.physical_reads_per_sec > 150.0) {
         // The scaler notices unmet disk demand and reverts (the paper's
         // Auto does this from latency + disk signals).
         d.memory_limit_mb = full_mb;
-        d.explanation = "revert after latency impact";
+        d.explanation = scaler::Explanation(
+            scaler::ExplanationCode::kNote,
+            "revert after latency impact");
         reverted_ = true;
       }
       return d;
@@ -77,7 +82,7 @@ class BalloonScenarioPolicy : public scaler::ScalingPolicy {
       auto advice =
           balloon_->Tick(input.signals.physical_reads_per_sec, i);
       d.memory_limit_mb = advice.memory_limit_mb;
-      d.explanation = advice.note;
+      d.explanation = advice.explanation;
       if (advice.aborted) {
         // The limit at which the I/O increase surfaced (the last shrink
         // step before the revert).

@@ -12,7 +12,10 @@
 //     sample per call — the deployment access pattern) at window sizes
 //     W in {32, 128, 512}, with per-call allocation counts and an
 //     order-sensitive snapshot digest that must match between the two
-//     paths exactly (the incremental engine's bit-identity contract).
+//     paths exactly (the incremental engine's bit-identity contract);
+//   * observability overhead: Compute with metrics + span capture enabled
+//     vs off, and the fleet run with per-tenant shards vs off — both with
+//     a <2% overhead target and an unchanged-checksum requirement.
 //
 // Numbers are only meaningful relative to `hardware_concurrency`, which is
 // recorded alongside them (as is DBSCALE_NUM_THREADS when set): on a
@@ -24,6 +27,7 @@
 // it as a smoke stage and asserts on the JSON (zero allocations on the
 // scratch paths, digests match).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,7 @@
 #include "src/common/thread_pool.h"
 #include "src/container/catalog.h"
 #include "src/fleet/fleet_sim.h"
+#include "src/obs/pipeline.h"
 #include "src/telemetry/manager.h"
 
 namespace {
@@ -158,6 +163,42 @@ ComputeStats TimeCompute(const telemetry::TelemetryManager& manager,
   double sink = 0.0;
   for (int i = 0; i < iterations; ++i) {
     sink += manager.Compute(store, now, scratch).latency_ms;
+  }
+  const double elapsed = NowSeconds() - start;
+  const std::int64_t allocs = t_alloc_count - allocs_before;
+  DBSCALE_CHECK(sink > 0.0);
+  ComputeStats stats;
+  stats.calls_per_sec = iterations / elapsed;
+  stats.allocs_per_call =
+      static_cast<double>(allocs) / static_cast<double>(iterations);
+  return stats;
+}
+
+/// TimeCompute with the observability layer live: every call runs inside
+/// its own span tree (the deployment shape — one Compute per billing
+/// interval) and records through the primary-shard sink.
+ComputeStats TimeComputeObserved(const telemetry::TelemetryManager& manager,
+                                 const telemetry::TelemetryStore& store,
+                                 telemetry::SignalScratch* scratch,
+                                 int iterations, obs::Observability* ob) {
+  const SimTime now = SimTime::Zero() + Duration::Seconds(64 * 5);
+  const obs::Sink obs_sink = ob->PrimarySink();
+  for (int i = 0; i < 16; ++i) {
+    ob->trace().BeginInterval(i, now);
+    manager.Compute(store, now, scratch,
+                    obs_sink.Under(ob->trace().root()));
+    ob->trace().EndInterval(now);
+  }
+  const std::int64_t allocs_before = t_alloc_count;
+  const double start = NowSeconds();
+  double sink = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    ob->trace().BeginInterval(i, now);
+    sink += manager
+                .Compute(store, now, scratch,
+                         obs_sink.Under(ob->trace().root()))
+                .latency_ms;
+    ob->trace().EndInterval(now);
   }
   const double elapsed = NowSeconds() - start;
   const std::int64_t allocs = t_alloc_count - allocs_before;
@@ -362,6 +403,74 @@ int Main(int argc, char** argv) {
         cmp.incremental.calls_per_sec / cmp.batch.calls_per_sec);
   }
 
+  // Observability overhead. Compute: metrics + one span tree per call vs
+  // the plain scratch path. Fleet: per-tenant shards merged in tenant
+  // order vs none, at the largest thread count benchmarked — and the
+  // checksum must not move (observing a run never perturbs it). Paired
+  // best-of-N on both sides filters scheduler/turbo noise, which would
+  // otherwise swamp a sub-2% effect.
+  obs::Observability compute_ob;
+  const int overhead_reps = quick ? 3 : 7;  // odd: median is a single rep
+  const int overhead_iters = quick ? 1000 : 5000;
+  ComputeStats compute_base;
+  ComputeStats observed_compute;
+  double observed_allocs_per_call = 0.0;
+  std::vector<double> compute_ratios;
+  for (int rep = 0; rep < overhead_reps; ++rep) {
+    const ComputeStats base =
+        TimeCompute(batch_manager, store, &scratch, overhead_iters);
+    const ComputeStats observed = TimeComputeObserved(
+        batch_manager, store, &scratch, overhead_iters, &compute_ob);
+    compute_ratios.push_back(base.calls_per_sec / observed.calls_per_sec);
+    if (base.calls_per_sec > compute_base.calls_per_sec) compute_base = base;
+    if (observed.calls_per_sec > observed_compute.calls_per_sec) {
+      observed_compute = observed;
+    }
+    observed_allocs_per_call =
+        std::max(observed_allocs_per_call, observed.allocs_per_call);
+  }
+  std::sort(compute_ratios.begin(), compute_ratios.end());
+  const double compute_overhead_pct =
+      (compute_ratios[compute_ratios.size() / 2] - 1.0) * 100.0;
+
+  const int obs_threads = thread_counts.back();
+  fleet::FleetOptions observed_options = fleet_options;
+  const int fleet_reps = quick ? 3 : 5;
+  double fleet_base_seconds = 0.0;
+  double fleet_observed_seconds = 0.0;
+  std::vector<double> fleet_ratios;
+  for (int rep = 0; rep < fleet_reps; ++rep) {
+    const FleetRunStats base =
+        TimeFleetRun(catalog, fleet_options, obs_threads);
+    obs::Observability fleet_ob;
+    observed_options.obs = &fleet_ob;
+    const FleetRunStats observed =
+        TimeFleetRun(catalog, observed_options, obs_threads);
+    DBSCALE_CHECK(observed.checksum == base.checksum);
+    fleet_ratios.push_back(observed.seconds / base.seconds);
+    if (rep == 0 || base.seconds < fleet_base_seconds) {
+      fleet_base_seconds = base.seconds;
+    }
+    if (rep == 0 || observed.seconds < fleet_observed_seconds) {
+      fleet_observed_seconds = observed.seconds;
+    }
+  }
+  std::sort(fleet_ratios.begin(), fleet_ratios.end());
+  const double fleet_overhead_pct =
+      (fleet_ratios[fleet_ratios.size() / 2] - 1.0) * 100.0;
+
+  std::printf("\nObservability overhead "
+              "(<2%% target, median of %d paired reps):\n",
+              overhead_reps);
+  std::printf("  compute: %10.0f -> %10.0f calls/s  %+5.2f%%  "
+              "%.2f allocs/call observed\n",
+              compute_base.calls_per_sec, observed_compute.calls_per_sec,
+              compute_overhead_pct, observed_allocs_per_call);
+  std::printf("  fleet (threads=%d): %.3fs -> %.3fs  %+5.2f%%  "
+              "checksum unchanged\n",
+              obs_threads, fleet_base_seconds, fleet_observed_seconds,
+              fleet_overhead_pct);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   DBSCALE_CHECK(out != nullptr);
   std::fprintf(out, "{\n");
@@ -418,7 +527,22 @@ int Main(int argc, char** argv) {
         cmp.incremental.calls_per_sec / cmp.batch.calls_per_sec,
         cmp.incremental.digest, i + 1 < sliding.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"observability\": {\n");
+  std::fprintf(out,
+               "    \"compute\": {\"base_calls_per_sec\": %.0f, "
+               "\"observed_calls_per_sec\": %.0f, "
+               "\"observed_allocs_per_call\": %.4f, "
+               "\"overhead_pct\": %.4f},\n",
+               compute_base.calls_per_sec, observed_compute.calls_per_sec,
+               observed_allocs_per_call, compute_overhead_pct);
+  std::fprintf(out,
+               "    \"fleet\": {\"threads\": %d, \"base_seconds\": %.6f, "
+               "\"observed_seconds\": %.6f, \"overhead_pct\": %.4f, "
+               "\"checksum_matches\": true}\n",
+               obs_threads, fleet_base_seconds, fleet_observed_seconds,
+               fleet_overhead_pct);
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, six stages:
+# Full correctness gate, seven stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests
 #   3. UndefinedBehaviorSanitizer build, complete test suite
@@ -7,6 +7,8 @@
 #   5. custom invariant lint (tools/lint/dbscale_lint.py + its self-test)
 #   6. quick-mode perf-pipeline smoke: hot paths must stay allocation-free
 #      and the incremental signal engine bit-identical to the batch oracle
+#   7. observability smoke: run the decision-trace example and validate
+#      every exporter's output against the stable schemas
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -17,13 +19,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/6] normal build + full test suite ==="
+echo "=== [1/7] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/6] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/7] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -35,7 +37,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fleet|Comparison|Experiment'
 
 echo
-echo "=== [3/6] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/7] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -46,7 +48,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/6] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/7] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -61,11 +63,11 @@ else
 fi
 
 echo
-echo "=== [5/6] custom invariant lint ==="
+echo "=== [5/7] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/6] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/7] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -100,13 +102,36 @@ if len(checksums) != 1:
 if not report["fleet"]["deterministic_across_threads"]:
     failures.append("fleet reports non-deterministic across thread counts")
 
+obs = report["observability"]
+if obs["compute"]["observed_allocs_per_call"] > 0:
+    failures.append("observed Compute allocated "
+                    f"{obs['compute']['observed_allocs_per_call']}/call")
+if not obs["fleet"]["checksum_matches"]:
+    failures.append("observability changed the fleet checksum")
+
 if failures:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     sys.exit(1)
 print(f"bench smoke ok: {len(report['incremental_vs_batch'])} sliding cases "
       "bit-identical, hot paths allocation-free")
+print("observability overhead (quick, noisy): "
+      f"compute {obs['compute']['overhead_pct']:+.2f}%, "
+      f"fleet {obs['fleet']['overhead_pct']:+.2f}% (<2% full-bench target)")
 PY
+
+echo
+echo "=== [7/7] observability smoke (decision trace + exporter schemas) ==="
+# The quickstart example runs an instrumented closed loop and dumps all
+# three exports; the schema checker then validates every artifact. Catches
+# exporter format regressions that unit goldens (single metrics) miss.
+OBS_DIR="${PREFIX}/obs_smoke"
+mkdir -p "${OBS_DIR}"
+"${PREFIX}/examples/decision_trace" "${OBS_DIR}" >/dev/null
+python3 tools/obs/check_obs_output.py \
+  "${OBS_DIR}/decision_trace.spans.jsonl" \
+  "${OBS_DIR}/decision_trace.metrics.prom" \
+  "${OBS_DIR}/decision_trace.metrics.csv"
 
 echo
 echo "All checks passed."

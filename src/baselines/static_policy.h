@@ -22,7 +22,8 @@ class StaticPolicy : public scaler::ScalingPolicy {
     (void)input;
     scaler::ScalingDecision d;
     d.target = spec_;
-    d.explanation = "static container";
+    d.explanation =
+        scaler::Explanation(scaler::ExplanationCode::kBaselineStatic);
     return d;
   }
 

@@ -28,7 +28,8 @@ class TracePolicy : public scaler::ScalingPolicy {
                            ? 0
                            : std::min(next, schedule_.size() - 1);
     d.target = schedule_.empty() ? input.current : schedule_[idx];
-    d.explanation = "trace schedule";
+    d.explanation =
+        scaler::Explanation(scaler::ExplanationCode::kBaselineTraceSchedule);
     return d;
   }
 

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "src/common/string_util.h"
-
 namespace dbscale::baselines {
 
 using container::ResourceKind;
@@ -16,10 +14,11 @@ scaler::ScalingDecision UtilPolicy::Decide(
     const scaler::PolicyInput& input) {
   scaler::ScalingDecision d;
   d.target = input.current;
-  d.explanation = "hold";
+  d.explanation = scaler::Explanation(scaler::ExplanationCode::kUtilHold);
   const telemetry::SignalSnapshot& s = input.signals;
   if (!s.valid) {
-    d.explanation = "warming up";
+    d.explanation =
+        scaler::Explanation(scaler::ExplanationCode::kUtilWarmup);
     return d;
   }
 
@@ -39,13 +38,13 @@ scaler::ScalingDecision UtilPolicy::Decide(
     const int rung = catalog_.ClampRung(cur_rung + steps);
     if (rung != cur_rung) {
       d.target = catalog_.rung(rung);
-      d.explanation = StrFormat(
-          "Scale-up: latency %.0fms over goal %.0fms with utilization "
-          "%.0f%%",
-          s.latency_ms, goal_.target_ms, max_util);
+      d.explanation =
+          scaler::Explanation(scaler::ExplanationCode::kUtilScaleUp,
+                              s.latency_ms, goal_.target_ms, max_util);
       return d;
     }
-    d.explanation = "latency bad but already at the largest container";
+    d.explanation =
+        scaler::Explanation(scaler::ExplanationCode::kUtilAtMaxContainer);
     return d;
   }
 
@@ -64,12 +63,13 @@ scaler::ScalingDecision UtilPolicy::Decide(
       if (low_streak_ >= options_.down_patience) {
         low_streak_ = 0;
         d.target = catalog_.rung(cur_rung - 1);
-        d.explanation = StrFormat(
-            "Scale-down: latency %.0fms within goal and utilization low",
-            s.latency_ms);
+        d.explanation =
+            scaler::Explanation(scaler::ExplanationCode::kUtilScaleDown,
+                                s.latency_ms);
         return d;
       }
-      d.explanation = "cooldown before scale-down";
+      d.explanation =
+          scaler::Explanation(scaler::ExplanationCode::kUtilDownCooldown);
       return d;
     }
   }

@@ -72,4 +72,25 @@ bool ParseDouble(std::string_view s, double* out) {
   return true;
 }
 
+void CsvEscapeTo(std::string_view field, std::string& out) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) {
+    out.append(field);
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string CsvEscape(std::string_view field) {
+  std::string out;
+  CsvEscapeTo(field, out);
+  return out;
+}
+
 }  // namespace dbscale

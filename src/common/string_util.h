@@ -26,6 +26,14 @@ std::string_view StrTrim(std::string_view s);
 /// Parses a double; returns false on malformed input.
 bool ParseDouble(std::string_view s, double* out);
 
+/// Appends `field` to `out` as one RFC 4180 CSV field: wrapped in double
+/// quotes when it contains a comma, quote, CR, or LF, with embedded quotes
+/// doubled. Append-style so hot report paths stay allocation-free.
+void CsvEscapeTo(std::string_view field, std::string& out);
+
+/// Allocating convenience wrapper around CsvEscapeTo.
+std::string CsvEscape(std::string_view field);
+
 }  // namespace dbscale
 
 #endif  // DBSCALE_COMMON_STRING_UTIL_H_

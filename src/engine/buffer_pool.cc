@@ -25,6 +25,12 @@ double BufferPool::HotHitProbability() const {
 }
 
 bool BufferPool::Access(bool hot) {
+  const bool hit = AccessImpl(hot);
+  metrics_.Add(hit ? hits_metric_ : misses_metric_, 1.0);
+  return hit;
+}
+
+bool BufferPool::AccessImpl(bool hot) {
   if (hot) {
     // A uniformly random working-set page; cached with probability
     // hot_cached / working_set.

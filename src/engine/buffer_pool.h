@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace dbscale::engine {
 
@@ -79,7 +80,17 @@ class BufferPool {
   /// Fraction of hot accesses expected to hit right now.
   double HotHitProbability() const;
 
+  /// Enables metrics: every Access bumps the hit or miss counter.
+  /// Setup-time wiring; no-ops on a null sink.
+  void SetMetrics(obs::MetricSink sink, obs::MetricId hits_total,
+                  obs::MetricId misses_total) {
+    metrics_ = sink;
+    hits_metric_ = hits_total;
+    misses_metric_ = misses_total;
+  }
+
  private:
+  bool AccessImpl(bool hot);
   void EvictTo(int64_t target_pages);
 
   int64_t capacity_pages_;
@@ -88,6 +99,10 @@ class BufferPool {
   int64_t hot_cached_ = 0;
   int64_t cold_cached_ = 0;
   Rng* rng_;
+
+  obs::MetricSink metrics_;
+  obs::MetricId hits_metric_ = 0;
+  obs::MetricId misses_metric_ = 0;
 };
 
 }  // namespace dbscale::engine

@@ -67,6 +67,25 @@ DatabaseEngine::DatabaseEngine(EventQueue* events,
       effective_memory_mb() * (1.0 - options_.buffer_pool_fraction));
 }
 
+void DatabaseEngine::EnableObservability(obs::Observability* ob) {
+  if (ob == nullptr) return;
+  metrics_ = EngineMetrics::Register(&ob->registry());
+  ob->AttachPrimary();
+  metric_sink_ = obs::MetricSink{&ob->primary()};
+  cpu_->SetMetrics(metric_sink_, metrics_.cpu_jobs_total,
+                   metrics_.cpu_queue_wait_ms);
+  disk_->SetMetrics(metric_sink_, metrics_.disk_jobs_total,
+                    metrics_.disk_queue_wait_ms);
+  log_->SetMetrics(metric_sink_, metrics_.log_jobs_total,
+                   metrics_.log_queue_wait_ms);
+  buffer_pool_->SetMetrics(metric_sink_, metrics_.buffer_pool_hits_total,
+                           metrics_.buffer_pool_misses_total);
+  locks_->SetMetrics(metric_sink_, metrics_.lock_grants_total,
+                     metrics_.lock_timeouts_total, metrics_.lock_wait_ms);
+  memory_->SetMetrics(metric_sink_, metrics_.memory_grants_total,
+                      metrics_.memory_grant_wait_ms);
+}
+
 double DatabaseEngine::effective_memory_mb() const {
   double container_mb = container_.resources.memory_mb;
   if (memory_limit_mb_ >= 0.0) {
@@ -112,7 +131,10 @@ void DatabaseEngine::ApplyMemory() {
 void DatabaseEngine::AddWait(RequestState* /*rs*/, WaitClass wc,
                              Duration wait) {
   if (wait > Duration::Zero()) {
-    period_wait_ms_[static_cast<size_t>(wc)] += wait.ToMillis();
+    const double ms = wait.ToMillis();
+    period_wait_ms_[static_cast<size_t>(wc)] += ms;
+    metric_sink_.Add(
+        metrics_.wait_ms_base + static_cast<obs::MetricId>(wc), ms);
   }
 }
 
@@ -303,6 +325,10 @@ void DatabaseEngine::Finish(std::shared_ptr<RequestState> rs, bool error) {
   result.error = error;
   result.class_id = rs->spec.class_id;
   period_latency_.Add(result.latency().ToMillis());
+  metric_sink_.Add(metrics_.requests_completed_total, 1.0);
+  if (error) metric_sink_.Add(metrics_.requests_errored_total, 1.0);
+  metric_sink_.Observe(metrics_.request_latency_ms,
+                       result.latency().ToMillis());
   if (rs->done) rs->done(result);
   if (completion_listener_) completion_listener_(result);
 }

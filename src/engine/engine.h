@@ -37,11 +37,13 @@
 #include "src/common/rng.h"
 #include "src/container/container.h"
 #include "src/engine/buffer_pool.h"
+#include "src/engine/engine_metrics.h"
 #include "src/engine/event_queue.h"
 #include "src/engine/lock_manager.h"
 #include "src/engine/memory_broker.h"
 #include "src/engine/request.h"
 #include "src/engine/server_queue.h"
+#include "src/obs/pipeline.h"
 #include "src/stats/cdf.h"
 #include "src/telemetry/sample.h"
 
@@ -108,6 +110,13 @@ class DatabaseEngine {
   /// (or construction) and resets period accumulators.
   telemetry::TelemetrySample CollectSample();
 
+  /// Registers the engine instrument block on `ob`'s registry (late,
+  /// idempotent), re-sizes the primary shard, and wires every component to
+  /// record into it. Setup-time only; nullptr is a no-op (metrics stay
+  /// off, recording remains one predictable branch per site).
+  void EnableObservability(obs::Observability* ob);
+  const EngineMetrics& metrics() const { return metrics_; }
+
   const container::ContainerSpec& current_container() const {
     return container_;
   }
@@ -152,6 +161,9 @@ class DatabaseEngine {
   std::unique_ptr<MemoryBroker> memory_;
 
   double memory_limit_mb_ = -1.0;  // balloon override; <0 = none
+
+  EngineMetrics metrics_;
+  obs::MetricSink metric_sink_;
 
   // Period accumulators (reset by CollectSample()).
   SimTime period_start_ = SimTime::Zero();

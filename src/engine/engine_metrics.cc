@@ -1,0 +1,102 @@
+#include "src/engine/engine_metrics.h"
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/telemetry/wait_class.h"
+
+namespace dbscale::engine {
+
+namespace {
+
+using obs::HistogramSpec;
+using obs::MetricRegistry;
+
+// 0.05 ms .. ~1.6 s: covers sub-millisecond queueing on healthy containers
+// through multi-second pile-ups under deep under-provisioning.
+HistogramSpec WaitHistogram() {
+  return HistogramSpec::Exponential(0.05, 2.0, 16);
+}
+
+}  // namespace
+
+EngineMetrics EngineMetrics::Register(MetricRegistry* registry) {
+  DBSCALE_CHECK(registry != nullptr);
+  EngineMetrics m;
+
+  m.cpu_jobs_total =
+      registry->Counter("dbscale_engine_queue_jobs_total{queue=\"cpu\"}",
+                        "Jobs completed by the CPU server queue.");
+  m.cpu_queue_wait_ms = registry->Histogram(
+      "dbscale_engine_queue_wait_ms{queue=\"cpu\"}",
+      "Per-job CPU queueing delay (ms).", WaitHistogram());
+  m.disk_jobs_total =
+      registry->Counter("dbscale_engine_queue_jobs_total{queue=\"disk\"}",
+                        "I/O batches completed by the disk device.");
+  m.disk_queue_wait_ms = registry->Histogram(
+      "dbscale_engine_queue_wait_ms{queue=\"disk\"}",
+      "Per-batch disk queueing delay (ms).", WaitHistogram());
+  m.log_jobs_total =
+      registry->Counter("dbscale_engine_queue_jobs_total{queue=\"log\"}",
+                        "Log writes completed by the log device.");
+  m.log_queue_wait_ms = registry->Histogram(
+      "dbscale_engine_queue_wait_ms{queue=\"log\"}",
+      "Per-write log queueing delay (ms).", WaitHistogram());
+
+  m.buffer_pool_hits_total =
+      registry->Counter("dbscale_engine_buffer_pool_hits_total",
+                        "Page accesses served from the buffer pool.");
+  m.buffer_pool_misses_total =
+      registry->Counter("dbscale_engine_buffer_pool_misses_total",
+                        "Page accesses that required a physical read.");
+
+  m.lock_grants_total =
+      registry->Counter("dbscale_engine_lock_grants_total",
+                        "Hot-row lock acquisitions granted.");
+  m.lock_timeouts_total =
+      registry->Counter("dbscale_engine_lock_timeouts_total",
+                        "Hot-row lock waits that timed out (aborts).");
+  m.lock_wait_ms = registry->Histogram(
+      "dbscale_engine_lock_wait_ms",
+      "Time spent waiting for a hot-row lock (ms), grants and timeouts.",
+      WaitHistogram());
+
+  m.memory_grants_total =
+      registry->Counter("dbscale_engine_memory_grants_total",
+                        "Workspace memory grants issued.");
+  m.memory_grant_wait_ms = registry->Histogram(
+      "dbscale_engine_memory_grant_wait_ms",
+      "Time spent queued for a workspace memory grant (ms).",
+      WaitHistogram());
+
+  m.requests_completed_total =
+      registry->Counter("dbscale_engine_requests_completed_total",
+                        "Requests completed (including errors).");
+  m.requests_errored_total =
+      registry->Counter("dbscale_engine_requests_errored_total",
+                        "Requests completed as errors (lock timeouts).");
+  m.request_latency_ms = registry->Histogram(
+      "dbscale_engine_request_latency_ms",
+      "End-to-end request latency (ms).",
+      HistogramSpec::Exponential(0.5, 2.0, 16));
+
+  // One wait-time counter per class, ids contiguous from wait_ms_base so
+  // the AddWait record path is a single offset (same layout contract as
+  // scaler::RegisterDecisionCounters).
+  for (telemetry::WaitClass wc : telemetry::kAllWaitClasses) {
+    const std::string name =
+        std::string("dbscale_engine_wait_ms_total{class=\"") +
+        telemetry::WaitClassToString(wc) + "\"}";
+    const obs::MetricId id = registry->Counter(
+        name, "Milliseconds requests spent blocked, by wait class.");
+    if (wc == telemetry::WaitClass::kCpu) {
+      m.wait_ms_base = id;
+    } else {
+      DBSCALE_CHECK(id == m.wait_ms_base +
+                              static_cast<obs::MetricId>(wc));
+    }
+  }
+  return m;
+}
+
+}  // namespace dbscale::engine

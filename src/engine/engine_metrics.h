@@ -1,0 +1,53 @@
+// The engine's instrument block: counters and histograms for the server
+// queues, buffer pool, lock manager, memory broker, and the request
+// lifecycle. Registered late (after Observability construction) via
+// Register(); DatabaseEngine::EnableObservability wires the ids into the
+// components, which record through a by-value MetricSink — one branch per
+// record call when observability is off.
+
+#ifndef DBSCALE_ENGINE_ENGINE_METRICS_H_
+#define DBSCALE_ENGINE_ENGINE_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace dbscale::engine {
+
+struct EngineMetrics {
+  // Server queues (one jobs counter + queue-wait histogram per device).
+  obs::MetricId cpu_jobs_total = 0;
+  obs::MetricId cpu_queue_wait_ms = 0;  // histogram
+  obs::MetricId disk_jobs_total = 0;
+  obs::MetricId disk_queue_wait_ms = 0;  // histogram
+  obs::MetricId log_jobs_total = 0;
+  obs::MetricId log_queue_wait_ms = 0;  // histogram
+
+  // Buffer pool.
+  obs::MetricId buffer_pool_hits_total = 0;
+  obs::MetricId buffer_pool_misses_total = 0;
+
+  // Lock manager.
+  obs::MetricId lock_grants_total = 0;
+  obs::MetricId lock_timeouts_total = 0;
+  obs::MetricId lock_wait_ms = 0;  // histogram (grants and timeouts)
+
+  // Memory broker.
+  obs::MetricId memory_grants_total = 0;
+  obs::MetricId memory_grant_wait_ms = 0;  // histogram
+
+  // Request lifecycle.
+  obs::MetricId requests_completed_total = 0;
+  obs::MetricId requests_errored_total = 0;
+  obs::MetricId request_latency_ms = 0;  // histogram
+
+  /// First of telemetry::kNumWaitClasses contiguous wait-time counters,
+  /// one per WaitClass: id = wait_ms_base + static_cast<int>(wc).
+  obs::MetricId wait_ms_base = 0;
+
+  /// Registers (idempotently) the engine instrument block on `registry`
+  /// and returns the resolved ids. Setup-time only.
+  static EngineMetrics Register(obs::MetricRegistry* registry);
+};
+
+}  // namespace dbscale::engine
+
+#endif  // DBSCALE_ENGINE_ENGINE_METRICS_H_

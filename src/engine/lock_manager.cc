@@ -20,6 +20,8 @@ void LockManager::Acquire(int row, Grant on_grant) {
   if (!r.held && r.waiters.empty()) {
     r.held = true;
     ++grants_;
+    metrics_.Add(grants_metric_, 1.0);
+    metrics_.Observe(wait_metric_, 0.0);
     on_grant(true, Duration::Zero());
     return;
   }
@@ -35,6 +37,8 @@ void LockManager::Acquire(int row, Grant on_grant) {
         Duration waited = events_->Now() - it->enqueued;
         rr.waiters.erase(it);
         ++timeouts_;
+        metrics_.Add(timeouts_metric_, 1.0);
+        metrics_.Observe(wait_metric_, waited.ToMillis());
         grant(false, waited);
         return;
       }
@@ -58,7 +62,10 @@ void LockManager::GrantNext(int row) {
   r.waiters.pop_front();
   r.held = true;
   ++grants_;
-  waiter.on_grant(true, events_->Now() - waiter.enqueued);
+  const Duration waited = events_->Now() - waiter.enqueued;
+  metrics_.Add(grants_metric_, 1.0);
+  metrics_.Observe(wait_metric_, waited.ToMillis());
+  waiter.on_grant(true, waited);
 }
 
 bool LockManager::IsHeld(int row) const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/engine/event_queue.h"
+#include "src/obs/metrics.h"
 
 namespace dbscale::engine {
 
@@ -44,6 +45,17 @@ class LockManager {
   uint64_t timeouts() const { return timeouts_; }
   uint64_t grants() const { return grants_; }
 
+  /// Enables metrics: grants and timeouts bump their counters, and every
+  /// resolution (either way) observes its wait (ms) into `wait_ms`.
+  /// Setup-time wiring; no-ops on a null sink.
+  void SetMetrics(obs::MetricSink sink, obs::MetricId grants_total,
+                  obs::MetricId timeouts_total, obs::MetricId wait_ms) {
+    metrics_ = sink;
+    grants_metric_ = grants_total;
+    timeouts_metric_ = timeouts_total;
+    wait_metric_ = wait_ms;
+  }
+
  private:
   struct Waiter {
     uint64_t ticket;
@@ -64,6 +76,11 @@ class LockManager {
   uint64_t next_ticket_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t grants_ = 0;
+
+  obs::MetricSink metrics_;
+  obs::MetricId grants_metric_ = 0;
+  obs::MetricId timeouts_metric_ = 0;
+  obs::MetricId wait_metric_ = 0;
 };
 
 }  // namespace dbscale::engine

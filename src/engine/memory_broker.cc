@@ -18,6 +18,8 @@ void MemoryBroker::Acquire(double mb, Grant on_grant) {
   mb = std::min(mb, workspace_mb_);
   if (waiters_.empty() && in_use_mb_ + mb <= workspace_mb_) {
     in_use_mb_ += mb;
+    metrics_.Add(grants_metric_, 1.0);
+    metrics_.Observe(wait_metric_, 0.0);
     on_grant(Duration::Zero(), mb);
     return;
   }
@@ -45,7 +47,10 @@ void MemoryBroker::TryGrant() {
     Waiter waiter = std::move(waiters_.front());
     waiters_.pop_front();
     in_use_mb_ += mb;
-    waiter.on_grant(events_->Now() - waiter.enqueued, mb);
+    const Duration waited = events_->Now() - waiter.enqueued;
+    metrics_.Add(grants_metric_, 1.0);
+    metrics_.Observe(wait_metric_, waited.ToMillis());
+    waiter.on_grant(waited, mb);
   }
 }
 

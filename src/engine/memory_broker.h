@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/engine/event_queue.h"
+#include "src/obs/metrics.h"
 
 namespace dbscale::engine {
 
@@ -38,6 +39,16 @@ class MemoryBroker {
   double in_use_mb() const { return in_use_mb_; }
   size_t queue_length() const { return waiters_.size(); }
 
+  /// Enables metrics: every grant bumps `grants_total` and observes the
+  /// wait it queued (ms) into `wait_ms`. Setup-time wiring; no-ops on a
+  /// null sink.
+  void SetMetrics(obs::MetricSink sink, obs::MetricId grants_total,
+                  obs::MetricId wait_ms) {
+    metrics_ = sink;
+    grants_metric_ = grants_total;
+    wait_metric_ = wait_ms;
+  }
+
  private:
   struct Waiter {
     double mb;
@@ -51,6 +62,10 @@ class MemoryBroker {
   double workspace_mb_;
   double in_use_mb_ = 0.0;
   std::deque<Waiter> waiters_;
+
+  obs::MetricSink metrics_;
+  obs::MetricId grants_metric_ = 0;
+  obs::MetricId wait_metric_ = 0;
 };
 
 }  // namespace dbscale::engine

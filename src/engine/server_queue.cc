@@ -50,6 +50,8 @@ void ServerQueue::TryDispatch() {
           --busy_;
           work_done_accum_ += work;
           ++jobs_completed_;
+          metrics_.Add(jobs_metric_, 1.0);
+          metrics_.Observe(wait_metric_, queue_wait.ToMillis());
           // Dispatch the next job before running the completion so that
           // the resource never idles while work is queued, regardless of
           // what the completion callback does.

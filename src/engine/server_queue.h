@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/engine/event_queue.h"
+#include "src/obs/metrics.h"
 
 namespace dbscale::engine {
 
@@ -66,6 +67,16 @@ class ServerQueue {
 
   uint64_t jobs_completed() const { return jobs_completed_; }
 
+  /// Enables metrics: each completed job bumps `jobs_total` and observes
+  /// its queueing delay (ms) into the `queue_wait_ms` histogram. Setup-time
+  /// wiring; recording stays allocation-free and no-ops on a null sink.
+  void SetMetrics(obs::MetricSink sink, obs::MetricId jobs_total,
+                  obs::MetricId queue_wait_ms) {
+    metrics_ = sink;
+    jobs_metric_ = jobs_total;
+    wait_metric_ = queue_wait_ms;
+  }
+
  private:
   struct Job {
     double work;
@@ -88,6 +99,10 @@ class ServerQueue {
   double capacity_accum_ = 0.0;
   SimTime capacity_accrued_until_ = SimTime::Zero();
   uint64_t jobs_completed_ = 0;
+
+  obs::MetricSink metrics_;
+  obs::MetricId jobs_metric_ = 0;
+  obs::MetricId wait_metric_ = 0;
 };
 
 }  // namespace dbscale::engine

@@ -44,6 +44,16 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
   TenantPartial out;
   out.step_size_counts.assign(static_cast<size_t>(catalog_.num_rungs()) + 1,
                               0);
+  // Per-tenant shard: attached here (setup, allocates once per tenant),
+  // recorded into allocation-free below, merged in tenant order by Run().
+  obs::MetricSink sink;
+  const obs::PipelineMetrics* pm = nullptr;
+  if (options_.obs != nullptr) {
+    out.shard.Attach(&options_.obs->registry());
+    sink = obs::MetricSink{&out.shard};
+    pm = &options_.obs->pipeline();
+    sink.Add(pm->fleet_tenants_total, 1.0);
+  }
   const double days = static_cast<double>(options_.num_intervals) *
                       kIntervalMinutes / (60.0 * 24.0);
 
@@ -76,13 +86,22 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
       const int step = std::abs(interval.assigned_rung - prev_rung);
       out.step_size_counts[static_cast<size_t>(
           std::min<int>(step, catalog_.num_rungs()))] += 1;
+      if (pm != nullptr) {
+        sink.Add(pm->fleet_container_changes_total, 1.0);
+        sink.Observe(pm->fleet_change_step_rungs,
+                     static_cast<double>(step));
+      }
       if (last_change_interval >= 0) {
-        out.inter_event_minutes.push_back(
-            (t - last_change_interval) * kIntervalMinutes);
+        const double minutes = (t - last_change_interval) * kIntervalMinutes;
+        out.inter_event_minutes.push_back(minutes);
+        if (pm != nullptr) {
+          sink.Observe(pm->fleet_inter_event_minutes, minutes);
+        }
       }
       last_change_interval = t;
     }
     prev_rung = interval.assigned_rung;
+    if (pm != nullptr) sink.Add(pm->fleet_tenant_intervals_total, 1.0);
 
     // Hourly aggregation.
     for (ResourceKind kind : container::kAllResources) {
@@ -114,6 +133,7 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
         hour_wpr[ri].clear();
       }
       out.hourly.push_back(record);
+      if (pm != nullptr) sink.Add(pm->fleet_hourly_records_total, 1.0);
     }
   }
   out.changes =
@@ -126,6 +146,11 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     return Status::InvalidArgument(
         "num_tenants and num_intervals must be positive");
   }
+
+  // Observability setup (instrument registration is not thread-safe, so
+  // the primary is sized before the fan-out; tenant shards attach to the
+  // then-frozen registry inside the workers).
+  if (options_.obs != nullptr) options_.obs->AttachPrimary();
 
   // Pre-fork every tenant's generator from the root *before* dispatch: the
   // fork sequence — and therefore each tenant's stream — is fixed by the
@@ -172,6 +197,11 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     out.tenant_changes.push_back(p.changes);
     for (size_t s = 0; s < p.step_size_counts.size(); ++s) {
       out.step_size_counts[s] += p.step_size_counts[s];
+    }
+    // Shard merge rides the same tenant-order loop, so metric values (like
+    // every other fleet output) are bit-identical at any thread count.
+    if (options_.obs != nullptr && p.shard.attached()) {
+      options_.obs->primary().MergeFrom(p.shard);
     }
   }
   return out;

@@ -13,6 +13,7 @@
 
 #include "src/common/result.h"
 #include "src/fleet/tenant_model.h"
+#include "src/obs/pipeline.h"
 
 namespace dbscale::fleet {
 
@@ -63,6 +64,11 @@ struct FleetOptions {
   /// (DBSCALE_NUM_THREADS env var, else hardware concurrency); 1 = serial.
   int num_threads = 0;
   TenantModelOptions tenant;
+  /// Observability bundle (not owned; nullptr = off). Each tenant records
+  /// into its own MetricShard; shards are merged into the primary in tenant
+  /// order, so merged values are bit-identical at any thread count. The
+  /// fleet records metrics only (no per-interval traces).
+  obs::Observability* obs = nullptr;
 };
 
 /// \brief Runs the closed-form fleet model.
@@ -83,6 +89,8 @@ class FleetSimulator {
     std::vector<double> inter_event_minutes;
     std::vector<int64_t> step_size_counts;
     TenantChangeStats changes;
+    /// This tenant's metric shard (attached only when obs is enabled).
+    obs::MetricShard shard;
   };
 
   TenantPartial SimulateTenant(int tenant, Rng rng) const;

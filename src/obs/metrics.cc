@@ -1,0 +1,222 @@
+// Record paths live here and are covered by the alloc-hot-path lint rule:
+// Add/Set/Observe/MergeFrom must stay allocation-free. Registration and
+// Attach are the sanctioned setup-time allocation points and carry
+// explicit suppressions.
+
+#include "src/obs/metrics.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dbscale::obs {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+HistogramSpec HistogramSpec::Exponential(double start, double factor,
+                                         size_t num_buckets) {
+  DBSCALE_CHECK(start > 0.0 && factor > 1.0);
+  DBSCALE_CHECK(num_buckets >= 1 && num_buckets <= kMaxHistogramBuckets);
+  HistogramSpec spec;
+  spec.num_buckets = num_buckets;
+  double bound = start;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    spec.upper_bounds[i] = bound;
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::Linear(double start, double step,
+                                    size_t num_buckets) {
+  DBSCALE_CHECK(step > 0.0);
+  DBSCALE_CHECK(num_buckets >= 1 && num_buckets <= kMaxHistogramBuckets);
+  HistogramSpec spec;
+  spec.num_buckets = num_buckets;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    spec.upper_bounds[i] = start + step * static_cast<double>(i);
+  }
+  return spec;
+}
+
+MetricId MetricRegistry::Counter(const std::string& name,
+                                 const std::string& help) {
+  return Register(name, help, MetricKind::kCounter, HistogramSpec{});
+}
+
+MetricId MetricRegistry::Gauge(const std::string& name,
+                               const std::string& help) {
+  return Register(name, help, MetricKind::kGauge, HistogramSpec{});
+}
+
+MetricId MetricRegistry::Histogram(const std::string& name,
+                                   const std::string& help,
+                                   const HistogramSpec& spec) {
+  DBSCALE_CHECK(spec.num_buckets >= 1 &&
+                spec.num_buckets <= kMaxHistogramBuckets);
+  for (size_t i = 1; i < spec.num_buckets; ++i) {
+    DBSCALE_CHECK(spec.upper_bounds[i] > spec.upper_bounds[i - 1]);
+  }
+  return Register(name, help, MetricKind::kHistogram, spec);
+}
+
+MetricId MetricRegistry::Register(const std::string& name,
+                                  const std::string& help, MetricKind kind,
+                                  const HistogramSpec& spec) {
+  DBSCALE_CHECK(!name.empty());
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    // Idempotent re-registration: same name must mean the same instrument.
+    const MetricInfo& existing = instruments_[it->second];
+    DBSCALE_CHECK(existing.kind == kind);
+    if (kind == MetricKind::kHistogram) {
+      DBSCALE_CHECK(existing.histogram.num_buckets == spec.num_buckets);
+    }
+    return it->second;
+  }
+  MetricInfo info;
+  info.name = name;
+  info.help = help;
+  info.kind = kind;
+  info.histogram = spec;
+  info.first_slot = num_slots_;
+  // Histogram slots: per-bucket counts, overflow, sum, count.
+  info.num_slots =
+      kind == MetricKind::kHistogram ? spec.num_buckets + 3 : 1;
+  num_slots_ += info.num_slots;
+
+  const MetricId id = static_cast<MetricId>(instruments_.size());
+  // Setup-time registration; recording never reaches this path.
+  instruments_.push_back(std::move(info));  // dbscale-lint: allow(alloc-hot-path)
+  by_name_.emplace(instruments_.back().name, id);
+  return id;
+}
+
+void MetricShard::Attach(const MetricRegistry* registry) {
+  DBSCALE_CHECK(registry != nullptr);
+  DBSCALE_CHECK(registry_ == nullptr || registry_ == registry);
+  const size_t old_instruments =
+      registry_ == nullptr ? 0 : slot_instruments_;
+  registry_ = registry;
+  // Setup-time growth; existing slots (and their values) are preserved
+  // because instruments are append-only and slots are assigned in order.
+  slots_.resize(registry->num_slots(), 0.0);  // dbscale-lint: allow(alloc-hot-path)
+  // New gauges start at the NaN "never set" sentinel.
+  for (size_t i = old_instruments; i < registry->num_instruments(); ++i) {
+    const MetricInfo& info = registry->info(static_cast<MetricId>(i));
+    if (info.kind == MetricKind::kGauge) {
+      slots_[info.first_slot] = std::nan("");
+    }
+  }
+  slot_instruments_ = registry->num_instruments();
+}
+
+void MetricShard::Add(MetricId id, double delta) {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kCounter);
+  DBSCALE_CHECK(info.first_slot < slots_.size());
+  slots_[info.first_slot] += delta;
+}
+
+void MetricShard::Set(MetricId id, double value) {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kGauge);
+  DBSCALE_CHECK(info.first_slot < slots_.size());
+  slots_[info.first_slot] = value;
+}
+
+void MetricShard::Observe(MetricId id, double value) {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kHistogram);
+  DBSCALE_CHECK(info.first_slot + info.num_slots <= slots_.size());
+  double* slots = slots_.data() + info.first_slot;
+  const size_t nb = info.histogram.num_buckets;
+  size_t bucket = nb;  // overflow unless a bound admits the value
+  for (size_t i = 0; i < nb; ++i) {
+    if (value <= info.histogram.upper_bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  slots[bucket] += 1.0;
+  slots[nb + 1] += value;  // sum
+  slots[nb + 2] += 1.0;    // count
+}
+
+double MetricShard::counter(MetricId id) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kCounter);
+  return slots_[info.first_slot];
+}
+
+double MetricShard::gauge(MetricId id) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kGauge);
+  return slots_[info.first_slot];
+}
+
+double MetricShard::hist_bucket(MetricId id, size_t bucket) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kHistogram);
+  DBSCALE_CHECK(bucket < info.histogram.num_buckets);
+  return slots_[info.first_slot + bucket];
+}
+
+double MetricShard::hist_overflow(MetricId id) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kHistogram);
+  return slots_[info.first_slot + info.histogram.num_buckets];
+}
+
+double MetricShard::hist_sum(MetricId id) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kHistogram);
+  return slots_[info.first_slot + info.histogram.num_buckets + 1];
+}
+
+double MetricShard::hist_count(MetricId id) const {
+  const MetricInfo& info = registry_->info(id);
+  DBSCALE_CHECK(info.kind == MetricKind::kHistogram);
+  return slots_[info.first_slot + info.histogram.num_buckets + 2];
+}
+
+void MetricShard::MergeFrom(const MetricShard& other) {
+  DBSCALE_CHECK(registry_ != nullptr && registry_ == other.registry_);
+  // The destination may have been attached after further registrations;
+  // merge over the instruments the source knows about.
+  DBSCALE_CHECK(other.slots_.size() <= slots_.size());
+  for (size_t i = 0; i < other.slot_instruments_; ++i) {
+    const MetricInfo& info = registry_->info(static_cast<MetricId>(i));
+    double* dst = slots_.data() + info.first_slot;
+    const double* src = other.slots_.data() + info.first_slot;
+    if (info.kind == MetricKind::kGauge) {
+      if (!std::isnan(src[0])) dst[0] = src[0];
+      continue;
+    }
+    for (size_t s = 0; s < info.num_slots; ++s) dst[s] += src[s];
+  }
+}
+
+void MetricShard::ResetValues() {
+  if (registry_ == nullptr) return;
+  for (size_t i = 0; i < slot_instruments_; ++i) {
+    const MetricInfo& info = registry_->info(static_cast<MetricId>(i));
+    const double init =
+        info.kind == MetricKind::kGauge ? std::nan("") : 0.0;
+    for (size_t s = 0; s < info.num_slots; ++s) {
+      slots_[info.first_slot + s] = init;
+    }
+  }
+}
+
+}  // namespace dbscale::obs

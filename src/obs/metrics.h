@@ -1,0 +1,156 @@
+// Allocation-free metrics: a registry of pre-declared instruments and flat
+// shards of slots to record into.
+//
+// The contract mirrors the signal path's (DESIGN.md "Observability"):
+//   * every instrument — counter, gauge, fixed-bucket histogram — is
+//     registered up front, before the run, where allocation is fine;
+//   * recording is an index into a preallocated slot array: no locks, no
+//     hashing, no heap, enforced by the alloc-guard suite and the
+//     alloc-hot-path lint rule on src/obs/metrics.cc;
+//   * concurrency is shard-per-thread (the fleet uses one shard per tenant)
+//     with an explicit MergeFrom in tenant order, so merged values are
+//     bit-identical at any thread count.
+//
+// The runtime toggle is the null shard: a MetricSink holding nullptr turns
+// every record call into one predictable branch.
+
+#ifndef DBSCALE_OBS_METRICS_H_
+#define DBSCALE_OBS_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbscale::obs {
+
+/// Dense instrument handle; indexes MetricRegistry::info().
+using MetricId = uint32_t;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* MetricKindToString(MetricKind kind);
+
+/// Fixed histogram bucket layout, chosen at registration time.
+inline constexpr size_t kMaxHistogramBuckets = 16;
+
+struct HistogramSpec {
+  /// Ascending upper bounds; values above the last bound land in an
+  /// implicit overflow (+Inf) bucket.
+  std::array<double, kMaxHistogramBuckets> upper_bounds{};
+  size_t num_buckets = 0;
+
+  /// bounds: start, start*factor, start*factor^2, ...
+  static HistogramSpec Exponential(double start, double factor,
+                                   size_t num_buckets);
+  /// bounds: start, start+step, start+2*step, ...
+  static HistogramSpec Linear(double start, double step, size_t num_buckets);
+};
+
+struct MetricInfo {
+  std::string name;  ///< Prometheus-style, may carry a {label="..."} suffix.
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  HistogramSpec histogram;
+  /// First slot in a shard's flat value array, and how many this
+  /// instrument owns (1 for counter/gauge; buckets + overflow + sum +
+  /// count for a histogram).
+  size_t first_slot = 0;
+  size_t num_slots = 1;
+};
+
+/// \brief Instrument catalog. Registration is setup-time only (allocates);
+/// lookups during recording are plain vector indexing.
+///
+/// Registration is idempotent by name: re-registering an existing name
+/// returns the existing id (and CHECK-fails on a kind mismatch), so every
+/// layer can declare its instruments unconditionally at wiring time.
+/// Registration is not thread-safe — register before fanning out.
+class MetricRegistry {
+ public:
+  MetricId Counter(const std::string& name, const std::string& help);
+  MetricId Gauge(const std::string& name, const std::string& help);
+  MetricId Histogram(const std::string& name, const std::string& help,
+                     const HistogramSpec& spec);
+
+  size_t num_instruments() const { return instruments_.size(); }
+  /// Total value slots a shard for this registry needs.
+  size_t num_slots() const { return num_slots_; }
+  const MetricInfo& info(MetricId id) const { return instruments_[id]; }
+
+ private:
+  MetricId Register(const std::string& name, const std::string& help,
+                    MetricKind kind, const HistogramSpec& spec);
+
+  std::vector<MetricInfo> instruments_;
+  std::map<std::string, MetricId> by_name_;
+  size_t num_slots_ = 0;
+};
+
+/// \brief One thread's (or tenant's) flat slot array. Record calls never
+/// allocate; Attach() sizes the slots and is the setup-time step.
+class MetricShard {
+ public:
+  MetricShard() = default;
+
+  /// (Re)sizes the slot array for `registry`, preserving recorded values
+  /// for instruments that existed before (allocates; setup only). Call
+  /// again after late registrations before recording to the new ids.
+  void Attach(const MetricRegistry* registry);
+
+  bool attached() const { return registry_ != nullptr; }
+  const MetricRegistry* registry() const { return registry_; }
+
+  // -- Record paths (allocation-free, bounds CHECKed) --------------------
+  void Add(MetricId id, double delta);      ///< counter += delta
+  void Set(MetricId id, double value);      ///< gauge = value
+  void Observe(MetricId id, double value);  ///< histogram sample
+
+  // -- Read side (exporters, tests) --------------------------------------
+  double counter(MetricId id) const;
+  /// NaN until the gauge was Set (the merge sentinel); exporters print 0.
+  double gauge(MetricId id) const;
+  double hist_bucket(MetricId id, size_t bucket) const;  ///< non-cumulative
+  double hist_overflow(MetricId id) const;
+  double hist_sum(MetricId id) const;
+  double hist_count(MetricId id) const;
+
+  /// Slot-wise deterministic merge: counters and histograms add; gauges
+  /// take `other`'s value when `other` ever Set them. Both shards must be
+  /// attached to the same registry. Merge order defines gauge outcomes —
+  /// callers merge in tenant order.
+  void MergeFrom(const MetricShard& other);
+
+  /// Zeroes every slot (gauges back to the NaN sentinel).
+  void ResetValues();
+
+ private:
+  const MetricRegistry* registry_ = nullptr;
+  std::vector<double> slots_;
+  /// Instruments covered by the last Attach (late registrations need a
+  /// re-Attach before their ids may be recorded).
+  size_t slot_instruments_ = 0;
+};
+
+/// \brief Nullable recording handle: the runtime toggle. All calls are one
+/// branch when disabled; components hold it by value.
+struct MetricSink {
+  MetricShard* shard = nullptr;
+
+  bool enabled() const { return shard != nullptr; }
+  void Add(MetricId id, double delta) const {
+    if (shard != nullptr) shard->Add(id, delta);
+  }
+  void Set(MetricId id, double value) const {
+    if (shard != nullptr) shard->Set(id, value);
+  }
+  void Observe(MetricId id, double value) const {
+    if (shard != nullptr) shard->Observe(id, value);
+  }
+};
+
+}  // namespace dbscale::obs
+
+#endif  // DBSCALE_OBS_METRICS_H_

@@ -1,0 +1,135 @@
+// Span capture is a hot record path (one small tree per tenant-interval)
+// and must stay allocation-free in steady state: the constructor
+// preallocates the ring and every per-interval vector's capacity; capture
+// only push_backs within that capacity.
+
+#include "src/obs/trace.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::obs {
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options()) {}
+
+TraceRecorder::TraceRecorder(Options options) : options_(options) {
+  DBSCALE_CHECK(options.max_intervals >= 1);
+  DBSCALE_CHECK(options.max_spans_per_interval >= 1);
+  // Setup-time preallocation of the whole ring.
+  ring_.resize(options.max_intervals);  // dbscale-lint: allow(alloc-hot-path)
+  for (IntervalTrace& tree : ring_) {
+    tree.spans.reserve(options.max_spans_per_interval);  // dbscale-lint: allow(alloc-hot-path)
+  }
+}
+
+IntervalTrace* TraceRecorder::current() {
+  if (!open_) return nullptr;
+  return &ring_[static_cast<size_t>((total_intervals_ - 1) %
+                                    ring_.size())];
+}
+
+Span* TraceRecorder::span(SpanId id) {
+  IntervalTrace* tree = current();
+  if (tree == nullptr || id == kNoSpan) return nullptr;
+  if (static_cast<size_t>(id) >= tree->spans.size()) return nullptr;
+  return &tree->spans[id];
+}
+
+void TraceRecorder::BeginInterval(int index, SimTime start) {
+  DBSCALE_CHECK(!open_);
+  ++total_intervals_;
+  open_ = true;
+  IntervalTrace* tree = current();
+  tree->interval_index = index;
+  tree->spans.clear();  // capacity is retained
+  tree->dropped_spans = 0;
+  const SpanId root = StartSpan("interval", start, kNoSpan);
+  DBSCALE_CHECK(root == 0);
+  AddAttr(root, "index", static_cast<double>(index));
+}
+
+SpanId TraceRecorder::root() const {
+  return open_ ? SpanId{0} : kNoSpan;
+}
+
+SpanId TraceRecorder::StartSpan(const char* name, SimTime start,
+                                SpanId parent) {
+  IntervalTrace* tree = current();
+  if (tree == nullptr) return kNoSpan;
+  if (tree->spans.size() >= options_.max_spans_per_interval) {
+    // Deterministic overflow: drop, count, never grow.
+    ++tree->dropped_spans;
+    ++dropped_spans_;
+    return kNoSpan;
+  }
+  Span s;
+  s.parent = parent;
+  s.name = name;
+  s.start = start;
+  s.end = start;
+  const SpanId id = static_cast<SpanId>(tree->spans.size());
+  tree->spans.push_back(s);  // within reserved capacity
+  ++total_spans_;
+  return id;
+}
+
+void TraceRecorder::EndSpan(SpanId id, SimTime end) {
+  Span* s = span(id);
+  if (s != nullptr) s->end = end;
+}
+
+void TraceRecorder::AddAttr(SpanId id, const char* key, double value) {
+  Span* s = span(id);
+  if (s == nullptr) return;
+  if (s->num_attrs >= kMaxSpanAttrs) {
+    ++s->dropped_attrs;
+    return;
+  }
+  s->attrs[s->num_attrs++] = SpanAttr{key, value, nullptr};
+}
+
+void TraceRecorder::AddAttrStr(SpanId id, const char* key,
+                               const char* value) {
+  Span* s = span(id);
+  if (s == nullptr) return;
+  if (s->num_attrs >= kMaxSpanAttrs) {
+    ++s->dropped_attrs;
+    return;
+  }
+  s->attrs[s->num_attrs++] = SpanAttr{key, 0.0, value};
+}
+
+void TraceRecorder::EndInterval(SimTime end) {
+  IntervalTrace* tree = current();
+  DBSCALE_CHECK(tree != nullptr);
+  tree->spans[0].end = end;
+  open_ = false;
+}
+
+size_t TraceRecorder::num_intervals() const {
+  const uint64_t cap = static_cast<uint64_t>(ring_.size());
+  return static_cast<size_t>(total_intervals_ < cap ? total_intervals_
+                                                    : cap);
+}
+
+const IntervalTrace& TraceRecorder::interval(size_t i) const {
+  DBSCALE_CHECK(i < num_intervals());
+  // Oldest retained tree first.
+  const uint64_t cap = static_cast<uint64_t>(ring_.size());
+  const uint64_t oldest =
+      total_intervals_ <= cap ? 0 : total_intervals_ - cap;
+  return ring_[static_cast<size_t>((oldest + i) % cap)];
+}
+
+void TraceRecorder::Clear() {
+  for (IntervalTrace& tree : ring_) {
+    tree.interval_index = -1;
+    tree.spans.clear();
+    tree.dropped_spans = 0;
+  }
+  total_intervals_ = 0;
+  total_spans_ = 0;
+  dropped_spans_ = 0;
+  open_ = false;
+}
+
+}  // namespace dbscale::obs

@@ -1,0 +1,151 @@
+// Decision tracing: one span tree per billing interval.
+//
+// Each interval of the closed loop produces a small tree —
+//   interval
+//   ├── telemetry.compute
+//   ├── decide
+//   │   ├── categorize
+//   │   ├── rule_eval (one per resource)
+//   │   ├── balloon
+//   │   └── budget_check
+//   └── resize
+// — capturing why the scaler did what it did, with the matched rule /
+// ExplanationCode carried as attributes instead of parsed strings.
+//
+// Determinism and cost contract:
+//   * timestamps come exclusively from SimTime (the wall-clock lint bans
+//     anything else), so a trace is bit-identical across runs and thread
+//     counts;
+//   * capture is allocation-free in steady state: the recorder preallocates
+//     a ring of interval trees with a fixed per-interval span capacity, and
+//     span attributes only hold numbers and static-storage strings
+//     (enum-name helpers, literals). Overflow deterministically drops the
+//     span and bumps a counter — it never grows the ring.
+
+#ifndef DBSCALE_OBS_TRACE_H_
+#define DBSCALE_OBS_TRACE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace dbscale::obs {
+
+/// Span handle within the current interval's tree (index order = start
+/// order). kNoSpan is returned when tracing is off or the tree is full;
+/// every recorder call accepts it and no-ops.
+using SpanId = uint32_t;
+inline constexpr SpanId kNoSpan = 0xffffffffu;
+
+inline constexpr size_t kMaxSpanAttrs = 8;
+
+/// One key/value attribute. `str` must point at static-storage text
+/// (literals, enum-to-string helpers) — the recorder stores the pointer.
+struct SpanAttr {
+  const char* key = nullptr;
+  double num = 0.0;
+  const char* str = nullptr;  ///< nullptr for numeric attributes
+};
+
+struct Span {
+  SpanId parent = kNoSpan;
+  const char* name = "";
+  SimTime start;
+  SimTime end;
+  std::array<SpanAttr, kMaxSpanAttrs> attrs{};
+  uint32_t num_attrs = 0;
+  /// Attributes dropped because the span's attr array was full.
+  uint32_t dropped_attrs = 0;
+};
+
+/// One billing interval's finished (or in-progress) span tree. Span 0 is
+/// always the "interval" root.
+struct IntervalTrace {
+  int interval_index = -1;
+  std::vector<Span> spans;
+  uint32_t dropped_spans = 0;
+};
+
+/// \brief Ring of per-interval span trees with preallocated capacity.
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Most recent interval trees retained (older ones are overwritten).
+    size_t max_intervals = 512;
+    /// Span capacity per interval tree; overflow drops deterministically.
+    size_t max_spans_per_interval = 48;
+  };
+
+  TraceRecorder();
+  explicit TraceRecorder(Options options);
+
+  /// Opens interval `index`'s tree and its "interval" root span.
+  void BeginInterval(int index, SimTime start);
+  /// The current interval's root span (kNoSpan when none is open).
+  SpanId root() const;
+  /// Starts a child span; returns kNoSpan (a no-op handle) when no
+  /// interval is open or the tree is at capacity.
+  SpanId StartSpan(const char* name, SimTime start, SpanId parent);
+  void EndSpan(SpanId id, SimTime end);
+  void AddAttr(SpanId id, const char* key, double value);
+  /// `value` must have static storage duration.
+  void AddAttrStr(SpanId id, const char* key, const char* value);
+  /// Ends the root span and seals the tree.
+  void EndInterval(SimTime end);
+
+  /// Retained finished trees, oldest first.
+  size_t num_intervals() const;
+  const IntervalTrace& interval(size_t i) const;
+
+  uint64_t total_intervals() const { return total_intervals_; }
+  uint64_t total_spans() const { return total_spans_; }
+  uint64_t dropped_spans() const { return dropped_spans_; }
+
+  const Options& options() const { return options_; }
+
+  /// Forgets all retained trees (capacity is kept).
+  void Clear();
+
+ private:
+  IntervalTrace* current();
+  Span* span(SpanId id);
+
+  Options options_;
+  std::vector<IntervalTrace> ring_;
+  /// Trees ever begun; ring slot = (total_intervals_ - 1) % capacity.
+  uint64_t total_intervals_ = 0;
+  uint64_t total_spans_ = 0;
+  uint64_t dropped_spans_ = 0;
+  bool open_ = false;
+};
+
+/// \brief Nullable tracing handle mirroring MetricSink: one branch when
+/// tracing is off. `parent` is the span new children attach to.
+struct TraceSink {
+  TraceRecorder* recorder = nullptr;
+  SpanId parent = kNoSpan;
+
+  bool enabled() const { return recorder != nullptr; }
+  SpanId Start(const char* name, SimTime now) const {
+    return recorder != nullptr ? recorder->StartSpan(name, now, parent)
+                               : kNoSpan;
+  }
+  void End(SpanId id, SimTime now) const {
+    if (recorder != nullptr) recorder->EndSpan(id, now);
+  }
+  void Attr(SpanId id, const char* key, double value) const {
+    if (recorder != nullptr) recorder->AddAttr(id, key, value);
+  }
+  void AttrStr(SpanId id, const char* key, const char* value) const {
+    if (recorder != nullptr) recorder->AddAttrStr(id, key, value);
+  }
+  /// A sink whose new spans nest under `span` instead of this->parent.
+  TraceSink Under(SpanId span) const { return TraceSink{recorder, span}; }
+};
+
+}  // namespace dbscale::obs
+
+#endif  // DBSCALE_OBS_TRACE_H_

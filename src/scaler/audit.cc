@@ -38,7 +38,8 @@ void AuditLog::Record(const PolicyInput& input,
   record.from_container = input.current.name;
   record.to_container = decision.target.name;
   record.resized = decision.Changed(input.current);
-  record.explanation = decision.explanation;
+  record.code = decision.explanation.code;
+  record.explanation = decision.explanation.ToString();
 
   records_.push_back(std::move(record));
   while (records_.size() > max_records_) records_.pop_front();
@@ -65,18 +66,17 @@ std::string AuditLog::ToString(size_t n) const {
 std::string AuditLog::ToCsv() const {
   std::string out =
       "interval,time_sec,latency_ms,cpu_util,mem_util,disk_util,log_util,"
-      "from,to,resized,explanation\n";
+      "from,to,resized,code,explanation\n";
   for (const AuditRecord& r : records_) {
-    std::string explanation = r.explanation;
-    for (char& c : explanation) {
-      if (c == ',' || c == '\n') c = ';';
-    }
     out += StrFormat(
-        "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%s,%s,%d,%s\n",
+        "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%s,%s,%d,%s,",
         r.interval_index, r.time.ToSeconds(), r.latency_ms,
         r.utilization_pct[0], r.utilization_pct[1], r.utilization_pct[2],
         r.utilization_pct[3], r.from_container.c_str(),
-        r.to_container.c_str(), r.resized ? 1 : 0, explanation.c_str());
+        r.to_container.c_str(), r.resized ? 1 : 0,
+        ExplanationCodeToken(r.code));
+    CsvEscapeTo(r.explanation, out);
+    out += '\n';
   }
   return out;
 }

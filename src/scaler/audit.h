@@ -36,6 +36,9 @@ struct AuditRecord {
   std::string from_container;
   std::string to_container;
   bool resized = false;
+  /// Stable machine-readable reason for the decision.
+  ExplanationCode code = ExplanationCode::kUnset;
+  /// Rendered Explanation::ToString() text of the decision.
   std::string explanation;
 
   /// Single-line rendering ("[12] S4 -> S6 | Scale-up: ...").

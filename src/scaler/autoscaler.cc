@@ -65,7 +65,7 @@ double AutoScaler::AvailableBudget() const {
 }
 
 ScalingDecision AutoScaler::HoldCurrent(const PolicyInput& input,
-                                        std::string explanation) const {
+                                        Explanation explanation) const {
   ScalingDecision d;
   d.target = input.current;
   d.explanation = std::move(explanation);
@@ -88,47 +88,106 @@ std::string AutoScaler::DominantWaitNote(
                    telemetry::WaitClassToString(dominant), best);
 }
 
-void AutoScaler::OnIntervalCharged(double cost) {
-  if (!budget_) return;
-  const Status status = budget_->ChargeAndRefill(cost);
-  if (!status.ok()) {
-    // Decide() sizes within available(); a failure here is a harness bug.
-    DBSCALE_LOG(kError) << "budget charge failed: " << status.ToString();
+void AutoScaler::RecordBalloonAdvice(const BalloonController::Advice& advice,
+                                     obs::SpanId span,
+                                     const PolicyInput& input) {
+  const obs::Sink& sink = input.obs;
+  sink.trace.AttrStr(span, "outcome",
+                     advice.aborted      ? "aborted"
+                     : advice.completed  ? "completed"
+                                         : "shrinking");
+  if (advice.memory_limit_mb.has_value()) {
+    sink.trace.Attr(span, "limit_mb", *advice.memory_limit_mb);
+  }
+  sink.trace.End(span, input.now);
+  if (sink.pipeline != nullptr) {
+    sink.metrics.Add(sink.pipeline->balloon_ticks_total, 1.0);
+    if (advice.aborted) {
+      sink.metrics.Add(sink.pipeline->balloon_aborts_total, 1.0);
+    }
+    if (advice.completed) {
+      sink.metrics.Add(sink.pipeline->balloon_completions_total, 1.0);
+    }
   }
 }
 
 ScalingDecision AutoScaler::Decide(const PolicyInput& input) {
+  if (budget_ && input.charged_cost > 0.0) {
+    // The price of the interval that just ended arrives with the decision
+    // cycle; Decide() sizes within available(), so a failed charge is a
+    // harness bug.
+    const Status status = budget_->ChargeAndRefill(input.charged_cost);
+    if (!status.ok()) {
+      DBSCALE_LOG(kError) << "budget charge failed: " << status.ToString();
+    }
+  }
+
   ScalingDecision d = DecideUnclamped(input);
+
+  const obs::Sink& sink = input.obs;
+  const obs::SpanId budget_span = sink.trace.Start("budget_check", input.now);
   const double budget = AvailableBudget();
+  bool clamped = false;
   if (d.target.price_per_interval > budget) {
     // The budget is a hard constraint: even "hold" must fit the interval's
     // tokens. Downsize to the most expensive affordable container.
     auto affordable = catalog_.MostExpensiveWithin(budget);
     if (affordable.ok()) {
       d.target = *affordable;
-      d.explanation = StrFormat(
-          "Scale-down forced by budget: %.1f/interval available (%s)",
-          budget, d.explanation.c_str());
+      Explanation forced(ExplanationCode::kScaleDownForcedByBudget, budget);
+      forced.detail = d.explanation.ToString();
+      d.explanation = std::move(forced);
       balloon_.Reset();
       memory_low_confirmed_ = false;
       low_streak_ = 0;
+      clamped = true;
     }
     // No affordable container at all would mean Create() admitted an
     // infeasible budget; keep the current container in that case.
   }
+  if (budget_) sink.trace.Attr(budget_span, "available", budget);
+  sink.trace.Attr(budget_span, "price", d.target.price_per_interval);
+  sink.trace.Attr(budget_span, "clamped", clamped ? 1.0 : 0.0);
+  sink.trace.End(budget_span, input.now);
+  if (sink.pipeline != nullptr && budget_ != nullptr) {
+    sink.metrics.Set(sink.pipeline->budget_available, budget_->available());
+    sink.metrics.Set(sink.pipeline->budget_spent, budget_->spent());
+    if (clamped) sink.metrics.Add(sink.pipeline->budget_clamps_total, 1.0);
+  }
+
   audit_.Record(input, last_cats_, last_estimate_, d);
   return d;
 }
 
 ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
   const telemetry::SignalSnapshot& signals = input.signals;
+  const obs::Sink& sink = input.obs;
   if (!signals.valid) {
-    return HoldCurrent(input, "Hold: warming up (insufficient telemetry)");
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldWarmup));
   }
 
+  const obs::SpanId cat_span = sink.trace.Start("categorize", input.now);
   last_cats_ = Categorize(signals, options_.thresholds, knobs_.latency_goal,
                           options_.categorize);
   last_estimate_ = estimator_.Estimate(last_cats_);
+  sink.trace.AttrStr(cat_span, "latency",
+                     LatencyCategoryToString(last_cats_.latency));
+  sink.trace.End(cat_span, input.now);
+  if (sink.trace.enabled()) {
+    // One rule_eval span per resource: which Section 4 rule fired (if any)
+    // and the demand steps it implied.
+    for (ResourceKind kind : container::kAllResources) {
+      const ResourceDemand& rd = last_estimate_.For(kind);
+      const obs::SpanId rule_span = sink.trace.Start("rule_eval", input.now);
+      sink.trace.AttrStr(rule_span, "resource",
+                         container::ResourceKindToString(kind));
+      sink.trace.Attr(rule_span, "steps", rd.steps);
+      sink.trace.AttrStr(rule_span, "code",
+                         ExplanationCodeToken(rd.explanation.code));
+      sink.trace.End(rule_span, input.now);
+    }
+  }
   const CategorizedSignals& cats = last_cats_;
   const DemandEstimate& est = last_estimate_;
 
@@ -159,8 +218,8 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
       options_.up_cooldown_intervals;
   if (perf_trigger && est.AnyIncrease() && in_up_cooldown) {
     low_streak_ = 0;
-    return HoldCurrent(
-        input, "Hold: recent scale-up still taking effect (cooldown)");
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldUpCooldown));
   }
 
   if (perf_trigger && est.AnyIncrease()) {
@@ -186,8 +245,8 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
         catalog_.CheapestDominating(desired, AvailableBudget());
     if (!within_budget.ok()) {
       ScalingDecision d = HoldCurrent(
-          input, "Hold: scale-up needed but no container fits the "
-                 "available budget");
+          input,
+          Explanation(ExplanationCode::kHoldNoAffordableContainer));
       d.memory_limit_mb = memory_restore;
       return d;
     }
@@ -200,17 +259,17 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
       last_up_interval_ = input.interval_index;
     }
     if (d.target.id == input.current.id) {
-      d.explanation = StrFormat(
-          "Hold: demand high (%s) but no larger affordable container",
-          est.SummaryIncrease().c_str());
+      d.explanation = Explanation(ExplanationCode::kHoldNoLargerAffordable,
+                                  est.SummaryIncrease());
     } else if (within_budget->id != unconstrained.id) {
-      d.explanation = StrFormat(
-          "Scale-up constrained by budget: wanted %s (%.1f) but budget "
-          "allows %.1f",
-          unconstrained.name.c_str(), unconstrained.price_per_interval,
-          AvailableBudget());
+      d.explanation =
+          Explanation(ExplanationCode::kScaleUpBudgetConstrained,
+                      unconstrained.name);
+      d.explanation.args[0] = unconstrained.price_per_interval;
+      d.explanation.args[1] = AvailableBudget();
     } else {
-      d.explanation = est.SummaryIncrease();
+      d.explanation = Explanation(ExplanationCode::kScaleUpDemand,
+                                  est.SummaryIncrease());
     }
     return d;
   }
@@ -221,10 +280,8 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
     // (Section 2.3: latency goals are a knob, not a guarantee).
     low_streak_ = 0;
     return HoldCurrent(
-        input,
-        StrFormat("Hold: latency above goal but no resource demand (%s) — "
-                  "scaling would not help",
-                  DominantWaitNote(signals).c_str()));
+        input, Explanation(ExplanationCode::kHoldLatencyNotResource,
+                           DominantWaitNote(signals)));
   }
 
   if (has_goal && est.AnyIncrease()) {
@@ -233,26 +290,26 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
     if (balloon_.active()) {
       balloon_.Reset();
       ScalingDecision d = HoldCurrent(
-          input, "Hold: demand returned during balloon — reverting memory");
+          input, Explanation(ExplanationCode::kHoldBalloonRevert));
       d.memory_limit_mb = input.current.resources.memory_mb;
       return d;
     }
     return HoldCurrent(input,
-                       StrFormat("Hold: demand high (%s) but latency goal "
-                                 "met — holding for cost",
-                                 est.SummaryIncrease().c_str()));
+                       Explanation(ExplanationCode::kHoldGoalMetSavings,
+                                   est.SummaryIncrease()));
   }
 
   // -------- Balloon progression --------
   if (balloon_.active()) {
+    const obs::SpanId balloon_span = sink.trace.Start("balloon", input.now);
     BalloonController::Advice advice =
         balloon_.Tick(signals.physical_reads_per_sec, input.interval_index);
+    RecordBalloonAdvice(advice, balloon_span, input);
     if (advice.completed) {
       memory_low_confirmed_ = true;
       // Fall through: the scale-down path can now shrink memory.
     } else {
-      ScalingDecision d = HoldCurrent(
-          input, StrFormat("Hold: %s", advice.note.c_str()));
+      ScalingDecision d = HoldCurrent(input, advice.explanation);
       d.memory_limit_mb = advice.memory_limit_mb;
       return d;
     }
@@ -270,14 +327,16 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
       est.SuggestsShrink() || memory_low_confirmed_ || slack_low;
   if (!demand_low) {
     low_streak_ = 0;
-    return HoldCurrent(input, "Hold: demand steady");
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldDemandSteady));
   }
   ++low_streak_;
   if (low_streak_ < DownPatience()) {
     return HoldCurrent(
-        input, StrFormat("Hold: demand low (%d/%d intervals before "
-                         "scale-down)",
-                         low_streak_, DownPatience()));
+        input,
+        Explanation(ExplanationCode::kHoldDownPatience,
+                    static_cast<double>(low_streak_),
+                    static_cast<double>(DownPatience())));
   }
 
   ResourceVector desired = input.current.resources;
@@ -321,15 +380,15 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
     ScalingDecision d;
     d.target = *chosen;
     if (est.AnyDecrease() || memory_was_confirmed) {
-      d.explanation = StrFormat(
-          "Scale-down: %s%s",
-          memory_was_confirmed ? "memory reclaimable; " : "",
-          est.SummaryDecrease().c_str());
+      d.explanation = Explanation(
+          memory_was_confirmed
+              ? ExplanationCode::kScaleDownMemoryReclaimable
+              : ExplanationCode::kScaleDownDemand,
+          est.SummaryDecrease());
     } else {
-      d.explanation = StrFormat(
-          "Scale-down: latency %.0fms well within goal %.0fms — smaller "
-          "container suffices",
-          signals.latency_ms, knobs_.latency_goal->target_ms);
+      d.explanation =
+          Explanation(ExplanationCode::kScaleDownLatencySlack,
+                      signals.latency_ms, knobs_.latency_goal->target_ms);
     }
     return d;
   }
@@ -354,18 +413,19 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
                          signals.physical_reads_per_sec,
                          input.interval_index, margin);
       if (started.ok()) {
+        const obs::SpanId balloon_span =
+            sink.trace.Start("balloon", input.now);
         BalloonController::Advice advice = balloon_.Tick(
             signals.physical_reads_per_sec, input.interval_index);
-        ScalingDecision d = HoldCurrent(
-            input,
-            StrFormat("Hold: %s", advice.note.c_str()));
+        RecordBalloonAdvice(advice, balloon_span, input);
+        ScalingDecision d = HoldCurrent(input, advice.explanation);
         d.memory_limit_mb = advice.memory_limit_mb;
         return d;
       }
     }
   }
-  return HoldCurrent(input,
-                     "Hold: demand low but memory shrink not yet validated");
+  return HoldCurrent(
+      input, Explanation(ExplanationCode::kHoldMemoryUnvalidated));
 }
 
 }  // namespace dbscale::scaler

@@ -77,11 +77,11 @@ class AutoScaler : public ScalingPolicy {
       const container::Catalog& catalog, const TenantKnobs& knobs,
       const AutoScalerOptions& options = {});
 
-  /// Runs the closed-loop logic, then clamps the result to the available
-  /// token-bucket budget (a hold is forcibly downsized if its price no
-  /// longer fits — the budget is a hard constraint, Section 2.3).
+  /// Charges `input.charged_cost` against the token bucket, runs the
+  /// closed-loop logic, then clamps the result to the available budget (a
+  /// hold is forcibly downsized if its price no longer fits — the budget
+  /// is a hard constraint, Section 2.3).
   ScalingDecision Decide(const PolicyInput& input) override;
-  void OnIntervalCharged(double cost) override;
   std::string name() const override { return "Auto"; }
 
   /// Introspection (tests, drill-down experiments).
@@ -104,7 +104,12 @@ class AutoScaler : public ScalingPolicy {
   int DownPatience() const;
   double AvailableBudget() const;
   ScalingDecision HoldCurrent(const PolicyInput& input,
-                              std::string explanation) const;
+                              Explanation explanation) const;
+  /// Finishes a "balloon" trace span and bumps the tick/abort/completion
+  /// counters for one advice.
+  static void RecordBalloonAdvice(const BalloonController::Advice& advice,
+                                  obs::SpanId span,
+                                  const PolicyInput& input);
   /// Dominant non-scalable wait class summary ("Lock 92% of waits"), used
   /// in not-scaling explanations.
   static std::string DominantWaitNote(

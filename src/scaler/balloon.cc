@@ -55,9 +55,9 @@ BalloonController::Advice BalloonController::Tick(double reads_per_sec,
     // back off.
     advice.aborted = true;
     advice.memory_limit_mb = start_mb_;
-    advice.note = StrFormat(
-        "balloon aborted at %.0f MB: reads %.0f/s vs baseline %.0f/s",
-        current_limit_mb_, reads_per_sec, baseline_reads_per_sec_);
+    advice.explanation =
+        Explanation(ExplanationCode::kHoldBalloonAborted, current_limit_mb_,
+                    reads_per_sec, baseline_reads_per_sec_);
     state_ = State::kCooldown;
     cooldown_until_tick_ = tick + options_.cooldown_ticks;
     current_limit_mb_ = start_mb_;
@@ -67,16 +67,17 @@ BalloonController::Advice BalloonController::Tick(double reads_per_sec,
   if (current_limit_mb_ <= target_mb_) {
     // Held at the target with healthy I/O: low memory demand confirmed.
     advice.completed = true;
-    advice.note = StrFormat(
-        "balloon reached %.0f MB with no I/O increase", target_mb_);
+    advice.explanation =
+        Explanation(ExplanationCode::kBalloonCompleted, target_mb_);
     state_ = State::kIdle;
     return advice;
   }
 
   current_limit_mb_ = std::max(target_mb_, current_limit_mb_ - step_mb_);
   advice.memory_limit_mb = current_limit_mb_;
-  advice.note = StrFormat("balloon shrinking to %.0f MB (target %.0f)",
-                          current_limit_mb_, target_mb_);
+  advice.explanation =
+      Explanation(ExplanationCode::kHoldBalloonShrinking, current_limit_mb_,
+                  target_mb_);
   return advice;
 }
 

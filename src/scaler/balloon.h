@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/scaler/explanation.h"
 
 namespace dbscale::scaler {
 
@@ -46,7 +47,10 @@ class BalloonController {
     /// I/O rose: the shrink was reverted (memory_limit_mb carries the
     /// restore value).
     bool aborted = false;
-    std::string note;
+    /// Structured reason (kHoldBalloonShrinking / kHoldBalloonAborted /
+    /// kBalloonCompleted with the MB / read-rate payload filled in);
+    /// decisions carry this directly.
+    Explanation explanation;
   };
 
   explicit BalloonController(BalloonOptions options = {});

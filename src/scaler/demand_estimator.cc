@@ -61,7 +61,7 @@ std::string SummarizeSign(const DemandEstimate& estimate, int sign) {
       if (!out.empty()) out += "; ";
       out += StrFormat("%s %+d (%s)",
                        container::ResourceKindToString(kind), d.steps,
-                       d.explanation.c_str());
+                       d.explanation.ToString().c_str());
     }
   }
   return out.empty() ? "no demand change" : out;
@@ -102,13 +102,13 @@ void DemandEstimator::BuildRules() {
     high_rules_.push_back(DemandRule{
         "util-extreme", kHigh, std::nullopt, std::nullopt, std::nullopt,
         false, false, /*require_extreme=*/true, +2,
-        "Scale-up: %s utilization extremely high"});
+        ExplanationCode::kRuleUtilOnlyExtreme});
     high_rules_.push_back(DemandRule{
         "util-high", kHigh, std::nullopt, std::nullopt, std::nullopt,
-        false, false, false, +1, "Scale-up: %s utilization high"});
+        false, false, false, +1, ExplanationCode::kRuleUtilOnlyHigh});
     DemandRule down{"util-low", kLow, std::nullopt, std::nullopt,
                     std::nullopt, false, options_.use_trends, false, -1,
-                    "Scale-down: %s utilization low"};
+                    ExplanationCode::kRuleUtilOnlyLow};
     low_rules_.push_back(down);
     return;
   }
@@ -117,36 +117,34 @@ void DemandEstimator::BuildRules() {
   // (0) Overwhelming evidence on both axes: 2-step demand.
   high_rules_.push_back(DemandRule{
       "severe-bottleneck", kHigh, kHigh, kSig, std::nullopt, false, false,
-      /*require_extreme=*/true, +2,
-      "Scale-up by 2: severe %s bottleneck (extreme utilization and waits)"});
+      /*require_extreme=*/true, +2, ExplanationCode::kRuleSevereBottleneck});
   // (a) High utilization + high waits + significant share.
   high_rules_.push_back(DemandRule{
       "high-util-high-wait", kHigh, kHigh, kSig, std::nullopt, false, false,
-      false, +1, "Scale-up: %s bottleneck (high utilization and waits)"});
+      false, +1, ExplanationCode::kRuleHighUtilHighWait});
   if (options_.use_trends) {
     // (b) High utilization + high waits, share not significant, but the
     // pressure is building.
     high_rules_.push_back(DemandRule{
         "high-util-high-wait-trend", kHigh, kHigh, kNotSig, std::nullopt,
         /*require_increasing_trend=*/true, false, false, +1,
-        "Scale-up: %s pressure rising (high utilization/waits trending up)"});
+        ExplanationCode::kRuleHighUtilHighWaitTrend});
     // (c) High utilization + medium waits + significant share + trend.
     high_rules_.push_back(DemandRule{
         "high-util-med-wait-trend", kHigh, kMedium, kSig, std::nullopt,
         /*require_increasing_trend=*/true, false, false, +1,
-        "Scale-up: %s demand growing (medium waits, significant share, "
-        "trending up)"});
+        ExplanationCode::kRuleHighUtilMedWaitTrend});
   }
   if (options_.use_correlation) {
     // (d) High utilization + medium waits whose magnitude tracks latency.
     high_rules_.push_back(DemandRule{
         "high-util-corr", kHigh, kMedium, kSig, kSig, false, false, false,
-        +1, "Scale-up: %s waits correlate with latency"});
+        +1, ExplanationCode::kRuleHighUtilCorrelation});
     // (e) Waits leading utilization: medium utilization but high,
     // significant, latency-correlated waits.
     high_rules_.push_back(DemandRule{
         "wait-led-demand", kMedium, kHigh, kSig, kSig, false, false, false,
-        +1, "Scale-up: %s waits high and correlated with latency"});
+        +1, ExplanationCode::kRuleWaitLedDemand});
   }
 
   // ---- Low-demand rules (Section 4.3): the other end of the spectrum. ----
@@ -154,12 +152,11 @@ void DemandEstimator::BuildRules() {
   low_rules_.push_back(DemandRule{
       "idle", kLow, kLow, std::nullopt, std::nullopt, false,
       /*forbid_increasing_trend=*/options_.use_trends,
-      /*require_extreme=*/true, -2,
-      "Scale-down by 2: %s essentially idle"});
+      /*require_extreme=*/true, -2, ExplanationCode::kRuleIdle});
   low_rules_.push_back(DemandRule{
       "low-util-low-wait", kLow, kLow, std::nullopt, std::nullopt, false,
       /*forbid_increasing_trend=*/options_.use_trends, false, -1,
-      "Scale-down: %s utilization and waits low"});
+      ExplanationCode::kRuleLowUtilLowWait});
 }
 
 DemandEstimate DemandEstimator::Estimate(
@@ -175,8 +172,7 @@ DemandEstimate DemandEstimator::Estimate(
       if (rule.Matches(r)) {
         d.steps = std::clamp(rule.steps, -kMaxDemandSteps, kMaxDemandSteps);
         d.rule = rule.name;
-        d.explanation = StrFormat(
-            rule.explanation.c_str(), container::ResourceKindToString(kind));
+        d.explanation = Explanation(rule.code, kind);
         break;
       }
     }
@@ -192,8 +188,7 @@ DemandEstimate DemandEstimator::Estimate(
       if (rule.Matches(r)) {
         d.steps = std::clamp(rule.steps, -kMaxDemandSteps, kMaxDemandSteps);
         d.rule = rule.name;
-        d.explanation = StrFormat(
-            rule.explanation.c_str(), container::ResourceKindToString(kind));
+        d.explanation = Explanation(rule.code, kind);
         break;
       }
     }

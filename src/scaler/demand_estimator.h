@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/scaler/categories.h"
+#include "src/scaler/explanation.h"
 
 namespace dbscale::scaler {
 
@@ -47,8 +48,9 @@ struct DemandRule {
   bool require_extreme = false;
   /// Demand outcome in [-kMaxDemandSteps, kMaxDemandSteps].
   int steps = 0;
-  /// Explanation template; '%s' is replaced by the resource name.
-  std::string explanation;
+  /// Stable code of this rule; rendered per-resource by
+  /// Explanation::ToString().
+  ExplanationCode code = ExplanationCode::kUnset;
 
   bool Matches(const ResourceCategories& r) const;
 };
@@ -58,7 +60,8 @@ struct ResourceDemand {
   int steps = 0;
   /// Name of the matched rule (empty when no rule matched).
   std::string rule;
-  std::string explanation;
+  /// Matched rule's code with `resource` filled in (kUnset: no match).
+  Explanation explanation;
 };
 
 /// \brief Demand estimate across all resources.

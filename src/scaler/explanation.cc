@@ -1,0 +1,260 @@
+#include "src/scaler/explanation.h"
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace dbscale::scaler {
+
+namespace {
+
+const char* ResourceName(const Explanation& e) {
+  // kRule* codes are per-resource by construction; default defensively so
+  // a mis-built Explanation still renders.
+  return e.resource.has_value()
+             ? container::ResourceKindToString(*e.resource)
+             : "resource";
+}
+
+}  // namespace
+
+const char* ExplanationCodeToken(ExplanationCode code) {
+  switch (code) {
+    case ExplanationCode::kUnset:
+      return "unset";
+    case ExplanationCode::kNote:
+      return "note";
+    case ExplanationCode::kHoldWarmup:
+      return "hold_warmup";
+    case ExplanationCode::kHoldUpCooldown:
+      return "hold_up_cooldown";
+    case ExplanationCode::kHoldNoAffordableContainer:
+      return "hold_no_affordable_container";
+    case ExplanationCode::kHoldNoLargerAffordable:
+      return "hold_no_larger_affordable";
+    case ExplanationCode::kScaleUpBudgetConstrained:
+      return "scale_up_budget_constrained";
+    case ExplanationCode::kScaleUpDemand:
+      return "scale_up_demand";
+    case ExplanationCode::kHoldLatencyNotResource:
+      return "hold_latency_not_resource";
+    case ExplanationCode::kHoldBalloonRevert:
+      return "hold_balloon_revert";
+    case ExplanationCode::kHoldGoalMetSavings:
+      return "hold_goal_met_savings";
+    case ExplanationCode::kHoldBalloonShrinking:
+      return "hold_balloon_shrinking";
+    case ExplanationCode::kHoldBalloonAborted:
+      return "hold_balloon_aborted";
+    case ExplanationCode::kBalloonCompleted:
+      return "balloon_completed";
+    case ExplanationCode::kHoldDemandSteady:
+      return "hold_demand_steady";
+    case ExplanationCode::kHoldDownPatience:
+      return "hold_down_patience";
+    case ExplanationCode::kHoldMemoryUnvalidated:
+      return "hold_memory_unvalidated";
+    case ExplanationCode::kScaleDownDemand:
+      return "scale_down_demand";
+    case ExplanationCode::kScaleDownMemoryReclaimable:
+      return "scale_down_memory_reclaimable";
+    case ExplanationCode::kScaleDownLatencySlack:
+      return "scale_down_latency_slack";
+    case ExplanationCode::kScaleDownForcedByBudget:
+      return "scale_down_forced_by_budget";
+    case ExplanationCode::kRuleSevereBottleneck:
+      return "rule_severe_bottleneck";
+    case ExplanationCode::kRuleHighUtilHighWait:
+      return "rule_high_util_high_wait";
+    case ExplanationCode::kRuleHighUtilHighWaitTrend:
+      return "rule_high_util_high_wait_trend";
+    case ExplanationCode::kRuleHighUtilMedWaitTrend:
+      return "rule_high_util_med_wait_trend";
+    case ExplanationCode::kRuleHighUtilCorrelation:
+      return "rule_high_util_correlation";
+    case ExplanationCode::kRuleWaitLedDemand:
+      return "rule_wait_led_demand";
+    case ExplanationCode::kRuleIdle:
+      return "rule_idle";
+    case ExplanationCode::kRuleLowUtilLowWait:
+      return "rule_low_util_low_wait";
+    case ExplanationCode::kRuleUtilOnlyExtreme:
+      return "rule_util_only_extreme";
+    case ExplanationCode::kRuleUtilOnlyHigh:
+      return "rule_util_only_high";
+    case ExplanationCode::kRuleUtilOnlyLow:
+      return "rule_util_only_low";
+    case ExplanationCode::kBaselineStatic:
+      return "baseline_static";
+    case ExplanationCode::kBaselineTraceSchedule:
+      return "baseline_trace_schedule";
+    case ExplanationCode::kUtilHold:
+      return "util_hold";
+    case ExplanationCode::kUtilWarmup:
+      return "util_warmup";
+    case ExplanationCode::kUtilScaleUp:
+      return "util_scale_up";
+    case ExplanationCode::kUtilAtMaxContainer:
+      return "util_at_max_container";
+    case ExplanationCode::kUtilScaleDown:
+      return "util_scale_down";
+    case ExplanationCode::kUtilDownCooldown:
+      return "util_down_cooldown";
+  }
+  return "unknown";
+}
+
+std::string Explanation::ToString() const {
+  switch (code) {
+    case ExplanationCode::kUnset:
+      return "(no explanation)";
+    case ExplanationCode::kNote:
+      return detail;
+
+    case ExplanationCode::kHoldWarmup:
+      return "Hold: warming up (insufficient telemetry)";
+    case ExplanationCode::kHoldUpCooldown:
+      return "Hold: recent scale-up still taking effect (cooldown)";
+    case ExplanationCode::kHoldNoAffordableContainer:
+      return "Hold: scale-up needed but no container fits the available "
+             "budget";
+    case ExplanationCode::kHoldNoLargerAffordable:
+      return StrFormat(
+          "Hold: demand high (%s) but no larger affordable container",
+          detail.c_str());
+    case ExplanationCode::kScaleUpBudgetConstrained:
+      return StrFormat(
+          "Scale-up constrained by budget: wanted %s (%.1f) but budget "
+          "allows %.1f",
+          detail.c_str(), args[0], args[1]);
+    case ExplanationCode::kScaleUpDemand:
+      return detail;
+    case ExplanationCode::kHoldLatencyNotResource:
+      return StrFormat(
+          "Hold: latency above goal but no resource demand (%s) — scaling "
+          "would not help",
+          detail.c_str());
+    case ExplanationCode::kHoldBalloonRevert:
+      return "Hold: demand returned during balloon — reverting memory";
+    case ExplanationCode::kHoldGoalMetSavings:
+      return StrFormat(
+          "Hold: demand high (%s) but latency goal met — holding for cost",
+          detail.c_str());
+    case ExplanationCode::kHoldBalloonShrinking:
+      return StrFormat("Hold: balloon shrinking to %.0f MB (target %.0f)",
+                       args[0], args[1]);
+    case ExplanationCode::kHoldBalloonAborted:
+      return StrFormat(
+          "Hold: balloon aborted at %.0f MB: reads %.0f/s vs baseline "
+          "%.0f/s",
+          args[0], args[1], args[2]);
+    case ExplanationCode::kBalloonCompleted:
+      return StrFormat("balloon reached %.0f MB with no I/O increase",
+                       args[0]);
+    case ExplanationCode::kHoldDemandSteady:
+      return "Hold: demand steady";
+    case ExplanationCode::kHoldDownPatience:
+      return StrFormat(
+          "Hold: demand low (%d/%d intervals before scale-down)",
+          static_cast<int>(args[0]), static_cast<int>(args[1]));
+    case ExplanationCode::kHoldMemoryUnvalidated:
+      return "Hold: demand low but memory shrink not yet validated";
+    case ExplanationCode::kScaleDownDemand:
+      return StrFormat("Scale-down: %s", detail.c_str());
+    case ExplanationCode::kScaleDownMemoryReclaimable:
+      return StrFormat("Scale-down: memory reclaimable; %s",
+                       detail.c_str());
+    case ExplanationCode::kScaleDownLatencySlack:
+      return StrFormat(
+          "Scale-down: latency %.0fms well within goal %.0fms — smaller "
+          "container suffices",
+          args[0], args[1]);
+    case ExplanationCode::kScaleDownForcedByBudget:
+      return StrFormat(
+          "Scale-down forced by budget: %.1f/interval available (%s)",
+          args[0], detail.c_str());
+
+    case ExplanationCode::kRuleSevereBottleneck:
+      return StrFormat(
+          "Scale-up by 2: severe %s bottleneck (extreme utilization and "
+          "waits)",
+          ResourceName(*this));
+    case ExplanationCode::kRuleHighUtilHighWait:
+      return StrFormat(
+          "Scale-up: %s bottleneck (high utilization and waits)",
+          ResourceName(*this));
+    case ExplanationCode::kRuleHighUtilHighWaitTrend:
+      return StrFormat(
+          "Scale-up: %s pressure rising (high utilization/waits trending "
+          "up)",
+          ResourceName(*this));
+    case ExplanationCode::kRuleHighUtilMedWaitTrend:
+      return StrFormat(
+          "Scale-up: %s demand growing (medium waits, significant share, "
+          "trending up)",
+          ResourceName(*this));
+    case ExplanationCode::kRuleHighUtilCorrelation:
+      return StrFormat("Scale-up: %s waits correlate with latency",
+                       ResourceName(*this));
+    case ExplanationCode::kRuleWaitLedDemand:
+      return StrFormat("Scale-up: %s waits high and correlated with latency",
+                       ResourceName(*this));
+    case ExplanationCode::kRuleIdle:
+      return StrFormat("Scale-down by 2: %s essentially idle",
+                       ResourceName(*this));
+    case ExplanationCode::kRuleLowUtilLowWait:
+      return StrFormat("Scale-down: %s utilization and waits low",
+                       ResourceName(*this));
+    case ExplanationCode::kRuleUtilOnlyExtreme:
+      return StrFormat("Scale-up: %s utilization extremely high",
+                       ResourceName(*this));
+    case ExplanationCode::kRuleUtilOnlyHigh:
+      return StrFormat("Scale-up: %s utilization high", ResourceName(*this));
+    case ExplanationCode::kRuleUtilOnlyLow:
+      return StrFormat("Scale-down: %s utilization low",
+                       ResourceName(*this));
+
+    case ExplanationCode::kBaselineStatic:
+      return "static container";
+    case ExplanationCode::kBaselineTraceSchedule:
+      return "trace schedule";
+    case ExplanationCode::kUtilHold:
+      return "hold";
+    case ExplanationCode::kUtilWarmup:
+      return "warming up";
+    case ExplanationCode::kUtilScaleUp:
+      return StrFormat(
+          "Scale-up: latency %.0fms over goal %.0fms with utilization "
+          "%.0f%%",
+          args[0], args[1], args[2]);
+    case ExplanationCode::kUtilAtMaxContainer:
+      return "latency bad but already at the largest container";
+    case ExplanationCode::kUtilScaleDown:
+      return StrFormat(
+          "Scale-down: latency %.0fms within goal and utilization low",
+          args[0]);
+    case ExplanationCode::kUtilDownCooldown:
+      return "cooldown before scale-down";
+  }
+  return "(no explanation)";
+}
+
+obs::MetricId RegisterDecisionCounters(obs::MetricRegistry* registry) {
+  obs::MetricId base = 0;
+  for (size_t c = 0; c < kNumExplanationCodes; ++c) {
+    const std::string name =
+        StrFormat("dbscale_decisions_total{code=\"%s\"}",
+                  ExplanationCodeToken(static_cast<ExplanationCode>(c)));
+    const obs::MetricId id = registry->Counter(
+        name, "Scaling decisions by explanation code");
+    if (c == 0) {
+      base = id;
+    } else {
+      // The per-code counter block must stay contiguous so recording is
+      // base + code; interleaved registration would break that.
+      DBSCALE_CHECK(id == base + static_cast<obs::MetricId>(c));
+    }
+  }
+  return base;
+}
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,122 @@
+// Structured scaling-decision explanations.
+//
+// Every ScalingDecision carries an Explanation: a stable ExplanationCode
+// (covering the Section 4 rule hierarchy plus the baseline, budget and
+// balloon reasons), the resource it refers to (when per-resource), a small
+// numeric payload, and an optional detail string for composed summaries.
+// The paper surfaces decision reasons to tenants; making them an enum (a)
+// lets trace spans and metrics carry the code instead of parsing prose,
+// and (b) pins the user-visible text in exactly one place:
+// Explanation::ToString() is the ONLY code that renders explanation text.
+
+#ifndef DBSCALE_SCALER_EXPLANATION_H_
+#define DBSCALE_SCALER_EXPLANATION_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/container/container.h"
+#include "src/obs/metrics.h"
+
+namespace dbscale::scaler {
+
+/// Stable machine-readable decision reasons. Values are contiguous from 0
+/// (kUnset) so they can index a per-code decision-counter block; append new
+/// codes at the end of their group and update kNumExplanationCodes.
+enum class ExplanationCode : uint8_t {
+  kUnset = 0,
+  /// Free-text escape hatch for harness-synthesized decisions (benches,
+  /// offline schedules); `detail` is rendered verbatim.
+  kNote,
+
+  // -------- Auto scaler decision cycle --------
+  kHoldWarmup,
+  kHoldUpCooldown,
+  kHoldNoAffordableContainer,
+  kHoldNoLargerAffordable,      ///< detail = increase summary
+  kScaleUpBudgetConstrained,    ///< detail = wanted name; args: wanted
+                                ///  price, available budget
+  kScaleUpDemand,               ///< detail = increase summary
+  kHoldLatencyNotResource,      ///< detail = dominant-wait note
+  kHoldBalloonRevert,
+  kHoldGoalMetSavings,          ///< detail = increase summary
+  kHoldBalloonShrinking,        ///< args: current limit MB, target MB
+  kHoldBalloonAborted,          ///< args: limit MB, reads/s, baseline/s
+  kBalloonCompleted,            ///< args: target MB
+  kHoldDemandSteady,
+  kHoldDownPatience,            ///< args: low streak, patience
+  kHoldMemoryUnvalidated,
+  kScaleDownDemand,             ///< detail = decrease summary
+  kScaleDownMemoryReclaimable,  ///< detail = decrease summary
+  kScaleDownLatencySlack,       ///< args: latency ms, goal ms
+  kScaleDownForcedByBudget,     ///< detail = inner rendered explanation;
+                                ///  args: available budget
+
+  // -------- Section 4 demand-rule hierarchy (resource required) --------
+  kRuleSevereBottleneck,
+  kRuleHighUtilHighWait,
+  kRuleHighUtilHighWaitTrend,
+  kRuleHighUtilMedWaitTrend,
+  kRuleHighUtilCorrelation,
+  kRuleWaitLedDemand,
+  kRuleIdle,
+  kRuleLowUtilLowWait,
+  kRuleUtilOnlyExtreme,  ///< waits-ablated estimator
+  kRuleUtilOnlyHigh,
+  kRuleUtilOnlyLow,
+
+  // -------- Baseline policies --------
+  kBaselineStatic,
+  kBaselineTraceSchedule,
+  kUtilHold,
+  kUtilWarmup,
+  kUtilScaleUp,         ///< args: latency ms, goal ms, max utilization %
+  kUtilAtMaxContainer,
+  kUtilScaleDown,       ///< args: latency ms
+  kUtilDownCooldown,
+};
+
+inline constexpr size_t kNumExplanationCodes =
+    static_cast<size_t>(ExplanationCode::kUtilDownCooldown) + 1;
+
+/// Stable snake_case token for metrics labels / trace attributes.
+const char* ExplanationCodeToken(ExplanationCode code);
+
+/// \brief One decision's reason: code + payload; ToString() renders the
+/// canonical human-readable text.
+struct Explanation {
+  ExplanationCode code = ExplanationCode::kUnset;
+  /// The resource the code refers to (required for kRule* codes).
+  std::optional<container::ResourceKind> resource;
+  /// Composed-summary / free-text payload (see per-code comments).
+  std::string detail;
+  /// Numeric payload (see per-code comments); unused slots are 0.
+  std::array<double, 3> args{};
+
+  Explanation() = default;
+  explicit Explanation(ExplanationCode c) : code(c) {}
+  Explanation(ExplanationCode c, std::string d)
+      : code(c), detail(std::move(d)) {}
+  Explanation(ExplanationCode c, container::ResourceKind r)
+      : code(c), resource(r) {}
+  Explanation(ExplanationCode c, double a0, double a1 = 0.0, double a2 = 0.0)
+      : code(c), args{a0, a1, a2} {}
+
+  bool set() const { return code != ExplanationCode::kUnset; }
+
+  /// Renders the canonical text. This is the single place explanation
+  /// prose exists; every other layer stores or forwards the result.
+  std::string ToString() const;
+};
+
+/// Registers one counter per ExplanationCode as a contiguous id block
+/// (names `dbscale_decisions_total{code="<token>"}`); returns the id for
+/// code 0 — the counter for code `c` is `base + static_cast<MetricId>(c)`.
+/// Idempotent; CHECKs that the block stayed contiguous.
+obs::MetricId RegisterDecisionCounters(obs::MetricRegistry* registry);
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_EXPLANATION_H_

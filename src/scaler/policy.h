@@ -9,6 +9,8 @@
 #include <string>
 
 #include "src/container/catalog.h"
+#include "src/obs/pipeline.h"
+#include "src/scaler/explanation.h"
 #include "src/telemetry/manager.h"
 
 namespace dbscale::scaler {
@@ -22,14 +24,21 @@ struct PolicyInput {
   container::ContainerSpec current;
   /// Zero-based index of the interval that just ended.
   int interval_index = 0;
+  /// Price billed for the interval that just ended (<= 0: nothing was
+  /// billed, e.g. a dry run). Budget-aware policies account for it at the
+  /// top of Decide() — there is no separate charge callback.
+  double charged_cost = 0.0;
+  /// Observability handle (no-ops when disabled). Policies record decision
+  /// metrics and nest spans under `obs.trace.parent`.
+  obs::Sink obs;
 };
 
 /// A policy's choice for the next billing interval.
 struct ScalingDecision {
   container::ContainerSpec target;
-  /// Human-readable reason ("Scale-up due to CPU bottleneck", ...). The
-  /// paper surfaces these to tenants; experiments log them.
-  std::string explanation;
+  /// Structured reason for the decision; Explanation::ToString() renders
+  /// the text the paper surfaces to tenants.
+  Explanation explanation;
   /// Balloon override for effective memory; the harness forwards it to
   /// DatabaseEngine::SetMemoryLimitMb. nullopt leaves memory alone.
   std::optional<double> memory_limit_mb;
@@ -44,12 +53,9 @@ class ScalingPolicy {
  public:
   virtual ~ScalingPolicy() = default;
 
-  /// Decides the container for the next interval.
+  /// Decides the container for the next interval. `input.charged_cost`
+  /// carries the price of the interval that just ended.
   virtual ScalingDecision Decide(const PolicyInput& input) = 0;
-
-  /// Notifies the policy of the price actually charged for the interval
-  /// that just started (after Decide); budget-aware policies account here.
-  virtual void OnIntervalCharged(double cost) { (void)cost; }
 
   /// Policy display name ("Auto", "Util", "Peak", ...).
   virtual std::string name() const = 0;

@@ -66,9 +66,15 @@ Result<RunResult> RunMax(const SimulationOptions& base) {
                        base.catalog.num_rungs() - 1);
 }
 
-Result<ComparisonResult> RunComparison(const SimulationOptions& base,
+Result<ComparisonResult> RunComparison(const SimulationOptions& base_in,
                                        const ComparisonOptions& options) {
   ComparisonResult result;
+
+  // This harness fans techniques out across threads, and the Observability
+  // bundle is single-threaded by contract (SimulationOptions::obs): every
+  // per-technique copy runs unobserved.
+  SimulationOptions base = base_in;
+  base.obs = nullptr;
 
   // 1. Gold standard (always needed: it defines the goal and profiles the
   // offline baselines).

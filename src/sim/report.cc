@@ -55,7 +55,7 @@ void TextTable::AppendCsvTo(std::string& out) const {
   auto append_joined = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out += ',';
-      out += row[c];
+      CsvEscapeTo(row[c], out);
     }
     out += '\n';
   };

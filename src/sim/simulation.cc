@@ -94,8 +94,16 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
   const size_t num_intervals = options_.trace.num_steps();
   result.intervals.reserve(num_intervals);
 
-  // Interval 0 is billed at the initial container.
-  policy->OnIntervalCharged(current.price_per_interval);
+  // Observability: register the decision-counter block, size the primary
+  // shard (setup-time), and build the sink the loop records through.
+  obs::Observability* ob = options_.obs;
+  obs::Sink sink;
+  obs::MetricId decision_base = 0;
+  if (ob != nullptr) {
+    decision_base = scaler::RegisterDecisionCounters(&ob->registry());
+    engine.EnableObservability(ob);
+    sink = ob->PrimarySink();
+  }
 
   generator.Start();
   const double samples_per_interval =
@@ -107,6 +115,9 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
   for (size_t i = 0; i < num_intervals; ++i) {
     const SimTime interval_end =
         interval_start + options_.interval_duration;
+    if (ob != nullptr) {
+      ob->trace().BeginInterval(static_cast<int>(i), interval_start);
+    }
 
     IntervalRecord record;
     record.index = static_cast<int>(i);
@@ -158,28 +169,79 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     interval_latency.Reset();
     interval_errors = 0;
 
-    // Decision for the next interval.
+    // Decision for the next interval. Spans nest under this interval's
+    // root; the whole block no-ops when observability is off.
+    const SimTime now = events.Now();
+    const obs::Sink isink =
+        ob != nullptr ? sink.Under(ob->trace().root()) : sink;
+
+    const obs::SpanId tele_span = isink.trace.Start("telemetry.compute", now);
     scaler::PolicyInput input;
-    input.now = events.Now();
-    input.signals = manager.Compute(store, events.Now(), &signal_scratch);
+    input.now = now;
+    input.signals = manager.Compute(store, now, &signal_scratch, isink);
     input.current = current;
     input.interval_index = static_cast<int>(i);
-    scaler::ScalingDecision decision = policy->Decide(input);
-    record.decision_explanation = decision.explanation;
+    // The decision cycle carries the billing of the interval that just
+    // ended (there is no separate charge callback).
+    input.charged_cost = current.price_per_interval;
+    isink.trace.Attr(tele_span, "valid", input.signals.valid ? 1.0 : 0.0);
+    isink.trace.Attr(tele_span, "latency_ms", input.signals.latency_ms);
+    isink.trace.End(tele_span, now);
 
-    const bool is_last = (i + 1 == num_intervals);
+    const obs::SpanId decide_span = isink.trace.Start("decide", now);
+    input.obs = isink.Under(decide_span);
+    scaler::ScalingDecision decision = policy->Decide(input);
+    isink.trace.AttrStr(
+        decide_span, "code",
+        scaler::ExplanationCodeToken(decision.explanation.code));
+    isink.trace.Attr(decide_span, "target_rung", decision.target.base_rung);
+    isink.trace.End(decide_span, now);
+
+    // Every policy must state why it decided (acceptance contract of the
+    // structured explanation API).
+    DBSCALE_CHECK(decision.explanation.set());
+    record.decision_code = decision.explanation.code;
+    record.decision_explanation = decision.explanation.ToString();
+
     if (decision.target.id != current.id) {
       record.resized = true;
       ++result.container_changes;
+      const obs::SpanId resize_span = isink.trace.Start("resize", now);
+      isink.trace.Attr(resize_span, "from_rung", current.base_rung);
+      isink.trace.Attr(resize_span, "to_rung", decision.target.base_rung);
+      if (isink.pipeline != nullptr) {
+        isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
+        isink.metrics.Add(decision.target.base_rung > current.base_rung
+                              ? isink.pipeline->sim_scale_ups_total
+                              : isink.pipeline->sim_scale_downs_total,
+                          1.0);
+      }
       current = decision.target;
       engine.ApplyContainer(current);
+      isink.trace.End(resize_span, now);
     }
     if (decision.memory_limit_mb.has_value()) {
       engine.SetMemoryLimitMb(*decision.memory_limit_mb);
+      if (isink.pipeline != nullptr) {
+        isink.metrics.Add(isink.pipeline->sim_memory_limit_applies_total,
+                          1.0);
+      }
     }
-    if (!is_last) {
-      policy->OnIntervalCharged(current.price_per_interval);
+    if (isink.pipeline != nullptr) {
+      isink.metrics.Add(
+          decision_base +
+              static_cast<obs::MetricId>(decision.explanation.code),
+          1.0);
+      isink.metrics.Add(isink.pipeline->sim_intervals_total, 1.0);
+      isink.metrics.Add(isink.pipeline->sim_cost_total, record.cost);
+      isink.metrics.Add(isink.pipeline->sim_requests_total,
+                        static_cast<double>(record.completed));
+      isink.metrics.Add(isink.pipeline->sim_errors_total,
+                        static_cast<double>(record.errors));
+      isink.metrics.Observe(isink.pipeline->sim_interval_latency_p95_ms,
+                            record.latency_p95_ms);
     }
+    if (ob != nullptr) ob->trace().EndInterval(interval_end);
 
     result.intervals.push_back(std::move(record));
     interval_start = interval_end;

@@ -48,7 +48,9 @@ struct IntervalRecord {
   /// Total wait ms per class over the interval.
   std::array<double, telemetry::kNumWaitClasses> wait_ms{};
   double memory_used_mb = 0.0;
-  /// Decision taken at the *end* of this interval.
+  /// Decision taken at the *end* of this interval: its stable code and the
+  /// rendered Explanation::ToString() text.
+  scaler::ExplanationCode decision_code = scaler::ExplanationCode::kUnset;
   std::string decision_explanation;
   bool resized = false;
 };
@@ -105,6 +107,11 @@ struct SimulationOptions {
   bool prewarm_buffer_pool = true;
   /// Retain every telemetry sample in the result (drill-down experiments).
   bool keep_samples = false;
+  /// Observability bundle (not owned; nullptr = off). When set, the run
+  /// records pipeline/engine metrics into the primary shard and captures
+  /// one span tree per billing interval. Single-threaded use only: parallel
+  /// harnesses (RunComparison) must leave this unset on their copies.
+  obs::Observability* obs = nullptr;
 };
 
 /// \brief Runs one policy against one workload/trace.

@@ -248,11 +248,13 @@ Status TelemetryManager::Validate() const {
 }
 
 SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
-                                         SimTime now,
-                                         SignalScratch* scratch) const {
+                                         SimTime now, SignalScratch* scratch,
+                                         const obs::Sink& sink) const {
   // The incremental engine only pays off when its state survives between
   // calls, so it requires a caller-owned scratch; one-shot (nullptr)
   // callers take the batch path.
+  SignalSnapshot snap;
+  bool served_incrementally = false;
   if (options_.incremental && scratch != nullptr) {
     if (scratch->incremental == nullptr) {
       // One-time setup for this scratch's lifetime.
@@ -260,10 +262,22 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
       scratch->incremental = std::make_unique<IncrementalSignalEngine>();
     }
     if (scratch->incremental->Sync(store, options_)) {
-      return ComputeIncremental(store, now, scratch);
+      snap = ComputeIncremental(store, now, scratch);
+      served_incrementally = true;
     }
   }
-  return ComputeBatch(store, now, scratch);
+  if (!served_incrementally) snap = ComputeBatch(store, now, scratch);
+  if (sink.pipeline != nullptr) {
+    sink.metrics.Add(sink.pipeline->telemetry_computes_total, 1.0);
+    sink.metrics.Add(served_incrementally
+                         ? sink.pipeline->telemetry_incremental_computes_total
+                         : sink.pipeline->telemetry_batch_computes_total,
+                     1.0);
+    if (!snap.valid) {
+      sink.metrics.Add(sink.pipeline->telemetry_invalid_snapshots_total, 1.0);
+    }
+  }
+  return snap;
 }
 
 SignalSnapshot TelemetryManager::ComputeBatch(const TelemetryStore& store,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/pipeline.h"
 #include "src/stats/incremental.h"
 #include "src/stats/spearman.h"
 #include "src/stats/theil_sen.h"
@@ -212,8 +213,12 @@ class TelemetryManager {
   /// O(W^2) batch recomputation — with bit-identical results. Without a
   /// scratch, or when the engine cannot serve the configuration, the batch
   /// path runs.
+  ///
+  /// `sink` (when enabled) counts computes, invalid snapshots, and which
+  /// path served the call — allocation-free, like the rest of Compute.
   SignalSnapshot Compute(const TelemetryStore& store, SimTime now,
-                         SignalScratch* scratch = nullptr) const;
+                         SignalScratch* scratch = nullptr,
+                         const obs::Sink& sink = obs::Sink()) const;
 
   const TelemetryManagerOptions& options() const { return options_; }
 

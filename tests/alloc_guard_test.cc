@@ -16,6 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
+#include "src/obs/pipeline.h"
+#include "src/obs/trace.h"
 #include "src/sim/report.h"
 #include "src/stats/cdf.h"
 #include "src/stats/incremental.h"
@@ -403,6 +406,63 @@ TEST(AllocGuardTest, TextTableAppendWithWarmBuffersIsAllocationFree) {
       << "TextTable::AppendTo/AppendCsvTo allocated with warm buffers";
   EXPECT_FALSE(out.empty());
   EXPECT_FALSE(csv.empty());
+}
+
+// The observability contract: once instruments are registered and the
+// shard is attached (setup time), every record path — counter add, gauge
+// set, histogram observe, and the null-sink disabled branch — is heap-free.
+TEST(AllocGuardTest, MetricShardRecordPathsAreAllocationFree) {
+  obs::MetricRegistry registry;
+  const obs::MetricId c = registry.Counter("c_total", "c");
+  const obs::MetricId g = registry.Gauge("g", "g");
+  const obs::MetricId h = registry.Histogram(
+      "h_ms", "h", obs::HistogramSpec::Exponential(0.05, 2.0, 16));
+  obs::MetricShard shard;
+  shard.Attach(&registry);
+  obs::MetricSink sink{&shard};
+  obs::MetricSink off;  // disabled: the runtime-toggle branch
+
+  AllocSpan span;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>((i * 37) % 101);
+    sink.Add(c, 1.0);
+    sink.Set(g, v);
+    sink.Observe(h, v);
+    off.Add(c, 1.0);
+    off.Observe(h, v);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "MetricShard record paths allocated";
+  EXPECT_DOUBLE_EQ(shard.counter(c), 1000.0);
+  EXPECT_DOUBLE_EQ(shard.hist_count(h), 1000.0);
+}
+
+// Span capture reuses the preallocated interval ring: after construction,
+// whole interval trees (begin, spans, attrs, end) record without touching
+// the heap — including overflow drops past the per-interval capacity.
+TEST(AllocGuardTest, TraceCaptureSteadyStateIsAllocationFree) {
+  obs::TraceRecorder::Options options;
+  options.max_intervals = 8;
+  options.max_spans_per_interval = 16;
+  obs::TraceRecorder recorder(options);
+
+  AllocSpan span;
+  for (int i = 0; i < 64; ++i) {
+    const SimTime t0 = SimTime::Zero() + Duration::Seconds(20.0 * i);
+    recorder.BeginInterval(i, t0);
+    for (int s = 0; s < 20; ++s) {  // 20 > capacity: exercises the drop path
+      const obs::SpanId id = recorder.StartSpan("decide", t0,
+                                                recorder.root());
+      recorder.AddAttr(id, "target_rung", static_cast<double>(s));
+      recorder.AddAttrStr(id, "code", "hold_demand_steady");
+      recorder.EndSpan(id, t0 + Duration::Seconds(1));
+    }
+    recorder.EndInterval(t0 + Duration::Seconds(20));
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "TraceRecorder capture allocated in steady state";
+  EXPECT_EQ(recorder.num_intervals(), 8u);
+  EXPECT_GT(recorder.dropped_spans(), 0u);
 }
 
 TEST(AllocGuardTest, AsciiChartIntoWithWarmBuffersIsAllocationFree) {

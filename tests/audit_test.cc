@@ -28,7 +28,8 @@ TEST(AuditLogTest, RecordsDecisions) {
   DemandEstimate estimate;
   ScalingDecision decision;
   decision.target = catalog.rung(4);
-  decision.explanation = "Scale-up: cpu bottleneck";
+  decision.explanation = Explanation(ExplanationCode::kScaleUpDemand,
+                                     "Scale-up: cpu bottleneck");
 
   log.Record(MakeInput(catalog, 3, 7, 150.0), cats, estimate, decision);
   ASSERT_EQ(log.size(), 1u);
@@ -47,7 +48,7 @@ TEST(AuditLogTest, HoldIsNotAResize) {
   AuditLog log;
   ScalingDecision hold;
   hold.target = catalog.rung(3);
-  hold.explanation = "Hold: demand steady";
+  hold.explanation = Explanation(ExplanationCode::kHoldDemandSteady);
   log.Record(MakeInput(catalog, 3, 0, 100.0), CategorizedSignals{},
              DemandEstimate{}, hold);
   EXPECT_FALSE(log.back().resized);
@@ -73,16 +74,15 @@ TEST(AuditLogTest, CsvEscapesDelimiters) {
   AuditLog log;
   ScalingDecision d;
   d.target = catalog.rung(3);
-  d.explanation = "Hold: a, b\nc";
+  d.explanation = Explanation(ExplanationCode::kNote, "Hold: a, b\nc");
   log.Record(MakeInput(catalog, 3, 0, 100.0), CategorizedSignals{},
              DemandEstimate{}, d);
   std::string csv = log.ToCsv();
-  // Header + one row, 11 columns each.
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
-  size_t data_start = csv.find('\n') + 1;
-  std::string row = csv.substr(data_start);
-  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 10);
-  EXPECT_NE(row.find("Hold: a; b;c"), std::string::npos);
+  // The field carrying delimiters is RFC 4180-quoted, not mangled.
+  EXPECT_NE(csv.find("\"Hold: a, b\nc\""), std::string::npos);
+  // The stable code column precedes the rendered text.
+  EXPECT_NE(csv.find(",code,explanation"), std::string::npos);
+  EXPECT_NE(csv.find(",note,"), std::string::npos);
 }
 
 TEST(AuditLogTest, ToStringTailsLastN) {

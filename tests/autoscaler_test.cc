@@ -102,7 +102,7 @@ TEST_F(AutoScalerTest, ScalesUpOnBadLatencyWithDemand) {
   SetCpuBottleneck(&s);
   auto d = scaler->Decide(Input(s, 3, 0));
   EXPECT_GT(d.target.base_rung, 3);
-  EXPECT_NE(d.explanation.find("cpu"), std::string::npos);
+  EXPECT_NE(d.explanation.ToString().find("cpu"), std::string::npos);
 }
 
 TEST_F(AutoScalerTest, NoScaleUpWhenGoalMet) {
@@ -112,7 +112,7 @@ TEST_F(AutoScalerTest, NoScaleUpWhenGoalMet) {
   SetCpuBottleneck(&s);
   auto d = scaler->Decide(Input(s, 3, 0));
   EXPECT_EQ(d.target.id, catalog_.rung(3).id);
-  EXPECT_NE(d.explanation.find("goal"), std::string::npos);
+  EXPECT_NE(d.explanation.ToString().find("goal"), std::string::npos);
 }
 
 TEST_F(AutoScalerTest, NoScaleUpWithoutResourceDemand) {
@@ -122,7 +122,7 @@ TEST_F(AutoScalerTest, NoScaleUpWithoutResourceDemand) {
   SetLockBound(&s);
   auto d = scaler->Decide(Input(s, 3, 0));
   EXPECT_EQ(d.target.id, catalog_.rung(3).id);
-  EXPECT_NE(d.explanation.find("Lock"), std::string::npos);
+  EXPECT_NE(d.explanation.ToString().find("Lock"), std::string::npos);
 }
 
 TEST_F(AutoScalerTest, UpCooldownPreventsConsecutiveJumps) {
@@ -139,7 +139,7 @@ TEST_F(AutoScalerTest, UpCooldownPreventsConsecutiveJumps) {
   SetCpuBottleneck(&s2);
   auto d2 = scaler->Decide(Input(s2, rung1, 1));
   EXPECT_EQ(d2.target.base_rung, rung1);
-  EXPECT_NE(d2.explanation.find("cooldown"), std::string::npos);
+  EXPECT_NE(d2.explanation.ToString().find("cooldown"), std::string::npos);
   // After the cooldown it may scale again.
   auto d3 = scaler->Decide(Input(s2, rung1, 2));
   EXPECT_GT(d3.target.base_rung, rung1);
@@ -304,7 +304,7 @@ TEST_F(AutoScalerTest, LatencySlackShrinksDespiteSteadyDemand) {
   (void)scaler->Decide(Input(s, 5, 0));
   auto d = scaler->Decide(Input(s, 5, 1));
   EXPECT_LT(d.target.base_rung, 5);
-  EXPECT_NE(d.explanation.find("within goal"), std::string::npos);
+  EXPECT_NE(d.explanation.ToString().find("within goal"), std::string::npos);
 }
 
 TEST_F(AutoScalerTest, PureDemandModeWithoutGoal) {
@@ -332,7 +332,7 @@ TEST_F(AutoScalerTest, BudgetConstrainsScaleUp) {
   cpu.wait_ms_per_request = 200.0;  // extreme: wants +2 rungs (S6 = 90)
   auto d = scaler->Decide(Input(s, 3, 0));
   EXPECT_LE(d.target.price_per_interval, 60.0);
-  EXPECT_NE(d.explanation.find("budget"), std::string::npos);
+  EXPECT_NE(d.explanation.ToString().find("budget"), std::string::npos);
 }
 
 TEST_F(AutoScalerTest, BudgetChargingFlowsThroughManager) {
@@ -340,7 +340,12 @@ TEST_F(AutoScalerTest, BudgetChargingFlowsThroughManager) {
   knobs.budget = BudgetKnob{1000.0, 10};
   auto scaler = MakeScaler(knobs);
   double before = scaler->budget()->available();
-  scaler->OnIntervalCharged(45.0);
+  // The decision cycle carries the just-ended interval's bill; Decide
+  // charges it before deciding.
+  PolicyInput input = Input(Snapshot(3, 100), 3, 0);
+  input.charged_cost = 45.0;
+  // dbscale-lint: allow(discarded-status)
+  (void)scaler->Decide(input);
   EXPECT_DOUBLE_EQ(scaler->budget()->spent(), 45.0);
   EXPECT_LT(scaler->budget()->available(), before);
 }
@@ -359,7 +364,10 @@ TEST_F(AutoScalerTest, ExplanationsAlwaysPresent) {
   for (int i = 0; i < 5; ++i) {
     auto s = Snapshot(3, 100.0 * (i + 1));
     auto d = scaler->Decide(Input(s, 3, i));
-    EXPECT_FALSE(d.explanation.empty());
+    // Every decision carries a structured code, and the code renders text.
+    EXPECT_TRUE(d.explanation.set());
+    EXPECT_NE(d.explanation.code, ExplanationCode::kUnset);
+    EXPECT_FALSE(d.explanation.ToString().empty());
   }
 }
 

@@ -84,7 +84,7 @@ TEST(EstimatorTest, RuleA_HighUtilHighWaitSignificantShare) {
   auto d = est.Estimate(cats);
   EXPECT_EQ(d.For(ResourceKind::kCpu).steps, 1);
   EXPECT_EQ(d.For(ResourceKind::kCpu).rule, "high-util-high-wait");
-  EXPECT_NE(d.For(ResourceKind::kCpu).explanation.find("cpu"),
+  EXPECT_NE(d.For(ResourceKind::kCpu).explanation.ToString().find("cpu"),
             std::string::npos);
 }
 
@@ -334,7 +334,7 @@ TEST(EstimatorTest, RuleTablesNonEmptyAndNamed) {
   for (const auto& rule : est.high_rules()) {
     EXPECT_FALSE(rule.name.empty());
     EXPECT_GT(rule.steps, 0);
-    EXPECT_FALSE(rule.explanation.empty());
+    EXPECT_NE(rule.code, ExplanationCode::kUnset);
   }
   for (const auto& rule : est.low_rules()) {
     EXPECT_LT(rule.steps, 0);

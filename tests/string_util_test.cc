@@ -60,6 +60,30 @@ TEST(ParseDoubleTest, ParsesValidNumbers) {
   EXPECT_DOUBLE_EQ(v, 1000.0);
 }
 
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("with space"), "with space");
+  EXPECT_EQ(CsvEscape("semi;colon"), "semi;colon");
+}
+
+TEST(CsvEscapeTest, QuotesDelimitersAndNewlines) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvEscapeTest, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscapeTest, AppendVariantAppends) {
+  std::string out = "row,";
+  CsvEscapeTo("a,b", out);
+  EXPECT_EQ(out, "row,\"a,b\"");
+}
+
 TEST(ParseDoubleTest, RejectsGarbage) {
   double v = 0.0;
   EXPECT_FALSE(ParseDouble("", &v));

@@ -60,9 +60,19 @@ HOT_PATH_FILES = (
     "src/stats/incremental.cc",
     "src/stats/cdf.cc",
     "src/sim/report.cc",
+    # Observability record paths: metric shard writes and span capture run
+    # once per billing interval (per tenant in the fleet) and must stay
+    # allocation-free in steady state.
+    "src/obs/metrics.cc",
+    "src/obs/trace.cc",
 )
 
-ORDER_SENSITIVE_PREFIXES = ("src/fleet/", "src/sim/", "src/telemetry/")
+ORDER_SENSITIVE_PREFIXES = (
+    "src/fleet/",
+    "src/sim/",
+    "src/telemetry/",
+    "src/obs/",
+)
 
 FLOAT_LIT = r"-?\d+\.\d*(?:[eE][-+]?\d+)?f?"
 

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability exporters.
+
+Validates the three artifacts an instrumented run dumps (see
+examples/decision_trace.cpp and src/obs/export.h):
+
+  * JSONL spans  — every line is a JSON object with the stable schema
+    {interval, span, parent, name, start_us, end_us, attrs}; span 0 of
+    every interval is the "interval" root; parents precede children;
+    timestamps are well-ordered.
+  * Prometheus text — every family has exactly one # HELP and # TYPE
+    header before its samples; histogram buckets are cumulative and
+    consistent with _count; sample values parse as numbers.
+  * CSV metrics — RFC 4180 rows under the `metric,kind,le,value` header,
+    with known kinds and numeric values.
+
+Usage: check_obs_output.py SPANS.jsonl METRICS.prom METRICS.csv
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+import sys
+
+SPAN_KEYS = {"interval", "span", "parent", "name", "start_us", "end_us",
+             "attrs"}
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*(?:\{[^}]*\})?) (?P<value>\S+)$")
+CSV_KINDS = {"counter", "gauge", "histogram"}
+
+
+def check_spans(path: str) -> list[str]:
+    errors = []
+    intervals: dict[int, list[dict]] = {}
+    order: list[int] = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                errors.append(f"{path}:{lineno}: blank line")
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{path}:{lineno}: not JSON: {e}")
+                continue
+            if set(span) != SPAN_KEYS:
+                errors.append(f"{path}:{lineno}: keys {sorted(span)} != "
+                              f"{sorted(SPAN_KEYS)}")
+                continue
+            if not isinstance(span["attrs"], dict):
+                errors.append(f"{path}:{lineno}: attrs is not an object")
+            if span["start_us"] > span["end_us"]:
+                errors.append(f"{path}:{lineno}: start_us > end_us")
+            interval = span["interval"]
+            if interval not in intervals:
+                intervals[interval] = []
+                order.append(interval)
+            intervals[interval].append(span)
+
+    if order != sorted(order):
+        errors.append(f"{path}: interval order {order[:8]}... not ascending")
+    for interval, spans in intervals.items():
+        ids = [s["span"] for s in spans]
+        if ids != list(range(len(spans))):
+            errors.append(f"{path}: interval {interval} span ids {ids[:8]} "
+                          "are not dense start-ordered")
+            continue
+        root = spans[0]
+        if root["name"] != "interval" or root["parent"] is not None:
+            errors.append(f"{path}: interval {interval} span 0 is not the "
+                          "'interval' root")
+        for s in spans[1:]:
+            if s["parent"] is None or not 0 <= s["parent"] < s["span"]:
+                errors.append(f"{path}: interval {interval} span "
+                              f"{s['span']} parent {s['parent']} does not "
+                              "precede it")
+    if not intervals:
+        errors.append(f"{path}: no spans at all")
+    return errors
+
+
+def check_prometheus(path: str) -> list[str]:
+    errors = []
+    helped, typed = set(), set()
+    kind_by_family: dict[str, str] = {}
+    # (family, labels-sans-le) -> {suffix -> value} for histogram
+    # consistency checks; one labeled family has several series.
+    hist: dict[tuple[str, str], dict[str, float]] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split(" ", 3)[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in CSV_KINDS:
+                    errors.append(f"{path}:{lineno}: malformed TYPE line")
+                    continue
+                typed.add(parts[2])
+                kind_by_family[parts[2]] = parts[3]
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                errors.append(f"{path}:{lineno}: unparseable sample: "
+                              f"{line[:60]!r}")
+                continue
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"{path}:{lineno}: non-numeric value "
+                              f"{m.group('value')!r}")
+                continue
+            base = m.group("name").split("{", 1)[0]
+            family = re.sub(r"_(bucket|sum|count)$", "", base)
+            if family not in helped or family not in typed:
+                errors.append(f"{path}:{lineno}: sample for {family} before "
+                              "its HELP/TYPE headers")
+            if kind_by_family.get(family) == "histogram":
+                name = m.group("name")
+                labels = ""
+                if "{" in name:
+                    labels = name.split("{", 1)[1].rstrip("}")
+                if base.endswith("_bucket"):
+                    # Label values here never carry commas (exporter
+                    # contract), so a flat split is safe.
+                    parts = labels.split(",") if labels else []
+                    le = ""
+                    others = []
+                    for part in parts:
+                        if part.startswith('le="'):
+                            le = part[len('le="'):-1]
+                        else:
+                            others.append(part)
+                    if not le:
+                        errors.append(f"{path}:{lineno}: bucket sample "
+                                      "without an le label")
+                        continue
+                    series = hist.setdefault((family, ",".join(others)), {})
+                    prev = series.get("last_bucket")
+                    if prev is not None and value < prev:
+                        errors.append(f"{path}:{lineno}: {family} bucket "
+                                      f"le={le} not cumulative")
+                    series["last_bucket"] = value
+                    if le == "+Inf":
+                        series["inf"] = value
+                else:
+                    series = hist.setdefault((family, labels), {})
+                    series[base.rsplit("_", 1)[1]] = value
+    for (family, labels), series in hist.items():
+        where = f"{family}{{{labels}}}" if labels else family
+        if "inf" not in series or "count" not in series:
+            errors.append(f"{path}: histogram {where} missing +Inf or "
+                          "_count series")
+        elif series["inf"] != series["count"]:
+            errors.append(f"{path}: histogram {where} +Inf bucket "
+                          f"{series['inf']} != count {series['count']}")
+    if not kind_by_family:
+        errors.append(f"{path}: no metric families at all")
+    return errors
+
+
+def check_csv(path: str) -> list[str]:
+    errors = []
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header != ["metric", "kind", "le", "value"]:
+            return [f"{path}: bad header {header}"]
+        rows = 0
+        for lineno, row in enumerate(reader, 2):
+            rows += 1
+            if len(row) != 4:
+                errors.append(f"{path}:{lineno}: {len(row)} fields")
+                continue
+            metric, kind, le, value = row
+            if not metric:
+                errors.append(f"{path}:{lineno}: empty metric name")
+            if kind not in CSV_KINDS:
+                errors.append(f"{path}:{lineno}: unknown kind {kind!r}")
+            if (le != "") != (kind == "histogram"):
+                errors.append(f"{path}:{lineno}: le={le!r} inconsistent "
+                              f"with kind {kind!r}")
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"{path}:{lineno}: non-numeric value "
+                              f"{value!r}")
+        if rows == 0:
+            errors.append(f"{path}: no metric rows at all")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = (check_spans(argv[1]) + check_prometheus(argv[2]) +
+              check_csv(argv[3]))
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print("obs output ok: spans, prometheus, csv all validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
