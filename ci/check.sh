@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full correctness gate, seven stages:
+# Full correctness gate, eight stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
-#   2. ThreadSanitizer build, concurrency-sensitive tests
+#   2. ThreadSanitizer build, concurrency-sensitive tests (incl. the fault
+#      retry path exercised by the Fleet/Fault suites)
 #   3. UndefinedBehaviorSanitizer build, complete test suite
 #   4. clang-tidy over src/ (skipped with a notice when not installed)
 #   5. custom invariant lint (tools/lint/dbscale_lint.py + its self-test)
@@ -9,6 +10,10 @@
 #      and the incremental signal engine bit-identical to the batch oracle
 #   7. observability smoke: run the decision-trace example and validate
 #      every exporter's output against the stable schemas
+#   8. fault-matrix smoke: null and faulty closed loops are run-twice
+#      bit-identical; a null plan never fails a resize; the acceptance
+#      fault profile (10% failures, 1-2 interval latency) converges with a
+#      visible retry trail in the audit log
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -19,13 +24,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/7] normal build + full test suite ==="
+echo "=== [1/8] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/7] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/8] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -34,10 +39,10 @@ cmake -B "${PREFIX}-tsan" -S . \
   -DDBSCALE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Fleet|Comparison|Experiment'
+  -R 'ThreadPool|Fault|Fleet|Comparison|Experiment'
 
 echo
-echo "=== [3/7] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/8] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -48,7 +53,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/7] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/8] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -63,11 +68,11 @@ else
 fi
 
 echo
-echo "=== [5/7] custom invariant lint ==="
+echo "=== [5/8] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/7] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/8] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -121,7 +126,7 @@ print("observability overhead (quick, noisy): "
 PY
 
 echo
-echo "=== [7/7] observability smoke (decision trace + exporter schemas) ==="
+echo "=== [7/8] observability smoke (decision trace + exporter schemas) ==="
 # The quickstart example runs an instrumented closed loop and dumps all
 # three exports; the schema checker then validates every artifact. Catches
 # exporter format regressions that unit goldens (single metrics) miss.
@@ -132,6 +137,69 @@ python3 tools/obs/check_obs_output.py \
   "${OBS_DIR}/decision_trace.spans.jsonl" \
   "${OBS_DIR}/decision_trace.metrics.prom" \
   "${OBS_DIR}/decision_trace.metrics.csv"
+
+echo
+echo "=== [8/8] fault-matrix smoke (determinism + resilience) ==="
+# The faulty_resize example runs the closed loop twice with a null plan and
+# twice with the acceptance fault profile, then dumps digests, counters,
+# and an audit summary. The checker enforces the resilience contract.
+FAULT_JSON="${PREFIX}/fault_smoke.json"
+"${PREFIX}/examples/faulty_resize" --json="${FAULT_JSON}" >/dev/null
+python3 - "${FAULT_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+null_run = report["null"]
+faulty = report["faulty"]
+intervals = report["intervals"]
+
+# Determinism: both planes are run-twice bit-identical.
+if null_run["digest"] != null_run["digest_repeat"]:
+    failures.append("null-plan run is not deterministic")
+if faulty["digest"] != faulty["digest_repeat"]:
+    failures.append("faulty run is not deterministic")
+
+# A null plan behaves like the pre-fault baseline: every request applies
+# immediately and nothing fails or degrades.
+if null_run["resize_failures"] != 0 or null_run["degraded_windows"] != 0:
+    failures.append("null plan injected faults")
+if null_run["resize_attempts"] != null_run["changes"]:
+    failures.append("null plan: requests != applied changes")
+
+# The acceptance profile actually bites, and the loop still converges:
+# scaling happens, and there is at most 1 direction reversal per 10
+# intervals (the no-oscillation bound).
+if faulty["resize_failures"] == 0:
+    failures.append("fault profile produced no resize failures")
+if faulty["changes"] == 0:
+    failures.append("faulty loop wedged: no container changes")
+if faulty["resize_attempts"] < faulty["changes"]:
+    failures.append("faulty run: fewer requests than applied changes")
+if 10 * faulty["reversals"] > intervals:
+    failures.append(
+        f"faulty loop oscillates: {faulty['reversals']} reversals "
+        f"over {intervals} intervals")
+
+# Every failure left a retry trail in the audit log.
+audit = faulty["audit"]
+if audit["failed"] + audit["abandoned"] == 0:
+    failures.append("no failed/abandoned records in the audit log")
+if audit["max_attempt"] < 2:
+    failures.append("no retry (attempt >= 2) recorded in the audit log")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"fault smoke ok: null and faulty digests stable, "
+      f"{faulty['resize_failures']} failures retried "
+      f"(deepest attempt {audit['max_attempt']}), "
+      f"{faulty['reversals']} reversals over {intervals} intervals")
+PY
 
 echo
 echo "All checks passed."

@@ -8,10 +8,10 @@
 
 #include <cstdio>
 
-#include "src/scaler/autoscaler.h"
-#include "src/sim/experiment.h"
 #include "src/common/string_util.h"
+#include "src/sim/experiment.h"
 #include "src/sim/report.h"
+#include "src/sim/sim_config.h"
 #include "src/workload/mix.h"
 #include "src/workload/paper_traces.h"
 
@@ -23,16 +23,17 @@ Result<sim::RunResult> RunWithBudget(const sim::SimulationOptions& options,
                                      const scaler::LatencyGoal& goal,
                                      double budget,
                                      scaler::BudgetStrategy strategy) {
-  scaler::TenantKnobs knobs;
-  knobs.latency_goal = goal;
-  knobs.budget = scaler::BudgetKnob{
+  // SimConfig bundles harness options, tenant knobs, and scaler internals
+  // into one validated value.
+  SimConfig config;
+  config.simulation = options;
+  config.simulation.initial_rung = 2;
+  config.knobs.latency_goal = goal;
+  config.knobs.budget = scaler::BudgetKnob{
       budget, static_cast<int>(options.trace.num_steps())};
-  scaler::AutoScalerOptions scaler_options;
-  scaler_options.budget_strategy = strategy;
-  DBSCALE_ASSIGN_OR_RETURN(
-      auto scaler,
-      scaler::AutoScaler::Create(options.catalog, knobs, scaler_options));
-  return sim::RunWithPolicy(options, scaler.get(), 2);
+  config.scaler.budget_strategy = strategy;
+  DBSCALE_ASSIGN_OR_RETURN(sim::SimConfigRun run, config.Run());
+  return std::move(run.result);
 }
 
 }  // namespace

@@ -10,9 +10,9 @@
 #include <cstdio>
 #include <map>
 
-#include "src/scaler/autoscaler.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
+#include "src/sim/sim_config.h"
 #include "src/workload/mix.h"
 #include "src/workload/paper_traces.h"
 
@@ -45,29 +45,25 @@ int main() {
               max_run->latency_p95_ms, max_run->latency_avg_ms,
               max_run->avg_cost_per_interval);
 
-  // 2. Tenant knobs: p95 goal of 1.25x the gold standard.
-  scaler::TenantKnobs knobs;
-  knobs.latency_goal = scaler::LatencyGoal{
+  // 2. One validated config: harness options + tenant knobs. The p95 goal
+  // is 1.25x the gold standard; SimConfig::Run() derives the matching
+  // telemetry aggregate, validates everything, and drives the closed loop.
+  SimConfig config;
+  config.simulation = options;
+  config.simulation.initial_rung = 3;
+  config.knobs.latency_goal = scaler::LatencyGoal{
       telemetry::LatencyAggregate::kP95, 1.25 * max_run->latency_p95_ms};
   std::printf("latency goal: p95 <= %.0f ms\n",
-              knobs.latency_goal->target_ms);
+              config.knobs.latency_goal->target_ms);
 
-  // 3. The Auto policy.
-  auto auto_scaler =
-      scaler::AutoScaler::Create(options.catalog, knobs);
-  if (!auto_scaler.ok()) {
-    std::fprintf(stderr, "AutoScaler: %s\n",
-                 auto_scaler.status().ToString().c_str());
-    return 1;
-  }
-  sim::SimulationOptions online = options;
-  online.telemetry.latency_aggregate = knobs.latency_goal->aggregate;
-  auto auto_run = sim::RunWithPolicy(online, auto_scaler->get(), 3);
-  if (!auto_run.ok()) {
+  // 3. The Auto policy, closed-loop.
+  auto auto_run_result = config.Run();
+  if (!auto_run_result.ok()) {
     std::fprintf(stderr, "Auto run failed: %s\n",
-                 auto_run.status().ToString().c_str());
+                 auto_run_result.status().ToString().c_str());
     return 1;
   }
+  const sim::RunResult* auto_run = &auto_run_result->result;
   std::printf("Auto: p95=%.0fms cost/interval=%.1f changes=%d (%.0f%%)\n",
               auto_run->latency_p95_ms, auto_run->avg_cost_per_interval,
               auto_run->container_changes,
@@ -88,7 +84,7 @@ int main() {
   // 5. The audit log: every decision with its explanation (the paper's
   // diagnostics surface). Show the actual resizes.
   std::printf("\nresize audit trail:\n");
-  for (const auto* record : (*auto_scaler)->audit().Resizes()) {
+  for (const auto* record : auto_run_result->scaler->audit().Resizes()) {
     std::printf("%s\n", record->ToString().substr(0, 100).c_str());
   }
 

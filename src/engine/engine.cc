@@ -94,8 +94,21 @@ double DatabaseEngine::effective_memory_mb() const {
   return container_mb;
 }
 
-void DatabaseEngine::ApplyContainer(const ContainerSpec& spec) {
-  container_ = spec;
+Status DatabaseEngine::BeginResize(const ContainerSpec& spec) {
+  if (staged_resize_.has_value()) {
+    return Status::FailedPrecondition(
+        "a resize is already in flight (one actuation channel)");
+  }
+  staged_resize_ = spec;
+  return Status::OK();
+}
+
+Status DatabaseEngine::CompleteResize() {
+  if (!staged_resize_.has_value()) {
+    return Status::FailedPrecondition("no resize staged");
+  }
+  container_ = *staged_resize_;
+  staged_resize_.reset();
   const container::ResourceVector& r = container_.resources;
   cpu_->SetCapacity(CpuServers(r.cpu_cores),
                     r.cpu_cores / CpuServers(r.cpu_cores));
@@ -105,6 +118,15 @@ void DatabaseEngine::ApplyContainer(const ContainerSpec& spec) {
   // authoritative.
   memory_limit_mb_ = -1.0;
   ApplyMemory();
+  return Status::OK();
+}
+
+Status DatabaseEngine::AbortResize() {
+  if (!staged_resize_.has_value()) {
+    return Status::FailedPrecondition("no resize staged");
+  }
+  staged_resize_.reset();
+  return Status::OK();
 }
 
 void DatabaseEngine::SetMemoryLimitMb(double mb) {

@@ -33,7 +33,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
+#include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/container/container.h"
 #include "src/engine/buffer_pool.h"
@@ -95,9 +97,26 @@ class DatabaseEngine {
   /// begin.
   void PrewarmBufferPool();
 
-  /// Applies a container resize (online; in-flight work is unaffected
-  /// except that it now competes for the new capacity).
-  void ApplyContainer(const container::ContainerSpec& spec);
+  /// Stages a container resize. The engine keeps serving on the current
+  /// container until CompleteResize() — mirroring the DaaS actuation path,
+  /// where a resize is an operation that takes time and can fail. Errors
+  /// when a resize is already staged (one actuation channel).
+  Status BeginResize(const container::ContainerSpec& spec);
+
+  /// Applies the staged resize (online; in-flight work is unaffected
+  /// except that it now competes for the new capacity). Errors when no
+  /// resize is staged.
+  Status CompleteResize();
+
+  /// Discards the staged resize (the actuation failed); the engine stays
+  /// on its current container. Errors when no resize is staged.
+  Status AbortResize();
+
+  bool resize_pending() const { return staged_resize_.has_value(); }
+  /// Target of the staged resize (unset when none is pending).
+  const std::optional<container::ContainerSpec>& staged_resize() const {
+    return staged_resize_;
+  }
 
   /// Balloon override: caps effective memory below the container's
   /// allocation (used by the balloon controller's gradual shrink).
@@ -150,6 +169,8 @@ class DatabaseEngine {
   EventQueue* events_;
   EngineOptions options_;
   container::ContainerSpec container_;
+  /// Resize staged by BeginResize, applied by CompleteResize.
+  std::optional<container::ContainerSpec> staged_resize_;
   Rng rng_;
   CompletionHook completion_listener_;
 

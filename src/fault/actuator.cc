@@ -1,0 +1,65 @@
+#include "src/fault/actuator.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::fault {
+
+const char* ResizeEventKindToString(ResizeEventKind kind) {
+  switch (kind) {
+    case ResizeEventKind::kNone:
+      return "none";
+    case ResizeEventKind::kPending:
+      return "pending";
+    case ResizeEventKind::kApplied:
+      return "applied";
+    case ResizeEventKind::kFailed:
+      return "failed";
+    case ResizeEventKind::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+ResizeActuator::ResizeActuator(FaultPlan* plan) : plan_(plan) {
+  DBSCALE_CHECK(plan != nullptr);
+}
+
+ResizeEvent ResizeActuator::Begin(const container::ContainerSpec& target) {
+  DBSCALE_CHECK(!pending_);
+  ++begins_;
+  attempt_ = target.id == last_target_id_ ? attempt_ + 1 : 1;
+  last_target_id_ = target.id;
+  target_ = target;
+
+  const ResizeFaultDraw draw = plan_->NextResizeFault();
+  if (draw.fate == ResizeFate::kRejected) {
+    ++rejected_;
+    return ResizeEvent{ResizeEventKind::kRejected, target_, attempt_};
+  }
+  fate_ = draw.fate;
+  remaining_intervals_ = draw.latency_intervals;
+  if (remaining_intervals_ == 0) return Resolve();
+  pending_ = true;
+  return ResizeEvent{ResizeEventKind::kPending, target_, attempt_};
+}
+
+ResizeEvent ResizeActuator::Tick() {
+  if (!pending_) return ResizeEvent{};
+  --remaining_intervals_;
+  if (remaining_intervals_ > 0) {
+    return ResizeEvent{ResizeEventKind::kPending, target_, attempt_};
+  }
+  pending_ = false;
+  return Resolve();
+}
+
+ResizeEvent ResizeActuator::Resolve() {
+  if (fate_ == ResizeFate::kApplied) {
+    ++applied_;
+    return ResizeEvent{ResizeEventKind::kApplied, target_, attempt_};
+  }
+  ++failed_;
+  return ResizeEvent{ResizeEventKind::kFailed, target_, attempt_};
+}
+
+}  // namespace dbscale::fault

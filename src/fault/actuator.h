@@ -1,0 +1,87 @@
+// Asynchronous resize lifecycle driven by a FaultPlan.
+//
+// The actuation channel between a scaling decision and the engine:
+// Begin(target) issues a resize whose fate and latency come from the
+// FaultPlan; Tick() advances one billing interval and resolves due
+// resizes. Null plans resolve every Begin immediately as kApplied, which
+// is exactly the pre-fault-layer synchronous behavior.
+//
+// The actuator models one channel: at most one resize is in flight. It is
+// shared by the DES harness (sim/simulation.cc) and the fleet model
+// (fleet/fleet_sim.cc) so both layers age and resolve resizes the same way.
+
+#ifndef DBSCALE_FAULT_ACTUATOR_H_
+#define DBSCALE_FAULT_ACTUATOR_H_
+
+#include <cstdint>
+
+#include "src/container/catalog.h"
+#include "src/fault/fault_plan.h"
+
+namespace dbscale::fault {
+
+/// Lifecycle state reported by Begin()/Tick().
+enum class ResizeEventKind : uint8_t {
+  kNone,     ///< nothing in flight / nothing resolved
+  kPending,  ///< resize in flight, not yet due
+  kApplied,  ///< resize completed; the caller applies the target now
+  kFailed,   ///< transient failure revealed; the caller may retry
+  kRejected  ///< permanent rejection, reported at Begin()
+};
+
+const char* ResizeEventKindToString(ResizeEventKind kind);
+
+struct ResizeEvent {
+  ResizeEventKind kind = ResizeEventKind::kNone;
+  container::ContainerSpec target;
+  /// 1-based attempt number toward this target (consecutive Begins for the
+  /// same container id count up; a new target resets to 1).
+  int attempt = 0;
+};
+
+/// \brief One-resize-at-a-time actuation channel.
+class ResizeActuator {
+ public:
+  /// `plan` is borrowed and must outlive the actuator; a null *plan
+  /// object* (default-constructed FaultPlan) gives fault-free actuation.
+  explicit ResizeActuator(FaultPlan* plan);
+
+  /// Issues a resize. Must not be called while pending(). Returns
+  /// kApplied / kFailed when the draw resolves within the issuing interval
+  /// (latency 0), kRejected on permanent rejection, kPending otherwise.
+  ResizeEvent Begin(const container::ContainerSpec& target);
+
+  /// Advances one billing interval. Returns kNone when idle, kPending
+  /// while latency remains, and kApplied / kFailed when the in-flight
+  /// resize resolves this interval.
+  ResizeEvent Tick();
+
+  bool pending() const { return pending_; }
+  const container::ContainerSpec& target() const { return target_; }
+
+  /// Lifetime counters (drill-down / smoke assertions).
+  uint64_t begins() const { return begins_; }
+  uint64_t applied() const { return applied_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  ResizeEvent Resolve();
+
+  FaultPlan* plan_;
+  bool pending_ = false;
+  container::ContainerSpec target_;
+  ResizeFate fate_ = ResizeFate::kApplied;
+  int remaining_intervals_ = 0;
+  int attempt_ = 0;
+  int last_target_id_ = -1;
+
+  uint64_t begins_ = 0;
+  uint64_t applied_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace dbscale::fault
+
+#endif  // DBSCALE_FAULT_ACTUATOR_H_

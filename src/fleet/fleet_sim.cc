@@ -57,6 +57,19 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
   const double days = static_cast<double>(options_.num_intervals) *
                       kIntervalMinutes / (60.0 * 24.0);
 
+  // Fault stream forked from the tenant RNG BEFORE the model consumes it,
+  // and ONLY when enabled: a null plan leaves the model's stream — and the
+  // whole fleet digest — bit-identical to a build without the fault layer.
+  fault::FaultPlan plan;
+  if (options_.fault.enabled()) {
+    plan = fault::FaultPlan(options_.fault, rng.Fork());
+  }
+  const bool faulty = plan.enabled();
+  fault::ResizeActuator actuator(&plan);
+  // Rung the tenant actually runs on under fault injection; lags
+  // assigned_rung by at least one interval (actuation latency).
+  int applied_rung = -1;
+
   TenantModel model(tenant, &catalog_, options_.tenant, rng);
 
   int prev_rung = -1;
@@ -78,12 +91,50 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
       static_cast<size_t>(options_.num_intervals / kIntervalsPerHour));
 
   for (int t = 0; t < options_.num_intervals; ++t) {
-    const TenantInterval interval = model.Step(t);
+    // An in-flight resize resolves at the START of the interval: on
+    // success the new container serves this interval's demand.
+    if (faulty && actuator.pending()) {
+      const fault::ResizeEvent ev = actuator.Tick();
+      if (ev.kind == fault::ResizeEventKind::kApplied) {
+        applied_rung = ev.target.base_rung;
+      } else if (ev.kind == fault::ResizeEventKind::kFailed) {
+        ++out.resize_failures;
+        if (pm != nullptr) sink.Add(pm->fleet_resize_failures_total, 1.0);
+      }
+    }
 
-    // Change-event tracking (Figure 2).
-    if (prev_rung >= 0 && interval.assigned_rung != prev_rung) {
+    const TenantInterval interval = model.Step(t, faulty ? applied_rung : -1);
+
+    if (faulty) {
+      if (applied_rung < 0) {
+        // First interval: the tenant starts on its assigned container.
+        applied_rung = interval.assigned_rung;
+      } else if (!actuator.pending() &&
+                 interval.assigned_rung != applied_rung) {
+        const fault::ResizeEvent ev =
+            actuator.Begin(catalog_.rung(interval.assigned_rung));
+        if (ev.attempt > 1) {
+          ++out.resize_retries;
+          if (pm != nullptr) sink.Add(pm->fleet_resize_retries_total, 1.0);
+        }
+        if (ev.kind == fault::ResizeEventKind::kApplied) {
+          applied_rung = ev.target.base_rung;
+        } else if (ev.kind == fault::ResizeEventKind::kFailed ||
+                   ev.kind == fault::ResizeEventKind::kRejected) {
+          ++out.resize_failures;
+          if (pm != nullptr) sink.Add(pm->fleet_resize_failures_total, 1.0);
+        }
+      }
+    }
+
+    // Change-event tracking (Figure 2): under fault injection, track the
+    // container the tenant actually LANDED on, not the one it wanted.
+    const int observed_rung =
+        faulty ? applied_rung : interval.assigned_rung;
+
+    if (prev_rung >= 0 && observed_rung != prev_rung) {
       ++changes;
-      const int step = std::abs(interval.assigned_rung - prev_rung);
+      const int step = std::abs(observed_rung - prev_rung);
       out.step_size_counts[static_cast<size_t>(
           std::min<int>(step, catalog_.num_rungs()))] += 1;
       if (pm != nullptr) {
@@ -100,7 +151,7 @@ FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
       }
       last_change_interval = t;
     }
-    prev_rung = interval.assigned_rung;
+    prev_rung = observed_rung;
     if (pm != nullptr) sink.Add(pm->fleet_tenant_intervals_total, 1.0);
 
     // Hourly aggregation.
@@ -146,6 +197,7 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     return Status::InvalidArgument(
         "num_tenants and num_intervals must be positive");
   }
+  DBSCALE_RETURN_IF_ERROR(options_.fault.Validate());
 
   // Observability setup (instrument registration is not thread-safe, so
   // the primary is sized before the fan-out; tenant shards attach to the
@@ -195,6 +247,8 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
                                    p.inter_event_minutes.begin(),
                                    p.inter_event_minutes.end());
     out.tenant_changes.push_back(p.changes);
+    out.resize_failures += p.resize_failures;
+    out.resize_retries += p.resize_retries;
     for (size_t s = 0; s < p.step_size_counts.size(); ++s) {
       out.step_size_counts[s] += p.step_size_counts[s];
     }

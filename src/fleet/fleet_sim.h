@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/fault/actuator.h"
+#include "src/fault/fault_plan.h"
 #include "src/fleet/tenant_model.h"
 #include "src/obs/pipeline.h"
 
@@ -48,6 +50,10 @@ struct FleetTelemetry {
   std::vector<int64_t> step_size_counts;
   int num_tenants = 0;
   int num_intervals = 0;
+  /// Resize-fault totals (zero with a null fault plan). Failures include
+  /// permanent rejections; retries are repeat attempts toward one target.
+  uint64_t resize_failures = 0;
+  uint64_t resize_retries = 0;
 
   /// Fraction of change events with |step| == 1 / <= 2 (Section 4: ~90% /
   /// ~98%).
@@ -64,6 +70,11 @@ struct FleetOptions {
   /// (DBSCALE_NUM_THREADS env var, else hardware concurrency); 1 = serial.
   int num_threads = 0;
   TenantModelOptions tenant;
+  /// Deterministic fault injection. Each tenant's fault stream forks off
+  /// its pre-forked tenant RNG, so faulty runs stay bit-identical at any
+  /// thread count; the default (disabled) plan draws nothing and leaves
+  /// the run bit-identical to a build without the fault layer.
+  fault::FaultPlanOptions fault;
   /// Observability bundle (not owned; nullptr = off). Each tenant records
   /// into its own MetricShard; shards are merged into the primary in tenant
   /// order, so merged values are bit-identical at any thread count. The
@@ -89,6 +100,8 @@ class FleetSimulator {
     std::vector<double> inter_event_minutes;
     std::vector<int64_t> step_size_counts;
     TenantChangeStats changes;
+    uint64_t resize_failures = 0;
+    uint64_t resize_retries = 0;
     /// This tenant's metric shard (attached only when obs is enabled).
     obs::MetricShard shard;
   };

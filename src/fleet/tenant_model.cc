@@ -122,7 +122,7 @@ double TenantModel::WaitPerRequestMs(ResourceKind kind, double util_frac,
   return wait;
 }
 
-TenantInterval TenantModel::Step(int t) {
+TenantInterval TenantModel::Step(int t, int applied_rung) {
   TenantInterval out;
   const double multiplier = PatternMultiplier(t);
   for (ResourceKind kind : container::kAllResources) {
@@ -131,6 +131,13 @@ TenantInterval TenantModel::Step(int t) {
   const container::ContainerSpec assigned =
       catalog_->CheapestDominating(out.demand);
   out.assigned_rung = assigned.base_rung;
+  // Utilization/waits follow the container actually applied; every RNG
+  // draw below is value-independent of it, so overriding the rung cannot
+  // perturb the stream.
+  const container::ContainerSpec& effective =
+      (applied_rung >= 0 && applied_rung != assigned.base_rung)
+          ? catalog_->rung(applied_rung)
+          : assigned;
 
   const double rate_rps = std::max(0.2, base_rate_rps_ * multiplier);
   out.completed = std::max<int64_t>(1, rng_.Poisson(rate_rps * 300.0));
@@ -138,7 +145,7 @@ TenantInterval TenantModel::Step(int t) {
   double total_wait = 0.0;
   for (ResourceKind kind : container::kAllResources) {
     const size_t ri = static_cast<size_t>(kind);
-    const double alloc = assigned.resources.Get(kind);
+    const double alloc = effective.resources.Get(kind);
     const double demand = out.demand.Get(kind);
     const double util_frac =
         alloc > 0.0 ? std::min(1.0, demand / alloc) : 0.0;

@@ -80,8 +80,12 @@ class TenantModel {
               const TenantModelOptions& options, Rng rng);
 
   /// Generates telemetry for interval `t` (call with increasing t; the
-  /// model carries AR state).
-  TenantInterval Step(int t);
+  /// model carries AR state). `applied_rung` >= 0 overrides the container
+  /// the tenant actually runs on (the fault layer's delayed/failed resizes
+  /// leave it lagging the assigned rung); utilization and waits then follow
+  /// the applied container while demand and the RNG draw sequence stay
+  /// exactly as without the override.
+  TenantInterval Step(int t, int applied_rung = -1);
 
   int tenant_id() const { return tenant_id_; }
   DemandPattern pattern() const { return pattern_; }

@@ -28,6 +28,25 @@ PipelineMetrics PipelineMetrics::Register(MetricRegistry* registry) {
       "Per-interval p95 latency (ms)",
       HistogramSpec::Exponential(1.0, 2.0, 16));
 
+  m.resize_requests_total = r.Counter(
+      "dbscale_resize_requests_total",
+      "Resize attempts issued to the actuation channel");
+  m.resize_applies_total = r.Counter(
+      "dbscale_resize_applies_total",
+      "Resizes successfully applied (immediate or after latency)");
+  m.resize_failures_total = r.Counter(
+      "dbscale_resize_failures_total",
+      "Resize attempts that failed transiently");
+  m.resize_rejections_total = r.Counter(
+      "dbscale_resize_rejections_total",
+      "Resize attempts permanently rejected");
+  m.resize_retries_total = r.Counter(
+      "dbscale_resize_retries_total",
+      "Resize attempts re-issued after a transient failure");
+  m.resize_pending_intervals_total = r.Counter(
+      "dbscale_resize_pending_intervals_total",
+      "Billing intervals spent with a resize in flight");
+
   m.telemetry_computes_total = r.Counter(
       "dbscale_telemetry_computes_total", "Signal snapshots computed");
   m.telemetry_invalid_snapshots_total = r.Counter(
@@ -39,6 +58,21 @@ PipelineMetrics PipelineMetrics::Register(MetricRegistry* registry) {
   m.telemetry_batch_computes_total = r.Counter(
       "dbscale_telemetry_batch_computes_total",
       "Computes served by the batch (oracle) path");
+  m.telemetry_degraded_windows_total = r.Counter(
+      "dbscale_telemetry_degraded_windows_total",
+      "Snapshots whose window coverage fell below min_confidence");
+  m.telemetry_dropped_samples_total = r.Counter(
+      "dbscale_telemetry_dropped_samples_total",
+      "Samples dropped by the fault plan before ingestion");
+  m.telemetry_rejected_samples_total = r.Counter(
+      "dbscale_telemetry_rejected_samples_total",
+      "Corrupted samples rejected by the ingestion validity guard");
+  m.telemetry_stale_samples_total = r.Counter(
+      "dbscale_telemetry_stale_samples_total",
+      "Stale reads replayed in place of fresh samples");
+  m.telemetry_outlier_samples_total = r.Counter(
+      "dbscale_telemetry_outlier_samples_total",
+      "Samples ingested with outlier-inflated latency/waits");
 
   m.budget_available = r.Gauge(
       "dbscale_budget_available",
@@ -77,6 +111,12 @@ PipelineMetrics PipelineMetrics::Register(MetricRegistry* registry) {
       "dbscale_fleet_inter_event_minutes",
       "Minutes between successive change events",
       HistogramSpec::Exponential(5.0, 2.0, 12));
+  m.fleet_resize_failures_total = r.Counter(
+      "dbscale_fleet_resize_failures_total",
+      "Fleet resize attempts that failed or were rejected");
+  m.fleet_resize_retries_total = r.Counter(
+      "dbscale_fleet_resize_retries_total",
+      "Fleet resize attempts re-issued after a failure");
 
   return m;
 }

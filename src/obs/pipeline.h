@@ -31,11 +31,25 @@ struct PipelineMetrics {
   MetricId sim_memory_limit_applies_total;
   MetricId sim_interval_latency_p95_ms;  // histogram
 
+  // Resize actuation lifecycle (fault layer).
+  MetricId resize_requests_total;
+  MetricId resize_applies_total;
+  MetricId resize_failures_total;
+  MetricId resize_rejections_total;
+  MetricId resize_retries_total;
+  MetricId resize_pending_intervals_total;
+
   // Telemetry manager.
   MetricId telemetry_computes_total;
   MetricId telemetry_invalid_snapshots_total;
   MetricId telemetry_incremental_computes_total;
   MetricId telemetry_batch_computes_total;
+  MetricId telemetry_degraded_windows_total;
+  // Telemetry fault injection (recorded at the ingestion site).
+  MetricId telemetry_dropped_samples_total;
+  MetricId telemetry_rejected_samples_total;
+  MetricId telemetry_stale_samples_total;
+  MetricId telemetry_outlier_samples_total;
 
   // Budget manager (recorded by the autoscaler each decision).
   MetricId budget_available;  // gauge
@@ -54,6 +68,8 @@ struct PipelineMetrics {
   MetricId fleet_hourly_records_total;
   MetricId fleet_change_step_rungs;    // histogram
   MetricId fleet_inter_event_minutes;  // histogram
+  MetricId fleet_resize_failures_total;
+  MetricId fleet_resize_retries_total;
 
   /// Registers (idempotently) every pipeline instrument on `registry`.
   static PipelineMetrics Register(MetricRegistry* registry);

@@ -11,6 +11,7 @@
 #ifndef DBSCALE_SCALER_AUDIT_H_
 #define DBSCALE_SCALER_AUDIT_H_
 
+#include <cstdint>
 #include <deque>
 #include <string>
 
@@ -19,6 +20,20 @@
 #include "src/scaler/policy.h"
 
 namespace dbscale::scaler {
+
+/// How a requested resize resolved on the actuation channel. Requests are
+/// recorded kRequested and settled in place by NoteResizeOutcome() when
+/// the lifecycle reports back; kNone marks non-resize decisions.
+enum class ResizeOutcome : uint8_t {
+  kNone,       ///< decision did not change the container
+  kRequested,  ///< issued; outcome not yet reported
+  kApplied,    ///< actuation succeeded
+  kFailed,     ///< transient failure (a retry may follow)
+  kRejected,   ///< permanent rejection
+  kAbandoned   ///< failed and retry budget exhausted
+};
+
+const char* ResizeOutcomeToString(ResizeOutcome outcome);
 
 /// One decision's full story.
 struct AuditRecord {
@@ -36,6 +51,12 @@ struct AuditRecord {
   std::string from_container;
   std::string to_container;
   bool resized = false;
+  /// Lifecycle outcome of the resize this decision requested (kNone for
+  /// non-resize decisions; kRequested until the lifecycle settles it).
+  ResizeOutcome resize_outcome = ResizeOutcome::kNone;
+  /// 1-based attempt number of the resize request (0 for non-resizes);
+  /// updated to the final attempt count when the outcome settles.
+  int resize_attempt = 0;
   /// Stable machine-readable reason for the decision.
   ExplanationCode code = ExplanationCode::kUnset;
   /// Rendered Explanation::ToString() text of the decision.
@@ -50,10 +71,17 @@ class AuditLog {
  public:
   explicit AuditLog(size_t max_records = 4096);
 
-  /// Builds and appends the record for one decision.
+  /// Builds and appends the record for one decision. Resize decisions are
+  /// recorded with outcome kRequested and `resize_attempt` (1 for a first
+  /// attempt; retries pass their attempt number).
   void Record(const PolicyInput& input, const CategorizedSignals& cats,
               const DemandEstimate& estimate,
-              const ScalingDecision& decision);
+              const ScalingDecision& decision, int resize_attempt = 1);
+
+  /// Settles the most recent unresolved resize request (outcome
+  /// kRequested) with how the actuation channel resolved it and the final
+  /// attempt count. No-op when no request is outstanding.
+  void NoteResizeOutcome(ResizeOutcome outcome, int attempt);
 
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }

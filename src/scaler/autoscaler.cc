@@ -19,6 +19,19 @@ Result<std::unique_ptr<AutoScaler>> AutoScaler::Create(
     const AutoScalerOptions& options) {
   DBSCALE_RETURN_IF_ERROR(knobs.Validate());
   DBSCALE_RETURN_IF_ERROR(options.thresholds.Validate());
+  if (options.resize_max_attempts < 1) {
+    return Status::InvalidArgument("resize_max_attempts must be >= 1");
+  }
+  if (options.resize_backoff_base_intervals < 1 ||
+      options.resize_backoff_multiplier < 1.0 ||
+      options.resize_backoff_max_intervals <
+          options.resize_backoff_base_intervals) {
+    return Status::InvalidArgument("invalid resize backoff options");
+  }
+  if (options.resize_rejection_cooldown_intervals < 0) {
+    return Status::InvalidArgument(
+        "resize_rejection_cooldown_intervals must be >= 0");
+  }
   std::unique_ptr<BudgetManager> budget;
   if (knobs.budget.has_value()) {
     BudgetManagerOptions bm;
@@ -122,6 +135,7 @@ ScalingDecision AutoScaler::Decide(const PolicyInput& input) {
     }
   }
 
+  decision_attempt_ = 1;
   ScalingDecision d = DecideUnclamped(input);
 
   const obs::Sink& sink = input.obs;
@@ -155,16 +169,133 @@ ScalingDecision AutoScaler::Decide(const PolicyInput& input) {
     if (clamped) sink.metrics.Add(sink.pipeline->budget_clamps_total, 1.0);
   }
 
-  audit_.Record(input, last_cats_, last_estimate_, d);
+  audit_.Record(input, last_cats_, last_estimate_, d, decision_attempt_);
   return d;
+}
+
+int AutoScaler::BackoffIntervals(int failed_attempts) const {
+  double intervals =
+      static_cast<double>(options_.resize_backoff_base_intervals);
+  for (int i = 1; i < failed_attempts; ++i) {
+    intervals *= options_.resize_backoff_multiplier;
+  }
+  intervals = std::min(
+      intervals,
+      static_cast<double>(options_.resize_backoff_max_intervals));
+  return std::max(1, static_cast<int>(intervals));
+}
+
+std::optional<ScalingDecision> AutoScaler::HandleResizeFeedback(
+    const PolicyInput& input) {
+  const ResizeFeedback& fb = input.resize;
+  switch (fb.phase) {
+    case ResizeFeedback::Phase::kNone:
+      break;
+    case ResizeFeedback::Phase::kApplied:
+      retry_.reset();
+      audit_.NoteResizeOutcome(ResizeOutcome::kApplied, fb.attempt);
+      break;  // The normal decision cycle proceeds from the new container.
+    case ResizeFeedback::Phase::kPending:
+      // One actuation channel: never issue another request while one is in
+      // flight.
+      return HoldCurrent(input,
+                         Explanation(ExplanationCode::kHoldResizePending,
+                                     static_cast<double>(fb.attempt)));
+    case ResizeFeedback::Phase::kRejected: {
+      retry_.reset();
+      audit_.NoteResizeOutcome(ResizeOutcome::kRejected, fb.attempt);
+      rejected_target_id_ = fb.target.id;
+      rejected_until_interval_ =
+          input.interval_index + options_.resize_rejection_cooldown_intervals;
+      Explanation e(ExplanationCode::kHoldResizeRejected, fb.target.name);
+      e.args[0] =
+          static_cast<double>(options_.resize_rejection_cooldown_intervals);
+      return HoldCurrent(input, std::move(e));
+    }
+    case ResizeFeedback::Phase::kFailed: {
+      // A failed resize aborts ballooning mid-flight: the memory override
+      // was staged toward a container that will not arrive.
+      std::optional<double> memory_restore;
+      if (balloon_.active()) {
+        balloon_.Reset();
+        memory_restore = input.current.resources.memory_mb;
+      }
+      memory_low_confirmed_ = false;
+      if (fb.attempt >= options_.resize_max_attempts) {
+        retry_.reset();
+        audit_.NoteResizeOutcome(ResizeOutcome::kAbandoned, fb.attempt);
+        ScalingDecision d = HoldCurrent(
+            input, Explanation(ExplanationCode::kHoldResizeAbandoned,
+                               static_cast<double>(fb.attempt)));
+        d.memory_limit_mb = memory_restore;
+        return d;
+      }
+      audit_.NoteResizeOutcome(ResizeOutcome::kFailed, fb.attempt);
+      const int backoff = BackoffIntervals(fb.attempt);
+      retry_ = RetryPlan{fb.target, fb.attempt,
+                         input.interval_index + backoff};
+      ScalingDecision d = HoldCurrent(
+          input, Explanation(ExplanationCode::kHoldResizeBackoff,
+                             static_cast<double>(fb.attempt),
+                             static_cast<double>(backoff)));
+      d.memory_limit_mb = memory_restore;
+      return d;
+    }
+  }
+
+  if (retry_.has_value()) {
+    if (input.interval_index < retry_->retry_at_interval) {
+      return HoldCurrent(
+          input,
+          Explanation(ExplanationCode::kHoldResizeBackoff,
+                      static_cast<double>(retry_->failed_attempts),
+                      static_cast<double>(retry_->retry_at_interval -
+                                          input.interval_index)));
+    }
+    const RetryPlan plan = *retry_;
+    retry_.reset();
+    const int attempt = plan.failed_attempts + 1;
+    const obs::Sink& sink = input.obs;
+    const obs::SpanId retry_span = sink.trace.Start("decide.retry", input.now);
+    sink.trace.Attr(retry_span, "attempt", attempt);
+    sink.trace.Attr(retry_span, "target_rung", plan.target.base_rung);
+    sink.trace.End(retry_span, input.now);
+    if (sink.pipeline != nullptr) {
+      sink.metrics.Add(sink.pipeline->resize_retries_total, 1.0);
+    }
+    decision_attempt_ = attempt;
+    ScalingDecision d;
+    d.target = plan.target;
+    d.explanation =
+        Explanation(ExplanationCode::kScaleRetryResize, plan.target.name);
+    d.explanation.args[0] = static_cast<double>(attempt);
+    return d;
+  }
+  return std::nullopt;
 }
 
 ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
   const telemetry::SignalSnapshot& signals = input.signals;
   const obs::Sink& sink = input.obs;
+  // Resize-lifecycle feedback first: an in-flight, backing-off, rejected or
+  // abandoned resize preempts the signal-driven cycle.
+  if (std::optional<ScalingDecision> d = HandleResizeFeedback(input)) {
+    low_streak_ = 0;
+    return *std::move(d);
+  }
   if (!signals.valid) {
     return HoldCurrent(input,
                        Explanation(ExplanationCode::kHoldWarmup));
+  }
+  if (signals.degraded) {
+    // Graceful degradation: an incomplete telemetry window (dropped or
+    // rejected samples) cannot support a demand estimate — force demand to
+    // 0 and hold rather than act on partial data.
+    low_streak_ = 0;
+    bad_streak_ = 0;
+    return HoldCurrent(
+        input, Explanation(ExplanationCode::kHoldDegradedTelemetry,
+                           100.0 * signals.confidence));
   }
 
   const obs::SpanId cat_span = sink.trace.Start("categorize", input.now);
@@ -255,6 +386,18 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
     ScalingDecision d;
     d.target = *within_budget;
     d.memory_limit_mb = memory_restore;
+    if (d.target.id != input.current.id &&
+        d.target.id == rejected_target_id_ &&
+        input.interval_index < rejected_until_interval_) {
+      // The service permanently rejected this target recently; re-requesting
+      // it before the cooldown expires would just burn attempts.
+      Explanation e(ExplanationCode::kHoldResizeRejected, d.target.name);
+      e.args[0] = static_cast<double>(rejected_until_interval_ -
+                                      input.interval_index);
+      ScalingDecision hold = HoldCurrent(input, std::move(e));
+      hold.memory_limit_mb = memory_restore;
+      return hold;
+    }
     if (d.target.id != input.current.id) {
       last_up_interval_ = input.interval_index;
     }
@@ -371,6 +514,13 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
   }
 
   auto chosen = catalog_.CheapestDominating(desired, AvailableBudget());
+  if (chosen.ok() && chosen->id == rejected_target_id_ &&
+      input.interval_index < rejected_until_interval_) {
+    Explanation e(ExplanationCode::kHoldResizeRejected, chosen->name);
+    e.args[0] = static_cast<double>(rejected_until_interval_ -
+                                    input.interval_index);
+    return HoldCurrent(input, std::move(e));
+  }
   if (chosen.ok() && chosen->price_per_interval <
                          input.current.price_per_interval) {
     const bool memory_was_confirmed = memory_low_confirmed_;

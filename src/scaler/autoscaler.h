@@ -67,6 +67,17 @@ struct AutoScalerOptions {
   double down_projected_util_guard_pct = 75.0;
   BudgetStrategy budget_strategy = BudgetStrategy::kAggressive;
   int budget_conservative_k = 4;
+  /// Resize-lifecycle resilience (fault injection, Section 5 operational
+  /// notes): total attempts per target before the scaler abandons the
+  /// resize, and the exponential backoff (in billing intervals) between
+  /// attempts: base * multiplier^(failures-1), capped at the max.
+  int resize_max_attempts = 4;
+  int resize_backoff_base_intervals = 1;
+  double resize_backoff_multiplier = 2.0;
+  int resize_backoff_max_intervals = 8;
+  /// Intervals a permanently-rejected target stays off-limits before the
+  /// scaler may request it again.
+  int resize_rejection_cooldown_intervals = 10;
 };
 
 /// \brief The paper's "Auto" policy.
@@ -101,6 +112,13 @@ class AutoScaler : public ScalingPolicy {
              std::unique_ptr<BudgetManager> budget);
 
   ScalingDecision DecideUnclamped(const PolicyInput& input);
+  /// Processes `input.resize` lifecycle feedback; returns a hold decision
+  /// (pending / backoff / rejected / abandoned) or nullopt when the normal
+  /// decision cycle should proceed.
+  std::optional<ScalingDecision> HandleResizeFeedback(
+      const PolicyInput& input);
+  /// Backoff before attempt `failed_attempts + 1`, in intervals (>= 1).
+  int BackoffIntervals(int failed_attempts) const;
   int DownPatience() const;
   double AvailableBudget() const;
   ScalingDecision HoldCurrent(const PolicyInput& input,
@@ -121,6 +139,20 @@ class AutoScaler : public ScalingPolicy {
   DemandEstimator estimator_;
   std::unique_ptr<BudgetManager> budget_;
   BalloonController balloon_;
+
+  /// Scheduled retry after a transient resize failure.
+  struct RetryPlan {
+    container::ContainerSpec target;
+    int failed_attempts = 0;
+    /// Interval index at which the retry is due.
+    int retry_at_interval = 0;
+  };
+  std::optional<RetryPlan> retry_;
+  /// Permanently-rejected target and the interval its cooldown expires.
+  int rejected_target_id_ = -1;
+  int rejected_until_interval_ = -1000;
+  /// Attempt number carried by the decision being audited (retries > 1).
+  int decision_attempt_ = 1;
 
   int low_streak_ = 0;
   int bad_streak_ = 0;

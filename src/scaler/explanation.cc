@@ -61,6 +61,18 @@ const char* ExplanationCodeToken(ExplanationCode code) {
       return "scale_down_latency_slack";
     case ExplanationCode::kScaleDownForcedByBudget:
       return "scale_down_forced_by_budget";
+    case ExplanationCode::kHoldResizePending:
+      return "hold_resize_pending";
+    case ExplanationCode::kHoldResizeBackoff:
+      return "hold_resize_backoff";
+    case ExplanationCode::kScaleRetryResize:
+      return "scale_retry_resize";
+    case ExplanationCode::kHoldResizeRejected:
+      return "hold_resize_rejected";
+    case ExplanationCode::kHoldResizeAbandoned:
+      return "hold_resize_abandoned";
+    case ExplanationCode::kHoldDegradedTelemetry:
+      return "hold_degraded_telemetry";
     case ExplanationCode::kRuleSevereBottleneck:
       return "rule_severe_bottleneck";
     case ExplanationCode::kRuleHighUtilHighWait:
@@ -172,6 +184,31 @@ std::string Explanation::ToString() const {
       return StrFormat(
           "Scale-down forced by budget: %.1f/interval available (%s)",
           args[0], detail.c_str());
+    case ExplanationCode::kHoldResizePending:
+      return StrFormat("Hold: resize in flight (attempt %d)",
+                       static_cast<int>(args[0]));
+    case ExplanationCode::kHoldResizeBackoff:
+      return StrFormat(
+          "Hold: resize attempt %d failed — backing off %d intervals "
+          "before retry",
+          static_cast<int>(args[0]), static_cast<int>(args[1]));
+    case ExplanationCode::kScaleRetryResize:
+      return StrFormat("Retry resize to %s (attempt %d)", detail.c_str(),
+                       static_cast<int>(args[0]));
+    case ExplanationCode::kHoldResizeRejected:
+      return StrFormat(
+          "Hold: resize to %s rejected by the service — cooling down %d "
+          "intervals",
+          detail.c_str(), static_cast<int>(args[0]));
+    case ExplanationCode::kHoldResizeAbandoned:
+      return StrFormat(
+          "Hold: resize abandoned after %d failed attempts",
+          static_cast<int>(args[0]));
+    case ExplanationCode::kHoldDegradedTelemetry:
+      return StrFormat(
+          "Hold: telemetry degraded (window %.0f%% complete) — demand "
+          "forced to 0",
+          args[0]);
 
     case ExplanationCode::kRuleSevereBottleneck:
       return StrFormat(

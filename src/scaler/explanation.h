@@ -53,6 +53,14 @@ enum class ExplanationCode : uint8_t {
   kScaleDownLatencySlack,       ///< args: latency ms, goal ms
   kScaleDownForcedByBudget,     ///< detail = inner rendered explanation;
                                 ///  args: available budget
+  kHoldResizePending,           ///< args: attempt
+  kHoldResizeBackoff,           ///< args: failed attempt, intervals until
+                                ///  retry
+  kScaleRetryResize,            ///< detail = target name; args: attempt
+  kHoldResizeRejected,          ///< detail = target name; args: cooldown
+                                ///  intervals remaining
+  kHoldResizeAbandoned,         ///< args: attempts made
+  kHoldDegradedTelemetry,       ///< args: window coverage %
 
   // -------- Section 4 demand-rule hierarchy (resource required) --------
   kRuleSevereBottleneck,

@@ -5,6 +5,7 @@
 #ifndef DBSCALE_SCALER_POLICY_H_
 #define DBSCALE_SCALER_POLICY_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,25 @@
 #include "src/telemetry/manager.h"
 
 namespace dbscale::scaler {
+
+/// Outcome feedback for a resize requested by an earlier decision. The
+/// harness drives the asynchronous resize lifecycle (Pending -> Applied |
+/// Failed) and reports the most recent transition here before each Decide;
+/// policies that ignore it simply keep requesting their preferred target.
+struct ResizeFeedback {
+  enum class Phase : uint8_t {
+    kNone,     ///< no resize outstanding
+    kPending,  ///< still in flight (actuation latency)
+    kApplied,  ///< applied at the start of this interval
+    kFailed,   ///< failed transiently; retrying may succeed
+    kRejected  ///< rejected permanently; retrying the same target is futile
+  };
+  Phase phase = Phase::kNone;
+  /// Target of the attempt the feedback refers to.
+  container::ContainerSpec target;
+  /// 1-based attempt number toward that target.
+  int attempt = 0;
+};
 
 /// What a policy sees at the end of each billing interval.
 struct PolicyInput {
@@ -28,6 +48,8 @@ struct PolicyInput {
   /// billed, e.g. a dry run). Budget-aware policies account for it at the
   /// top of Decide() — there is no separate charge callback.
   double charged_cost = 0.0;
+  /// Resize-lifecycle feedback for the previously requested resize.
+  ResizeFeedback resize;
   /// Observability handle (no-ops when disabled). Policies record decision
   /// metrics and nest spans under `obs.trace.parent`.
   obs::Sink obs;

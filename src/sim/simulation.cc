@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/fault/actuator.h"
 #include "src/stats/cdf.h"
 
 namespace dbscale::sim {
@@ -46,6 +47,7 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     telemetry::TelemetryManager probe(options_.telemetry);
     DBSCALE_RETURN_IF_ERROR(probe.Validate());
   }
+  DBSCALE_RETURN_IF_ERROR(options_.fault.Validate());
 
   Rng rng(options_.seed);
   engine::EventQueue events;
@@ -68,6 +70,20 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
   workload::RequestGenerator generator(&engine, options_.workload,
                                        options_.trace, gen_options,
                                        rng.Fork());
+
+  // Fault stream forked last and ONLY when enabled: a null plan leaves the
+  // engine/generator streams — and therefore the whole run — bit-identical
+  // to a build without the fault layer.
+  fault::FaultPlan fault_plan;
+  if (options_.fault.enabled()) {
+    fault_plan = fault::FaultPlan(options_.fault, rng.Fork());
+  }
+  const bool faulty = fault_plan.enabled();
+  fault::ResizeActuator actuator(&fault_plan);
+  scaler::ResizeFeedback feedback;
+  // Last sample that passed ingestion unfaulted; replayed on stale reads.
+  telemetry::TelemetrySample last_good;
+  bool have_good = false;
 
   telemetry::TelemetryStore store;
   telemetry::TelemetryManager manager(options_.telemetry);
@@ -119,6 +135,52 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
       ob->trace().BeginInterval(static_cast<int>(i), interval_start);
     }
 
+    // Asynchronous resize lifecycle: an in-flight resize resolves at the
+    // START of an interval — the new container (if the actuation succeeded)
+    // is in effect, and therefore billed, for the whole interval.
+    if (faulty && actuator.pending()) {
+      const fault::ResizeEvent ev = actuator.Tick();
+      switch (ev.kind) {
+        case fault::ResizeEventKind::kApplied:
+          DBSCALE_CHECK(engine.CompleteResize().ok());
+          ++result.container_changes;
+          if (sink.pipeline != nullptr) {
+            sink.metrics.Add(sink.pipeline->sim_resizes_total, 1.0);
+            sink.metrics.Add(ev.target.base_rung > current.base_rung
+                                 ? sink.pipeline->sim_scale_ups_total
+                                 : sink.pipeline->sim_scale_downs_total,
+                             1.0);
+            sink.metrics.Add(sink.pipeline->resize_applies_total, 1.0);
+          }
+          current = ev.target;
+          feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
+          feedback.target = ev.target;
+          feedback.attempt = ev.attempt;
+          break;
+        case fault::ResizeEventKind::kFailed:
+          DBSCALE_CHECK(engine.AbortResize().ok());
+          ++result.resize_failures;
+          if (sink.pipeline != nullptr) {
+            sink.metrics.Add(sink.pipeline->resize_failures_total, 1.0);
+          }
+          feedback.phase = scaler::ResizeFeedback::Phase::kFailed;
+          feedback.target = ev.target;
+          feedback.attempt = ev.attempt;
+          break;
+        case fault::ResizeEventKind::kPending:
+          if (sink.pipeline != nullptr) {
+            sink.metrics.Add(sink.pipeline->resize_pending_intervals_total,
+                             1.0);
+          }
+          feedback.phase = scaler::ResizeFeedback::Phase::kPending;
+          feedback.target = actuator.target();
+          feedback.attempt = ev.attempt;
+          break;
+        default:
+          break;
+      }
+    }
+
     IntervalRecord record;
     record.index = static_cast<int>(i);
     record.container = current;
@@ -152,7 +214,69 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
       record.completed += sample.requests_completed;
       memory_used_sum += sample.memory_used_mb;
       if (options_.keep_samples) result.samples.push_back(sample);
-      store.Append(std::move(sample));
+      if (!faulty) {
+        store.Append(std::move(sample));
+        continue;
+      }
+      // Telemetry-fault ingestion: the engine always collects (the record's
+      // ground truth above stays exact); what reaches the store may be
+      // dropped, corrupted, or stale. Dropped and rejected samples leave
+      // time gaps the signal window's coverage check later detects.
+      switch (fault_plan.NextSampleFault()) {
+        case fault::SampleFault::kNone:
+          last_good = sample;
+          have_good = true;
+          store.Append(std::move(sample));
+          break;
+        case fault::SampleFault::kDrop:
+          ++result.telemetry_dropped_samples;
+          if (sink.pipeline != nullptr) {
+            sink.metrics.Add(sink.pipeline->telemetry_dropped_samples_total,
+                             1.0);
+          }
+          break;
+        case fault::SampleFault::kNan:
+          fault_plan.CorruptSample(fault::SampleFault::kNan, &sample);
+          if (!fault::SampleLooksValid(sample)) {
+            // Ingestion guard: non-finite samples never reach the store.
+            ++result.telemetry_rejected_samples;
+            if (sink.pipeline != nullptr) {
+              sink.metrics.Add(
+                  sink.pipeline->telemetry_rejected_samples_total, 1.0);
+            }
+          } else {
+            store.Append(std::move(sample));
+          }
+          break;
+        case fault::SampleFault::kOutlier:
+          fault_plan.CorruptSample(fault::SampleFault::kOutlier, &sample);
+          ++result.telemetry_outlier_samples;
+          if (sink.pipeline != nullptr) {
+            sink.metrics.Add(sink.pipeline->telemetry_outlier_samples_total,
+                             1.0);
+          }
+          store.Append(std::move(sample));
+          break;
+        case fault::SampleFault::kStale:
+          if (have_good) {
+            // A stale read repeats the last good payload under the current
+            // period: the window stays covered but its content is stale.
+            telemetry::TelemetrySample stale = last_good;
+            stale.period_start = sample.period_start;
+            stale.period_end = sample.period_end;
+            ++result.telemetry_stale_samples;
+            if (sink.pipeline != nullptr) {
+              sink.metrics.Add(sink.pipeline->telemetry_stale_samples_total,
+                               1.0);
+            }
+            store.Append(std::move(stale));
+          } else {
+            last_good = sample;
+            have_good = true;
+            store.Append(std::move(sample));
+          }
+          break;
+      }
     }
     const double inv = 1.0 / whole_samples;
     for (ResourceKind kind : container::kAllResources) {
@@ -182,8 +306,13 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     input.current = current;
     input.interval_index = static_cast<int>(i);
     // The decision cycle carries the billing of the interval that just
-    // ended (there is no separate charge callback).
+    // ended (there is no separate charge callback). Billing follows the
+    // container actually in effect, so budget tokens are only charged for
+    // successfully applied resizes.
     input.charged_cost = current.price_per_interval;
+    input.resize = feedback;
+    feedback = scaler::ResizeFeedback{};
+    if (input.signals.degraded) ++result.degraded_windows;
     isink.trace.Attr(tele_span, "valid", input.signals.valid ? 1.0 : 0.0);
     isink.trace.Attr(tele_span, "latency_ms", input.signals.latency_ms);
     isink.trace.End(tele_span, now);
@@ -203,21 +332,86 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     record.decision_code = decision.explanation.code;
     record.decision_explanation = decision.explanation.ToString();
 
-    if (decision.target.id != current.id) {
+    if (decision.target.id != current.id && !actuator.pending()) {
       record.resized = true;
-      ++result.container_changes;
+      ++result.resize_attempts;
       const obs::SpanId resize_span = isink.trace.Start("resize", now);
       isink.trace.Attr(resize_span, "from_rung", current.base_rung);
       isink.trace.Attr(resize_span, "to_rung", decision.target.base_rung);
       if (isink.pipeline != nullptr) {
-        isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
-        isink.metrics.Add(decision.target.base_rung > current.base_rung
-                              ? isink.pipeline->sim_scale_ups_total
-                              : isink.pipeline->sim_scale_downs_total,
-                          1.0);
+        isink.metrics.Add(isink.pipeline->resize_requests_total, 1.0);
       }
-      current = decision.target;
-      engine.ApplyContainer(current);
+      if (!faulty) {
+        ++result.container_changes;
+        if (isink.pipeline != nullptr) {
+          isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
+          isink.metrics.Add(decision.target.base_rung > current.base_rung
+                                ? isink.pipeline->sim_scale_ups_total
+                                : isink.pipeline->sim_scale_downs_total,
+                            1.0);
+          isink.metrics.Add(isink.pipeline->resize_applies_total, 1.0);
+        }
+        current = decision.target;
+        DBSCALE_CHECK(engine.BeginResize(current).ok());
+        DBSCALE_CHECK(engine.CompleteResize().ok());
+        // Settle the audit trail's outcome even without fault injection
+        // (the kApplied feedback branch is decision-neutral).
+        feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
+        feedback.target = current;
+        feedback.attempt = 1;
+      } else {
+        const fault::ResizeEvent ev = actuator.Begin(decision.target);
+        switch (ev.kind) {
+          case fault::ResizeEventKind::kApplied:
+            // Zero actuation latency: in effect from the next interval,
+            // exactly like the null path.
+            DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
+            DBSCALE_CHECK(engine.CompleteResize().ok());
+            ++result.container_changes;
+            if (isink.pipeline != nullptr) {
+              isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
+              isink.metrics.Add(ev.target.base_rung > current.base_rung
+                                    ? isink.pipeline->sim_scale_ups_total
+                                    : isink.pipeline->sim_scale_downs_total,
+                                1.0);
+              isink.metrics.Add(isink.pipeline->resize_applies_total, 1.0);
+            }
+            current = ev.target;
+            feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
+            feedback.target = ev.target;
+            feedback.attempt = ev.attempt;
+            break;
+          case fault::ResizeEventKind::kPending:
+            // Stage the resize in the engine; it completes (or aborts) when
+            // the actuation latency elapses.
+            DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
+            feedback.phase = scaler::ResizeFeedback::Phase::kPending;
+            feedback.target = ev.target;
+            feedback.attempt = ev.attempt;
+            break;
+          case fault::ResizeEventKind::kFailed:
+            ++result.resize_failures;
+            if (isink.pipeline != nullptr) {
+              isink.metrics.Add(isink.pipeline->resize_failures_total, 1.0);
+            }
+            feedback.phase = scaler::ResizeFeedback::Phase::kFailed;
+            feedback.target = ev.target;
+            feedback.attempt = ev.attempt;
+            break;
+          case fault::ResizeEventKind::kRejected:
+            ++result.resize_rejections;
+            if (isink.pipeline != nullptr) {
+              isink.metrics.Add(isink.pipeline->resize_rejections_total,
+                                1.0);
+            }
+            feedback.phase = scaler::ResizeFeedback::Phase::kRejected;
+            feedback.target = ev.target;
+            feedback.attempt = ev.attempt;
+            break;
+          default:
+            break;
+        }
+      }
       isink.trace.End(resize_span, now);
     }
     if (decision.memory_limit_mb.has_value()) {

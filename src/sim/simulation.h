@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/container/catalog.h"
 #include "src/engine/engine.h"
+#include "src/fault/fault_plan.h"
 #include "src/scaler/policy.h"
 #include "src/telemetry/manager.h"
 #include "src/workload/generator.h"
@@ -76,6 +77,20 @@ struct RunResult {
   uint64_t total_errors = 0;
   uint64_t events_processed = 0;
 
+  /// Resize-lifecycle counters (src/fault/). With a null fault plan every
+  /// request applies immediately, so resize_attempts == container_changes
+  /// and the failure counters stay zero.
+  uint64_t resize_attempts = 0;
+  uint64_t resize_failures = 0;
+  uint64_t resize_rejections = 0;
+  /// Telemetry-fault counters (zero with a null fault plan).
+  uint64_t telemetry_dropped_samples = 0;
+  uint64_t telemetry_rejected_samples = 0;
+  uint64_t telemetry_stale_samples = 0;
+  uint64_t telemetry_outlier_samples = 0;
+  /// Intervals whose signal window was below the confidence floor.
+  uint64_t degraded_windows = 0;
+
   /// Per-interval absolute usage (input for OfflineProfiler).
   std::vector<container::ResourceVector> UsageSeries() const;
   /// Latency in the given aggregate.
@@ -104,6 +119,10 @@ struct SimulationOptions {
   /// Rung index of the container for interval 0.
   int initial_rung = 3;
   uint64_t seed = 42;
+  /// Deterministic fault injection (resize + telemetry faults). The default
+  /// (disabled) plan draws nothing and leaves the run bit-identical to a
+  /// build without the fault layer.
+  fault::FaultPlanOptions fault;
   bool prewarm_buffer_pool = true;
   /// Retain every telemetry sample in the result (drill-down experiments).
   bool keep_samples = false;

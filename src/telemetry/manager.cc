@@ -78,6 +78,19 @@ double LatencyOf(const TelemetrySample& s, LatencyAggregate agg) {
                                            : s.latency_p95_ms;
 }
 
+/// Fraction of the aggregation window's time span covered by samples.
+/// Dropped/rejected samples leave gaps (the span grows, the covered time
+/// does not); shared by the batch and incremental paths so both report
+/// bit-identical confidence.
+double WindowCoverage(const std::vector<const TelemetrySample*>& agg) {
+  if (agg.size() < 2) return 1.0;
+  double covered = 0.0;
+  for (const TelemetrySample* s : agg) covered += s->duration_sec();
+  const double span =
+      (agg.back()->period_end - agg.front()->period_start).ToSeconds();
+  return span > covered ? covered / span : 1.0;
+}
+
 bool SameEngineConfig(const TelemetryManagerOptions& a,
                       const TelemetryManagerOptions& b) {
   // Only fields that shape the engine's *state*. trend_accept_fraction is
@@ -244,6 +257,9 @@ Status TelemetryManager::Validate() const {
       options_.trend_accept_fraction > 1.0) {
     return Status::OutOfRange("trend_accept_fraction must be in (0.5, 1]");
   }
+  if (options_.min_confidence <= 0.0 || options_.min_confidence > 1.0) {
+    return Status::OutOfRange("min_confidence must be in (0, 1]");
+  }
   return Status::OK();
 }
 
@@ -276,6 +292,9 @@ SignalSnapshot TelemetryManager::Compute(const TelemetryStore& store,
     if (!snap.valid) {
       sink.metrics.Add(sink.pipeline->telemetry_invalid_snapshots_total, 1.0);
     }
+    if (snap.degraded) {
+      sink.metrics.Add(sink.pipeline->telemetry_degraded_windows_total, 1.0);
+    }
   }
   return snap;
 }
@@ -301,6 +320,9 @@ SignalSnapshot TelemetryManager::ComputeBatch(const TelemetryStore& store,
   const auto& agg = scratch->agg_window;
   const auto& trend = scratch->trend_window;
   const auto& corr = scratch->corr_window;
+
+  snap.confidence = WindowCoverage(agg);
+  snap.degraded = snap.confidence < options_.min_confidence;
 
   auto latency_of = [&](const TelemetrySample& s) {
     return options_.latency_aggregate == LatencyAggregate::kAverage
@@ -462,6 +484,8 @@ SignalSnapshot TelemetryManager::ComputeIncremental(
   // small window anyway.
   store.RecentInto(options_.aggregation_samples, scratch->agg_window);
   const auto& agg = scratch->agg_window;
+  snap.confidence = WindowCoverage(agg);
+  snap.degraded = snap.confidence < options_.min_confidence;
   {
     double grand_total = 0.0;
     std::array<double, kNumWaitClasses> sums{};

@@ -80,6 +80,16 @@ struct SignalSnapshot {
   double physical_reads_per_sec = 0.0;
   container::ResourceVector allocation;
 
+  /// Fraction (0..1] of the aggregation window's time span covered by
+  /// samples. Dropped or rejected samples leave time gaps, so this is the
+  /// completeness of the evidence behind the aggregates; 1.0 on a gapless
+  /// window.
+  double confidence = 1.0;
+  /// True when confidence fell below the manager's min_confidence: the
+  /// signals were computed over an incomplete window and must not drive
+  /// scaling (the consumer holds with a degraded-telemetry explanation).
+  bool degraded = false;
+
   const ResourceSignals& resource(container::ResourceKind kind) const {
     return resources[static_cast<size_t>(kind)];
   }
@@ -99,6 +109,9 @@ struct TelemetryManagerOptions {
   double trend_accept_fraction = 0.70;
   /// Latency aggregate for the latency signal.
   LatencyAggregate latency_aggregate = LatencyAggregate::kP95;
+  /// Minimum aggregation-window coverage below which the snapshot is
+  /// flagged degraded (graceful degradation under telemetry faults).
+  double min_confidence = 0.7;
   /// Maintain signals incrementally across Compute calls (requires the
   /// caller to reuse one SignalScratch per store). Results are
   /// bit-identical to the batch recomputation, which remains available as

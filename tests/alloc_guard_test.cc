@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/actuator.h"
+#include "src/fault/fault_plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/pipeline.h"
 #include "src/obs/trace.h"
@@ -463,6 +465,83 @@ TEST(AllocGuardTest, TraceCaptureSteadyStateIsAllocationFree) {
       << "TraceRecorder capture allocated in steady state";
   EXPECT_EQ(recorder.num_intervals(), 8u);
   EXPECT_GT(recorder.dropped_spans(), 0u);
+}
+
+// The fault-injection contract: fault draws and sample corruption sit on
+// the per-sample ingestion path and the per-interval actuation path, so
+// they must never touch the heap.
+TEST(AllocGuardTest, FaultPlanDrawsAreAllocationFree) {
+  fault::FaultPlanOptions options;
+  options.resize.failure_probability = 0.2;
+  options.resize.rejection_probability = 0.05;
+  options.resize.min_latency_intervals = 1;
+  options.resize.max_latency_intervals = 3;
+  options.telemetry.drop_probability = 0.1;
+  options.telemetry.nan_probability = 0.05;
+  options.telemetry.outlier_probability = 0.05;
+  options.telemetry.stale_probability = 0.05;
+  fault::FaultPlan plan(options, Rng(11));
+  TelemetrySample sample = MakeSample(0);
+
+  AllocSpan span;
+  for (int i = 0; i < 1000; ++i) {
+    // dbscale-lint: allow(discarded-status)
+    (void)plan.NextResizeFault();
+    const fault::SampleFault f = plan.NextSampleFault();
+    if (f != fault::SampleFault::kNone) plan.CorruptSample(f, &sample);
+    // dbscale-lint: allow(discarded-status)
+    (void)fault::SampleLooksValid(sample);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "FaultPlan draw/corrupt path allocated";
+}
+
+TEST(AllocGuardTest, ResizeActuatorLifecycleIsAllocationFree) {
+  const container::Catalog catalog = container::Catalog::MakeLockStep();
+  fault::FaultPlanOptions options;
+  options.resize.failure_probability = 0.3;
+  options.resize.min_latency_intervals = 1;
+  options.resize.max_latency_intervals = 2;
+  fault::FaultPlan plan(options, Rng(5));
+  fault::ResizeActuator actuator(&plan);
+  const container::ContainerSpec target = catalog.rung(5);
+
+  AllocSpan span;
+  for (int i = 0; i < 200; ++i) {
+    if (!actuator.pending()) {
+      // dbscale-lint: allow(discarded-status)
+      (void)actuator.Begin(target);
+    }
+    // dbscale-lint: allow(discarded-status)
+    (void)actuator.Tick();
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "ResizeActuator Begin/Tick allocated";
+}
+
+// Graceful degradation stays on the allocation-free path: Compute over a
+// gappy window (dropped samples) flags degraded without heap traffic.
+TEST(AllocGuardTest, DegradedComputeWithScratchIsAllocationFree) {
+  TelemetryStore store;
+  // Every third sample dropped: coverage ~0.66 < the 0.7 default floor.
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 != 2) store.Append(MakeSample(i));
+  }
+  TelemetryManager manager;
+  SignalScratch scratch;
+  auto warm = manager.Compute(store, store.back().period_end, &scratch);
+  ASSERT_TRUE(warm.valid);
+  ASSERT_TRUE(warm.degraded);
+
+  AllocSpan span;
+  for (int i = 0; i < 10; ++i) {
+    auto snap = manager.Compute(store, store.back().period_end, &scratch);
+    ASSERT_TRUE(snap.valid);
+    EXPECT_TRUE(snap.degraded);
+    EXPECT_LT(snap.confidence, 1.0);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "degraded-window Compute allocated on the scratch path";
 }
 
 TEST(AllocGuardTest, AsciiChartIntoWithWarmBuffersIsAllocationFree) {

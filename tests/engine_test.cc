@@ -223,7 +223,10 @@ TEST_F(EngineTest, UtilizationReflectsLoad) {
 
 TEST_F(EngineTest, ResizeAppliesNewCapacity) {
   auto engine = MakeEngine(BaseOptions(), 1);
-  engine->ApplyContainer(catalog_.rung(8));
+  ASSERT_TRUE(engine->BeginResize(catalog_.rung(8)).ok());
+  EXPECT_TRUE(engine->resize_pending());
+  ASSERT_TRUE(engine->CompleteResize().ok());
+  EXPECT_FALSE(engine->resize_pending());
   EXPECT_EQ(engine->current_container().base_rung, 8);
   // Throughput reflects 16 cores now: 16 jobs of 100ms finish in ~100ms.
   RequestSpec spec;
@@ -257,7 +260,8 @@ TEST_F(EngineTest, LimitAboveContainerIsNoOp) {
 TEST_F(EngineTest, ResizeClearsBalloonLimit) {
   auto engine = MakeEngine(BaseOptions(), 4);
   engine->SetMemoryLimitMb(4096.0);
-  engine->ApplyContainer(catalog_.rung(5));
+  ASSERT_TRUE(engine->BeginResize(catalog_.rung(5)).ok());
+  ASSERT_TRUE(engine->CompleteResize().ok());
   EXPECT_DOUBLE_EQ(engine->effective_memory_mb(),
                    catalog_.rung(5).resources.memory_mb);
 }

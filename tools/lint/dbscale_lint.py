@@ -65,6 +65,10 @@ HOT_PATH_FILES = (
     # allocation-free in steady state.
     "src/obs/metrics.cc",
     "src/obs/trace.cc",
+    # Fault-injection draws run per sample (telemetry faults) and per
+    # interval (resize actuation); both sit inside the simulation hot loop.
+    "src/fault/fault_plan.cc",
+    "src/fault/actuator.cc",
 )
 
 ORDER_SENSITIVE_PREFIXES = (
@@ -72,6 +76,9 @@ ORDER_SENSITIVE_PREFIXES = (
     "src/sim/",
     "src/telemetry/",
     "src/obs/",
+    # Fault streams are forked from the deterministic per-tenant RNG; any
+    # unordered reduction or wall-clock leak breaks bit-identical replay.
+    "src/fault/",
 )
 
 FLOAT_LIT = r"-?\d+\.\d*(?:[eE][-+]?\d+)?f?"
