@@ -5,6 +5,10 @@
 // --out=PATH):
 //   * fleet wall time, serial vs 1/2/4/8 threads, with a determinism
 //     checksum per run (must be identical across thread counts);
+//   * fleet_scale: the SoA streaming runner (src/fleet/fleet_scale.*) at
+//     10^4 and 10^5 tenants (10^6 with --full) — tenants/sec, state
+//     bytes, and peak RSS per point — plus a thread-scaling curve whose
+//     aggregate digest must be bit-identical at every thread count;
 //   * TelemetryManager::Compute throughput and heap allocations per call
 //     on a static store, with and without a reusable SignalScratch (both
 //     rows use the batch path so they stay comparable to earlier runs);
@@ -41,6 +45,7 @@
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/container/catalog.h"
+#include "src/fleet/fleet_scale.h"
 #include "src/fleet/fleet_sim.h"
 #include "src/obs/pipeline.h"
 #include "src/telemetry/manager.h"
@@ -117,6 +122,57 @@ FleetRunStats TimeFleetRun(const container::Catalog& catalog,
   }
   DBSCALE_CHECK(telemetry.ok());
   return {num_threads, elapsed, FleetChecksum(*telemetry)};
+}
+
+/// Peak resident set size (VmHWM) in kB, or -1 where /proc is unavailable.
+/// High-water mark, so later readings subsume earlier ones; the largest
+/// fleet-scale point dominates the value recorded next to it.
+long PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct FleetScaleRunStats {
+  int num_tenants = 0;
+  int num_threads = 0;
+  double seconds = 0.0;
+  double tenants_per_sec = 0.0;
+  uint64_t digest = 0;
+  uint64_t state_bytes = 0;
+  long peak_rss_kb = -1;
+};
+
+FleetScaleRunStats TimeFleetScaleRun(const container::Catalog& catalog,
+                                     fleet::FleetScaleOptions options) {
+  fleet::FleetScaleRunner runner(catalog, options);
+  const double start = NowSeconds();
+  auto outcome = runner.Run();
+  const double elapsed = NowSeconds() - start;
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "fleet-scale run failed: %s\n",
+                 outcome.status().ToString().c_str());
+  }
+  DBSCALE_CHECK(outcome.ok());
+  FleetScaleRunStats stats;
+  stats.num_tenants = options.num_tenants;
+  stats.num_threads = options.num_threads;
+  stats.seconds = elapsed;
+  stats.tenants_per_sec =
+      elapsed > 0.0 ? options.num_tenants / elapsed : 0.0;
+  stats.digest = outcome->aggregate.digest;
+  stats.state_bytes = runner.StateBytes();
+  stats.peak_rss_kb = PeakRssKb();
+  return stats;
 }
 
 telemetry::TelemetrySample MakeSlidingSample(
@@ -315,6 +371,7 @@ SlidingComparison CompareSlidingPaths(const container::Catalog& catalog,
 int Main(int argc, char** argv) {
   std::string out_path = "BENCH_perf.json";
   bool quick = false;
+  bool full = false;
   fleet::FleetOptions fleet_options;
   fleet_options.num_tenants = 200;
   fleet_options.num_intervals = 288;  // one simulated day
@@ -323,6 +380,7 @@ int Main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
       fleet_options.num_tenants = 1000;
       fleet_options.num_intervals = 7 * 288;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -360,6 +418,58 @@ int Main(int argc, char** argv) {
                 fleet_runs.front().seconds / run.seconds, run.checksum);
     // Bit-identical output is a hard guarantee, not a tolerance.
     DBSCALE_CHECK(run.checksum == fleet_runs.front().checksum);
+  }
+
+  // Fleet at scale: the SoA streaming runner (src/fleet/fleet_scale.*).
+  // Scale points measure streaming throughput and peak RSS at growing
+  // tenant counts; the thread curve re-runs one point at several thread
+  // counts and requires a bit-identical aggregate digest. On a single-core
+  // host the curve is flat by construction — the JSON carries an explicit
+  // caveat so readers do not mistake that for a sharding regression.
+  fleet::FleetScaleOptions scale_base;
+  scale_base.num_intervals = quick ? 48 : 288;  // one simulated day
+  scale_base.epoch_intervals = scale_base.num_intervals;
+  scale_base.seed = 7;
+  scale_base.block_size = 2048;
+  const std::vector<int> scale_points =
+      quick ? std::vector<int>{10000}
+            : (full ? std::vector<int>{10000, 100000, 1000000}
+                    : std::vector<int>{10000, 100000});
+  std::printf("\nfleet_scale (SoA streaming runner, %d intervals):\n",
+              scale_base.num_intervals);
+  std::vector<FleetScaleRunStats> scale_stats;
+  for (int tenants : scale_points) {
+    fleet::FleetScaleOptions options = scale_base;
+    options.num_tenants = tenants;
+    scale_stats.push_back(TimeFleetScaleRun(catalog, options));
+    const FleetScaleRunStats& run = scale_stats.back();
+    std::printf("  tenants=%-8d %8.2fs  %8.0f tenants/s  "
+                "state %7.1f MB  peak RSS %7.1f MB\n",
+                run.num_tenants, run.seconds, run.tenants_per_sec,
+                run.state_bytes / 1048576.0, run.peak_rss_kb / 1024.0);
+  }
+
+  const int curve_tenants = quick ? 10000 : 100000;
+  std::vector<FleetScaleRunStats> scale_curve;
+  for (int threads : thread_counts) {
+    fleet::FleetScaleOptions options = scale_base;
+    options.num_tenants = curve_tenants;
+    options.num_threads = threads;
+    scale_curve.push_back(TimeFleetScaleRun(catalog, options));
+    const FleetScaleRunStats& run = scale_curve.back();
+    std::printf("  tenants=%d threads=%d  %8.2fs  speedup=%.2fx  "
+                "digest=%016llx\n",
+                curve_tenants, run.num_threads, run.seconds,
+                scale_curve.front().seconds / run.seconds,
+                static_cast<unsigned long long>(run.digest));
+    // The digest chains per-tenant streams in tenant order; any thread
+    // count must reproduce it bit for bit.
+    DBSCALE_CHECK(run.digest == scale_curve.front().digest);
+  }
+  double scale_max_speedup = 0.0;
+  for (const FleetScaleRunStats& run : scale_curve) {
+    scale_max_speedup =
+        std::max(scale_max_speedup, scale_curve.front().seconds / run.seconds);
   }
 
   // Static-store rows, batch path on both: comparable to historical runs
@@ -497,6 +607,53 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out, "    ],\n");
   std::fprintf(out, "    \"deterministic_across_threads\": true\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"fleet_scale\": {\n");
+  std::fprintf(out, "    \"num_intervals\": %d,\n", scale_base.num_intervals);
+  std::fprintf(out, "    \"block_size\": %d,\n", scale_base.block_size);
+  std::fprintf(out, "    \"single_core_container\": %s,\n",
+               hw <= 1 ? "true" : "false");
+  if (hw <= 1) {
+    std::fprintf(out,
+                 "    \"thread_scaling_caveat\": \"single-core container "
+                 "(hardware_concurrency=1): the thread curve is flat by "
+                 "construction, so read tenants_per_sec as per-core "
+                 "streaming throughput; digests stay bit-identical at "
+                 "every thread count regardless\",\n");
+  }
+  std::fprintf(out, "    \"scale_points\": [\n");
+  for (size_t i = 0; i < scale_stats.size(); ++i) {
+    const FleetScaleRunStats& run = scale_stats[i];
+    std::fprintf(out,
+                 "      {\"tenants\": %d, \"seconds\": %.3f, "
+                 "\"tenants_per_sec\": %.0f, \"state_bytes\": %llu, "
+                 "\"bytes_per_tenant\": %.1f, \"peak_rss_kb\": %ld, "
+                 "\"digest\": \"%016llx\"}%s\n",
+                 run.num_tenants, run.seconds, run.tenants_per_sec,
+                 static_cast<unsigned long long>(run.state_bytes),
+                 static_cast<double>(run.state_bytes) / run.num_tenants,
+                 run.peak_rss_kb,
+                 static_cast<unsigned long long>(run.digest),
+                 i + 1 < scale_stats.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"tenants\": %d,\n", curve_tenants);
+  std::fprintf(out, "      \"runs\": [\n");
+  for (size_t i = 0; i < scale_curve.size(); ++i) {
+    const FleetScaleRunStats& run = scale_curve[i];
+    std::fprintf(out,
+                 "        {\"threads\": %d, \"seconds\": %.3f, "
+                 "\"speedup_vs_serial\": %.4f, \"digest\": \"%016llx\"}%s\n",
+                 run.num_threads, run.seconds,
+                 scale_curve.front().seconds / run.seconds,
+                 static_cast<unsigned long long>(run.digest),
+                 i + 1 < scale_curve.size() ? "," : "");
+  }
+  std::fprintf(out, "      ],\n");
+  std::fprintf(out, "      \"max_speedup\": %.4f,\n", scale_max_speedup);
+  std::fprintf(out, "      \"digest_identical_across_threads\": true\n");
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"telemetry_compute\": {\n");
   std::fprintf(out, "    \"iterations\": %d,\n", iterations);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, eight stages:
+# Full correctness gate, nine stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests (incl. the fault
 #      retry path exercised by the Fleet/Fault suites)
@@ -14,6 +14,10 @@
 #      bit-identical; a null plan never fails a resize; the acceptance
 #      fault profile (10% failures, 1-2 interval latency) converges with a
 #      visible retry trail in the audit log
+#   9. fleet-scale smoke: 10^4-tenant streaming run is run-twice digest
+#      identical, a checkpointed stop+resume matches the uninterrupted
+#      digest, a corrupted checkpoint is rejected, and throughput stays
+#      above a conservative tenants/sec floor
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -24,13 +28,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/8] normal build + full test suite ==="
+echo "=== [1/9] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/8] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/9] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -42,7 +46,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fault|Fleet|Comparison|Experiment'
 
 echo
-echo "=== [3/8] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/9] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -53,7 +57,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/8] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/9] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -68,11 +72,11 @@ else
 fi
 
 echo
-echo "=== [5/8] custom invariant lint ==="
+echo "=== [5/9] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/8] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/9] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -126,7 +130,7 @@ print("observability overhead (quick, noisy): "
 PY
 
 echo
-echo "=== [7/8] observability smoke (decision trace + exporter schemas) ==="
+echo "=== [7/9] observability smoke (decision trace + exporter schemas) ==="
 # The quickstart example runs an instrumented closed loop and dumps all
 # three exports; the schema checker then validates every artifact. Catches
 # exporter format regressions that unit goldens (single metrics) miss.
@@ -139,7 +143,7 @@ python3 tools/obs/check_obs_output.py \
   "${OBS_DIR}/decision_trace.metrics.csv"
 
 echo
-echo "=== [8/8] fault-matrix smoke (determinism + resilience) ==="
+echo "=== [8/9] fault-matrix smoke (determinism + resilience) ==="
 # The faulty_resize example runs the closed loop twice with a null plan and
 # twice with the acceptance fault profile, then dumps digests, counters,
 # and an audit summary. The checker enforces the resilience contract.
@@ -199,6 +203,44 @@ print(f"fault smoke ok: null and faulty digests stable, "
       f"{faulty['resize_failures']} failures retried "
       f"(deepest attempt {audit['max_attempt']}), "
       f"{faulty['reversals']} reversals over {intervals} intervals")
+PY
+
+echo
+echo "=== [9/9] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
+# The fleet_scale example runs a 10^4-tenant day twice, round-trips a
+# checkpoint at a different thread count, and corrupts the checkpoint.
+FLEET_JSON="${PREFIX}/fleet_scale_smoke.json"
+"${PREFIX}/examples/fleet_scale" --json="${FLEET_JSON}" >/dev/null
+python3 - "${FLEET_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+if report["digest_a"] != report["digest_b"]:
+    failures.append("fleet-scale run is not run-twice deterministic")
+if report["digest_resumed"] != report["digest_a"]:
+    failures.append("checkpoint resume diverged from the uninterrupted run")
+if not report["corrupt_rejected"]:
+    failures.append("corrupted checkpoint was not rejected")
+# Conservative floor: the single-core container does ~5k tenants/sec on
+# this workload; 300/sec catches order-of-magnitude regressions without
+# flaking on slow CI machines.
+if report["tenants_per_sec"] < 300:
+    failures.append(
+        f"fleet-scale throughput collapsed: {report['tenants_per_sec']}/s")
+if report["hourly_records"] != 10000 * 288 // 12:
+    failures.append("unexpected hourly record count")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"fleet-scale smoke ok: digest {report['digest_a']} stable across "
+      f"rerun and resume, corruption rejected, "
+      f"{report['tenants_per_sec']:.0f} tenants/s")
 PY
 
 echo

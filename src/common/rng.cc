@@ -124,4 +124,26 @@ Rng Rng::Fork() {
   return Rng(seed, stream);
 }
 
+Rng::State Rng::SaveState() const {
+  State s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const State& state) {
+  state_ = state.state;
+  inc_ = state.inc;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
+Rng Rng::FromState(const State& state) {
+  Rng rng(0);
+  rng.RestoreState(state);
+  return rng;
+}
+
 }  // namespace dbscale

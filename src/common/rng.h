@@ -56,6 +56,24 @@ class Rng {
   /// Splits off an independent generator (new stream derived from this one).
   Rng Fork();
 
+  /// \brief Complete generator position: restoring it resumes the exact
+  /// output sequence. Used by the fleet checkpoint format to make resumed
+  /// runs bit-identical to uninterrupted ones.
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    /// Box-Muller cache (Normal() produces values in pairs; the unconsumed
+    /// half is part of the position).
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
+  /// A generator positioned at `state` (equivalent to RestoreState on any
+  /// instance).
+  static Rng FromState(const State& state);
+
  private:
   uint64_t state_;
   uint64_t inc_;

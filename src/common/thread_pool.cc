@@ -53,17 +53,25 @@ void ThreadPool::RunChunk() {
   t_in_parallel_region = true;
   const std::function<void(int64_t)>* fn = job_fn_;
   const int64_t end = job_end_;
+  const int64_t grain = job_grain_;
   for (;;) {
-    const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= end) break;
-    try {
-      (*fn)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!job_error_) job_error_ = std::current_exception();
-      // Abandon the remaining indices; workers drain out on the next claim.
-      next_.store(end, std::memory_order_relaxed);
+    const int64_t first = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (first >= end) break;
+    const int64_t last = std::min(first + grain, end);
+    bool abandoned = false;
+    for (int64_t i = first; i < last && !abandoned; ++i) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job_error_) job_error_ = std::current_exception();
+        // Abandon the remaining indices; workers drain out on the next
+        // claim.
+        next_.store(end, std::memory_order_relaxed);
+        abandoned = true;
+      }
     }
+    if (abandoned) break;
   }
   t_in_parallel_region = false;
 }
@@ -82,9 +90,11 @@ void ThreadPool::RunSerial(int64_t begin, int64_t end,
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
-                             const std::function<void(int64_t)>& fn) {
+                             const std::function<void(int64_t)>& fn,
+                             int64_t grain) {
   if (begin >= end) return;
-  if (workers_.empty() || end - begin == 1 || t_in_parallel_region) {
+  grain = std::max<int64_t>(1, grain);
+  if (workers_.empty() || end - begin <= grain || t_in_parallel_region) {
     RunSerial(begin, end, fn);
     return;
   }
@@ -94,6 +104,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;
     job_end_ = end;
+    job_grain_ = grain;
     next_.store(begin, std::memory_order_relaxed);
     job_error_ = nullptr;
     workers_active_ = static_cast<int>(workers_.size());
@@ -133,8 +144,8 @@ ThreadPool& ThreadPool::Global() {
 }
 
 void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& fn) {
-  ThreadPool::Global().ParallelFor(begin, end, fn);
+                 const std::function<void(int64_t)>& fn, int64_t grain) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain);
 }
 
 }  // namespace dbscale

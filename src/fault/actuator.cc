@@ -53,6 +53,28 @@ ResizeEvent ResizeActuator::Tick() {
   return Resolve();
 }
 
+ResizeActuator::State ResizeActuator::SaveState() const {
+  State s;
+  s.pending = pending_;
+  s.target_rung = last_target_id_ >= 0 ? target_.base_rung : -1;
+  s.fate = fate_;
+  s.remaining_intervals = remaining_intervals_;
+  s.attempt = attempt_;
+  s.last_target_id = last_target_id_;
+  return s;
+}
+
+void ResizeActuator::RestoreState(const State& state,
+                                  const container::Catalog& catalog) {
+  pending_ = state.pending;
+  target_ = state.target_rung >= 0 ? catalog.rung(state.target_rung)
+                                   : container::ContainerSpec{};
+  fate_ = state.fate;
+  remaining_intervals_ = state.remaining_intervals;
+  attempt_ = state.attempt;
+  last_target_id_ = state.last_target_id;
+}
+
 ResizeEvent ResizeActuator::Resolve() {
   if (fate_ == ResizeFate::kApplied) {
     ++applied_;

@@ -65,6 +65,25 @@ class ResizeActuator {
   uint64_t failed() const { return failed_; }
   uint64_t rejected() const { return rejected_; }
 
+  /// \brief The channel's resumable position (fleet checkpoint format).
+  /// Captures the in-flight resize and the attempt tracking; the lifetime
+  /// counters above are diagnostics and intentionally excluded.
+  struct State {
+    bool pending = false;
+    /// Catalog rung of the in-flight target (-1 when none); the catalog is
+    /// config, so the spec is re-derived on restore rather than stored.
+    int target_rung = -1;
+    ResizeFate fate = ResizeFate::kApplied;
+    int remaining_intervals = 0;
+    int attempt = 0;
+    int last_target_id = -1;
+  };
+
+  State SaveState() const;
+  /// Restores a SaveState()d position. `catalog` must be the catalog the
+  /// saved target rungs refer to.
+  void RestoreState(const State& state, const container::Catalog& catalog);
+
  private:
   ResizeEvent Resolve();
 

@@ -113,6 +113,11 @@ class FaultPlan {
   void CorruptSample(SampleFault fault,
                      telemetry::TelemetrySample* sample) const;
 
+  /// Generator position, for the fleet checkpoint format. Restoring it on
+  /// a plan built from the same options resumes the exact fault stream.
+  Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const Rng::State& state) { rng_.RestoreState(state); }
+
  private:
   FaultPlanOptions options_;
   Rng rng_{0};

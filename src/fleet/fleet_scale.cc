@@ -1,0 +1,539 @@
+#include "src/fleet/fleet_scale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/fault/actuator.h"
+#include "src/fleet/checkpoint.h"
+#include "src/stats/robust.h"
+
+namespace dbscale::fleet {
+
+using container::ResourceKind;
+
+namespace {
+constexpr int kIntervalsPerHour = 12;  // 5-minute intervals
+constexpr double kIntervalMinutes = 5.0;
+/// Claim granularity for the per-tenant init fan-out (the body is a few
+/// microseconds, so claiming one tenant per fetch_add would serialize on
+/// the atomic).
+constexpr int64_t kInitGrain = 1024;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FleetSoaState
+
+void FleetSoaState::Resize(int num_tenants, bool fault_enabled) {
+  const size_t n = static_cast<size_t>(num_tenants);
+  rng_state.assign(n, 0);
+  rng_inc.assign(n, 0);
+  rng_cached_normal.assign(n, 0.0);
+  rng_has_cached.assign(n, 0);
+  ar_state.assign(n, 0.0);
+  burst_active.assign(n, 0);
+  prev_rung.assign(n, -1);
+  last_change_interval.assign(n, -1);
+  changes.assign(n, 0);
+  tenant_digest.assign(n, Fnv64Stream{}.value);
+  const size_t nf = fault_enabled ? n : 0;
+  applied_rung.assign(nf, -1);
+  plan_rng_state.assign(nf, 0);
+  plan_rng_inc.assign(nf, 0);
+  plan_rng_cached_normal.assign(nf, 0.0);
+  plan_rng_has_cached.assign(nf, 0);
+  act_pending.assign(nf, 0);
+  act_target_rung.assign(nf, -1);
+  act_fate.assign(nf, 0);
+  act_remaining.assign(nf, 0);
+  act_attempt.assign(nf, 0);
+  act_last_target.assign(nf, -1);
+  params.assign(n, TenantParams{});
+}
+
+Rng::State FleetSoaState::ModelRngAt(size_t i) const {
+  Rng::State s;
+  s.state = rng_state[i];
+  s.inc = rng_inc[i];
+  s.has_cached_normal = rng_has_cached[i] != 0;
+  s.cached_normal = rng_cached_normal[i];
+  return s;
+}
+
+void FleetSoaState::SetModelRngAt(size_t i, const Rng::State& s) {
+  rng_state[i] = s.state;
+  rng_inc[i] = s.inc;
+  rng_has_cached[i] = s.has_cached_normal ? 1 : 0;
+  rng_cached_normal[i] = s.cached_normal;
+}
+
+Rng::State FleetSoaState::PlanRngAt(size_t i) const {
+  Rng::State s;
+  s.state = plan_rng_state[i];
+  s.inc = plan_rng_inc[i];
+  s.has_cached_normal = plan_rng_has_cached[i] != 0;
+  s.cached_normal = plan_rng_cached_normal[i];
+  return s;
+}
+
+void FleetSoaState::SetPlanRngAt(size_t i, const Rng::State& s) {
+  plan_rng_state[i] = s.state;
+  plan_rng_inc[i] = s.inc;
+  plan_rng_has_cached[i] = s.has_cached_normal ? 1 : 0;
+  plan_rng_cached_normal[i] = s.cached_normal;
+}
+
+namespace {
+template <typename T>
+uint64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+}  // namespace
+
+uint64_t FleetSoaState::HotBytes() const {
+  return VecBytes(rng_state) + VecBytes(rng_inc) +
+         VecBytes(rng_cached_normal) + VecBytes(rng_has_cached) +
+         VecBytes(ar_state) + VecBytes(burst_active) + VecBytes(prev_rung) +
+         VecBytes(last_change_interval) + VecBytes(changes) +
+         VecBytes(tenant_digest) +
+         VecBytes(applied_rung) + VecBytes(plan_rng_state) +
+         VecBytes(plan_rng_inc) + VecBytes(plan_rng_cached_normal) +
+         VecBytes(plan_rng_has_cached) + VecBytes(act_pending) +
+         VecBytes(act_target_rung) + VecBytes(act_fate) +
+         VecBytes(act_remaining) + VecBytes(act_attempt) +
+         VecBytes(act_last_target);
+}
+
+uint64_t FleetSoaState::TotalBytes() const {
+  return HotBytes() + VecBytes(params);
+}
+
+// ---------------------------------------------------------------------------
+// Options
+
+Status FleetScaleOptions::Validate() const {
+  if (num_tenants <= 0 || num_intervals <= 0) {
+    return Status::InvalidArgument(
+        "num_tenants and num_intervals must be positive");
+  }
+  if (block_size <= 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (epoch_intervals <= 0 || epoch_intervals % kIntervalsPerHour != 0) {
+    return Status::InvalidArgument(
+        "epoch_intervals must be a positive multiple of 12 (hour-aligned)");
+  }
+  if (stop_after_intervals < 0) {
+    return Status::InvalidArgument("stop_after_intervals must be >= 0");
+  }
+  if (checkpoint_every_epochs <= 0) {
+    return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
+  }
+  return fault.Validate();
+}
+
+int FleetScaleOptions::NumBlocks() const {
+  return (num_tenants + block_size - 1) / block_size;
+}
+
+uint64_t FleetScaleFingerprint(const container::Catalog& catalog,
+                               const FleetScaleOptions& options) {
+  Fnv64Stream h;
+  h.Bytes("dbscale.fleet_scale.v1", 22);
+  h.I32(catalog.size());
+  h.I32(catalog.num_rungs());
+  for (const container::ContainerSpec& spec : catalog.specs()) {
+    h.Dbl(spec.price_per_interval);
+  }
+  h.I32(options.num_tenants);
+  h.I32(options.num_intervals);
+  h.U64(options.seed);
+  h.I32(options.block_size);
+  h.I32(options.epoch_intervals);
+  const TenantModelOptions& t = options.tenant;
+  h.Dbl(t.p_steady);
+  h.Dbl(t.p_diurnal);
+  h.Dbl(t.p_bursty);
+  h.Dbl(t.p_spiky);
+  h.Dbl(t.p_growth);
+  h.Dbl(t.ar_rho);
+  h.Dbl(t.ar_sigma);
+  h.Dbl(t.ar_sigma_spread);
+  h.Dbl(t.wait_noise_sigma);
+  h.Dbl(t.storm_probability);
+  h.Dbl(t.smooth_fraction);
+  h.I32(t.intervals_per_day);
+  const fault::FaultPlanOptions& f = options.fault;
+  h.U64(f.enabled() ? 1 : 0);
+  h.Dbl(f.resize.failure_probability);
+  h.Dbl(f.resize.rejection_probability);
+  h.I32(f.resize.min_latency_intervals);
+  h.I32(f.resize.max_latency_intervals);
+  h.Dbl(f.telemetry.drop_probability);
+  h.Dbl(f.telemetry.nan_probability);
+  h.Dbl(f.telemetry.outlier_probability);
+  h.Dbl(f.telemetry.outlier_factor);
+  h.Dbl(f.telemetry.stale_probability);
+  return h.value;
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+
+FleetScaleRunner::FleetScaleRunner(const container::Catalog& catalog,
+                                   FleetScaleOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      fault_enabled_(options_.fault.enabled()) {}
+
+Status FleetScaleRunner::InitTenants() {
+  state_.Resize(options_.num_tenants, fault_enabled_);
+
+  // Phase 1, serial: pre-fork every tenant's generator from the root. The
+  // fork order defines each tenant's stream, so it must not depend on
+  // scheduling.
+  Rng root(options_.seed);
+  for (int i = 0; i < options_.num_tenants; ++i) {
+    Rng forked = root.Fork();
+    state_.SetModelRngAt(static_cast<size_t>(i), forked.SaveState());
+  }
+
+  // Phase 2, parallel: per-tenant derivations. Each tenant touches only
+  // its own slots, so this is order-free. Draw order within a tenant
+  // matches the exact path exactly: the fault stream forks off the tenant
+  // generator BEFORE the model draws its constants.
+  auto init_tenant = [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    Rng rng = Rng::FromState(state_.ModelRngAt(idx));
+    if (fault_enabled_) {
+      Rng plan_rng = rng.Fork();
+      state_.SetPlanRngAt(idx, plan_rng.SaveState());
+    }
+    state_.params[idx] = DrawTenantParams(catalog_, options_.tenant, rng);
+    state_.SetModelRngAt(idx, rng.SaveState());
+  };
+  if (options_.num_threads == 0) {
+    ThreadPool::Global().ParallelFor(0, options_.num_tenants, init_tenant,
+                                     kInitGrain);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(0, options_.num_tenants, init_tenant, kInitGrain);
+  }
+
+  block_aggs_.assign(static_cast<size_t>(options_.NumBlocks()),
+                     FleetAggregate{});
+  for (FleetAggregate& agg : block_aggs_) {
+    agg.Init(catalog_.num_rungs(), options_.num_intervals);
+  }
+  completed_intervals_ = 0;
+  return Status::OK();
+}
+
+void FleetScaleRunner::RunBlockEpoch(int block, int t0, int t1,
+                                     obs::MetricShard* shard) {
+  const int begin =
+      block * options_.block_size;
+  const int end = std::min(begin + options_.block_size, options_.num_tenants);
+  FleetAggregate& agg = block_aggs_[static_cast<size_t>(block)];
+  obs::MetricSink sink{shard};
+  const obs::PipelineMetrics* pm =
+      shard != nullptr ? &options_.obs->pipeline() : nullptr;
+
+  // Hour scratch, reused across the block's tenants (epochs are
+  // hour-aligned, so the buffers are empty at every tenant boundary).
+  std::array<std::vector<double>, container::kNumResources> hour_util;
+  std::array<std::vector<double>, container::kNumResources> hour_wait;
+  std::array<std::vector<double>, container::kNumResources> hour_pct;
+  std::array<std::vector<double>, container::kNumResources> hour_wpr;
+  for (int ri = 0; ri < container::kNumResources; ++ri) {
+    const size_t r = static_cast<size_t>(ri);
+    hour_util[r].reserve(kIntervalsPerHour);
+    hour_wait[r].reserve(kIntervalsPerHour);
+    hour_pct[r].reserve(kIntervalsPerHour);
+    hour_wpr[r].reserve(kIntervalsPerHour);
+  }
+
+  for (int tenant = begin; tenant < end; ++tenant) {
+    const size_t idx = static_cast<size_t>(tenant);
+    Rng rng = Rng::FromState(state_.ModelRngAt(idx));
+    fault::FaultPlan plan;
+    if (fault_enabled_) {
+      plan = fault::FaultPlan(options_.fault,
+                              Rng::FromState(state_.PlanRngAt(idx)));
+    }
+    fault::ResizeActuator actuator(&plan);
+    int applied_rung = -1;
+    if (fault_enabled_) {
+      fault::ResizeActuator::State act;
+      act.pending = state_.act_pending[idx] != 0;
+      act.target_rung = state_.act_target_rung[idx];
+      act.fate = static_cast<fault::ResizeFate>(state_.act_fate[idx]);
+      act.remaining_intervals = state_.act_remaining[idx];
+      act.attempt = state_.act_attempt[idx];
+      act.last_target_id = state_.act_last_target[idx];
+      actuator.RestoreState(act, catalog_);
+      applied_rung = state_.applied_rung[idx];
+    }
+    const TenantParams& params = state_.params[idx];
+    TenantDynamics dyn{state_.ar_state[idx],
+                       state_.burst_active[idx] != 0};
+    int prev_rung = state_.prev_rung[idx];
+    int last_change_interval = state_.last_change_interval[idx];
+    int changes = state_.changes[idx];
+    Fnv64Stream tenant_hash{state_.tenant_digest[idx]};
+
+    if (t0 == 0 && pm != nullptr) sink.Add(pm->fleet_tenants_total, 1.0);
+
+    // The per-interval body mirrors FleetSimulator::SimulateTenant
+    // emission-for-emission; it only folds each record into `agg` instead
+    // of materializing it.
+    for (int t = t0; t < t1; ++t) {
+      if (fault_enabled_ && actuator.pending()) {
+        const fault::ResizeEvent ev = actuator.Tick();
+        if (ev.kind == fault::ResizeEventKind::kApplied) {
+          applied_rung = ev.target.base_rung;
+        } else if (ev.kind == fault::ResizeEventKind::kFailed) {
+          ++agg.resize_failures;
+          if (pm != nullptr) sink.Add(pm->fleet_resize_failures_total, 1.0);
+        }
+      }
+
+      const TenantInterval interval =
+          StepTenant(catalog_, options_.tenant, params, dyn, rng, t,
+                     fault_enabled_ ? applied_rung : -1);
+
+      if (fault_enabled_) {
+        if (applied_rung < 0) {
+          applied_rung = interval.assigned_rung;
+        } else if (!actuator.pending() &&
+                   interval.assigned_rung != applied_rung) {
+          const fault::ResizeEvent ev =
+              actuator.Begin(catalog_.rung(interval.assigned_rung));
+          if (ev.attempt > 1) {
+            ++agg.resize_retries;
+            if (pm != nullptr) sink.Add(pm->fleet_resize_retries_total, 1.0);
+          }
+          if (ev.kind == fault::ResizeEventKind::kApplied) {
+            applied_rung = ev.target.base_rung;
+          } else if (ev.kind == fault::ResizeEventKind::kFailed ||
+                     ev.kind == fault::ResizeEventKind::kRejected) {
+            ++agg.resize_failures;
+            if (pm != nullptr) sink.Add(pm->fleet_resize_failures_total, 1.0);
+          }
+        }
+      }
+
+      const int observed_rung =
+          fault_enabled_ ? applied_rung : interval.assigned_rung;
+
+      if (prev_rung >= 0 && observed_rung != prev_rung) {
+        ++changes;
+        const int step = std::abs(observed_rung - prev_rung);
+        const int gap =
+            last_change_interval >= 0 ? t - last_change_interval : 0;
+        agg.AddChangeEvent(step, gap);
+        tenant_hash.I32(step);
+        tenant_hash.I32(gap);
+        if (pm != nullptr) {
+          sink.Add(pm->fleet_container_changes_total, 1.0);
+          sink.Observe(pm->fleet_change_step_rungs,
+                       static_cast<double>(step));
+          if (gap > 0) {
+            sink.Observe(pm->fleet_inter_event_minutes,
+                         static_cast<double>(gap) * kIntervalMinutes);
+          }
+        }
+        last_change_interval = t;
+      }
+      prev_rung = observed_rung;
+      if (pm != nullptr) sink.Add(pm->fleet_tenant_intervals_total, 1.0);
+
+      for (int ri = 0; ri < container::kNumResources; ++ri) {
+        const size_t r = static_cast<size_t>(ri);
+        hour_util[r].push_back(interval.utilization_pct[r]);
+        hour_wait[r].push_back(interval.wait_ms[r]);
+        hour_pct[r].push_back(interval.wait_pct[r]);
+        hour_wpr[r].push_back(
+            interval.wait_ms[r] /
+            static_cast<double>(std::max<int64_t>(1, interval.completed)));
+      }
+      if ((t + 1) % kIntervalsPerHour == 0) {
+        HourlyRecord record;
+        record.tenant_id = tenant;
+        record.hour = t / kIntervalsPerHour;
+        for (int ri = 0; ri < container::kNumResources; ++ri) {
+          const size_t r = static_cast<size_t>(ri);
+          record.utilization_pct[r] =
+              stats::MedianInPlace(hour_util[r]).value_or(0.0);
+          record.wait_ms[r] =
+              stats::MedianInPlace(hour_wait[r]).value_or(0.0);
+          record.wait_pct[r] =
+              stats::MedianInPlace(hour_pct[r]).value_or(0.0);
+          record.wait_ms_per_request[r] =
+              stats::MedianInPlace(hour_wpr[r]).value_or(0.0);
+          hour_util[r].clear();
+          hour_wait[r].clear();
+          hour_pct[r].clear();
+          hour_wpr[r].clear();
+          tenant_hash.Dbl(record.utilization_pct[r]);
+          tenant_hash.Dbl(record.wait_ms[r]);
+          tenant_hash.Dbl(record.wait_pct[r]);
+          tenant_hash.Dbl(record.wait_ms_per_request[r]);
+        }
+        agg.AddHourlyRecord(record);
+        if (pm != nullptr) sink.Add(pm->fleet_hourly_records_total, 1.0);
+      }
+    }
+
+    // Trailing sub-hour samples (num_intervals not a multiple of 12) are
+    // dropped, exactly as the exact path drops them.
+    for (int ri = 0; ri < container::kNumResources; ++ri) {
+      const size_t r = static_cast<size_t>(ri);
+      hour_util[r].clear();
+      hour_wait[r].clear();
+      hour_pct[r].clear();
+      hour_wpr[r].clear();
+    }
+
+    if (t1 == options_.num_intervals) {
+      agg.AddTenantChanges(changes);
+      tenant_hash.I32(changes);
+      agg.ChainDigest(tenant_hash.value);
+    }
+    state_.tenant_digest[idx] = tenant_hash.value;
+
+    state_.SetModelRngAt(idx, rng.SaveState());
+    state_.ar_state[idx] = dyn.ar_state;
+    state_.burst_active[idx] = dyn.burst_active ? 1 : 0;
+    state_.prev_rung[idx] = prev_rung;
+    state_.last_change_interval[idx] = last_change_interval;
+    state_.changes[idx] = changes;
+    if (fault_enabled_) {
+      state_.applied_rung[idx] = applied_rung;
+      state_.SetPlanRngAt(idx, plan.SaveRngState());
+      const fault::ResizeActuator::State act = actuator.SaveState();
+      state_.act_pending[idx] = act.pending ? 1 : 0;
+      state_.act_target_rung[idx] = act.target_rung;
+      state_.act_fate[idx] = static_cast<uint8_t>(act.fate);
+      state_.act_remaining[idx] = act.remaining_intervals;
+      state_.act_attempt[idx] = act.attempt;
+      state_.act_last_target[idx] = act.last_target_id;
+    }
+  }
+}
+
+Result<FleetScaleOutcome> FleetScaleRunner::RunFrom(int start_interval) {
+  const int total = options_.num_intervals;
+  const int num_blocks = options_.NumBlocks();
+
+  // Observability setup: register + size the primary before the fan-out,
+  // one pooled shard per block.
+  if (options_.obs != nullptr) {
+    options_.obs->AttachPrimary();
+    shard_pool_.Attach(&options_.obs->registry(),
+                       static_cast<size_t>(num_blocks));
+  }
+
+  // The stop point: the first epoch boundary at or past the request.
+  int stop = total;
+  if (options_.stop_after_intervals > 0 &&
+      options_.stop_after_intervals < total) {
+    const int epochs = (options_.stop_after_intervals +
+                        options_.epoch_intervals - 1) /
+                       options_.epoch_intervals;
+    stop = std::min(total, epochs * options_.epoch_intervals);
+  }
+
+  const uint64_t fingerprint = FleetScaleFingerprint(catalog_, options_);
+  ThreadPool* pool = nullptr;
+  ThreadPool local_pool(options_.num_threads == 0 ? 1 : options_.num_threads);
+  if (options_.num_threads != 0) pool = &local_pool;
+
+  completed_intervals_ = start_interval;
+  int epochs_done = 0;
+  while (completed_intervals_ < stop) {
+    const int t0 = completed_intervals_;
+    const int t1 = std::min(t0 + options_.epoch_intervals, total);
+    auto run_block = [&](int64_t block) {
+      obs::MetricShard* shard =
+          shard_pool_.attached()
+              ? &shard_pool_.shard(static_cast<size_t>(block))
+              : nullptr;
+      RunBlockEpoch(static_cast<int>(block), t0, t1, shard);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, num_blocks, run_block);
+    } else {
+      ThreadPool::Global().ParallelFor(0, num_blocks, run_block);
+    }
+    completed_intervals_ = t1;
+    ++epochs_done;
+
+    const bool at_stop = completed_intervals_ >= stop;
+    if (!options_.checkpoint_path.empty() &&
+        (at_stop || epochs_done % options_.checkpoint_every_epochs == 0)) {
+      DBSCALE_RETURN_IF_ERROR(
+          SaveFleetCheckpoint(options_.checkpoint_path, fingerprint,
+                              completed_intervals_, state_, block_aggs_));
+    }
+  }
+
+  // Merge per-block results in block order: bit-identical at any thread
+  // count and across checkpoint/resume.
+  FleetScaleOutcome outcome;
+  outcome.completed_intervals = completed_intervals_;
+  outcome.complete = completed_intervals_ == total;
+  outcome.aggregate.Init(catalog_.num_rungs(), total);
+  for (const FleetAggregate& agg : block_aggs_) {
+    outcome.aggregate.MergeFrom(agg);
+  }
+  if (options_.obs != nullptr) {
+    shard_pool_.MergeInto(&options_.obs->primary());
+  }
+  return outcome;
+}
+
+Result<FleetScaleOutcome> FleetScaleRunner::Run() {
+  DBSCALE_RETURN_IF_ERROR(options_.Validate());
+  DBSCALE_RETURN_IF_ERROR(InitTenants());
+  return RunFrom(0);
+}
+
+Result<FleetScaleOutcome> FleetScaleRunner::Resume(
+    const container::Catalog& catalog, FleetScaleOptions options,
+    const std::string& checkpoint_path) {
+  FleetScaleRunner runner(catalog, std::move(options));
+  DBSCALE_RETURN_IF_ERROR(runner.options_.Validate());
+
+  const uint64_t fingerprint =
+      FleetScaleFingerprint(catalog, runner.options_);
+  DBSCALE_ASSIGN_OR_RETURN(
+      FleetCheckpointData data,
+      LoadFleetCheckpoint(checkpoint_path, fingerprint));
+
+  if (data.state.num_tenants() != runner.options_.num_tenants ||
+      data.state.fault_sized() != runner.fault_enabled_ ||
+      static_cast<int>(data.block_aggs.size()) !=
+          runner.options_.NumBlocks() ||
+      data.completed_intervals > runner.options_.num_intervals) {
+    return Status::FailedPrecondition(
+        "checkpoint shape does not match the run options");
+  }
+  if (data.completed_intervals % runner.options_.epoch_intervals != 0 &&
+      data.completed_intervals != runner.options_.num_intervals) {
+    return Status::FailedPrecondition(
+        "checkpoint interval count is not epoch-aligned");
+  }
+
+  // Rebuild the derived per-tenant constants from the seed, then lay the
+  // checkpointed hot state over them.
+  DBSCALE_RETURN_IF_ERROR(runner.InitTenants());
+  std::vector<TenantParams> params = std::move(runner.state_.params);
+  runner.state_ = std::move(data.state);
+  runner.state_.params = std::move(params);
+  runner.block_aggs_ = std::move(data.block_aggs);
+  return runner.RunFrom(data.completed_intervals);
+}
+
+}  // namespace dbscale::fleet

@@ -39,18 +39,13 @@ FleetSimulator::FleetSimulator(const container::Catalog& catalog,
                                FleetOptions options)
     : catalog_(catalog), options_(options) {}
 
-FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(int tenant,
-                                                             Rng rng) const {
+FleetSimulator::TenantPartial FleetSimulator::SimulateTenant(
+    int tenant, Rng rng, obs::MetricSink sink) const {
   TenantPartial out;
   out.step_size_counts.assign(static_cast<size_t>(catalog_.num_rungs()) + 1,
                               0);
-  // Per-tenant shard: attached here (setup, allocates once per tenant),
-  // recorded into allocation-free below, merged in tenant order by Run().
-  obs::MetricSink sink;
   const obs::PipelineMetrics* pm = nullptr;
-  if (options_.obs != nullptr) {
-    out.shard.Attach(&options_.obs->registry());
-    sink = obs::MetricSink{&out.shard};
+  if (sink.enabled()) {
     pm = &options_.obs->pipeline();
     sink.Add(pm->fleet_tenants_total, 1.0);
   }
@@ -197,12 +192,21 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     return Status::InvalidArgument(
         "num_tenants and num_intervals must be positive");
   }
+  if (options_.block_size <= 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
   DBSCALE_RETURN_IF_ERROR(options_.fault.Validate());
 
   // Observability setup (instrument registration is not thread-safe, so
-  // the primary is sized before the fan-out; tenant shards attach to the
-  // then-frozen registry inside the workers).
-  if (options_.obs != nullptr) options_.obs->AttachPrimary();
+  // the primary and the block shard pool are sized before the fan-out).
+  const int num_blocks =
+      (options_.num_tenants + options_.block_size - 1) / options_.block_size;
+  obs::ShardPool shard_pool;
+  if (options_.obs != nullptr) {
+    options_.obs->AttachPrimary();
+    shard_pool.Attach(&options_.obs->registry(),
+                      static_cast<size_t>(num_blocks));
+  }
 
   // Pre-fork every tenant's generator from the root *before* dispatch: the
   // fork sequence — and therefore each tenant's stream — is fixed by the
@@ -214,17 +218,28 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     tenant_rngs.push_back(root.Fork());
   }
 
+  // Block-sharded fan-out: each claim simulates one contiguous tenant
+  // block into per-tenant partials plus the block's pooled metric shard.
   std::vector<TenantPartial> partials(
       static_cast<size_t>(options_.num_tenants));
-  auto simulate = [&](int64_t tenant) {
-    partials[static_cast<size_t>(tenant)] = SimulateTenant(
-        static_cast<int>(tenant), tenant_rngs[static_cast<size_t>(tenant)]);
+  auto simulate_block = [&](int64_t block) {
+    const int begin = static_cast<int>(block) * options_.block_size;
+    const int end =
+        std::min(begin + options_.block_size, options_.num_tenants);
+    obs::MetricSink sink;
+    if (shard_pool.attached()) {
+      sink.shard = &shard_pool.shard(static_cast<size_t>(block));
+    }
+    for (int tenant = begin; tenant < end; ++tenant) {
+      partials[static_cast<size_t>(tenant)] = SimulateTenant(
+          tenant, tenant_rngs[static_cast<size_t>(tenant)], sink);
+    }
   };
   if (options_.num_threads == 0) {
-    ThreadPool::Global().ParallelFor(0, options_.num_tenants, simulate);
+    ThreadPool::Global().ParallelFor(0, num_blocks, simulate_block);
   } else {
     ThreadPool pool(options_.num_threads);
-    pool.ParallelFor(0, options_.num_tenants, simulate);
+    pool.ParallelFor(0, num_blocks, simulate_block);
   }
 
   // Merge in tenant order: byte-identical output at any thread count.
@@ -252,11 +267,12 @@ Result<FleetTelemetry> FleetSimulator::Run() const {
     for (size_t s = 0; s < p.step_size_counts.size(); ++s) {
       out.step_size_counts[s] += p.step_size_counts[s];
     }
-    // Shard merge rides the same tenant-order loop, so metric values (like
-    // every other fleet output) are bit-identical at any thread count.
-    if (options_.obs != nullptr && p.shard.attached()) {
-      options_.obs->primary().MergeFrom(p.shard);
-    }
+  }
+  // Pooled shards merge in block order. All fleet recordings are
+  // integer-valued adds, so the result is bitwise identical to the
+  // historical per-tenant merge at any thread count.
+  if (options_.obs != nullptr) {
+    shard_pool.MergeInto(&options_.obs->primary());
   }
   return out;
 }

@@ -75,11 +75,16 @@ struct FleetOptions {
   /// thread count; the default (disabled) plan draws nothing and leaves
   /// the run bit-identical to a build without the fault layer.
   fault::FaultPlanOptions fault;
-  /// Observability bundle (not owned; nullptr = off). Each tenant records
-  /// into its own MetricShard; shards are merged into the primary in tenant
-  /// order, so merged values are bit-identical at any thread count. The
-  /// fleet records metrics only (no per-interval traces).
+  /// Observability bundle (not owned; nullptr = off). Tenants record into
+  /// a pooled MetricShard per scheduling block (obs::ShardPool) rather
+  /// than one shard each; shards are merged into the primary in block
+  /// order. Fleet metrics are integer-valued counter/histogram adds, so
+  /// block pooling is bitwise identical to the historical per-tenant
+  /// shards at any thread count. The fleet records metrics only (no
+  /// per-interval traces).
   obs::Observability* obs = nullptr;
+  /// Tenants per scheduling block (also the metric-shard granularity).
+  int block_size = 256;
 };
 
 /// \brief Runs the closed-form fleet model.
@@ -102,11 +107,12 @@ class FleetSimulator {
     TenantChangeStats changes;
     uint64_t resize_failures = 0;
     uint64_t resize_retries = 0;
-    /// This tenant's metric shard (attached only when obs is enabled).
-    obs::MetricShard shard;
   };
 
-  TenantPartial SimulateTenant(int tenant, Rng rng) const;
+  /// `sink` targets the tenant's block shard (null when obs is off); safe
+  /// because one worker owns a block at a time.
+  TenantPartial SimulateTenant(int tenant, Rng rng,
+                               obs::MetricSink sink) const;
 
   container::Catalog catalog_;
   FleetOptions options_;

@@ -16,6 +16,13 @@
 //     to utilization and a per-tenant "smooth" factor — reproducing the
 //     weak, wide-band correlation of Figure 4 and the low/high-utilization
 //     separation of Figure 6.
+//
+// The model state is split for the million-tenant SoA runner
+// (fleet_scale.h): TenantParams holds the constants drawn once at init,
+// TenantDynamics the two mutable scalars the step recurrence carries, and
+// the Rng its own position. DrawTenantParams/StepTenant are the shared
+// kernels; the TenantModel class wraps them for single-tenant callers and
+// draws bit-identically to both.
 
 #ifndef DBSCALE_FLEET_TENANT_MODEL_H_
 #define DBSCALE_FLEET_TENANT_MODEL_H_
@@ -73,42 +80,61 @@ struct TenantModelOptions {
   int intervals_per_day = 288;
 };
 
-/// \brief One synthetic tenant.
+/// Per-tenant constants, drawn once from the tenant's forked generator.
+/// Read every interval but never written after init — the SoA runner keeps
+/// one contiguous array of these beside the hot mutable state.
+struct TenantParams {
+  DemandPattern pattern = DemandPattern::kSteady;
+  container::ResourceVector base_demand;
+  double ar_sigma = 0.1;  ///< per-tenant innovation sigma
+  bool smooth = false;
+  double base_rate_rps = 1.0;
+  /// Per-resource wait-scale personality.
+  std::array<double, container::kNumResources> wait_scale{};
+};
+
+/// The mutable per-interval recurrence state (besides the Rng position).
+struct TenantDynamics {
+  double ar_state = 0.0;
+  bool burst_active = false;
+};
+
+/// Draws a tenant's constants. Consumes exactly the draw sequence the
+/// original TenantModel constructor consumed, so pre-refactor streams are
+/// reproduced bit-for-bit.
+TenantParams DrawTenantParams(const container::Catalog& catalog,
+                              const TenantModelOptions& options, Rng& rng);
+
+/// Generates telemetry for interval `t` (call with increasing t; `dyn`
+/// carries the AR/burst state). `applied_rung` >= 0 overrides the container
+/// the tenant actually runs on (the fault layer's delayed/failed resizes
+/// leave it lagging the assigned rung); utilization and waits then follow
+/// the applied container while demand and the RNG draw sequence stay
+/// exactly as without the override.
+TenantInterval StepTenant(const container::Catalog& catalog,
+                          const TenantModelOptions& options,
+                          const TenantParams& params, TenantDynamics& dyn,
+                          Rng& rng, int t, int applied_rung = -1);
+
+/// \brief One synthetic tenant (owning wrapper over the shared kernels).
 class TenantModel {
  public:
   TenantModel(int tenant_id, const container::Catalog* catalog,
               const TenantModelOptions& options, Rng rng);
 
-  /// Generates telemetry for interval `t` (call with increasing t; the
-  /// model carries AR state). `applied_rung` >= 0 overrides the container
-  /// the tenant actually runs on (the fault layer's delayed/failed resizes
-  /// leave it lagging the assigned rung); utilization and waits then follow
-  /// the applied container while demand and the RNG draw sequence stay
-  /// exactly as without the override.
+  /// See StepTenant.
   TenantInterval Step(int t, int applied_rung = -1);
 
   int tenant_id() const { return tenant_id_; }
-  DemandPattern pattern() const { return pattern_; }
+  DemandPattern pattern() const { return params_.pattern; }
 
  private:
-  double PatternMultiplier(int t);
-  double WaitPerRequestMs(container::ResourceKind kind, double util_frac,
-                          double overload);
-
   int tenant_id_;
   const container::Catalog* catalog_;
   TenantModelOptions options_;
   Rng rng_;
-
-  DemandPattern pattern_;
-  container::ResourceVector base_demand_;
-  double ar_sigma_ = 0.1;  ///< per-tenant innovation sigma
-  double ar_state_ = 0.0;
-  bool burst_active_ = false;
-  bool smooth_ = false;
-  double base_rate_rps_ = 1.0;
-  /// Per-resource wait-scale personality.
-  std::array<double, container::kNumResources> wait_scale_{};
+  TenantParams params_;
+  TenantDynamics dyn_;
 };
 
 }  // namespace dbscale::fleet

@@ -207,6 +207,17 @@ void MetricShard::MergeFrom(const MetricShard& other) {
   }
 }
 
+void ShardPool::Attach(const MetricRegistry* registry, size_t num_shards) {
+  // Setup-time growth (before the fan-out), like MetricShard::Attach.
+  shards_.resize(num_shards);  // dbscale-lint: allow(alloc-hot-path)
+  for (MetricShard& shard : shards_) shard.Attach(registry);
+}
+
+void ShardPool::MergeInto(MetricShard* primary) const {
+  DBSCALE_CHECK(primary != nullptr);
+  for (const MetricShard& shard : shards_) primary->MergeFrom(shard);
+}
+
 void MetricShard::ResetValues() {
   if (registry_ == nullptr) return;
   for (size_t i = 0; i < slot_instruments_; ++i) {

@@ -134,6 +134,37 @@ class MetricShard {
   size_t slot_instruments_ = 0;
 };
 
+/// \brief A fixed pool of shards for block-sharded fan-out: one shard per
+/// contiguous work block instead of one per tenant. At 10^6 tenants a
+/// shard-per-tenant layout means 10^6 constructions and merges; a pool
+/// sized to the block count keeps that proportional to blocks (~N/2048)
+/// while preserving determinism — each block's shard is written by exactly
+/// one worker at a time, and MergeInto folds shards in block order, so
+/// merged values are bit-identical at any thread count.
+class ShardPool {
+ public:
+  ShardPool() = default;
+
+  /// Sizes the pool and attaches every shard (setup-time; allocates).
+  /// Re-attaching after late registrations preserves recorded values.
+  void Attach(const MetricRegistry* registry, size_t num_shards);
+
+  bool attached() const { return !shards_.empty(); }
+  size_t size() const { return shards_.size(); }
+  /// The shard for block `index`. Concurrent use is safe only when each
+  /// block is processed by one worker at a time (the ParallelFor claim
+  /// discipline).
+  MetricShard& shard(size_t index) { return shards_[index]; }
+  const MetricShard& shard(size_t index) const { return shards_[index]; }
+
+  /// Merges every shard into `primary` in block order: deterministic at
+  /// any thread count.
+  void MergeInto(MetricShard* primary) const;
+
+ private:
+  std::vector<MetricShard> shards_;
+};
+
 /// \brief Nullable recording handle: the runtime toggle. All calls are one
 /// branch when disabled; components hold it by value.
 struct MetricSink {

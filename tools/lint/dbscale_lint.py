@@ -22,8 +22,8 @@ Enforces repo-specific rules that clang-tidy cannot express:
                      capacity-retaining scratch buffers is the one
                      sanctioned growth mechanism and is not flagged.
   float-equality     No ==/!= against floating-point literals in src/scaler/
-                     threshold logic; thresholds must use epsilon or
-                     integer-domain comparisons.
+                     threshold logic or src/fleet/ aggregation code; use
+                     epsilon or integer-domain comparisons.
   discarded-status   No `(void)` cast applied to a call expression. Status/
                      Result are [[nodiscard]]; a (void) cast is the only way
                      to silence that, so each one must carry an annotation.
@@ -167,12 +167,13 @@ RULES = [
     Rule(
         "float-equality",
         "naked ==/!= against a floating-point literal in scaler threshold "
-        "code; use an epsilon comparison or compare in the integer domain",
+        "or fleet aggregation code; use an epsilon comparison or compare "
+        "in the integer domain",
         [
             r"[=!]=\s*" + FLOAT_LIT + r"(?![\w.])",
             FLOAT_LIT + r"\s*[=!]=(?!=)",
         ],
-        lambda p: p.startswith("src/scaler/"),
+        lambda p: p.startswith(("src/scaler/", "src/fleet/")),
     ),
     Rule(
         "discarded-status",
