@@ -7,7 +7,7 @@ namespace dbscale::fault {
 
 namespace {
 
-Status CheckProbability(const char* name, double p) {
+[[nodiscard]] Status CheckProbability(const char* name, double p) {
   if (!(p >= 0.0 && p <= 1.0)) {
     return Status::InvalidArgument(
         std::string(name) + " must be a probability in [0, 1]");
@@ -84,6 +84,9 @@ const char* SampleFaultToString(SampleFault fault) {
   return "?";
 }
 
+// Options are validated by the owning simulation before any draw is made
+// (Simulation::Run / FleetSimulation::Run call options.fault.Validate()).
+// dbscale-lint: allow(options-validate)
 FaultPlan::FaultPlan(const FaultPlanOptions& options, Rng rng)
     : options_(options), rng_(rng), enabled_(options.enabled()) {}
 

@@ -44,14 +44,15 @@ struct FleetCheckpointData {
   std::vector<FleetAggregate> block_aggs;
 };
 
-Status SaveFleetCheckpoint(const std::string& path, uint64_t fingerprint,
+[[nodiscard]] Status SaveFleetCheckpoint(
+    const std::string& path, uint64_t fingerprint,
                            int completed_intervals,
                            const FleetSoaState& state,
                            const std::vector<FleetAggregate>& block_aggs);
 
 /// Fails with IoError on truncation/corruption and FailedPrecondition on
 /// a magic/version/fingerprint mismatch.
-Result<FleetCheckpointData> LoadFleetCheckpoint(
+[[nodiscard]] Result<FleetCheckpointData> LoadFleetCheckpoint(
     const std::string& path, uint64_t expected_fingerprint);
 
 }  // namespace dbscale::fleet

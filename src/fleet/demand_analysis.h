@@ -38,9 +38,10 @@ struct ChangeFrequencyAnalysis {
   double fraction_more_than_24_per_day = 0.0;
 };
 
-Result<IeiAnalysis> AnalyzeInterEventIntervals(const FleetTelemetry& fleet);
+[[nodiscard]] Result<IeiAnalysis> AnalyzeInterEventIntervals(
+    const FleetTelemetry& fleet);
 
-Result<ChangeFrequencyAnalysis> AnalyzeChangeFrequency(
+[[nodiscard]] Result<ChangeFrequencyAnalysis> AnalyzeChangeFrequency(
     const FleetTelemetry& fleet);
 
 }  // namespace dbscale::fleet

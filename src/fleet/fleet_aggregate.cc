@@ -35,6 +35,7 @@ size_t FleetAggregate::WaitBucket(double v) {
       std::clamp(bucket, 1, static_cast<int>(kWaitBuckets) - 1));
 }
 
+// dbscale-hot: once per tenant-hour across the million-tenant sweep.
 void FleetAggregate::AddHourlyRecord(const HourlyRecord& record) {
   for (int ri = 0; ri < container::kNumResources; ++ri) {
     ResourceAgg& agg = resources[static_cast<size_t>(ri)];
@@ -57,6 +58,7 @@ void FleetAggregate::AddHourlyRecord(const HourlyRecord& record) {
   ++hourly_records;
 }
 
+// dbscale-hot: per rung-change event during streaming aggregation.
 void FleetAggregate::AddChangeEvent(int step, int gap_intervals) {
   DBSCALE_CHECK(!step_size_counts.empty());
   step_size_counts[static_cast<size_t>(std::min(step, num_rungs))] += 1;
@@ -68,12 +70,14 @@ void FleetAggregate::AddChangeEvent(int step, int gap_intervals) {
   }
 }
 
+// dbscale-hot: once per tenant at end of simulation.
 void FleetAggregate::AddTenantChanges(int num_changes) {
   changes_per_tenant_counts[static_cast<size_t>(
       std::min(num_changes, kMaxChangesTracked))] += 1;
   ++tenants;
 }
 
+// dbscale-hot: chained into the determinism digest every record.
 void FleetAggregate::ChainDigest(uint64_t value) {
   Fnv64Stream h{digest};
   h.U64(value);

@@ -181,6 +181,9 @@ uint64_t FleetScaleFingerprint(const container::Catalog& catalog,
 // ---------------------------------------------------------------------------
 // Runner
 
+// Construction only stores the options; RunFrom() validates them before the
+// first interval so Resume() can share the same checked path.
+// dbscale-lint: allow(options-validate)
 FleetScaleRunner::FleetScaleRunner(const container::Catalog& catalog,
                                    FleetScaleOptions options)
     : catalog_(catalog),

@@ -42,13 +42,12 @@ struct WaitSplitCdfs {
   stats::EmpiricalCdf wait_per_req_high_util;
 };
 
-Result<WaitUtilScatter> AnalyzeWaitUtilScatter(
+[[nodiscard]] Result<WaitUtilScatter> AnalyzeWaitUtilScatter(
     const FleetTelemetry& fleet, container::ResourceKind resource);
 
-Result<WaitSplitCdfs> AnalyzeWaitSplit(const FleetTelemetry& fleet,
-                                       container::ResourceKind resource,
-                                       double low_below_pct = 30.0,
-                                       double high_above_pct = 70.0);
+[[nodiscard]] Result<WaitSplitCdfs> AnalyzeWaitSplit(
+    const FleetTelemetry& fleet, container::ResourceKind resource,
+    double low_below_pct = 30.0, double high_above_pct = 70.0);
 
 }  // namespace dbscale::fleet
 

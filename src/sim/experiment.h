@@ -57,16 +57,16 @@ struct ComparisonOptions {
 };
 
 /// Runs one policy over `base` with the given starting rung.
-Result<RunResult> RunWithPolicy(const SimulationOptions& base,
-                                scaler::ScalingPolicy* policy,
-                                int initial_rung);
+[[nodiscard]] Result<RunResult> RunWithPolicy(const SimulationOptions& base,
+                                              scaler::ScalingPolicy* policy,
+                                              int initial_rung);
 
 /// Runs the Max gold standard.
-Result<RunResult> RunMax(const SimulationOptions& base);
+[[nodiscard]] Result<RunResult> RunMax(const SimulationOptions& base);
 
 /// Runs the complete comparison (Max, Peak, Avg, Trace, Util, Auto).
-Result<ComparisonResult> RunComparison(const SimulationOptions& base,
-                                       const ComparisonOptions& options);
+[[nodiscard]] Result<ComparisonResult> RunComparison(
+    const SimulationOptions& base, const ComparisonOptions& options);
 
 }  // namespace dbscale::sim
 

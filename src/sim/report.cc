@@ -65,14 +65,14 @@ void TextTable::AppendCsvTo(std::string& out) const {
 
 // Allocating convenience wrapper; hot callers use AppendTo.
 std::string TextTable::ToString() const {
-  std::string out;
+  std::string out;  // dbscale-lint: allow(alloc-hot-path)
   AppendTo(out);
   return out;
 }
 
 // Allocating convenience wrapper; hot callers use AppendCsvTo.
 std::string TextTable::ToCsv() const {
-  std::string out;
+  std::string out;  // dbscale-lint: allow(alloc-hot-path)
   AppendCsvTo(out);
   return out;
 }
@@ -137,7 +137,7 @@ void AsciiChartInto(const std::vector<double>& values, std::string& out,
 // Allocating convenience wrapper; hot callers use AsciiChartInto.
 std::string AsciiChart(const std::vector<double>& values, int height,
                        int max_width) {
-  std::string out;
+  std::string out;  // dbscale-lint: allow(alloc-hot-path)
   AsciiChartInto(values, out, height, max_width);
   return out;
 }

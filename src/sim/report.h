@@ -49,7 +49,8 @@ class TextTable {
 };
 
 /// Writes `content` to `path` (creating/truncating).
-Status WriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status WriteFile(const std::string& path,
+                               const std::string& content);
 
 /// AsciiChart appended to `out` (not cleared first); byte-identical to
 /// AsciiChart and allocation-free in steady state with a reused scratch.

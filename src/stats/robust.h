@@ -25,11 +25,11 @@ double StdDev(const std::vector<double>& values);
 
 /// Median; breakdown point 50%. Average of the two middle order statistics
 /// for even-sized input. Errors on empty input.
-Result<double> Median(std::vector<double> values);
+[[nodiscard]] Result<double> Median(std::vector<double> values);
 
 /// Linear-interpolated percentile, p in [0, 100]. Errors on empty input or
 /// p outside the range.
-Result<double> Percentile(std::vector<double> values, double p);
+[[nodiscard]] Result<double> Percentile(std::vector<double> values, double p);
 
 /// Percentile on data the caller has already sorted ascending (no copy).
 /// Use this when a caller needs several percentiles or the full CDF of one
@@ -58,22 +58,24 @@ double InterpolateOrderStats(double lo_value, double hi_value, double frac);
 /// Selection-based (nth_element) percentile that permutes `values` instead
 /// of sorting or copying. O(n) expected vs O(n log n); returns values
 /// bit-identical to Percentile on the same input.
-Result<double> PercentileInPlace(std::vector<double>& values, double p);
+[[nodiscard]] Result<double> PercentileInPlace(std::vector<double>& values,
+                                               double p);
 
 /// Selection-based median that permutes `values`; bit-identical to Median.
-Result<double> MedianInPlace(std::vector<double>& values);
+[[nodiscard]] Result<double> MedianInPlace(std::vector<double>& values);
 
 /// Median absolute deviation (scaled by 1.4826 for consistency with the
 /// standard deviation under normality). Breakdown point 50%.
-Result<double> Mad(const std::vector<double>& values);
+[[nodiscard]] Result<double> Mad(const std::vector<double>& values);
 
 /// MAD computed with zero allocations by permuting/overwriting `values`
 /// (the input is consumed). Same result as Mad.
-Result<double> MadInPlace(std::vector<double>& values);
+[[nodiscard]] Result<double> MadInPlace(std::vector<double>& values);
 
 /// Mean after discarding the `trim_fraction` smallest and largest values
 /// (e.g. 0.1 trims 10% from each side). Breakdown point = trim_fraction.
-Result<double> TrimmedMean(std::vector<double> values, double trim_fraction);
+[[nodiscard]] Result<double> TrimmedMean(std::vector<double> values,
+                                         double trim_fraction);
 
 /// \brief Streaming mean/variance/min/max accumulator (Welford), used where
 /// keeping full samples would be too expensive.

@@ -35,8 +35,8 @@ void RankWithTiesInto(const std::vector<double>& values,
 
 /// Pearson product-moment correlation of two equally-sized samples.
 /// Returns 0 when either sample has zero variance.
-Result<double> PearsonCorrelation(const std::vector<double>& x,
-                                  const std::vector<double>& y);
+[[nodiscard]] Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                                const std::vector<double>& y);
 
 /// Reusable buffers for SpearmanCorrelation; one per caller thread.
 struct SpearmanScratch {
@@ -48,9 +48,9 @@ struct SpearmanScratch {
 /// Spearman's rho in [-1, 1]: Pearson correlation of the tie-adjusted ranks.
 /// Requires >= 3 points. With a scratch the call performs no allocations
 /// beyond scratch growth.
-Result<double> SpearmanCorrelation(const std::vector<double>& x,
-                                   const std::vector<double>& y,
-                                   SpearmanScratch* scratch = nullptr);
+[[nodiscard]] Result<double> SpearmanCorrelation(
+    const std::vector<double>& x, const std::vector<double>& y,
+    SpearmanScratch* scratch = nullptr);
 
 }  // namespace dbscale::stats
 

@@ -224,6 +224,8 @@ const char* LatencyAggregateToString(LatencyAggregate agg) {
 
 std::string SignalSnapshot::ToString() const {
   if (!valid) return "<invalid snapshot>";
+  // Allocating ToString diagnostic; not on the per-interval signal path.
+  // dbscale-lint: allow(alloc-hot-path)
   std::string out = StrFormat(
       "t=%.0fs latency(%s)=%.1fms trend=%s thr=%.1frps",
       time.ToSeconds(), LatencyAggregateToString(latency_aggregate),

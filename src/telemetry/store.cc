@@ -9,6 +9,7 @@ TelemetryStore::TelemetryStore(size_t max_samples)
   DBSCALE_CHECK(max_samples > 0);
 }
 
+// dbscale-hot: runs once per telemetry sample for every tenant.
 void TelemetryStore::Append(TelemetrySample sample) {
   if (!samples_.empty()) {
     // Periods must be appended in time order.
@@ -39,6 +40,7 @@ std::vector<const TelemetrySample*> TelemetryStore::Recent(size_t n) const {
   return out;
 }
 
+// dbscale-hot: per-decision window extraction; fills caller scratch.
 void TelemetryStore::RecentInto(
     size_t n, std::vector<const TelemetrySample*>& out) const {
   out.clear();

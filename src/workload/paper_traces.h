@@ -29,7 +29,7 @@ Trace MakeTrace3ShortBurst(uint64_t seed = 3);
 Trace MakeTrace4ManyBursts(uint64_t seed = 4);
 
 /// Returns trace `index` in [1, 4] (paper numbering).
-Result<Trace> MakePaperTrace(int index, uint64_t seed = 0);
+[[nodiscard]] Result<Trace> MakePaperTrace(int index, uint64_t seed = 0);
 
 }  // namespace dbscale::workload
 

@@ -1,0 +1,777 @@
+#!/usr/bin/env python3
+"""C++ token stream and lightweight structural model for dbscale_lint.
+
+This is not a compiler front end; it is the smallest lexer + scope tracker
+that lets the linter reason about *constructs* instead of *lines*:
+
+  Lexer        comments (line/block), string literals (incl. raw strings
+               with arbitrary delimiters and encoding prefixes), char
+               literals, pp-numbers (hex, exponents, digit separators),
+               maximal-munch punctuation, and preprocessor directives
+               (with backslash continuations) — each reduced to a flat
+               token list with 1-based line numbers. Comments and
+               directives are kept out of the code stream but retained
+               as trivia so suppression / `dbscale-hot` annotations and
+               directive-aware rules still see them.
+
+  Structure    a single pass over the code tokens classifies every `{`:
+               namespace body, class/struct/union/enum body, function
+               body (including constructors with member-initializer
+               lists and braced member init), lambda body, or plain
+               block / braced initializer. Function records carry the
+               signature span, parameter-list span, body span, the
+               (qualified) name, and return-type head tokens.
+
+  Params       per-function parameter declarations are split on
+               top-level commas and lightly parsed (type tokens,
+               by-reference / by-pointer / by-value, name), which is what
+               lets alloc rules tell a scratch-bound reference binding
+               from a fresh container.
+
+Precision notes (deliberate): template-heavy metaprogramming, K&R C and
+macro-generated braces are out of scope — the repo's style is enforced by
+clang-format and the fixture corpus pins every behaviour the linter
+relies on.
+"""
+
+from __future__ import annotations
+
+import re
+
+# ---------------------------------------------------------------------------
+# Tokens
+# ---------------------------------------------------------------------------
+
+ID = "id"
+NUM = "num"
+STR = "str"
+CHAR = "char"
+PUNCT = "punct"
+
+# Trivia kinds (not part of the code stream).
+COMMENT = "comment"
+PP = "pp"
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"Token({self.kind!r}, {self.text!r}, L{self.line})"
+
+
+# Longest-first punctuation for maximal munch.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-",
+    "*", "/", "%", "&", "|", "^", "!", "~", "=", "?", ":", "#",
+]
+
+_MASTER = re.compile(
+    r"""
+    (?P<rawstr>(?:u8|u|U|L)?R"(?P<rsdelim>[^ ()\\\t\v\f\n]{0,16})\(
+        (?:.|\n)*?\)(?P=rsdelim)")
+  | (?P<str>(?:u8|u|U|L)?"(?:\\.|[^"\\\n])*")
+  | (?P<char>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])*')
+  | (?P<comment_block>/\*(?:.|\n)*?\*/)
+  | (?P<comment_line>//[^\n]*)
+  | (?P<num>\.?\d(?:[eEpP][+-]|'?[\w.])*)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<punct>%s)
+  | (?P<nl>\n)
+  | (?P<ws>[^\S\n]+)
+  | (?P<other>.)
+    """ % "|".join(re.escape(p) for p in _PUNCTS),
+    re.VERBOSE,
+)
+
+_KIND_BY_GROUP = {
+    "rawstr": STR,
+    "str": STR,
+    "char": CHAR,
+    "num": NUM,
+    "id": ID,
+    "punct": PUNCT,
+}
+
+
+class Trivia:
+    """A comment or preprocessor directive with its line span."""
+
+    __slots__ = ("kind", "text", "line", "end_line")
+
+    def __init__(self, kind, text, line, end_line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.end_line = end_line
+
+    def __repr__(self):
+        return f"Trivia({self.kind!r}, L{self.line}-{self.end_line})"
+
+
+class LexResult:
+    def __init__(self, tokens, trivia):
+        self.tokens = tokens          # list[Token] — code stream only
+        self.trivia = trivia          # list[Trivia] — comments + directives
+
+    def comments(self):
+        return [t for t in self.trivia if t.kind == COMMENT]
+
+    def directives(self):
+        return [t for t in self.trivia if t.kind == PP]
+
+
+def _consume_directive(text, pos, line):
+    """Consumes a preprocessor directive starting at `pos` (the '#').
+
+    Honours backslash-newline continuations, strips line comments, skips
+    block comments (which may span lines) and string/char/raw-string
+    literals so their contents cannot terminate or fake-terminate the
+    directive. Returns (directive_text, new_pos, new_line, comment_list).
+    """
+    n = len(text)
+    start = pos
+    start_line = line
+    comments = []
+    i = pos
+    while i < n:
+        c = text[i]
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            continue
+        if c == "\n":
+            break
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comments.append(Trivia(COMMENT, text[i:j], line, line))
+            i = j
+            break
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            comments.append(
+                Trivia(COMMENT, text[i:j], line, line + text.count("\n", i, j)))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        m = _MASTER.match(text, i)
+        if m and m.lastgroup in ("rawstr", "str", "char"):
+            line += text.count("\n", i, m.end())
+            i = m.end()
+            continue
+        i += 1
+    return text[start:i], i, line, comments
+
+
+def lex(text):
+    """Lexes C++ source into (code tokens, trivia). Never raises on bad
+    input — unknown bytes become single-char PUNCT tokens."""
+    tokens = []
+    trivia = []
+    line = 1
+    pos = 0
+    n = len(text)
+    at_line_start = True
+    while pos < n:
+        if at_line_start:
+            # Detect a preprocessor directive: optional horizontal
+            # whitespace, then '#'.
+            j = pos
+            while j < n and text[j] in " \t":
+                j += 1
+            if j < n and text[j] == "#":
+                directive, pos2, line2, cmts = _consume_directive(
+                    text, j, line)
+                trivia.append(Trivia(PP, directive, line,
+                                     line + directive.count("\n")))
+                trivia.extend(cmts)
+                pos = pos2
+                line = line2
+                at_line_start = False
+                continue
+        m = _MASTER.match(text, pos)
+        if m is None:  # pragma: no cover — master pattern matches any char
+            pos += 1
+            continue
+        group = m.lastgroup
+        tok_text = m.group()
+        if group == "nl":
+            line += 1
+            at_line_start = True
+        elif group == "ws":
+            pass
+        elif group in ("comment_block", "comment_line"):
+            end_line = line + tok_text.count("\n")
+            trivia.append(Trivia(COMMENT, tok_text, line, end_line))
+            line = end_line
+        elif group in ("rawstr", "str", "char"):
+            tokens.append(Token(_KIND_BY_GROUP[group], tok_text, line))
+            line += tok_text.count("\n")
+            at_line_start = False
+        elif group == "other":
+            tokens.append(Token(PUNCT, tok_text, line))
+            at_line_start = False
+        else:
+            tokens.append(Token(_KIND_BY_GROUP[group], tok_text, line))
+            at_line_start = False
+        pos = m.end()
+    return LexResult(tokens, trivia)
+
+
+def is_float_literal(text):
+    """True for floating-point literals: 1.5, .5, 1., 1e3, 1.5e-3f, 0x1p3.
+    Hex integers, plain integers, and integer-suffixed literals are not
+    floats; digit separators are ignored."""
+    t = text.replace("'", "").lower()
+    if t.startswith("0x"):
+        return "p" in t  # hex float needs a binary exponent
+    if "." in t:
+        return True
+    # 1e5 / 1e-5 — decimal exponent makes it floating.
+    return bool(re.search(r"\de", t)) and not t.startswith("0x")
+
+
+# ---------------------------------------------------------------------------
+# Structure: scopes and functions
+# ---------------------------------------------------------------------------
+
+# Scope kinds.
+NAMESPACE = "namespace"
+CLASS = "class"
+FUNCTION = "function"
+LAMBDA = "lambda"
+BLOCK = "block"
+INIT = "init"     # braced initializer / unrecognised expression brace
+EXTERN = "extern"  # extern "C" { ... }
+
+_CLASS_KEYS = {"class", "struct", "union", "enum"}
+_CTRL_KEYS = {"if", "else", "for", "while", "do", "switch", "try", "catch"}
+
+
+class Scope:
+    __slots__ = ("kind", "name", "open_index", "close_index")
+
+    def __init__(self, kind, name, open_index):
+        self.kind = kind
+        self.name = name
+        self.open_index = open_index
+        self.close_index = None
+
+    def __repr__(self):
+        return f"Scope({self.kind}, {self.name!r})"
+
+
+class Param:
+    """One parsed function parameter."""
+
+    __slots__ = ("type_tokens", "name", "by_ref", "by_ptr", "line")
+
+    def __init__(self, type_tokens, name, by_ref, by_ptr, line):
+        self.type_tokens = type_tokens
+        self.name = name
+        self.by_ref = by_ref
+        self.by_ptr = by_ptr
+        self.line = line
+
+    def type_text(self):
+        return " ".join(t.text for t in self.type_tokens)
+
+
+class Function:
+    __slots__ = ("name", "qualified", "head_start", "paren_open",
+                 "paren_close", "body_open", "body_close", "scope_path",
+                 "sig_line", "params")
+
+    def __init__(self, name, qualified, head_start, paren_open, paren_close,
+                 body_open, scope_path, sig_line):
+        self.name = name                # unqualified name ('Run', 'operator==')
+        self.qualified = qualified      # e.g. 'FleetScaleRunner::Run'
+        self.head_start = head_start    # token index of declaration head start
+        self.paren_open = paren_open    # '(' of the parameter list
+        self.paren_close = paren_close  # matching ')'
+        self.body_open = body_open      # '{' token index
+        self.body_close = None          # '}' token index (set on close)
+        self.scope_path = scope_path    # tuple of enclosing Scope kinds
+        self.sig_line = sig_line        # line of the head's first token
+        self.params = []                # list[Param]
+
+    def head_tokens(self, tokens):
+        return tokens[self.head_start:self.paren_open]
+
+    def body_range(self):
+        return (self.body_open, self.body_close)
+
+
+def _match_forward(tokens, i, open_t, close_t):
+    """Index of the token matching tokens[i] (an open_t), or None."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if tokens[i].kind == PUNCT:
+            if t == open_t:
+                depth += 1
+            elif t == close_t:
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return None
+
+
+def _split_params(tokens, lo, hi):
+    """Splits tokens in (lo, hi) — exclusive of the parens — on top-level
+    commas, returning a list of Param."""
+    params = []
+    depth = 0
+    start = lo
+    segments = []
+    i = lo
+    while i < hi:
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text in ("(", "[", "{", "<"):
+                # '<' is ambiguous (less-than vs template); inside a
+                # parameter list it is almost always a template bracket.
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.text == ">>":
+                depth -= 2
+            elif t.text == "," and depth == 0:
+                segments.append((start, i))
+                start = i + 1
+        i += 1
+    if start < hi:
+        segments.append((start, hi))
+    for lo_s, hi_s in segments:
+        seg = tokens[lo_s:hi_s]
+        if not seg or (len(seg) == 1 and seg[0].text == "void"):
+            continue
+        # Strip a default argument.
+        depth = 0
+        cut = len(seg)
+        for k, t in enumerate(seg):
+            if t.kind == PUNCT:
+                if t.text in ("(", "[", "{", "<"):
+                    depth += 1
+                elif t.text in (")", "]", "}", ">"):
+                    depth -= 1
+                elif t.text == ">>":
+                    depth -= 2
+                elif t.text == "=" and depth == 0:
+                    cut = k
+                    break
+        seg = seg[:cut]
+        if not seg:
+            continue
+        by_ref = any(t.kind == PUNCT and t.text in ("&", "&&") for t in seg)
+        by_ptr = any(t.kind == PUNCT and t.text == "*" for t in seg)
+        name = None
+        if seg[-1].kind == ID and seg[-1].text not in (
+                "const", "int", "double", "float", "bool", "char", "auto",
+                "unsigned", "long", "short", "size_t", "uint64_t", "void"):
+            # Heuristic: a trailing identifier that is not a bare type
+            # keyword is the parameter name.
+            name = seg[-1].text
+            type_toks = seg[:-1]
+        else:
+            type_toks = seg
+        params.append(Param(type_toks, name, by_ref, by_ptr, seg[0].line))
+    return params
+
+
+def _scan_ctor_init(tokens, i):
+    """tokens[i] is the ':' that begins a constructor member-initializer
+    list. Walks `member(expr)` / `member{expr}` elements separated by
+    commas and returns the index of the '{' that opens the function body,
+    or None if the shape does not parse."""
+    n = len(tokens)
+    i += 1
+    while i < n:
+        # Element: qualified-ish name, then ( ... ) or { ... }.
+        while i < n and (tokens[i].kind == ID or
+                         (tokens[i].kind == PUNCT and
+                          tokens[i].text in ("::", "<", ">", ",", "...")) or
+                         tokens[i].kind == NUM):
+            # Template args in a base-class initializer: Base<T>(x)
+            if tokens[i].kind == PUNCT and tokens[i].text == "," :
+                pass
+            if tokens[i].kind == PUNCT and tokens[i].text in ("(", "{"):
+                break
+            i += 1
+        if i >= n or tokens[i].kind != PUNCT:
+            return None
+        if tokens[i].text == "(":
+            close = _match_forward(tokens, i, "(", ")")
+        elif tokens[i].text == "{":
+            close = _match_forward(tokens, i, "{", "}")
+        else:
+            return None
+        if close is None:
+            return None
+        i = close + 1
+        if i < n and tokens[i].kind == PUNCT and tokens[i].text == ",":
+            i += 1
+            continue
+        if i < n and tokens[i].kind == PUNCT and tokens[i].text == "{":
+            return i
+        return None
+    return None
+
+
+class StructureModel:
+    """Resolved structure for one file: every code token annotated with its
+    scope path, plus recovered Function records."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.functions = []           # list[Function], in source order
+        self.scope_of_open = {}       # token index of '{' -> Scope
+        # (start, end_exclusive, scopes) head ranges of namespace-scope
+        # statements ending in ';', with the enclosing (kind, name) pairs.
+        self.namespace_statements = []
+        self.namespace_brace_inits = []  # head ranges of `T x{...};` decls
+        self._analyze()
+
+    # -- analysis ----------------------------------------------------------
+
+    def _classify_open(self, head, stack, i):
+        """Classifies the '{' at token index i given its statement head
+        tokens and the current scope stack. Returns (kind, name,
+        fn_record_or_None)."""
+        tokens = self.tokens
+        in_function = any(s.kind in (FUNCTION, LAMBDA) for s in stack)
+
+        head_texts = [t.text for t in head]
+
+        # namespace [name[::name...]] {   /  extern "C" {
+        if head_texts and head_texts[0] in ("namespace", "inline") and \
+                "namespace" in head_texts[:2]:
+            start = head_texts.index("namespace") + 1
+            name = "".join(t.text for t in head[start:]
+                           if t.kind == ID or (t.kind == PUNCT and
+                                               t.text == "::"))
+            return NAMESPACE, name, None
+        if (len(head_texts) >= 2 and head_texts[0] == "extern"
+                and head[1].kind == STR):
+            return EXTERN, head_texts[1], None
+
+        # Lambda introducer directly before the parameter list:
+        # `...](args) {` — recognized at any scope (a namespace-scope
+        # lambda initializes a function object; it is not a function
+        # definition). `operator[]` is excluded: its '[' follows the
+        # `operator` keyword.
+        if head and head[-1].kind == PUNCT and head[-1].text == ")":
+            op = self._matching_open(i, head)
+            if op is not None and op > 0:
+                prev = tokens[op - 1]
+                if prev.kind == PUNCT and prev.text == "]":
+                    depth = 0
+                    for k in range(op - 1, -1, -1):
+                        tk = tokens[k]
+                        if tk.kind != PUNCT:
+                            continue
+                        if tk.text == "]":
+                            depth += 1
+                        elif tk.text == "[":
+                            depth -= 1
+                            if depth == 0:
+                                before = tokens[k - 1] if k > 0 else None
+                                is_op = (before is not None and
+                                         before.kind == ID and
+                                         before.text == "operator")
+                                if not is_op:
+                                    return LAMBDA, "<lambda>", None
+                                break
+
+        if in_function:
+            # Inside a function almost everything is a block or an
+            # initializer; lambdas are recovered for completeness.
+            if head and head[-1].kind == PUNCT and head[-1].text == ")":
+                op = self._matching_open(i, head)
+                if op is not None and op > 0:
+                    prev = tokens[op - 1]
+                    if prev.kind == PUNCT and prev.text == "]":
+                        return LAMBDA, "<lambda>", None
+            if head and head[-1].kind == PUNCT and head[-1].text == "]":
+                return LAMBDA, "<lambda>", None
+            if head_texts and head_texts[0] in _CTRL_KEYS:
+                return BLOCK, head_texts[0], None
+            if not head:
+                return BLOCK, "", None
+            return INIT, "", None
+
+        # At namespace/class scope.
+        # A class-key in the head with no parameter list ⇒ type definition.
+        has_paren = ")" in head_texts
+        if any(t in _CLASS_KEYS for t in head_texts) and not has_paren:
+            # name = last identifier before '{' or before ':' (base clause)
+            name = ""
+            for k, t in enumerate(head):
+                if t.kind == ID and t.text in _CLASS_KEYS:
+                    for t2 in head[k + 1:]:
+                        if t2.kind == ID and t2.text not in (
+                                "final", "public", "private", "protected",
+                                "alignas"):
+                            name = t2.text
+                        elif t2.kind == PUNCT and t2.text == ":":
+                            break
+                    break
+            return CLASS, name, None
+
+        # Function definition: head must contain a parameter list.
+        fn = self._try_function(head, stack, i)
+        if fn is not None:
+            return FUNCTION, fn.name, fn
+
+        # enum class X : int { ... } already matched above; whatever is
+        # left (rare brace-init of a namespace-scope variable) is INIT.
+        return INIT, "", None
+
+    def _matching_open(self, brace_index, head):
+        """For a head ending in ')', the token index of its '('."""
+        depth = 0
+        for k in range(brace_index - 1, -1, -1):
+            t = self.tokens[k]
+            if t.kind != PUNCT:
+                continue
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                depth -= 1
+                if depth == 0:
+                    return k
+        return None
+
+    def _try_function(self, head, stack, brace_index, head_start_abs=None):
+        """Attempts to parse `head { ` as a function definition.
+
+        `head_start_abs` is the absolute index of head[0]; it defaults to
+        `brace_index - len(head)` (head directly abuts the brace) but must
+        be passed explicitly when a ctor member-initializer list sits
+        between the head and the body brace.
+        """
+        tokens = self.tokens
+        if not head:
+            return None
+        if head_start_abs is None:
+            head_start_abs = brace_index - len(head)
+        # Strip trailing qualifiers after the parameter list.
+        k = len(head) - 1
+        end_ok = {"const", "noexcept", "override", "final", "try", "&", "&&"}
+        # Also tolerate a trailing return type: ') -> T'.
+        while k >= 0:
+            t = head[k]
+            if t.kind == ID and t.text in end_ok:
+                k -= 1
+                continue
+            if t.kind == PUNCT and t.text in ("&", "&&"):
+                k -= 1
+                continue
+            break
+        # Trailing return type: scan back to '->' then to ')'.
+        if k >= 0 and not (head[k].kind == PUNCT and head[k].text == ")"):
+            for j in range(k, -1, -1):
+                if head[j].kind == PUNCT and head[j].text == "->":
+                    k = j - 1
+                    break
+            else:
+                # noexcept(expr) ends in ')' and is handled below by
+                # paren matching; a head not ending near ')' is not a
+                # function definition.
+                pass
+        while k >= 0 and not (head[k].kind == PUNCT and head[k].text == ")"):
+            k -= 1
+        if k < 0:
+            return None
+        # Match ')' back to its '(' — possibly twice for noexcept(...).
+        close_rel = k
+        open_rel = self._rmatch(head, close_rel)
+        if open_rel is None:
+            return None
+        if open_rel > 0 and head[open_rel - 1].kind == ID and \
+                head[open_rel - 1].text == "noexcept":
+            k = open_rel - 2
+            while k >= 0 and not (head[k].kind == PUNCT and
+                                  head[k].text == ")"):
+                k -= 1
+            if k < 0:
+                return None
+            close_rel = k
+            open_rel = self._rmatch(head, close_rel)
+            if open_rel is None:
+                return None
+        # The token before '(' is the function name (identifier or
+        # operator-id); qualified names walk back over '::'.
+        p = open_rel - 1
+        if p < 0:
+            return None
+        name_parts = []
+        if head[p].kind == PUNCT and head[p].text in (")", ">"):
+            return None
+        # operator foo / operator== / operator() etc.
+        if head[p].kind == ID and head[p].text != "operator":
+            name_parts.append(head[p].text)
+            p -= 1
+        elif head[p].kind == PUNCT or (head[p].kind == ID):
+            # Walk back over operator symbols until 'operator'.
+            q = p
+            sym = []
+            while q >= 0 and not (head[q].kind == ID and
+                                  head[q].text == "operator"):
+                sym.append(head[q].text)
+                q -= 1
+                if p - q > 3:
+                    break
+            if q >= 0 and head[q].kind == ID and head[q].text == "operator":
+                name_parts.append("operator" + "".join(reversed(sym)))
+                p = q - 1
+            else:
+                return None
+        qual_parts = list(name_parts)
+        while p >= 1 and head[p].kind == PUNCT and head[p].text == "::":
+            # skip template args in qualifier? (rare) — accept plain ids.
+            if head[p - 1].kind == ID:
+                qual_parts.insert(0, head[p - 1].text)
+                p -= 2
+            elif head[p - 1].kind == PUNCT and head[p - 1].text == ">":
+                return None  # templated qualifier — out of scope
+            else:
+                break
+        # '~Name' destructor
+        if p >= 0 and head[p].kind == PUNCT and head[p].text == "~":
+            name_parts[-1] = "~" + name_parts[-1]
+            qual_parts[-1] = "~" + qual_parts[-1]
+            p -= 1
+
+        name = name_parts[-1] if name_parts else ""
+        if not name:
+            return None
+        # Reject obvious non-definitions: control keywords, macro-style
+        # ALL_CAPS invocations at namespace scope with no return type are
+        # still function-shaped; accept them (they define test bodies via
+        # macros in fixtures and are harmless).
+        if name in _CTRL_KEYS or name in ("switch", "return", "sizeof",
+                                          "alignof", "decltype", "if",
+                                          "while", "for"):
+            return None
+
+        fn = Function(
+            name=name,
+            qualified="::".join(qual_parts),
+            head_start=head_start_abs,
+            paren_open=head_start_abs + open_rel,
+            paren_close=head_start_abs + close_rel,
+            body_open=brace_index,
+            scope_path=tuple((s.kind, s.name) for s in stack),
+            sig_line=head[0].line,
+        )
+        fn.params = _split_params(tokens, fn.paren_open + 1, fn.paren_close)
+        return fn
+
+    @staticmethod
+    def _rmatch(head, close_rel):
+        depth = 0
+        for j in range(close_rel, -1, -1):
+            t = head[j]
+            if t.kind != PUNCT:
+                continue
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                depth -= 1
+                if depth == 0:
+                    return j
+        return None
+
+    def _analyze(self):
+        tokens = self.tokens
+        n = len(tokens)
+        stack = []
+        head_start = 0
+        i = 0
+        paren_depth = 0
+        open_fns = []  # (Function, depth) awaiting body_close
+        while i < n:
+            t = tokens[i]
+            if t.kind != PUNCT:
+                i += 1
+                continue
+            if t.text == "(":
+                paren_depth += 1
+            elif t.text == ")":
+                paren_depth = max(0, paren_depth - 1)
+            elif t.text == ";" and paren_depth == 0:
+                if all(s.kind in (NAMESPACE, EXTERN) for s in stack):
+                    self.namespace_statements.append(
+                        (head_start, i,
+                         tuple((s.kind, s.name) for s in stack)))
+                head_start = i + 1
+            elif t.text == ":" and paren_depth == 0:
+                # Possible constructor member-initializer list: only when
+                # the previous token closes a parameter list or a
+                # qualifier like 'noexcept'.
+                prev = tokens[i - 1] if i > 0 else None
+                at_type_scope = not any(
+                    s.kind in (FUNCTION, LAMBDA) for s in stack)
+                if (at_type_scope and prev is not None and
+                        ((prev.kind == PUNCT and prev.text == ")") or
+                         (prev.kind == ID and prev.text in
+                          ("noexcept", "const")))):
+                    body = _scan_ctor_init(tokens, i)
+                    if body is not None:
+                        head = tokens[head_start:i]
+                        # Parse the function from the pre-':' head.
+                        fn = self._try_function(head, stack, body,
+                                                head_start_abs=head_start)
+                        if fn is not None:
+                            scope = Scope(FUNCTION, fn.name, body)
+                            self.scope_of_open[body] = scope
+                            self.functions.append(fn)
+                            open_fns.append((fn, len(stack)))
+                            stack.append(scope)
+                            head_start = body + 1
+                            i = body + 1
+                            continue
+            elif t.text == "{" and paren_depth == 0:
+                head = tokens[head_start:i]
+                kind, name, fn = self._classify_open(head, stack, i)
+                if kind == INIT and head and all(
+                        s.kind in (NAMESPACE, EXTERN) for s in stack):
+                    self.namespace_brace_inits.append((head_start, i))
+                scope = Scope(kind, name, i)
+                self.scope_of_open[i] = scope
+                if fn is not None:
+                    self.functions.append(fn)
+                    open_fns.append((fn, len(stack)))
+                stack.append(scope)
+                head_start = i + 1
+            elif t.text == "{":
+                # Brace inside parens: lambda body or braced init in an
+                # argument list — skip it wholesale so it cannot confuse
+                # statement tracking.
+                close = _match_forward(tokens, i, "{", "}")
+                if close is not None:
+                    i = close + 1
+                    continue
+            elif t.text == "}" and paren_depth == 0:
+                if stack:
+                    scope = stack.pop()
+                    scope.close_index = i
+                    if scope.kind == FUNCTION and open_fns and \
+                            open_fns[-1][1] == len(stack):
+                        open_fns[-1][0].body_close = i
+                        open_fns.pop()
+                head_start = i + 1
+            i += 1

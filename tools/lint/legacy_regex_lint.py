@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""FROZEN legacy regex engine — kept only as the parity baseline.
+
+This is the PR-2 line-regex linter, verbatim. The live engine is the
+token-stream analyzer in dbscale_lint.py; lint_test.py runs both over the
+frozen fixture corpus and asserts the new engine flags a superset of this
+engine's true positives, plus the multi-line / raw-string cases this
+engine provably misses. Do not extend this file — add rules to the token
+engine and pin them with fixtures instead.
+
+Original docstring:
+
+dbscale custom invariant linter.
+
+Enforces repo-specific rules that clang-tidy cannot express:
+
+  wall-clock         No wall-clock time or non-deterministic randomness
+                     outside src/common/rng.* and src/common/sim_time.*.
+                     Every simulation run must be reproducible bit-for-bit
+                     from its seed; a single std::random_device or
+                     system_clock::now() breaks that silently.
+  unordered-container
+                     No std::unordered_{map,set} in merge/report/fleet
+                     paths (src/fleet/, src/sim/, src/telemetry/).
+                     Iteration order is implementation-defined, so any
+                     aggregate or report built by iterating one is
+                     nondeterministic across libstdc++ versions and runs.
+  alloc-hot-path     No allocation (new/make_unique/malloc), container
+                     growth (resize/reserve), fresh container locals, or
+                     by-value container parameters in the allocation-free
+                     signal-path files (telemetry/manager.cc and the
+                     in-place stats kernels). push_back into
+                     capacity-retaining scratch buffers is the one
+                     sanctioned growth mechanism and is not flagged.
+  float-equality     No ==/!= against floating-point literals in src/scaler/
+                     threshold logic or src/fleet/ aggregation code; use
+                     epsilon or integer-domain comparisons.
+  discarded-status   No `(void)` cast applied to a call expression. Status/
+                     Result are [[nodiscard]]; a (void) cast is the only way
+                     to silence that, so each one must carry an annotation.
+  nodiscard-guard    src/common/status.h and src/common/result.h must keep
+                     their class-level [[nodiscard]] attributes (the
+                     compile-time half of discarded-status).
+
+Suppression: append `// dbscale-lint: allow(<rule>)` to the offending line,
+or place it alone on the line directly above. A file-level opt-out,
+`// dbscale-lint: allow-file(<rule>)`, is honored anywhere in the file's
+first 15 lines. Suppressions are for *intentional*, commented cases — e.g.
+the by-value convenience wrappers in stats/robust.cc.
+
+Exit status: 0 when clean, 1 when any finding survives suppression,
+2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule table
+# ---------------------------------------------------------------------------
+
+HOT_PATH_FILES = (
+    "src/telemetry/manager.cc",
+    "src/stats/robust.cc",
+    "src/stats/theil_sen.cc",
+    "src/stats/spearman.cc",
+    "src/stats/incremental.cc",
+    "src/stats/cdf.cc",
+    "src/sim/report.cc",
+    # Observability record paths: metric shard writes and span capture run
+    # once per billing interval (per tenant in the fleet) and must stay
+    # allocation-free in steady state.
+    "src/obs/metrics.cc",
+    "src/obs/trace.cc",
+    # Fault-injection draws run per sample (telemetry faults) and per
+    # interval (resize actuation); both sit inside the simulation hot loop.
+    "src/fault/fault_plan.cc",
+    "src/fault/actuator.cc",
+)
+
+ORDER_SENSITIVE_PREFIXES = (
+    "src/fleet/",
+    "src/sim/",
+    "src/telemetry/",
+    "src/obs/",
+    # Fault streams are forked from the deterministic per-tenant RNG; any
+    # unordered reduction or wall-clock leak breaks bit-identical replay.
+    "src/fault/",
+)
+
+FLOAT_LIT = r"-?\d+\.\d*(?:[eE][-+]?\d+)?f?"
+
+
+class Rule:
+    """A regex-per-line rule with a path scope."""
+
+    def __init__(self, name, message, patterns, applies):
+        self.name = name
+        self.message = message
+        self.patterns = [re.compile(p) for p in patterns]
+        self.applies = applies  # callable(relpath) -> bool
+
+    def match(self, line):
+        return any(p.search(line) for p in self.patterns)
+
+
+def _in_src(path):
+    return path.startswith("src/")
+
+
+def _wall_clock_scope(path):
+    exempt = ("src/common/rng.", "src/common/sim_time.")
+    return _in_src(path) and not path.startswith(exempt)
+
+
+def _order_sensitive(path):
+    return path.startswith(ORDER_SENSITIVE_PREFIXES)
+
+
+def _hot_path(path):
+    return path in HOT_PATH_FILES
+
+
+RULES = [
+    Rule(
+        "wall-clock",
+        "wall-clock time / non-deterministic randomness outside "
+        "src/common/{rng,sim_time}; breaks seed-reproducibility",
+        [
+            r"\bstd::rand\b",
+            r"(?<![\w:])s?rand\s*\(",
+            r"\brandom_device\b",
+            r"\bsystem_clock\b",
+            r"\bsteady_clock\b",
+            r"\bhigh_resolution_clock\b",
+            r"\bgettimeofday\s*\(",
+            r"\bclock_gettime\s*\(",
+            r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&)",
+        ],
+        _wall_clock_scope,
+    ),
+    Rule(
+        "unordered-container",
+        "unordered container in a merge/report/fleet path; iteration order "
+        "is nondeterministic — use std::map, std::vector, or annotate",
+        [
+            r"\bstd::unordered_map\b",
+            r"\bstd::unordered_set\b",
+            r"\bstd::unordered_multimap\b",
+            r"\bstd::unordered_multiset\b",
+        ],
+        _order_sensitive,
+    ),
+    Rule(
+        "alloc-hot-path",
+        "allocation / container growth in an allocation-free signal-path "
+        "file; use the scratch buffers (see SignalScratch)",
+        [
+            r"(?<![\w_])new\b(?!\s*\()",   # `new T`, not `operator new(`
+            r"\bstd::make_unique\b",
+            r"\bstd::make_shared\b",
+            r"(?<![\w:.])malloc\s*\(",
+            r"(?<![\w:.])calloc\s*\(",
+            r"\.resize\s*\(",
+            r"\.reserve\s*\(",
+            # Fresh container local: `std::vector<T> name...` (a reference
+            # binding `std::vector<T>& name` is fine and excluded).
+            r"\bstd::(vector|deque|map|set|string)\s*<[^;&]*>\s+\w+\s*[({;=]",
+            # By-value container parameter: copies on every call.
+            r"[(,]\s*std::(vector|deque|map|set)\s*<[^;&]*>\s+\w+",
+        ],
+        _hot_path,
+    ),
+    Rule(
+        "float-equality",
+        "naked ==/!= against a floating-point literal in scaler threshold "
+        "or fleet aggregation code; use an epsilon comparison or compare "
+        "in the integer domain",
+        [
+            r"[=!]=\s*" + FLOAT_LIT + r"(?![\w.])",
+            FLOAT_LIT + r"\s*[=!]=(?!=)",
+        ],
+        lambda p: p.startswith(("src/scaler/", "src/fleet/")),
+    ),
+    Rule(
+        "discarded-status",
+        "(void)-cast of a call expression silently drops a [[nodiscard]] "
+        "Status/Result; handle it or annotate the intentional discard",
+        [r"\(\s*void\s*\)\s*[A-Za-z_][\w:.]*(?:->\w+)*\s*\("],
+        lambda p: _in_src(p) or p.startswith("tests/"),
+    ),
+]
+
+# Files that must keep their [[nodiscard]] class attribute, and the marker
+# each must contain (rule: nodiscard-guard).
+NODISCARD_GUARDS = {
+    "src/common/status.h": r"class\s+\[\[nodiscard\]\]\s+Status\b",
+    "src/common/result.h": r"class\s+\[\[nodiscard\]\]\s+Result\b",
+}
+
+ALLOW_RE = re.compile(r"//\s*dbscale-lint:\s*allow\(([\w,\s-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*dbscale-lint:\s*allow-file\(([\w,\s-]+)\)")
+
+
+def _parse_allow(match):
+    return {r.strip() for r in match.group(1).split(",") if r.strip()}
+
+
+class CommentStripper:
+    """Strips // and /* */ comments plus string/char literals, line by line.
+
+    Keeps a tiny state machine across lines for block comments. Precise
+    enough for lint regexes; raw strings are not handled (none in tree).
+    """
+
+    def __init__(self):
+        self.in_block = False
+
+    def strip(self, line):
+        out = []
+        i, n = 0, len(line)
+        while i < n:
+            if self.in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    return "".join(out)
+                self.in_block = False
+                i = end + 2
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                self.in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                out.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        break
+                    i += 1
+                out.append(quote)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def lint_file(root, relpath):
+    """Returns the list of Findings for one file."""
+    findings = []
+    try:
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(relpath, 0, "io", f"unreadable: {e}")]
+
+    rules = [r for r in RULES if r.applies(relpath)]
+
+    file_allows = set()
+    for line in lines[:15]:
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            file_allows |= _parse_allow(m)
+
+    guard = NODISCARD_GUARDS.get(relpath)
+    if guard and not any(re.search(guard, ln) for ln in lines):
+        findings.append(
+            Finding(relpath, 1, "nodiscard-guard",
+                    "class-level [[nodiscard]] attribute was removed; "
+                    "restore it (pattern: %s)" % guard))
+
+    if not rules:
+        return findings
+
+    stripper = CommentStripper()
+    prev_line_allows = set()
+    for idx, raw in enumerate(lines, start=1):
+        line_allows = set(file_allows) | prev_line_allows
+        m = ALLOW_RE.search(raw)
+        if m:
+            allows = _parse_allow(m)
+            stripped_raw = raw.strip()
+            if stripped_raw.startswith("//"):
+                # Annotation-only line: applies to the next line.
+                prev_line_allows = allows
+                stripper.strip(raw)
+                continue
+            line_allows |= allows
+        prev_line_allows = set()
+
+        code = stripper.strip(raw)
+        if not code.strip():
+            continue
+        for rule in rules:
+            if rule.name in line_allows:
+                continue
+            if rule.match(code):
+                findings.append(Finding(relpath, idx, rule.name, rule.message))
+    return findings
+
+
+def iter_source_files(root):
+    wanted_dirs = ("src", "tests")
+    exts = (".cc", ".h")
+    for top in wanted_dirs:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(exts):
+                    yield os.path.relpath(os.path.join(dirpath, fn), root)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("paths", nargs="*",
+                        help="root-relative files to lint (default: all of "
+                             "src/ and tests/)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the all-clear summary line")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    if not os.path.isdir(root):
+        print(f"dbscale_lint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    relpaths = [p.replace(os.sep, "/") for p in args.paths] \
+        or list(iter_source_files(root))
+
+    findings = []
+    for rel in relpaths:
+        findings.extend(lint_file(root, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"dbscale_lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"dbscale_lint: OK ({len(relpaths)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

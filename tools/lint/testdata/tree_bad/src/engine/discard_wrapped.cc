@@ -1,0 +1,13 @@
+// Fixture: (void)-cast separated from its call expression by a trailing
+// comment and a line break.
+namespace dbscale {
+
+struct Status { bool ok() { return true; } };
+Status Flush();
+
+void Teardown() {
+  (void)  // best-effort flush on shutdown
+      Flush();
+}
+
+}  // namespace dbscale

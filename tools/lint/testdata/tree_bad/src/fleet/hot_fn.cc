@@ -1,0 +1,20 @@
+// Fixture: function-granularity hot-path enforcement. The file carries
+// no file-level hot default, so only the `// dbscale-hot` annotated
+// function is checked; the cold function below allocates freely.
+#include <vector>
+
+namespace dbscale {
+
+// dbscale-hot
+void RecordInterval(std::vector<double>& scratch) {
+  std::vector<double> fresh;
+  fresh.push_back(1.0);
+  scratch.resize(64);
+}
+
+void ColdSetup() {
+  std::vector<double> fine_here;
+  fine_here.push_back(2.0);
+}
+
+}  // namespace dbscale

@@ -1,0 +1,9 @@
+// Fixture: Status-returning free function declared in a header without
+// [[nodiscard]].
+namespace dbscale {
+
+class Status;
+
+Status SaveSweep(const char* path);
+
+}  // namespace dbscale

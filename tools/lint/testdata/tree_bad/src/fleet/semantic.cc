@@ -1,0 +1,35 @@
+// Fixture: seeded violations for the semantic rules — pointer-keyed
+// ordered container, mutable namespace-scope state, internal-linkage
+// Status function without [[nodiscard]], and an entry point that never
+// validates its options struct.
+#include <map>
+
+namespace dbscale {
+
+struct Tenant { int id = 0; };
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+class SweepOptions {
+ public:
+  int num_tenants = 1;
+  Status Validate() const;
+};
+
+std::map<const Tenant*, double> debt_by_tenant;
+
+double g_last_p95_ms = 0.0;
+
+namespace {
+Status CheckSweep(const SweepOptions& options) {
+  return options.num_tenants > 0 ? Status() : Status();
+}
+}  // namespace
+
+Status Run(const SweepOptions& options) {
+  return CheckSweep(options);
+}
+
+}  // namespace dbscale

@@ -1,0 +1,16 @@
+// Fixture: naked float comparisons wrapped across a line break — the
+// operator and the literal never share a line, so line regexes see
+// neither half.
+namespace dbscale {
+
+bool AtGoalWrapped(double latency_ms) {
+  return latency_ms ==
+         250.0;
+}
+
+bool ReversedWrapped(double frac) {
+  return 0.7
+         == frac;
+}
+
+}  // namespace dbscale

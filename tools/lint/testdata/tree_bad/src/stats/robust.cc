@@ -1,0 +1,19 @@
+// Fixture: hot-path allocations split across line breaks. A
+// line-at-a-time regex sees neither the by-value parameter (the '(' is
+// on the previous line) nor the fresh local (the '>' never closes on the
+// line that opened the template argument list).
+#include <utility>
+#include <vector>
+
+namespace dbscale {
+
+void MedianScratch(
+    std::vector<double>
+        by_value) {
+  std::vector<
+      std::pair<int, double>>
+      tmp;
+  tmp.emplace_back(1, by_value.empty() ? 0.0 : by_value[0]);
+}
+
+}  // namespace dbscale

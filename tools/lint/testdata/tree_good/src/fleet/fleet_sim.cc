@@ -4,9 +4,9 @@
 namespace dbscale {
 
 // Lookup-only set: never iterated, so ordering cannot leak into output.
-std::unordered_set<int> lookup_only;  // dbscale-lint: allow(unordered-container)
+const std::unordered_set<int> lookup_only{1};  // dbscale-lint: allow(unordered-container)
 
 // dbscale-lint: allow(unordered-container)
-std::unordered_set<int> also_allowed;
+const std::unordered_set<int> also_allowed{2};
 
 }  // namespace dbscale

@@ -11,6 +11,6 @@ int CountTenants(const std::map<int, double>& by_tenant) {
 
 // Mentions of system_clock or std::rand inside comments must not fire.
 /* Neither should new or resize inside a block comment. */
-const char* kDoc = "system_clock in a string literal is also fine";
+constexpr const char* kDoc = "system_clock in a string literal is also fine";
 
 }  // namespace dbscale

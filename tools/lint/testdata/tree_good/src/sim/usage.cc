@@ -1,0 +1,12 @@
+// Fixture: raw string literal containing comment markers, braces,
+// quotes, and clock/rand names — inert to the token-stream engine, but a
+// line-at-a-time stripper that cannot track raw strings false-positives
+// on the body lines.
+namespace dbscale {
+
+constexpr const char* kUsage = R"(usage: dbscale_sim [options]
+  --now [prints the system_clock wall time]   // {not a brace scope}
+  "quotes" and std::rand( mentions stay inert in raw strings
+)";
+
+}  // namespace dbscale
