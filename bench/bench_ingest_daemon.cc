@@ -1,0 +1,595 @@
+// Benchmark of the scaler-as-a-service ingest stack (src/ingest/): the
+// allocation-free MPSC telemetry ring plus the ScalerService drain/route/
+// batched-decision pipeline.
+//
+// Phases (single-core-container friendly — producer and drainer sides are
+// timed separately so they do not fight over one core, plus one genuinely
+// concurrent MPSC phase):
+//   * push:    one producer filling the ring, samples/sec (alloc-checked);
+//   * drain:   one drainer emptying the ring via PopBatch, samples/sec —
+//     THE single-drainer capacity number, acceptance >= 1M samples/sec —
+//     with the drain batch-size distribution (alloc-checked);
+//   * mpsc:    2 producer threads + the drainer running concurrently
+//     (scheduling-dependent on one core; reported, not asserted);
+//   * route:   ScalerService end-to-end publish -> DrainOnce -> per-tenant
+//     store routing with decisions disabled, samples/sec (alloc-checked:
+//     the producer AND drainer paths make ZERO heap allocations in steady
+//     state);
+//   * decide:  the real AutoScaler policy under batched evaluation —
+//     per-decision Compute+Decide latency percentiles (p50/p99/p999);
+//   * equivalence: ring+batch digest vs the direct-feed serial reference
+//     (hard CHECK, the service's bit-identity contract).
+//
+// Results merge into the "ingest_daemon" section of BENCH_perf.json
+// (--out=PATH to override; other sections of an existing file are
+// preserved). --quick shrinks the sample counts for smoke use.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/sim_time.h"
+#include "src/container/catalog.h"
+#include "src/ingest/ingest_ring.h"
+#include "src/ingest/producer.h"
+#include "src/ingest/scaler_service.h"
+#include "src/ingest/wire_sample.h"
+#include "src/scaler/autoscaler.h"
+#include "src/telemetry/sample.h"
+
+namespace {
+
+/// Heap allocations made by the calling thread. Thread-local so producer
+/// threads never pollute the drainer's measurement and vice versa.
+thread_local std::int64_t t_alloc_count = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbscale::bench {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr int64_t kPeriodUs = 5'000'000;
+
+telemetry::TelemetrySample MakeSample(const container::Catalog& catalog,
+                                      uint64_t tenant, int i) {
+  telemetry::TelemetrySample s;
+  s.period_start = SimTime::FromMicros(i * kPeriodUs);
+  s.period_end = SimTime::FromMicros((i + 1) * kPeriodUs);
+  const double phase =
+      static_cast<double>((static_cast<uint64_t>(i) * 37 + tenant * 13) % 100);
+  for (size_t r = 0; r < container::kNumResources; ++r) {
+    s.utilization_pct[r] = 20.0 + phase * 0.6;
+  }
+  s.wait_ms[0] = phase * 2.0;
+  s.wait_ms[1] = phase * 1.5;
+  s.requests_started = 100 + i % 13;
+  s.requests_completed = s.requests_started;
+  s.latency_avg_ms = 5.0 + phase * 0.1;
+  s.latency_p95_ms = 20.0 + phase * 0.4;
+  s.latency_max_ms = 50.0 + phase;
+  s.memory_used_mb = 1024.0 + phase;
+  s.memory_active_mb = 512.0 + phase;
+  s.physical_reads = 10 + i % 7;
+  s.allocation = catalog.rung(4).resources;
+  s.container_id = catalog.rung(4).id;
+  return s;
+}
+
+double Percentile(std::vector<uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return static_cast<double>(sorted_ns[idx]);
+}
+
+struct RingPhaseStats {
+  double push_per_sec = 0.0;
+  double drain_per_sec = 0.0;
+  int64_t push_allocs = 0;
+  int64_t drain_allocs = 0;
+  uint64_t samples = 0;
+  size_t batch_p50 = 0;
+  size_t batch_p99 = 0;
+  size_t batch_max = 0;
+};
+
+/// Phase 1+2: alternate fill/drain cycles on one thread, timing each side
+/// separately so the numbers are per-side capacity, not a blend.
+RingPhaseStats RunRingPhases(const container::Catalog& catalog, int cycles,
+                             size_t drain_batch) {
+  ingest::IngestRing ring(ingest::IngestRingOptions{.capacity = 1 << 16});
+  ingest::IngestProducer producer(&ring, 0);
+  const telemetry::TelemetrySample sample = MakeSample(catalog, 1, 0);
+  std::vector<ingest::WireSample> buf(drain_batch);
+  std::vector<uint64_t> batch_sizes;
+  batch_sizes.reserve(static_cast<size_t>(cycles) *
+                      (ring.capacity() / drain_batch + 2));
+
+  RingPhaseStats stats;
+  double push_seconds = 0.0;
+  double drain_seconds = 0.0;
+  // Warm-up cycle so cold caches and lazy buffers do not skew cycle 0.
+  for (int w = 0; w < 1000; ++w) {
+    (void)producer.Publish(1, sample);
+  }
+  ingest::WireSample discard;
+  while (ring.TryPop(&discard)) {
+  }
+
+  for (int c = 0; c < cycles; ++c) {
+    const int64_t push_allocs_before = t_alloc_count;
+    const double push_start = NowSeconds();
+    uint64_t pushed = 0;
+    while (producer.Publish(1, sample) == ingest::PublishOutcome::kPublished) {
+      ++pushed;
+    }
+    push_seconds += NowSeconds() - push_start;
+    stats.push_allocs += t_alloc_count - push_allocs_before;
+    DBSCALE_CHECK(pushed == ring.capacity());  // stopped at backpressure
+
+    const int64_t drain_allocs_before = t_alloc_count;
+    const double drain_start = NowSeconds();
+    uint64_t drained = 0;
+    for (size_t n = ring.PopBatch(buf.data(), drain_batch); n > 0;
+         n = ring.PopBatch(buf.data(), drain_batch)) {
+      drained += n;
+      batch_sizes.push_back(n);
+    }
+    drain_seconds += NowSeconds() - drain_start;
+    stats.drain_allocs += t_alloc_count - drain_allocs_before;
+    DBSCALE_CHECK(drained == pushed);
+    stats.samples += drained;
+  }
+  stats.push_per_sec =
+      push_seconds > 0.0 ? static_cast<double>(stats.samples) / push_seconds
+                         : 0.0;
+  stats.drain_per_sec =
+      drain_seconds > 0.0 ? static_cast<double>(stats.samples) / drain_seconds
+                          : 0.0;
+  std::sort(batch_sizes.begin(), batch_sizes.end());
+  stats.batch_p50 = static_cast<size_t>(Percentile(batch_sizes, 0.50));
+  stats.batch_p99 = static_cast<size_t>(Percentile(batch_sizes, 0.99));
+  stats.batch_max =
+      batch_sizes.empty() ? 0 : static_cast<size_t>(batch_sizes.back());
+  return stats;
+}
+
+struct MpscPhaseStats {
+  int producers = 0;
+  uint64_t samples = 0;
+  uint64_t rejected = 0;
+  double samples_per_sec = 0.0;
+  int64_t drainer_allocs = 0;
+};
+
+/// Phase 3: real MPSC contention — producers and the drainer share the
+/// machine (on one core this measures the scheduled blend, which is the
+/// deployment shape on the smallest hosts).
+MpscPhaseStats RunMpscPhase(const container::Catalog& catalog,
+                            int num_producers, uint64_t samples_per_producer) {
+  ingest::IngestRing ring(ingest::IngestRingOptions{.capacity = 1 << 14});
+  std::atomic<int> producers_done{0};
+  std::atomic<uint64_t> total_rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_producers));
+  const telemetry::TelemetrySample sample = MakeSample(catalog, 1, 0);
+
+  const double start = NowSeconds();
+  for (int p = 0; p < num_producers; ++p) {
+    threads.emplace_back([&, p] {
+      ingest::IngestProducer producer(&ring, static_cast<uint32_t>(p));
+      for (uint64_t i = 0; i < samples_per_producer;) {
+        // Retry on backpressure: sustained load, nothing silently lost.
+        if (producer.Publish(static_cast<uint64_t>(p) + 1, sample) ==
+            ingest::PublishOutcome::kPublished) {
+          ++i;
+        }
+      }
+      total_rejected.fetch_add(producer.rejected(),
+                               std::memory_order_relaxed);
+      producers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  std::vector<ingest::WireSample> buf(1024);
+  uint64_t drained = 0;
+  const int64_t allocs_before = t_alloc_count;
+  while (producers_done.load(std::memory_order_acquire) < num_producers ||
+         ring.ApproxDepth() > 0) {
+    drained += ring.PopBatch(buf.data(), buf.size());
+  }
+  const int64_t drainer_allocs = t_alloc_count - allocs_before;
+  const double elapsed = NowSeconds() - start;
+  for (std::thread& t : threads) t.join();
+
+  MpscPhaseStats stats;
+  stats.producers = num_producers;
+  stats.samples = drained;
+  stats.rejected = total_rejected.load();
+  stats.samples_per_sec =
+      elapsed > 0.0 ? static_cast<double>(drained) / elapsed : 0.0;
+  stats.drainer_allocs = drainer_allocs;
+  DBSCALE_CHECK(stats.samples ==
+                static_cast<uint64_t>(num_producers) * samples_per_producer);
+  return stats;
+}
+
+struct RoutePhaseStats {
+  size_t tenants = 0;
+  uint64_t samples = 0;
+  double samples_per_sec = 0.0;
+  int64_t allocs = 0;
+};
+
+/// Phase 4: the service's publish -> drain -> route pipeline with
+/// decisions disabled (samples_per_interval larger than the feed), i.e.
+/// the pure telemetry path a daemon runs between billing boundaries.
+RoutePhaseStats RunRoutePhase(const container::Catalog& catalog,
+                              size_t num_tenants, int samples_per_tenant) {
+  ingest::IngestRing ring(ingest::IngestRingOptions{.capacity = 1 << 14});
+  ingest::ScalerServiceOptions options;
+  options.store_retention = 256;
+  options.samples_per_interval = 1u << 30;  // never due: route path only
+  options.max_drain_batch = 1024;
+  ingest::ScalerService service(&ring, options);
+  const container::ContainerSpec initial = catalog.rung(4);
+  for (uint64_t t = 1; t <= num_tenants; ++t) {
+    // A policy must be present but never runs in this phase.
+    scaler::TenantKnobs knobs;
+    auto policy = scaler::AutoScaler::Create(catalog, knobs);
+    DBSCALE_CHECK_OK(policy.status());
+    DBSCALE_CHECK(
+        service.AddTenant(t, std::move(policy).value(), initial).ok());
+  }
+  ingest::IngestProducer producer(&ring, 0);
+
+  // Warm-up: fill every tenant store to retention so Append recycles
+  // slots, and size the service's drain scratch.
+  const int warm = static_cast<int>(options.store_retention) + 8;
+  for (int i = 0; i < warm; ++i) {
+    for (uint64_t t = 1; t <= num_tenants; ++t) {
+      DBSCALE_CHECK(producer.Publish(t, MakeSample(catalog, t, i)) ==
+                    ingest::PublishOutcome::kPublished);
+    }
+    (void)service.DrainAll();  // dbscale-lint: allow(discarded-status)
+  }
+
+  const int64_t allocs_before = t_alloc_count;
+  const double start = NowSeconds();
+  uint64_t fed = 0;
+  for (int i = warm; i < warm + samples_per_tenant; ++i) {
+    for (uint64_t t = 1; t <= num_tenants; ++t) {
+      DBSCALE_CHECK(producer.Publish(t, MakeSample(catalog, t, i)) ==
+                    ingest::PublishOutcome::kPublished);
+      ++fed;
+      if ((fed & 2047u) == 0) (void)service.DrainAll();
+    }
+  }
+  (void)service.DrainAll();  // dbscale-lint: allow(discarded-status)
+  const double elapsed = NowSeconds() - start;
+
+  RoutePhaseStats stats;
+  stats.tenants = num_tenants;
+  stats.samples = fed;
+  stats.samples_per_sec =
+      elapsed > 0.0 ? static_cast<double>(fed) / elapsed : 0.0;
+  stats.allocs = t_alloc_count - allocs_before;
+  DBSCALE_CHECK(service.counters().routed >=
+                static_cast<uint64_t>(samples_per_tenant) * num_tenants);
+  return stats;
+}
+
+struct DecidePhaseStats {
+  uint64_t decisions = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double decisions_per_sec = 0.0;
+};
+
+/// Phase 5: per-decision latency (TelemetryManager::Compute + the real
+/// AutoScaler::Decide) under batched evaluation.
+DecidePhaseStats RunDecidePhase(const container::Catalog& catalog,
+                                size_t num_tenants, int num_intervals) {
+  ingest::IngestRing ring(ingest::IngestRingOptions{.capacity = 1 << 14});
+  ingest::ScalerServiceOptions options;
+  options.store_retention = 256;
+  options.samples_per_interval = 12;
+  options.max_drain_batch = 1024;
+  options.timer = &NowNs;
+  std::vector<uint64_t> latencies_ns;
+  latencies_ns.reserve(num_tenants * static_cast<size_t>(num_intervals));
+  options.decision_latency_sink = &latencies_ns;
+  ingest::ScalerService service(&ring, options);
+  const container::ContainerSpec initial = catalog.rung(4);
+  for (uint64_t t = 1; t <= num_tenants; ++t) {
+    scaler::TenantKnobs knobs;
+    knobs.latency_goal =
+        scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 40.0};
+    auto policy = scaler::AutoScaler::Create(catalog, knobs);
+    DBSCALE_CHECK_OK(policy.status());
+    DBSCALE_CHECK(
+        service.AddTenant(t, std::move(policy).value(), initial).ok());
+  }
+  ingest::IngestProducer producer(&ring, 0);
+
+  const double start = NowSeconds();
+  const int total_samples =
+      num_intervals * static_cast<int>(options.samples_per_interval);
+  for (int i = 0; i < total_samples; ++i) {
+    for (uint64_t t = 1; t <= num_tenants; ++t) {
+      DBSCALE_CHECK(producer.Publish(t, MakeSample(catalog, t, i)) ==
+                    ingest::PublishOutcome::kPublished);
+    }
+    if (ring.ApproxDepth() >= 8192) (void)service.DrainAll();
+  }
+  (void)service.DrainAll();  // dbscale-lint: allow(discarded-status)
+  const double elapsed = NowSeconds() - start;
+
+  DecidePhaseStats stats;
+  stats.decisions = service.counters().decisions;
+  DBSCALE_CHECK(stats.decisions ==
+                num_tenants * static_cast<uint64_t>(num_intervals));
+  DBSCALE_CHECK(latencies_ns.size() == stats.decisions);
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  stats.p50_us = Percentile(latencies_ns, 0.50) / 1000.0;
+  stats.p99_us = Percentile(latencies_ns, 0.99) / 1000.0;
+  stats.p999_us = Percentile(latencies_ns, 0.999) / 1000.0;
+  stats.decisions_per_sec =
+      elapsed > 0.0 ? static_cast<double>(stats.decisions) / elapsed : 0.0;
+  return stats;
+}
+
+/// Phase 6: the equivalence contract as a hard bench-time CHECK — the
+/// ring+batch path must produce the exact digest of the direct-feed
+/// serial reference with the real policy.
+uint64_t RunEquivalenceCheck(const container::Catalog& catalog) {
+  const auto run = [&catalog](bool via_ring) {
+    ingest::IngestRing ring(ingest::IngestRingOptions{.capacity = 1 << 10});
+    ingest::ScalerServiceOptions options;
+    options.store_retention = 64;
+    options.samples_per_interval = 6;
+    options.max_drain_batch = 97;  // deliberately straddles boundaries
+    ingest::ScalerService service(&ring, options);
+    for (uint64_t t = 1; t <= 4; ++t) {
+      scaler::TenantKnobs knobs;
+      knobs.latency_goal =
+          scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 40.0};
+      auto policy = scaler::AutoScaler::Create(catalog, knobs);
+      DBSCALE_CHECK_OK(policy.status());
+      DBSCALE_CHECK(
+          service.AddTenant(t, std::move(policy).value(), catalog.rung(2))
+              .ok());
+    }
+    ingest::IngestProducer producer(&ring, 0);
+    for (int i = 0; i < 48; ++i) {
+      for (uint64_t t = 1; t <= 4; ++t) {
+        if (via_ring) {
+          DBSCALE_CHECK(producer.Publish(t, MakeSample(catalog, t, i)) ==
+                        ingest::PublishOutcome::kPublished);
+        } else {
+          service.OfferDirect(
+              ingest::MakeWireSample(t, MakeSample(catalog, t, i)));
+        }
+      }
+    }
+    if (via_ring) (void)service.DrainAll();
+    return service.Digest();
+  };
+  const uint64_t direct = run(false);
+  const uint64_t ring = run(true);
+  DBSCALE_CHECK(ring == direct);
+  return ring;
+}
+
+// ---------------------------------------------------------------------------
+// JSON merge
+// ---------------------------------------------------------------------------
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string content;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    content.append(chunk, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+/// Removes an existing top-level "ingest_daemon" section (and the comma
+/// that attached it) from a JSON document by brace matching.
+void StripSection(std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t key_pos = doc.find(needle);
+  if (key_pos == std::string::npos) return;
+  const size_t open = doc.find('{', key_pos);
+  if (open == std::string::npos) return;
+  size_t depth = 0;
+  size_t close = open;
+  for (; close < doc.size(); ++close) {
+    if (doc[close] == '{') ++depth;
+    if (doc[close] == '}' && --depth == 0) break;
+  }
+  // Swallow the comma and whitespace that attached the section (before
+  // it, or after it when the section was first).
+  size_t begin = key_pos;
+  while (begin > 0 && (doc[begin - 1] == ' ' || doc[begin - 1] == '\n')) {
+    --begin;
+  }
+  size_t end = close + 1;
+  if (begin > 0 && doc[begin - 1] == ',') {
+    --begin;
+  } else if (end < doc.size() && doc[end] == ',') {
+    ++end;
+  }
+  doc.erase(begin, end - begin);
+}
+
+void MergeSectionInto(const std::string& path, const std::string& section) {
+  std::string doc = ReadFileOrEmpty(path);
+  const size_t last_brace = doc.rfind('}');
+  if (doc.empty() || doc.rfind('{', 0) != 0 || last_brace == std::string::npos) {
+    doc = "{\n" + section + "\n}\n";
+  } else {
+    StripSection(doc, "ingest_daemon");
+    const size_t tail = doc.rfind('}');
+    // Anything before the final brace beyond the opening one needs a comma.
+    const size_t last_content = doc.find_last_not_of(" \n\t", tail - 1);
+    const bool need_comma =
+        last_content != std::string::npos && doc[last_content] != '{';
+    doc = doc.substr(0, last_content + 1) + (need_comma ? "," : "") + "\n" +
+          section + "\n}\n";
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  DBSCALE_CHECK(out != nullptr);
+  std::fwrite(doc.data(), 1, doc.size(), out);
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace dbscale::bench
+
+int main(int argc, char** argv) {
+  using namespace dbscale;
+  using namespace dbscale::bench;
+
+  std::string out_path = "BENCH_perf.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const container::Catalog catalog = container::Catalog::MakeLockStep();
+
+  std::printf("ingest daemon bench (%s)\n", quick ? "quick" : "full");
+
+  const int ring_cycles = quick ? 4 : 32;
+  const RingPhaseStats ring =
+      RunRingPhases(catalog, ring_cycles, /*drain_batch=*/1024);
+  std::printf("  push:  %12.0f samples/s  allocs=%lld\n", ring.push_per_sec,
+              static_cast<long long>(ring.push_allocs));
+  std::printf("  drain: %12.0f samples/s  allocs=%lld  "
+              "batch p50/p99/max=%zu/%zu/%zu\n",
+              ring.drain_per_sec, static_cast<long long>(ring.drain_allocs),
+              ring.batch_p50, ring.batch_p99, ring.batch_max);
+  DBSCALE_CHECK(ring.push_allocs == 0);
+  DBSCALE_CHECK(ring.drain_allocs == 0);
+  // Acceptance: a single drainer sustains >= 1M samples/sec.
+  DBSCALE_CHECK(ring.drain_per_sec >= 1e6);
+
+  const MpscPhaseStats mpsc =
+      RunMpscPhase(catalog, /*num_producers=*/2,
+                   /*samples_per_producer=*/quick ? 100'000 : 500'000);
+  std::printf("  mpsc:  %12.0f samples/s  producers=%d  rejected=%llu  "
+              "drainer allocs=%lld\n",
+              mpsc.samples_per_sec, mpsc.producers,
+              static_cast<unsigned long long>(mpsc.rejected),
+              static_cast<long long>(mpsc.drainer_allocs));
+  DBSCALE_CHECK(mpsc.drainer_allocs == 0);
+
+  const RoutePhaseStats route =
+      RunRoutePhase(catalog, /*num_tenants=*/64,
+                    /*samples_per_tenant=*/quick ? 200 : 2000);
+  std::printf("  route: %12.0f samples/s  tenants=%zu  allocs=%lld\n",
+              route.samples_per_sec, route.tenants,
+              static_cast<long long>(route.allocs));
+  // The full publish+drain+route pipeline is allocation-free in steady
+  // state (stores at retention, scratch warm).
+  DBSCALE_CHECK(route.allocs == 0);
+
+  const DecidePhaseStats decide =
+      RunDecidePhase(catalog, /*num_tenants=*/64,
+                     /*num_intervals=*/quick ? 10 : 50);
+  std::printf("  decide: %llu decisions  p50=%.1fus p99=%.1fus p999=%.1fus  "
+              "(%.0f decisions/s end-to-end)\n",
+              static_cast<unsigned long long>(decide.decisions),
+              decide.p50_us, decide.p99_us, decide.p999_us,
+              decide.decisions_per_sec);
+
+  const uint64_t digest = RunEquivalenceCheck(catalog);
+  std::printf("  equivalence: service digest %016llx == direct-feed digest\n",
+              static_cast<unsigned long long>(digest));
+
+  char section[2048];
+  std::snprintf(
+      section, sizeof(section),
+      "  \"ingest_daemon\": {\n"
+      "    \"quick\": %s,\n"
+      "    \"ring_capacity\": %d,\n"
+      "    \"push\": {\"samples_per_sec\": %.0f, \"allocs\": %lld},\n"
+      "    \"drain\": {\"samples_per_sec\": %.0f, \"allocs\": %lld,\n"
+      "      \"batch_p50\": %zu, \"batch_p99\": %zu, \"batch_max\": %zu},\n"
+      "    \"mpsc\": {\"producers\": %d, \"samples_per_sec\": %.0f, "
+      "\"rejected\": %llu, \"drainer_allocs\": %lld},\n"
+      "    \"service_route\": {\"tenants\": %zu, \"samples_per_sec\": %.0f, "
+      "\"allocs\": %lld},\n"
+      "    \"decision_latency\": {\"decisions\": %llu, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f, \"p999_us\": %.2f, \"decisions_per_sec\": %.0f},\n"
+      "    \"digest\": \"%016llx\",\n"
+      "    \"digest_identical_service_vs_direct\": true\n"
+      "  }",
+      quick ? "true" : "false", 1 << 16, ring.push_per_sec,
+      static_cast<long long>(ring.push_allocs), ring.drain_per_sec,
+      static_cast<long long>(ring.drain_allocs), ring.batch_p50,
+      ring.batch_p99, ring.batch_max, mpsc.producers, mpsc.samples_per_sec,
+      static_cast<unsigned long long>(mpsc.rejected),
+      static_cast<long long>(mpsc.drainer_allocs), route.tenants,
+      route.samples_per_sec, static_cast<long long>(route.allocs),
+      static_cast<unsigned long long>(decide.decisions), decide.p50_us,
+      decide.p99_us, decide.p999_us, decide.decisions_per_sec,
+      static_cast<unsigned long long>(digest));
+
+  MergeSectionInto(out_path, section);
+  std::printf("merged \"ingest_daemon\" into %s\n", out_path.c_str());
+  return 0;
+}

@@ -4,7 +4,9 @@
 // Writes machine-readable results to BENCH_perf.json (override with
 // --out=PATH):
 //   * fleet wall time, serial vs 1/2/4/8 threads, with a determinism
-//     checksum per run (must be identical across thread counts);
+//     digest per run (hex FNV-1a over the raw telemetry bit patterns;
+//     must be identical across thread counts — the deprecated float
+//     "checksum" field rides along for one release);
 //   * fleet_scale: the SoA streaming runner (src/fleet/fleet_scale.*) at
 //     10^4 and 10^5 tenants (10^6 with --full) — tenants/sec, state
 //     bytes, and peak RSS per point — plus a thread-scaling curve whose
@@ -19,7 +21,7 @@
 //     paths exactly (the incremental engine's bit-identity contract);
 //   * observability overhead: Compute with metrics + span capture enabled
 //     vs off, and the fleet run with per-tenant shards vs off — both with
-//     a <2% overhead target and an unchanged-checksum requirement.
+//     a <2% overhead target and an unchanged-digest requirement.
 //
 // Numbers are only meaningful relative to `hardware_concurrency`, which is
 // recorded alongside them (as is DBSCALE_NUM_THREADS when set): on a
@@ -45,6 +47,7 @@
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/container/catalog.h"
+#include "src/fleet/fleet_aggregate.h"
 #include "src/fleet/fleet_scale.h"
 #include "src/fleet/fleet_sim.h"
 #include "src/obs/pipeline.h"
@@ -86,8 +89,27 @@ double NowSeconds() {
 }
 
 /// Order-sensitive digest of a fleet run; identical inputs must produce
-/// identical digests at every thread count.
-double FleetChecksum(const fleet::FleetTelemetry& t) {
+/// identical digests at every thread count. FNV-1a over the raw bit
+/// patterns — unlike the old floating-point weighted sum, equal digests
+/// mean bit-equal telemetry, and the hex string form survives the JSON
+/// round trip losslessly (a %f double prints truncated).
+uint64_t FleetDigest(const fleet::FleetTelemetry& t) {
+  fleet::Fnv64Stream d;
+  for (const fleet::HourlyRecord& r : t.hourly) {
+    for (size_t ri = 0; ri < container::kNumResources; ++ri) {
+      d.Dbl(r.utilization_pct[ri]);
+      d.Dbl(r.wait_ms_per_request[ri]);
+    }
+  }
+  for (double m : t.inter_event_minutes) d.Dbl(m);
+  for (int64_t c : t.step_size_counts) d.U64(static_cast<uint64_t>(c));
+  return d.value;
+}
+
+/// DEPRECATED: the pre-digest weighted-sum checksum, kept ONE release so
+/// BENCH_perf.json consumers keyed on "checksum" keep parsing. Remove
+/// (together with the JSON field) at the next bench-format bump.
+double LegacyFleetChecksum(const fleet::FleetTelemetry& t) {
   double sum = 0.0;
   double weight = 1.0;
   for (const fleet::HourlyRecord& r : t.hourly) {
@@ -106,7 +128,8 @@ double FleetChecksum(const fleet::FleetTelemetry& t) {
 struct FleetRunStats {
   int num_threads = 0;
   double seconds = 0.0;
-  double checksum = 0.0;
+  uint64_t digest = 0;
+  double legacy_checksum = 0.0;
 };
 
 FleetRunStats TimeFleetRun(const container::Catalog& catalog,
@@ -121,7 +144,8 @@ FleetRunStats TimeFleetRun(const container::Catalog& catalog,
                  telemetry.status().ToString().c_str());
   }
   DBSCALE_CHECK(telemetry.ok());
-  return {num_threads, elapsed, FleetChecksum(*telemetry)};
+  return {num_threads, elapsed, FleetDigest(*telemetry),
+          LegacyFleetChecksum(*telemetry)};
 }
 
 /// Peak resident set size (VmHWM) in kB, or -1 where /proc is unavailable.
@@ -413,11 +437,13 @@ int Main(int argc, char** argv) {
   for (int threads : thread_counts) {
     fleet_runs.push_back(TimeFleetRun(catalog, fleet_options, threads));
     const FleetRunStats& run = fleet_runs.back();
-    std::printf("  threads=%d  %.3fs  speedup=%.2fx  checksum=%.6f\n",
+    std::printf("  threads=%d  %.3fs  speedup=%.2fx  digest=%016llx\n",
                 run.num_threads, run.seconds,
-                fleet_runs.front().seconds / run.seconds, run.checksum);
+                fleet_runs.front().seconds / run.seconds,
+                static_cast<unsigned long long>(run.digest));
     // Bit-identical output is a hard guarantee, not a tolerance.
-    DBSCALE_CHECK(run.checksum == fleet_runs.front().checksum);
+    DBSCALE_CHECK(run.digest == fleet_runs.front().digest);
+    DBSCALE_CHECK(run.legacy_checksum == fleet_runs.front().legacy_checksum);
   }
 
   // Fleet at scale: the SoA streaming runner (src/fleet/fleet_scale.*).
@@ -556,7 +582,7 @@ int Main(int argc, char** argv) {
     observed_options.obs = &fleet_ob;
     const FleetRunStats observed =
         TimeFleetRun(catalog, observed_options, obs_threads);
-    DBSCALE_CHECK(observed.checksum == base.checksum);
+    DBSCALE_CHECK(observed.digest == base.digest);
     fleet_ratios.push_back(observed.seconds / base.seconds);
     if (rep == 0 || base.seconds < fleet_base_seconds) {
       fleet_base_seconds = base.seconds;
@@ -577,7 +603,7 @@ int Main(int argc, char** argv) {
               compute_base.calls_per_sec, observed_compute.calls_per_sec,
               compute_overhead_pct, observed_allocs_per_call);
   std::printf("  fleet (threads=%d): %.3fs -> %.3fs  %+5.2f%%  "
-              "checksum unchanged\n",
+              "digest unchanged\n",
               obs_threads, fleet_base_seconds, fleet_observed_seconds,
               fleet_overhead_pct);
 
@@ -600,9 +626,12 @@ int Main(int argc, char** argv) {
     const FleetRunStats& run = fleet_runs[i];
     std::fprintf(out,
                  "      {\"threads\": %d, \"seconds\": %.6f, "
-                 "\"speedup_vs_serial\": %.4f, \"checksum\": %.6f}%s\n",
+                 "\"speedup_vs_serial\": %.4f, \"digest\": \"%016llx\", "
+                 "\"checksum\": %.6f}%s\n",
                  run.num_threads, run.seconds,
-                 fleet_runs.front().seconds / run.seconds, run.checksum,
+                 fleet_runs.front().seconds / run.seconds,
+                 static_cast<unsigned long long>(run.digest),
+                 run.legacy_checksum,
                  i + 1 < fleet_runs.size() ? "," : "");
   }
   std::fprintf(out, "    ],\n");
@@ -696,7 +725,7 @@ int Main(int argc, char** argv) {
   std::fprintf(out,
                "    \"fleet\": {\"threads\": %d, \"base_seconds\": %.6f, "
                "\"observed_seconds\": %.6f, \"overhead_pct\": %.4f, "
-               "\"checksum_matches\": true}\n",
+               "\"digest_matches\": true}\n",
                obs_threads, fleet_base_seconds, fleet_observed_seconds,
                fleet_overhead_pct);
   std::fprintf(out, "  }\n");

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, nine stages:
+# Full correctness gate, ten stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests (incl. the fault
 #      retry path exercised by the Fleet/Fault suites)
@@ -18,6 +18,10 @@
 #      identical, a checkpointed stop+resume matches the uninterrupted
 #      digest, a corrupted checkpoint is rejected, and throughput stays
 #      above a conservative tenants/sec floor
+#  10. ingest smoke: the scaler-as-a-service daemon example is run-twice
+#      digest identical (and identical to the direct-feed serial
+#      reference), rejects nothing at nominal rate, and counts a nonzero
+#      rejection total when the ring is flooded
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -28,13 +32,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/9] normal build + full test suite ==="
+echo "=== [1/10] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/9] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/10] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -43,10 +47,10 @@ cmake -B "${PREFIX}-tsan" -S . \
   -DDBSCALE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Fault|Fleet|Comparison|Experiment'
+  -R 'ThreadPool|Fault|Fleet|Comparison|Experiment|Ingest'
 
 echo
-echo "=== [3/9] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/10] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -57,7 +61,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/9] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/10] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -72,11 +76,11 @@ else
 fi
 
 echo
-echo "=== [5/9] custom invariant lint ==="
+echo "=== [5/10] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/9] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/10] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -104,9 +108,14 @@ for case in report["incremental_vs_batch"]:
     if not case["digests_match"]:
         failures.append(f"incremental vs batch digests diverge at W={window}")
 
+digests = {run["digest"] for run in report["fleet"]["runs"]}
+if len(digests) != 1:
+    failures.append(f"fleet digests diverge across thread counts: "
+                    f"{sorted(digests)}")
+# One-release compat: the deprecated float checksum must also agree.
 checksums = {run["checksum"] for run in report["fleet"]["runs"]}
 if len(checksums) != 1:
-    failures.append(f"fleet checksums diverge across thread counts: "
+    failures.append(f"fleet legacy checksums diverge across thread counts: "
                     f"{sorted(checksums)}")
 if not report["fleet"]["deterministic_across_threads"]:
     failures.append("fleet reports non-deterministic across thread counts")
@@ -115,8 +124,8 @@ obs = report["observability"]
 if obs["compute"]["observed_allocs_per_call"] > 0:
     failures.append("observed Compute allocated "
                     f"{obs['compute']['observed_allocs_per_call']}/call")
-if not obs["fleet"]["checksum_matches"]:
-    failures.append("observability changed the fleet checksum")
+if not obs["fleet"]["digest_matches"]:
+    failures.append("observability changed the fleet digest")
 
 if failures:
     for failure in failures:
@@ -130,7 +139,7 @@ print("observability overhead (quick, noisy): "
 PY
 
 echo
-echo "=== [7/9] observability smoke (decision trace + exporter schemas) ==="
+echo "=== [7/10] observability smoke (decision trace + exporter schemas) ==="
 # The quickstart example runs an instrumented closed loop and dumps all
 # three exports; the schema checker then validates every artifact. Catches
 # exporter format regressions that unit goldens (single metrics) miss.
@@ -143,7 +152,7 @@ python3 tools/obs/check_obs_output.py \
   "${OBS_DIR}/decision_trace.metrics.csv"
 
 echo
-echo "=== [8/9] fault-matrix smoke (determinism + resilience) ==="
+echo "=== [8/10] fault-matrix smoke (determinism + resilience) ==="
 # The faulty_resize example runs the closed loop twice with a null plan and
 # twice with the acceptance fault profile, then dumps digests, counters,
 # and an audit summary. The checker enforces the resilience contract.
@@ -206,7 +215,7 @@ print(f"fault smoke ok: null and faulty digests stable, "
 PY
 
 echo
-echo "=== [9/9] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
+echo "=== [9/10] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
 # The fleet_scale example runs a 10^4-tenant day twice, round-trips a
 # checkpoint at a different thread count, and corrupts the checkpoint.
 FLEET_JSON="${PREFIX}/fleet_scale_smoke.json"
@@ -241,6 +250,60 @@ if failures:
 print(f"fleet-scale smoke ok: digest {report['digest_a']} stable across "
       f"rerun and resume, corruption rejected, "
       f"{report['tenants_per_sec']:.0f} tenants/s")
+PY
+
+echo
+echo "=== [10/10] ingest smoke (scaler-as-a-service determinism + backpressure) ==="
+# The ingest_daemon example runs the ring -> drain -> batched-decision
+# pipeline twice plus a direct-feed serial reference, then floods a tiny
+# ring. The checker enforces the service equivalence contract and the
+# reject-with-counter backpressure policy.
+INGEST_JSON="${PREFIX}/ingest_smoke.json"
+"${PREFIX}/examples/ingest_daemon" --json="${INGEST_JSON}" >/dev/null
+python3 - "${INGEST_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+
+# Bit-identity: run-twice, and service path == direct-feed reference.
+if report["digest_a"] != report["digest_b"]:
+    failures.append("ingest service run is not run-twice deterministic")
+if report["digest_a"] != report["digest_direct"]:
+    failures.append("ring+batch digest diverges from the direct-feed "
+                    "serial reference")
+if not report["digests_match"]:
+    failures.append("example reports digest mismatch")
+
+# Nominal rate: the drain cadence keeps up, nothing is rejected, and every
+# sample routes to a store.
+if report["nominal_rejected"] != 0:
+    failures.append(f"nominal run rejected {report['nominal_rejected']} "
+                    "samples (ring should never fill)")
+if report["nominal_decisions"] == 0:
+    failures.append("nominal run produced no decisions")
+if report["nominal_routed"] == 0:
+    failures.append("nominal run routed no samples")
+
+# Overload: backpressure must be loud (counted), never silent, and the
+# published/rejected split must account for every attempted push.
+if report["overload_rejected"] == 0:
+    failures.append("flooded ring rejected nothing")
+if (report["overload_published"] + report["overload_rejected"]
+        != report["overload_attempted"]):
+    failures.append("overload accounting does not add up")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"ingest smoke ok: digest {report['digest_a']} stable across rerun "
+      f"and direct feed, {report['nominal_decisions']} decisions, "
+      f"0 rejected nominal, {report['overload_rejected']} rejected "
+      "under overload")
 PY
 
 echo

@@ -1,0 +1,99 @@
+#include "src/ingest/ingest_ring.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::ingest {
+
+Status IngestRingOptions::Validate() const {
+  if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+    return Status::InvalidArgument(
+        "IngestRingOptions.capacity must be a power of two >= 2");
+  }
+  return Status::OK();
+}
+
+IngestRing::IngestRing(IngestRingOptions options) {
+  DBSCALE_CHECK(options.Validate().ok());
+  mask_ = options.capacity - 1;
+  slots_ = std::make_unique<Slot[]>(options.capacity);
+  for (size_t i = 0; i < options.capacity; ++i) {
+    // Slot i is free for the producer that claims position i.
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+// dbscale-hot: the producer publish path — one call per telemetry sample
+// across the whole fleet; must stay allocation-free and non-blocking.
+bool IngestRing::TryPush(const WireSample& sample) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      // Slot is free for this position; claim it.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        slot.sample = sample;
+        // Release: the payload write above happens-before any consumer
+        // that acquires this seq value.
+        slot.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failed: `pos` was reloaded; retry at the new position.
+    } else if (dif < 0) {
+      // The slot still holds an unconsumed sample from one lap ago: the
+      // ring is full. Reject with a counter — never block, never drop
+      // silently.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      // Another producer claimed this position; advance.
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+// dbscale-hot: the drainer pop path; allocation-free.
+bool IngestRing::TryPop(WireSample* out) {
+  const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[pos & mask_];
+  const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  const intptr_t dif =
+      static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+  if (dif < 0) return false;  // producer has not published this slot yet
+  // Acquire above pairs with the producer's release store: the payload
+  // read below sees the fully written sample.
+  *out = slot.sample;
+  // Recycle the slot for the producer one lap ahead.
+  slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+// dbscale-hot: the batched drain path; allocation-free.
+size_t IngestRing::PopBatch(WireSample* out, size_t max) {
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  size_t n = 0;
+  while (n < max) {
+    Slot& slot = slots_[pos & mask_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif < 0) break;
+    out[n++] = slot.sample;
+    slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+    ++pos;
+  }
+  dequeue_pos_.store(pos, std::memory_order_relaxed);
+  return n;
+}
+
+size_t IngestRing::ApproxDepth() const {
+  const uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+  const uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+  return enq >= deq ? static_cast<size_t>(enq - deq) : 0;
+}
+
+}  // namespace dbscale::ingest

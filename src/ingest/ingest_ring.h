@@ -1,0 +1,116 @@
+// IngestRing: fixed-capacity, allocation-free MPSC ring for WireSamples.
+//
+// The ring is the boundary between sample arrival (many producer threads,
+// one per collector shard) and billing-interval evaluation (one drainer
+// thread inside ScalerService). It is a bounded Vyukov-style sequence ring
+// specialized to a single consumer:
+//
+//   * power-of-two slot count; each slot carries an atomic sequence number
+//     `seq` and a WireSample payload;
+//   * producers claim a position with a CAS on `enqueue_pos_`, write the
+//     payload, then publish it with a release store of seq = pos + 1;
+//   * the single consumer reads `seq` with acquire, copies the payload,
+//     and recycles the slot with a release store of seq = pos + capacity.
+//
+// Memory-ordering contract: the payload write happens-before the
+// producer's release store of seq, and the consumer's acquire load of seq
+// happens-before its payload read — so the payload handoff is a proper
+// release/acquire edge and the ring is data-race-free (TSan-verified).
+// `dequeue_pos_` is written by the one consumer thread only — that single
+// writer is what makes this MPSC rather than MPMC; it is stored relaxed-
+// atomically solely so ApproxDepth may read it from other threads.
+//
+// Backpressure policy: TryPush on a full ring REJECTS — it increments
+// `rejected_` and returns false without blocking, spinning, or silently
+// dropping. The producer decides what to do (count and move on, retry
+// later, shed load); the counter makes every rejection observable. This
+// mirrors the telemetry fault model's stance: lost samples must surface as
+// gaps the signal-window coverage check can see, never as blocking in the
+// collection path.
+//
+// Per-producer FIFO: a producer finishes push k before starting push k+1,
+// so its samples occupy increasing positions and drain in publish order.
+// Samples of different producers interleave arbitrarily — ScalerService's
+// per-tenant routing is interleaving-invariant by construction (each
+// tenant's samples come from one producer).
+
+#ifndef DBSCALE_INGEST_INGEST_RING_H_
+#define DBSCALE_INGEST_INGEST_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/ingest/wire_sample.h"
+
+namespace dbscale::ingest {
+
+struct IngestRingOptions {
+  /// Slot count; must be a power of two >= 2. Sized for the worst burst
+  /// the drain cadence must absorb: capacity / peak-samples-per-sec is the
+  /// longest the drainer may stall before rejections start.
+  size_t capacity = 1 << 16;
+
+  Status Validate() const;
+};
+
+/// \brief Bounded MPSC ring. Many producers call TryPush concurrently; ONE
+/// thread at a time calls TryPop/PopBatch. All memory is allocated at
+/// construction; push and pop are allocation-free.
+class IngestRing {
+ public:
+  explicit IngestRing(IngestRingOptions options);
+
+  IngestRing(const IngestRing&) = delete;
+  IngestRing& operator=(const IngestRing&) = delete;
+
+  /// Publishes one sample. Returns false (and counts the rejection) when
+  /// the ring is full. Safe to call from any number of threads.
+  bool TryPush(const WireSample& sample);
+
+  /// Pops the oldest sample into `*out`. Returns false when empty.
+  /// Single-consumer only.
+  bool TryPop(WireSample* out);
+
+  /// Pops up to `max` samples into `out[0..n)`, oldest first; returns n.
+  /// Equivalent to n successful TryPops (the batched form exists so the
+  /// drainer amortizes the per-call overhead, not for different
+  /// semantics). Single-consumer only.
+  size_t PopBatch(WireSample* out, size_t max);
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Pushes rejected because the ring was full (monotone; relaxed read —
+  /// exact once producers are quiescent).
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Samples currently buffered. Approximate while producers are active
+  /// (the two positions are read at different instants); exact when
+  /// quiescent.
+  size_t ApproxDepth() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq;
+    WireSample sample;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+
+  /// Producers contend here; padded away from the consumer's position so
+  /// pushes and pops do not false-share a cache line.
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  /// Mutated by the single consumer only; relaxed atomics, no ordering
+  /// role (the seq fields carry all synchronization).
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace dbscale::ingest
+
+#endif  // DBSCALE_INGEST_INGEST_RING_H_

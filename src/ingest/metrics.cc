@@ -1,0 +1,48 @@
+#include "src/ingest/metrics.h"
+
+namespace dbscale::ingest {
+
+IngestMetrics IngestMetrics::Register(obs::MetricRegistry* registry) {
+  obs::MetricRegistry& r = *registry;
+  IngestMetrics m;
+  m.samples_drained_total = r.Counter(
+      "dbscale_ingest_samples_drained_total",
+      "Wire samples popped off the ingest ring by the drainer");
+  m.samples_routed_total = r.Counter(
+      "dbscale_ingest_samples_routed_total",
+      "Samples appended to a tenant's sliding-window store");
+  m.samples_invalid_total = r.Counter(
+      "dbscale_ingest_samples_invalid_total",
+      "Samples rejected by the ingestion guard (non-finite figures)");
+  m.samples_out_of_order_total = r.Counter(
+      "dbscale_ingest_samples_out_of_order_total",
+      "Samples discarded for regressing a tenant's period clock");
+  m.samples_unknown_tenant_total = r.Counter(
+      "dbscale_ingest_samples_unknown_tenant_total",
+      "Samples for tenants the service does not know");
+  m.seq_violations_total = r.Counter(
+      "dbscale_ingest_seq_violations_total",
+      "Producer-sequence monotonicity violations seen at drain");
+  m.ring_rejected_total = r.Gauge(
+      "dbscale_ingest_ring_rejected_total",
+      "Ring-full push rejections (monotone ring counter, mirrored)");
+  m.ring_depth = r.Gauge(
+      "dbscale_ingest_ring_depth",
+      "Samples buffered in the ring, sampled at each drain");
+  m.drains_total = r.Counter(
+      "dbscale_ingest_drains_total", "DrainOnce invocations");
+  m.decisions_total = r.Counter(
+      "dbscale_ingest_decisions_total",
+      "Billing-interval decisions evaluated by the service");
+  m.drain_batch_size = r.Histogram(
+      "dbscale_ingest_drain_batch_size",
+      "Samples per drained batch",
+      obs::HistogramSpec::Exponential(1.0, 2.0, 12));
+  m.decide_batch_size = r.Histogram(
+      "dbscale_ingest_decide_batch_size",
+      "Due tenants per batched decision evaluation",
+      obs::HistogramSpec::Exponential(1.0, 2.0, 12));
+  return m;
+}
+
+}  // namespace dbscale::ingest

@@ -1,0 +1,35 @@
+// Instrument schema of the ingest/drain path. Registered late (like
+// engine::EngineMetrics and the scaler decision counters) so existing
+// PipelineMetrics consumers are untouched; call AttachPrimary() after
+// registering and before recording.
+
+#ifndef DBSCALE_INGEST_METRICS_H_
+#define DBSCALE_INGEST_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace dbscale::ingest {
+
+/// Instrument ids for the scaler-as-a-service surface. All recording is
+/// done by the single drainer thread, so the primary shard is safe.
+struct IngestMetrics {
+  obs::MetricId samples_drained_total;
+  obs::MetricId samples_routed_total;
+  obs::MetricId samples_invalid_total;      ///< ingestion-guard rejections
+  obs::MetricId samples_out_of_order_total; ///< per-tenant time regressions
+  obs::MetricId samples_unknown_tenant_total;
+  obs::MetricId seq_violations_total;  ///< producer-seq monotonicity breaks
+  obs::MetricId ring_rejected_total;   ///< gauge mirror of the ring counter
+  obs::MetricId ring_depth;            ///< gauge, sampled at each drain
+  obs::MetricId drains_total;
+  obs::MetricId decisions_total;
+  obs::MetricId drain_batch_size;      ///< histogram
+  obs::MetricId decide_batch_size;     ///< histogram
+
+  /// Registers (idempotently) every ingest instrument on `registry`.
+  static IngestMetrics Register(obs::MetricRegistry* registry);
+};
+
+}  // namespace dbscale::ingest
+
+#endif  // DBSCALE_INGEST_METRICS_H_

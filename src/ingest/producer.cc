@@ -1,0 +1,69 @@
+#include "src/ingest/producer.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::ingest {
+
+IngestProducer::IngestProducer(IngestRing* ring, uint32_t producer_id,
+                               fault::FaultPlan* plan)
+    : ring_(ring), plan_(plan), producer_id_(producer_id) {
+  DBSCALE_CHECK(ring != nullptr);
+}
+
+// dbscale-hot: one call per collected sample; allocation-free.
+PublishOutcome IngestProducer::Publish(
+    uint64_t tenant_id, const telemetry::TelemetrySample& sample) {
+  if (plan_ == nullptr || !plan_->enabled()) {
+    return Push(MakeWireSample(tenant_id, sample));
+  }
+  switch (plan_->NextSampleFault()) {
+    case fault::SampleFault::kDrop:
+      ++dropped_;
+      return PublishOutcome::kDropped;
+    case fault::SampleFault::kNan: {
+      telemetry::TelemetrySample corrupted = sample;
+      plan_->CorruptSample(fault::SampleFault::kNan, &corrupted);
+      ++corrupted_;
+      // Published corrupted: the service's ingestion guard is the line of
+      // defense, same as the sim loop's store-side check.
+      return Push(MakeWireSample(tenant_id, corrupted));
+    }
+    case fault::SampleFault::kOutlier: {
+      telemetry::TelemetrySample corrupted = sample;
+      plan_->CorruptSample(fault::SampleFault::kOutlier, &corrupted);
+      ++corrupted_;
+      return Push(MakeWireSample(tenant_id, corrupted));
+    }
+    case fault::SampleFault::kStale:
+      if (have_good_) {
+        // Stale read: previous good payload under the current period.
+        telemetry::TelemetrySample stale = last_good_;
+        stale.period_start = sample.period_start;
+        stale.period_end = sample.period_end;
+        ++stale_;
+        return Push(MakeWireSample(tenant_id, stale));
+      }
+      [[fallthrough]];  // no previous payload: behaves like kNone
+    case fault::SampleFault::kNone:
+      last_good_ = sample;
+      have_good_ = true;
+      return Push(MakeWireSample(tenant_id, sample));
+  }
+  return PublishOutcome::kDropped;  // unreachable
+}
+
+// dbscale-hot: stamps identity and pushes; allocation-free.
+PublishOutcome IngestProducer::Push(const WireSample& wire) {
+  WireSample stamped = wire;
+  stamped.producer_id = producer_id_;
+  stamped.producer_seq = next_seq_;
+  if (!ring_->TryPush(stamped)) {
+    ++rejected_;
+    return PublishOutcome::kRejected;
+  }
+  ++next_seq_;
+  ++published_;
+  return PublishOutcome::kPublished;
+}
+
+}  // namespace dbscale::ingest

@@ -1,0 +1,31 @@
+#include "src/scaler/batch_eval.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::scaler {
+
+namespace {
+
+// dbscale-hot: per-slot kernel of the batched evaluation; the machinery
+// itself must not allocate (policies may, e.g. the audit trail).
+void EvalSlot(DecisionSlot& slot, uint64_t (*timer)()) {
+  DBSCALE_DCHECK(slot.policy != nullptr);
+  const uint64_t t0 = timer != nullptr ? timer() : 0;
+  slot.decision = slot.policy->Decide(slot.input);
+  slot.decide_ns = timer != nullptr ? timer() - t0 : 0;
+}
+
+}  // namespace
+
+void DecideBatch(DecisionSlot* slots, size_t count, ThreadPool* pool,
+                 uint64_t (*timer)()) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) EvalSlot(slots[i], timer);
+    return;
+  }
+  pool->ParallelFor(0, static_cast<int64_t>(count),
+                    [slots, timer](int64_t i) { EvalSlot(slots[i], timer); });
+}
+
+}  // namespace dbscale::scaler

@@ -1,0 +1,50 @@
+// Batched multi-tenant decision evaluation: the scaler's entry point for
+// evaluating many tenants' Decide calls in one shot over the deterministic
+// ThreadPool.
+//
+// Contract (same shape as every parallel path in this repo): the caller
+// fills one DecisionSlot per tenant, DecideBatch runs each slot's policy
+// against its input with workers writing ONLY their own slot, and the
+// caller then folds the decisions in slot order. Because policies share no
+// state across slots and the fold order is fixed by the caller, the
+// results are bit-identical at any thread count — including pool == null
+// (serial). ScalerService relies on this to keep service-mode decisions
+// digest-identical to sim-loop decisions.
+
+#ifndef DBSCALE_SCALER_BATCH_EVAL_H_
+#define DBSCALE_SCALER_BATCH_EVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/thread_pool.h"
+#include "src/scaler/policy.h"
+
+namespace dbscale::scaler {
+
+/// One tenant's work item in a batched evaluation. The caller owns the
+/// policy and prepares the input; DecideBatch writes `decision` (and
+/// `decide_ns` when a timer is supplied).
+struct DecisionSlot {
+  /// Evaluated policy; must not be shared with any other slot in the
+  /// batch (policies are stateful).
+  ScalingPolicy* policy = nullptr;
+  PolicyInput input;
+  ScalingDecision decision;
+  /// Wall time of this slot's Decide, filled only when DecideBatch is
+  /// given a timer (0 otherwise). Diagnostic only — never feeds results.
+  uint64_t decide_ns = 0;
+};
+
+/// Runs `slots[i].decision = slots[i].policy->Decide(slots[i].input)` for
+/// every i in [0, count), in parallel over `pool` (serial inline when pool
+/// is null). Each worker writes only its own slot; the caller merges in
+/// slot order. `timer` (e.g. a steady-clock-ns reader supplied by a bench)
+/// is called twice per slot to fill decide_ns; results are identical with
+/// or without it.
+void DecideBatch(DecisionSlot* slots, size_t count, ThreadPool* pool,
+                 uint64_t (*timer)() = nullptr);
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_BATCH_EVAL_H_

@@ -1,5 +1,7 @@
 #include "src/telemetry/store.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace dbscale::telemetry {
@@ -9,26 +11,35 @@ TelemetryStore::TelemetryStore(size_t max_samples)
   DBSCALE_CHECK(max_samples > 0);
 }
 
-// dbscale-hot: runs once per telemetry sample for every tenant.
+// dbscale-hot: runs once per telemetry sample for every tenant. Grows the
+// backing vector only until retention is reached; at capacity it recycles
+// the oldest slot in place (no allocation, no element shifting).
 void TelemetryStore::Append(TelemetrySample sample) {
   if (!samples_.empty()) {
     // Periods must be appended in time order.
-    DBSCALE_DCHECK(sample.period_end >= samples_.back().period_end);
+    DBSCALE_DCHECK(sample.period_end >= back().period_end);
   }
-  samples_.push_back(std::move(sample));
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(std::move(sample));
+  } else {
+    samples_[head_] = std::move(sample);
+    ++head_;
+    if (head_ == samples_.size()) head_ = 0;
+  }
   ++total_appended_;
-  while (samples_.size() > max_samples_) samples_.pop_front();
 }
 
 void TelemetryStore::Clear() {
   samples_.clear();
+  head_ = 0;
   ++clear_epoch_;
 }
 
 std::vector<const TelemetrySample*> TelemetryStore::Range(
     SimTime since, SimTime until) const {
   std::vector<const TelemetrySample*> out;
-  for (const TelemetrySample& s : samples_) {
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const TelemetrySample& s = samples_[Phys(i)];
     if (s.period_end > since && s.period_end <= until) out.push_back(&s);
   }
   return out;
@@ -46,7 +57,7 @@ void TelemetryStore::RecentInto(
   out.clear();
   size_t start = samples_.size() > n ? samples_.size() - n : 0;
   for (size_t i = start; i < samples_.size(); ++i) {
-    out.push_back(&samples_[i]);
+    out.push_back(&samples_[Phys(i)]);
   }
 }
 
@@ -57,7 +68,7 @@ std::vector<double> TelemetryStore::Extract(
   size_t start = samples_.size() > n ? samples_.size() - n : 0;
   out.reserve(samples_.size() - start);
   for (size_t i = start; i < samples_.size(); ++i) {
-    out.push_back(fn(samples_[i]));
+    out.push_back(fn(samples_[Phys(i)]));
   }
   return out;
 }

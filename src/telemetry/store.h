@@ -1,12 +1,13 @@
 // TelemetryStore: the per-tenant history of telemetry samples that the
-// telemetry manager reads. Bounded retention (ring buffer) since signals
-// only look back a few hours at most.
+// telemetry manager reads. Bounded retention (circular ring over a flat
+// vector) since signals only look back a few hours at most. The backing
+// vector grows lazily up to the retention bound and is then recycled in
+// place, so steady-state Append is allocation-free.
 
 #ifndef DBSCALE_TELEMETRY_STORE_H_
 #define DBSCALE_TELEMETRY_STORE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -25,8 +26,11 @@ class TelemetryStore {
 
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
-  const TelemetrySample& back() const { return samples_.back(); }
-  const TelemetrySample& at(size_t i) const { return samples_[i]; }
+  const TelemetrySample& back() const {
+    return samples_[Phys(samples_.size() - 1)];
+  }
+  /// Logical index: 0 is the oldest retained sample, size()-1 the newest.
+  const TelemetrySample& at(size_t i) const { return samples_[Phys(i)]; }
 
   /// Retention bound this store was constructed with.
   size_t max_samples() const { return max_samples_; }
@@ -55,8 +59,16 @@ class TelemetryStore {
       size_t n, const std::function<double(const TelemetrySample&)>& fn) const;
 
  private:
+  /// Physical slot of logical index `i` (0 = oldest). Until the ring is
+  /// full head_ is 0 and logical == physical; afterwards the ring wraps.
+  size_t Phys(size_t i) const {
+    const size_t p = head_ + i;
+    return p < samples_.size() ? p : p - samples_.size();
+  }
+
   size_t max_samples_;
-  std::deque<TelemetrySample> samples_;
+  std::vector<TelemetrySample> samples_;
+  size_t head_ = 0;  ///< physical slot of the oldest sample once full
   uint64_t total_appended_ = 0;
   uint64_t clear_epoch_ = 0;
 };

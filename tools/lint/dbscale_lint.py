@@ -110,6 +110,10 @@ ORDER_SENSITIVE_PREFIXES = (
     # Fault streams are forked from the deterministic per-tenant RNG; any
     # unordered reduction or wall-clock leak breaks bit-identical replay.
     "src/fault/",
+    # Service-mode decisions must be digest-identical to sim-loop decisions
+    # at any producer/thread count; unordered containers or clock reads in
+    # the drain/evaluate path would break that equivalence.
+    "src/ingest/",
 )
 
 NODISCARD_GUARDS = {
