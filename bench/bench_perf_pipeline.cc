@@ -5,8 +5,7 @@
 // --out=PATH):
 //   * fleet wall time, serial vs 1/2/4/8 threads, with a determinism
 //     digest per run (hex FNV-1a over the raw telemetry bit patterns;
-//     must be identical across thread counts — the deprecated float
-//     "checksum" field rides along for one release);
+//     must be identical across thread counts);
 //   * fleet_scale: the SoA streaming runner (src/fleet/fleet_scale.*) at
 //     10^4 and 10^5 tenants (10^6 with --full) — tenants/sec, state
 //     bytes, and peak RSS per point — plus a thread-scaling curve whose
@@ -106,30 +105,10 @@ uint64_t FleetDigest(const fleet::FleetTelemetry& t) {
   return d.value;
 }
 
-/// DEPRECATED: the pre-digest weighted-sum checksum, kept ONE release so
-/// BENCH_perf.json consumers keyed on "checksum" keep parsing. Remove
-/// (together with the JSON field) at the next bench-format bump.
-double LegacyFleetChecksum(const fleet::FleetTelemetry& t) {
-  double sum = 0.0;
-  double weight = 1.0;
-  for (const fleet::HourlyRecord& r : t.hourly) {
-    weight = weight >= 1e9 ? 1.0 : weight + 1e-3;
-    for (size_t ri = 0; ri < container::kNumResources; ++ri) {
-      sum += weight * (r.utilization_pct[ri] + r.wait_ms_per_request[ri]);
-    }
-  }
-  for (double m : t.inter_event_minutes) sum += m;
-  for (size_t i = 0; i < t.step_size_counts.size(); ++i) {
-    sum += static_cast<double>(i) * static_cast<double>(t.step_size_counts[i]);
-  }
-  return sum;
-}
-
 struct FleetRunStats {
   int num_threads = 0;
   double seconds = 0.0;
   uint64_t digest = 0;
-  double legacy_checksum = 0.0;
 };
 
 FleetRunStats TimeFleetRun(const container::Catalog& catalog,
@@ -144,8 +123,7 @@ FleetRunStats TimeFleetRun(const container::Catalog& catalog,
                  telemetry.status().ToString().c_str());
   }
   DBSCALE_CHECK(telemetry.ok());
-  return {num_threads, elapsed, FleetDigest(*telemetry),
-          LegacyFleetChecksum(*telemetry)};
+  return {num_threads, elapsed, FleetDigest(*telemetry)};
 }
 
 /// Peak resident set size (VmHWM) in kB, or -1 where /proc is unavailable.
@@ -443,7 +421,6 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.digest));
     // Bit-identical output is a hard guarantee, not a tolerance.
     DBSCALE_CHECK(run.digest == fleet_runs.front().digest);
-    DBSCALE_CHECK(run.legacy_checksum == fleet_runs.front().legacy_checksum);
   }
 
   // Fleet at scale: the SoA streaming runner (src/fleet/fleet_scale.*).
@@ -626,12 +603,10 @@ int Main(int argc, char** argv) {
     const FleetRunStats& run = fleet_runs[i];
     std::fprintf(out,
                  "      {\"threads\": %d, \"seconds\": %.6f, "
-                 "\"speedup_vs_serial\": %.4f, \"digest\": \"%016llx\", "
-                 "\"checksum\": %.6f}%s\n",
+                 "\"speedup_vs_serial\": %.4f, \"digest\": \"%016llx\"}%s\n",
                  run.num_threads, run.seconds,
                  fleet_runs.front().seconds / run.seconds,
                  static_cast<unsigned long long>(run.digest),
-                 run.legacy_checksum,
                  i + 1 < fleet_runs.size() ? "," : "");
   }
   std::fprintf(out, "    ],\n");

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, ten stages:
+# Full correctness gate, eleven stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests (incl. the fault
 #      retry path exercised by the Fleet/Fault suites)
@@ -22,6 +22,10 @@
 #      digest identical (and identical to the direct-feed serial
 #      reference), rejects nothing at nominal rate, and counts a nonzero
 #      rejection total when the ring is flooded
+#  11. host-placement smoke: a scale-up on a hot host becomes a billed
+#      migration (downtime == D per completed migration), host-mode runs
+#      are run-twice bit-identical, and a null host plan reproduces the
+#      pre-host fleet digest exactly
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -32,13 +36,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/10] normal build + full test suite ==="
+echo "=== [1/11] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/10] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/11] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -50,7 +54,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fault|Fleet|Comparison|Experiment|Ingest'
 
 echo
-echo "=== [3/10] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/11] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -61,7 +65,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/10] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/11] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -76,11 +80,11 @@ else
 fi
 
 echo
-echo "=== [5/10] custom invariant lint ==="
+echo "=== [5/11] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/10] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/11] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -112,11 +116,6 @@ digests = {run["digest"] for run in report["fleet"]["runs"]}
 if len(digests) != 1:
     failures.append(f"fleet digests diverge across thread counts: "
                     f"{sorted(digests)}")
-# One-release compat: the deprecated float checksum must also agree.
-checksums = {run["checksum"] for run in report["fleet"]["runs"]}
-if len(checksums) != 1:
-    failures.append(f"fleet legacy checksums diverge across thread counts: "
-                    f"{sorted(checksums)}")
 if not report["fleet"]["deterministic_across_threads"]:
     failures.append("fleet reports non-deterministic across thread counts")
 
@@ -139,7 +138,7 @@ print("observability overhead (quick, noisy): "
 PY
 
 echo
-echo "=== [7/10] observability smoke (decision trace + exporter schemas) ==="
+echo "=== [7/11] observability smoke (decision trace + exporter schemas) ==="
 # The quickstart example runs an instrumented closed loop and dumps all
 # three exports; the schema checker then validates every artifact. Catches
 # exporter format regressions that unit goldens (single metrics) miss.
@@ -152,7 +151,7 @@ python3 tools/obs/check_obs_output.py \
   "${OBS_DIR}/decision_trace.metrics.csv"
 
 echo
-echo "=== [8/10] fault-matrix smoke (determinism + resilience) ==="
+echo "=== [8/11] fault-matrix smoke (determinism + resilience) ==="
 # The faulty_resize example runs the closed loop twice with a null plan and
 # twice with the acceptance fault profile, then dumps digests, counters,
 # and an audit summary. The checker enforces the resilience contract.
@@ -215,7 +214,7 @@ print(f"fault smoke ok: null and faulty digests stable, "
 PY
 
 echo
-echo "=== [9/10] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
+echo "=== [9/11] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
 # The fleet_scale example runs a 10^4-tenant day twice, round-trips a
 # checkpoint at a different thread count, and corrupts the checkpoint.
 FLEET_JSON="${PREFIX}/fleet_scale_smoke.json"
@@ -253,7 +252,7 @@ print(f"fleet-scale smoke ok: digest {report['digest_a']} stable across "
 PY
 
 echo
-echo "=== [10/10] ingest smoke (scaler-as-a-service determinism + backpressure) ==="
+echo "=== [10/11] ingest smoke (scaler-as-a-service determinism + backpressure) ==="
 # The ingest_daemon example runs the ring -> drain -> batched-decision
 # pipeline twice plus a direct-feed serial reference, then floods a tiny
 # ring. The checker enforces the service equivalence contract and the
@@ -304,6 +303,65 @@ print(f"ingest smoke ok: digest {report['digest_a']} stable across rerun "
       f"and direct feed, {report['nominal_decisions']} decisions, "
       f"0 rejected nominal, {report['overload_rejected']} rejected "
       "under overload")
+PY
+
+echo
+echo "=== [11/11] host-placement smoke (migrations + null-plan identity) ==="
+# The host_placement example runs a single tenant on a hot host (its
+# scale-up must become a migration), the fleet flash-crowd scenario twice,
+# and a host-free fleet that must still hit the pre-host digest pin.
+HOST_JSON="${PREFIX}/host_smoke.json"
+"${PREFIX}/examples/host_placement" --json="${HOST_JSON}" >/dev/null
+python3 - "${HOST_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+sim = report["sim"]
+flt = report["fleet"]
+
+# Determinism: host-mode runs are run-twice bit-identical, sim and fleet.
+if sim["digest"] != sim["digest_repeat"]:
+    failures.append("host-mode sim run is not deterministic")
+if flt["digest"] != flt["digest_repeat"]:
+    failures.append("host-mode fleet run is not deterministic")
+if flt["host_digest"] != flt["host_digest_repeat"]:
+    failures.append("host digest is not run-twice stable")
+
+# The scenario's point: at least one scale-up became a migration, and
+# downtime billed exactly D intervals per completed migration.
+if sim["migrations_begun"] == 0:
+    failures.append("hot-host sim produced no migration")
+if sim["downtime_intervals"] != (sim["migrations_completed"]
+                                 * sim["downtime_per_migration"]):
+    failures.append("sim downtime billing is not exact")
+if flt["migrations_begun"] == 0:
+    failures.append("flash crowd produced no migrations")
+if not flt["downtime_exact"]:
+    failures.append("fleet downtime billing is not exact")
+
+# Noisy neighbors are visible: the hot host throttled the tenant.
+if sim["max_throttle"] <= 1.0:
+    failures.append("hot host produced no interference throttle")
+
+# A null host plan is bit-free: the pre-host fleet digest reproduces.
+if not report["null_plan"]["matches_baseline"]:
+    failures.append(
+        f"null host plan drifted from the pre-host digest: "
+        f"{report['null_plan']['digest']} != "
+        f"{report['null_plan']['baseline']}")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"host smoke ok: sim migration billed exactly, fleet "
+      f"{flt['migrations_completed']} migrations / "
+      f"{flt['downtime_intervals']} downtime intervals, digests stable, "
+      f"null plan matches the pre-host pin")
 PY
 
 echo

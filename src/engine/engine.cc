@@ -129,6 +129,11 @@ Status DatabaseEngine::AbortResize() {
   return Status::OK();
 }
 
+void DatabaseEngine::SetHostThrottle(double factor) {
+  DBSCALE_CHECK(factor >= 1.0);
+  host_throttle_ = factor;
+}
+
 void DatabaseEngine::SetMemoryLimitMb(double mb) {
   DBSCALE_CHECK(mb >= 0.0);
   if (mb >= container_.resources.memory_mb) {
@@ -383,6 +388,12 @@ telemetry::TelemetrySample DatabaseEngine::CollectSample() {
           memory_alloc > 0.0 ? 100.0 * memory_used / memory_alloc : 0.0);
 
   sample.wait_ms = period_wait_ms_;
+  if (host_throttle_ != 1.0) {
+    // Co-located demand beyond the host's capacity stretches every wait;
+    // the guard keeps throttle-free runs bit-identical (a *= 1.0 could
+    // still perturb signed zeros and is a needless pass).
+    for (double& w : sample.wait_ms) w *= host_throttle_;
+  }
   sample.requests_started = period_started_;
   sample.requests_completed = period_completed_;
   if (period_latency_.count() > 0) {

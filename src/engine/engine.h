@@ -118,6 +118,14 @@ class DatabaseEngine {
     return staged_resize_;
   }
 
+  /// Noisy-neighbor hook for the host plane: inflates every reported wait
+  /// by `factor` (>= 1) in subsequent CollectSample()s, modeling the CPU
+  /// throttling a saturated host imposes on its co-located tenants.
+  /// Exactly 1.0 is an identity — samples are bit-identical to a run
+  /// without the hook, preserving the null-host-plan digest contract.
+  void SetHostThrottle(double factor);
+  double host_throttle() const { return host_throttle_; }
+
   /// Balloon override: caps effective memory below the container's
   /// allocation (used by the balloon controller's gradual shrink).
   /// Passing a value >= the container's memory clears the override.
@@ -182,6 +190,7 @@ class DatabaseEngine {
   std::unique_ptr<MemoryBroker> memory_;
 
   double memory_limit_mb_ = -1.0;  // balloon override; <0 = none
+  double host_throttle_ = 1.0;     // host-plane wait inflation; 1 = off
 
   EngineMetrics metrics_;
   obs::MetricSink metric_sink_;

@@ -24,8 +24,10 @@ ResizeActuator::ResizeActuator(FaultPlan* plan) : plan_(plan) {
   DBSCALE_CHECK(plan != nullptr);
 }
 
-ResizeEvent ResizeActuator::Begin(const container::ContainerSpec& target) {
+ResizeEvent ResizeActuator::Begin(const container::ContainerSpec& target,
+                                  int extra_latency_intervals) {
   DBSCALE_CHECK(!pending_);
+  DBSCALE_CHECK(extra_latency_intervals >= 0);
   ++begins_;
   attempt_ = target.id == last_target_id_ ? attempt_ + 1 : 1;
   last_target_id_ = target.id;
@@ -37,7 +39,7 @@ ResizeEvent ResizeActuator::Begin(const container::ContainerSpec& target) {
     return ResizeEvent{ResizeEventKind::kRejected, target_, attempt_};
   }
   fate_ = draw.fate;
-  remaining_intervals_ = draw.latency_intervals;
+  remaining_intervals_ = draw.latency_intervals + extra_latency_intervals;
   if (remaining_intervals_ == 0) return Resolve();
   pending_ = true;
   return ResizeEvent{ResizeEventKind::kPending, target_, attempt_};

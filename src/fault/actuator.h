@@ -49,7 +49,11 @@ class ResizeActuator {
   /// Issues a resize. Must not be called while pending(). Returns
   /// kApplied / kFailed when the draw resolves within the issuing interval
   /// (latency 0), kRejected on permanent rejection, kPending otherwise.
-  ResizeEvent Begin(const container::ContainerSpec& target);
+  /// `extra_latency_intervals` is added on top of the fault plan's latency
+  /// draw (the host layer's migration copy + cutover downtime); rejection
+  /// is still immediate.
+  ResizeEvent Begin(const container::ContainerSpec& target,
+                    int extra_latency_intervals = 0);
 
   /// Advances one billing interval. Returns kNone when idle, kPending
   /// while latency remains, and kApplied / kFailed when the in-flight
@@ -58,6 +62,9 @@ class ResizeActuator {
 
   bool pending() const { return pending_; }
   const container::ContainerSpec& target() const { return target_; }
+  /// Intervals until the in-flight resize resolves (0 when idle); the host
+  /// layer reads it to place the migration blackout window.
+  int remaining_intervals() const { return pending_ ? remaining_intervals_ : 0; }
 
   /// Lifetime counters (drill-down / smoke assertions).
   uint64_t begins() const { return begins_; }

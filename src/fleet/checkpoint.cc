@@ -168,10 +168,15 @@ void ReadAggregate(Reader& r, FleetAggregate* agg, int num_rungs,
 Status SaveFleetCheckpoint(const std::string& path, uint64_t fingerprint,
                            int completed_intervals,
                            const FleetSoaState& state,
-                           const std::vector<FleetAggregate>& block_aggs) {
+                           const std::vector<FleetAggregate>& block_aggs,
+                           const host::HostMap* host_map) {
   if (path.empty()) return Status::InvalidArgument("empty checkpoint path");
   if (block_aggs.empty()) {
     return Status::InvalidArgument("no block aggregates to checkpoint");
+  }
+  if (state.host_sized() != (host_map != nullptr)) {
+    return Status::InvalidArgument(
+        "host map must be supplied exactly when the state has host arrays");
   }
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -187,6 +192,8 @@ Status SaveFleetCheckpoint(const std::string& path, uint64_t fingerprint,
   w.I32(completed_intervals);
   w.I32(num_tenants);
   w.U8(state.fault_sized() ? 1 : 0);
+  w.U8(state.host_sized() ? 1 : 0);
+  w.I32(host_map != nullptr ? host_map->num_hosts() : 0);
   w.I32(static_cast<int32_t>(block_aggs.size()));
   w.I32(block_aggs.front().num_rungs);
   w.I32(block_aggs.front().num_intervals);
@@ -213,6 +220,30 @@ Status SaveFleetCheckpoint(const std::string& path, uint64_t fingerprint,
     w.Vec(state.act_remaining);
     w.Vec(state.act_attempt);
     w.Vec(state.act_last_target);
+  }
+  if (state.host_sized()) {
+    w.Vec(state.host_of);
+    w.Vec(state.act_kind);
+    w.Vec(state.act_dest);
+    w.Vec(state.prev_demand_cpu);
+    for (const host::HostState& h : host_map->hosts()) {
+      for (const auto kind : container::kAllResources) {
+        w.Dbl(h.alloc.Get(kind));
+      }
+      for (const auto kind : container::kAllResources) {
+        w.Dbl(h.reserved.Get(kind));
+      }
+      w.I32(h.num_tenants);
+      w.Dbl(h.cpu_pressure);
+      w.Dbl(h.throttle);
+    }
+    const host::HostMap::Counters& c = host_map->counters();
+    w.U64(c.migrations_begun);
+    w.U64(c.migrations_completed);
+    w.U64(c.migrations_failed);
+    w.U64(c.downtime_intervals);
+    w.U64(c.saturated_host_intervals);
+    w.U64(c.placement_holds);
   }
   for (const FleetAggregate& agg : block_aggs) WriteAggregate(w, agg);
   const uint64_t footer = w.hash();
@@ -270,19 +301,23 @@ Result<FleetCheckpointData> LoadFleetCheckpoint(
   FleetCheckpointData data;
   data.completed_intervals = r.I32();
   const int32_t num_tenants = r.I32();
-  const bool fault_enabled = r.U8() != 0;
+  const bool act_enabled = r.U8() != 0;
+  const bool host_enabled = r.U8() != 0;
+  const int32_t num_hosts = r.I32();
   const int32_t num_blocks = r.I32();
   const int32_t num_rungs = r.I32();
   const int32_t num_intervals = r.I32();
   if (!r.ok() || num_tenants <= 0 || num_blocks <= 0 || num_rungs <= 0 ||
       num_intervals <= 0 || data.completed_intervals <= 0 ||
       data.completed_intervals > num_intervals ||
-      num_blocks > num_tenants) {
+      num_blocks > num_tenants ||
+      (host_enabled ? num_hosts <= 0 : num_hosts != 0) ||
+      (host_enabled && !act_enabled)) {
     return Status::IoError("truncated or corrupt checkpoint header: " + path);
   }
 
   const size_t n = static_cast<size_t>(num_tenants);
-  data.state.Resize(num_tenants, fault_enabled);
+  data.state.Resize(num_tenants, act_enabled, host_enabled);
   r.Vec(&data.state.rng_state, n);
   r.Vec(&data.state.rng_inc, n);
   r.Vec(&data.state.rng_cached_normal, n);
@@ -293,7 +328,7 @@ Result<FleetCheckpointData> LoadFleetCheckpoint(
   r.Vec(&data.state.last_change_interval, n);
   r.Vec(&data.state.changes, n);
   r.Vec(&data.state.tenant_digest, n);
-  if (fault_enabled) {
+  if (act_enabled) {
     r.Vec(&data.state.applied_rung, n);
     r.Vec(&data.state.plan_rng_state, n);
     r.Vec(&data.state.plan_rng_inc, n);
@@ -305,6 +340,30 @@ Result<FleetCheckpointData> LoadFleetCheckpoint(
     r.Vec(&data.state.act_remaining, n);
     r.Vec(&data.state.act_attempt, n);
     r.Vec(&data.state.act_last_target, n);
+  }
+  if (host_enabled) {
+    r.Vec(&data.state.host_of, n);
+    r.Vec(&data.state.act_kind, n);
+    r.Vec(&data.state.act_dest, n);
+    r.Vec(&data.state.prev_demand_cpu, n);
+    data.hosts.resize(static_cast<size_t>(num_hosts));
+    for (host::HostState& h : data.hosts) {
+      for (const auto kind : container::kAllResources) {
+        h.alloc.Set(kind, r.Dbl());
+      }
+      for (const auto kind : container::kAllResources) {
+        h.reserved.Set(kind, r.Dbl());
+      }
+      h.num_tenants = r.I32();
+      h.cpu_pressure = r.Dbl();
+      h.throttle = r.Dbl();
+    }
+    data.host_counters.migrations_begun = r.U64();
+    data.host_counters.migrations_completed = r.U64();
+    data.host_counters.migrations_failed = r.U64();
+    data.host_counters.downtime_intervals = r.U64();
+    data.host_counters.saturated_host_intervals = r.U64();
+    data.host_counters.placement_holds = r.U64();
   }
   data.block_aggs.resize(static_cast<size_t>(num_blocks));
   for (FleetAggregate& agg : data.block_aggs) {

@@ -36,33 +36,16 @@
 #include <cstring>
 #include <vector>
 
+#include "src/common/fnv.h"
 #include "src/container/container.h"
 #include "src/fleet/fleet_sim.h"
 
 namespace dbscale::fleet {
 
-/// Incremental FNV-1a over raw value bytes; the digest primitive for
-/// streaming aggregation (obs::Fnv1a64 takes a materialized string, which
-/// the hot path must not build).
-struct Fnv64Stream {
-  uint64_t value = 14695981039346656037ULL;
-
-  void Bytes(const void* data, size_t n) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      value ^= static_cast<uint64_t>(p[i]);
-      value *= 1099511628211ULL;
-    }
-  }
-  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
-  void I32(int32_t v) { Bytes(&v, sizeof(v)); }
-  /// Hashes the bit pattern: digests compare doubles exactly, not "close".
-  void Dbl(double v) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-};
+/// The streaming digest primitive (moved to src/common/fnv.h so host/ and
+/// ingest/ can fold digests without a fleet dependency); re-exported here
+/// for the existing fleet::Fnv64Stream call sites.
+using ::dbscale::Fnv64Stream;
 
 /// \brief Exact streaming aggregate of one fleet run (or one tenant
 /// block's share of it). Plain data plus fold/merge/query helpers, like

@@ -7,6 +7,8 @@
 #include "src/common/thread_pool.h"
 #include "src/fault/actuator.h"
 #include "src/fleet/checkpoint.h"
+#include "src/host/actuation.h"
+#include "src/host/placement.h"
 #include "src/stats/robust.h"
 
 namespace dbscale::fleet {
@@ -25,7 +27,8 @@ constexpr int64_t kInitGrain = 1024;
 // ---------------------------------------------------------------------------
 // FleetSoaState
 
-void FleetSoaState::Resize(int num_tenants, bool fault_enabled) {
+void FleetSoaState::Resize(int num_tenants, bool act_enabled,
+                           bool host_enabled) {
   const size_t n = static_cast<size_t>(num_tenants);
   rng_state.assign(n, 0);
   rng_inc.assign(n, 0);
@@ -37,7 +40,7 @@ void FleetSoaState::Resize(int num_tenants, bool fault_enabled) {
   last_change_interval.assign(n, -1);
   changes.assign(n, 0);
   tenant_digest.assign(n, Fnv64Stream{}.value);
-  const size_t nf = fault_enabled ? n : 0;
+  const size_t nf = act_enabled ? n : 0;
   applied_rung.assign(nf, -1);
   plan_rng_state.assign(nf, 0);
   plan_rng_inc.assign(nf, 0);
@@ -49,6 +52,11 @@ void FleetSoaState::Resize(int num_tenants, bool fault_enabled) {
   act_remaining.assign(nf, 0);
   act_attempt.assign(nf, 0);
   act_last_target.assign(nf, -1);
+  const size_t nh = host_enabled ? n : 0;
+  host_of.assign(nh, -1);
+  act_kind.assign(nh, 0);
+  act_dest.assign(nh, -1);
+  prev_demand_cpu.assign(nh, 0.0);
   params.assign(n, TenantParams{});
 }
 
@@ -102,7 +110,9 @@ uint64_t FleetSoaState::HotBytes() const {
          VecBytes(plan_rng_has_cached) + VecBytes(act_pending) +
          VecBytes(act_target_rung) + VecBytes(act_fate) +
          VecBytes(act_remaining) + VecBytes(act_attempt) +
-         VecBytes(act_last_target);
+         VecBytes(act_last_target) + VecBytes(host_of) +
+         VecBytes(act_kind) + VecBytes(act_dest) +
+         VecBytes(prev_demand_cpu);
 }
 
 uint64_t FleetSoaState::TotalBytes() const {
@@ -111,6 +121,22 @@ uint64_t FleetSoaState::TotalBytes() const {
 
 // ---------------------------------------------------------------------------
 // Options
+
+Status FlashCrowdOptions::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (duration_intervals <= 0) {
+    return Status::InvalidArgument(
+        "flash_crowd.duration_intervals must be positive");
+  }
+  if (demand_multiplier <= 0.0) {
+    return Status::InvalidArgument(
+        "flash_crowd.demand_multiplier must be positive");
+  }
+  if (num_hosts_hit <= 0) {
+    return Status::InvalidArgument("flash_crowd.num_hosts_hit must be >= 1");
+  }
+  return Status::OK();
+}
 
 Status FleetScaleOptions::Validate() const {
   if (num_tenants <= 0 || num_intervals <= 0) {
@@ -129,6 +155,18 @@ Status FleetScaleOptions::Validate() const {
   }
   if (checkpoint_every_epochs <= 0) {
     return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
+  }
+  DBSCALE_RETURN_IF_ERROR(host.Validate());
+  DBSCALE_RETURN_IF_ERROR(flash_crowd.Validate());
+  if (flash_crowd.enabled()) {
+    if (!host.enabled()) {
+      return Status::InvalidArgument(
+          "flash_crowd requires the host plane (host.num_hosts > 0)");
+    }
+    if (flash_crowd.num_hosts_hit > host.num_hosts) {
+      return Status::InvalidArgument(
+          "flash_crowd.num_hosts_hit exceeds host.num_hosts");
+    }
   }
   return fault.Validate();
 }
@@ -175,6 +213,32 @@ uint64_t FleetScaleFingerprint(const container::Catalog& catalog,
   h.Dbl(f.telemetry.outlier_probability);
   h.Dbl(f.telemetry.outlier_factor);
   h.Dbl(f.telemetry.stale_probability);
+  const host::HostOptions& hst = options.host;
+  h.U64(hst.enabled() ? 1 : 0);
+  h.I32(hst.num_hosts);
+  for (const auto kind : container::kAllResources) {
+    h.Dbl(hst.capacity.Get(kind));
+  }
+  h.Dbl(hst.overcommit_factor);
+  h.I32(hst.migration_latency_intervals);
+  h.I32(hst.migration_downtime_intervals);
+  h.Dbl(hst.migration_downtime_wait_factor);
+  h.Dbl(hst.interference_start_ratio);
+  h.Dbl(hst.interference_slope);
+  h.U64(static_cast<uint64_t>(hst.placement));
+  for (const auto kind : container::kAllResources) {
+    h.Dbl(hst.background.Get(kind));
+  }
+  h.I32(hst.hot_hosts);
+  for (const auto kind : container::kAllResources) {
+    h.Dbl(hst.hot_extra.Get(kind));
+  }
+  const FlashCrowdOptions& fc = options.flash_crowd;
+  h.U64(fc.enabled() ? 1 : 0);
+  h.I32(fc.start_interval);
+  h.I32(fc.duration_intervals);
+  h.Dbl(fc.demand_multiplier);
+  h.I32(fc.num_hosts_hit);
   return h.value;
 }
 
@@ -188,10 +252,12 @@ FleetScaleRunner::FleetScaleRunner(const container::Catalog& catalog,
                                    FleetScaleOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
-      fault_enabled_(options_.fault.enabled()) {}
+      fault_enabled_(options_.fault.enabled()),
+      host_enabled_(options_.host.enabled()) {}
 
 Status FleetScaleRunner::InitTenants() {
-  state_.Resize(options_.num_tenants, fault_enabled_);
+  state_.Resize(options_.num_tenants, fault_enabled_ || host_enabled_,
+                host_enabled_);
 
   // Phase 1, serial: pre-fork every tenant's generator from the root. The
   // fork order defines each tenant's stream, so it must not depend on
@@ -222,6 +288,39 @@ Status FleetScaleRunner::InitTenants() {
   } else {
     ThreadPool pool(options_.num_threads);
     pool.ParallelFor(0, options_.num_tenants, init_tenant, kInitGrain);
+  }
+
+  // Host plane: seed-place every tenant's initial container (the cheapest
+  // rung dominating its base demand) with first-fit-decreasing, remember
+  // which tenants sit on the flash-crowd hosts, and size the per-interval
+  // scratch. All serial and derived purely from the seed, so Resume()
+  // reproduces it exactly.
+  if (host_enabled_) {
+    const size_t n = static_cast<size_t>(options_.num_tenants);
+    host_map_.emplace(options_.host);
+    placement_ = host::MakePlacementPolicy(options_.host.placement);
+    std::vector<container::ContainerSpec> initial(n);
+    for (size_t i = 0; i < n; ++i) {
+      initial[i] = catalog_.CheapestDominating(state_.params[i].base_demand);
+    }
+    DBSCALE_ASSIGN_OR_RETURN(std::vector<int> placed,
+                             host_map_->SeedPlace(initial));
+    flash_affected_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      state_.host_of[i] = placed[i];
+      state_.applied_rung[i] = initial[i].base_rung;
+      if (options_.flash_crowd.enabled() &&
+          placed[i] < options_.flash_crowd.num_hosts_hit) {
+        flash_affected_[i] = 1;
+      }
+    }
+    host_demand_.assign(static_cast<size_t>(options_.host.num_hosts), 0.0);
+    tenant_throttle_.assign(n, 1.0);
+    assigned_scratch_.assign(n, -1);
+    hour_scratch_.assign(
+        n * static_cast<size_t>(container::kNumResources) * 4 *
+            static_cast<size_t>(kIntervalsPerHour),
+        0.0);
   }
 
   block_aggs_.assign(static_cast<size_t>(options_.NumBlocks()),
@@ -426,6 +525,379 @@ void FleetScaleRunner::RunBlockEpoch(int block, int t0, int t1,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Host-mode interval-major phases. Hosts couple co-located tenants (the
+// interference throttle at interval t depends on every resident's demand at
+// t-1, and a migration moves capacity between hosts mid-run), so host mode
+// cannot run blocks whole epochs apart. Instead each interval runs three
+// phases: A (serial, tenant order) tick in-flight actuations and refresh
+// throttles; B (parallel over blocks) step tenants; C (serial, tenant
+// order) begin new actuations. Everything order-sensitive happens in the
+// serial phases, so the digest is bit-identical at any thread count.
+
+void FleetScaleRunner::HostTickActuations(int t) {
+  (void)t;
+  const int n = options_.num_tenants;
+  const int D = options_.host.migration_downtime_intervals;
+  const double downtime_factor = options_.host.migration_downtime_wait_factor;
+  // Tick never draws from the fault plan (fates are drawn at Begin), so a
+  // shared null plan suffices for restoring the actuator per tenant.
+  fault::FaultPlan null_plan;
+  fault::ResizeActuator actuator(&null_plan);
+  const obs::PipelineMetrics* pm =
+      options_.obs != nullptr ? &options_.obs->pipeline() : nullptr;
+
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    tenant_throttle_[idx] = 1.0;
+    if (state_.act_pending[idx] == 0) continue;
+
+    fault::ResizeActuator::State act;
+    act.pending = true;
+    act.target_rung = state_.act_target_rung[idx];
+    act.fate = static_cast<fault::ResizeFate>(state_.act_fate[idx]);
+    act.remaining_intervals = state_.act_remaining[idx];
+    act.attempt = state_.act_attempt[idx];
+    act.last_target_id = state_.act_last_target[idx];
+    actuator.RestoreState(act, catalog_);
+
+    const bool migration = state_.act_kind[idx] != 0;
+    const fault::ResizeEvent ev = actuator.Tick();
+    FleetAggregate& agg =
+        block_aggs_[static_cast<size_t>(i / options_.block_size)];
+    obs::MetricShard* shard =
+        shard_pool_.attached()
+            ? &shard_pool_.shard(static_cast<size_t>(i / options_.block_size))
+            : nullptr;
+    obs::MetricSink sink{shard};
+
+    if (ev.kind == fault::ResizeEventKind::kApplied) {
+      const container::ResourceVector old_bundle =
+          catalog_.rung(state_.applied_rung[idx]).resources;
+      const container::ResourceVector& new_bundle = ev.target.resources;
+      if (migration) {
+        host_map_->CompleteMigration(state_.host_of[idx],
+                                     state_.act_dest[idx], old_bundle,
+                                     new_bundle);
+        state_.host_of[idx] = state_.act_dest[idx];
+        if (pm != nullptr && shard != nullptr) {
+          sink.Add(pm->host_migrations_total, 1.0);
+        }
+      } else {
+        host_map_->CommitLocal(state_.host_of[idx],
+                               host::UpDelta(old_bundle, new_bundle),
+                               old_bundle, new_bundle);
+      }
+      state_.applied_rung[idx] = ev.target.base_rung;
+      state_.act_kind[idx] = 0;
+      state_.act_dest[idx] = -1;
+    } else if (ev.kind == fault::ResizeEventKind::kFailed) {
+      // A failed migration is revealed at cutover: the destination
+      // reservation is released and the tenant stays where it was (having
+      // already suffered the blackout). A failed local resize releases its
+      // up-delta reservation.
+      const container::ResourceVector old_bundle =
+          catalog_.rung(state_.applied_rung[idx]).resources;
+      if (migration) {
+        host_map_->AbortMigration(state_.act_dest[idx], ev.target.resources);
+        if (pm != nullptr && shard != nullptr) {
+          sink.Add(pm->host_migration_failures_total, 1.0);
+        }
+      } else {
+        host_map_->AbortLocal(state_.host_of[idx],
+                              host::UpDelta(old_bundle, ev.target.resources));
+      }
+      ++agg.resize_failures;
+      if (pm != nullptr && shard != nullptr) {
+        sink.Add(pm->fleet_resize_failures_total, 1.0);
+      }
+      state_.act_kind[idx] = 0;
+      state_.act_dest[idx] = -1;
+    }
+
+    const fault::ResizeActuator::State saved = actuator.SaveState();
+    state_.act_pending[idx] = saved.pending ? 1 : 0;
+    state_.act_target_rung[idx] = saved.target_rung;
+    state_.act_fate[idx] = static_cast<uint8_t>(saved.fate);
+    state_.act_remaining[idx] = saved.remaining_intervals;
+    state_.act_attempt[idx] = saved.attempt;
+    state_.act_last_target[idx] = saved.last_target_id;
+
+    // Migration blackout: the last D pending intervals before cutover. The
+    // tenant's own waits are inflated and the downtime is billed.
+    if (saved.pending && migration && D > 0 &&
+        saved.remaining_intervals <= D) {
+      host_map_->AddDowntimeInterval();
+      tenant_throttle_[idx] *= downtime_factor;
+      if (pm != nullptr && shard != nullptr) {
+        sink.Add(pm->host_migration_downtime_intervals_total, 1.0);
+      }
+    }
+  }
+
+  // Interference: fold the previous interval's resident CPU demand
+  // (clamped per tenant to its applied container — a tenant cannot burn
+  // more CPU than its container grants) into per-host pressure, then give
+  // every tenant its host's throttle.
+  std::fill(host_demand_.begin(), host_demand_.end(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    const double cap =
+        catalog_.rung(state_.applied_rung[idx]).resources.cpu_cores;
+    host_demand_[static_cast<size_t>(state_.host_of[idx])] +=
+        std::min(state_.prev_demand_cpu[idx], cap);
+  }
+  host_map_->UpdateInterference(host_demand_);
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    tenant_throttle_[idx] *=
+        host_map_->throttle(state_.host_of[idx]);
+  }
+}
+
+void FleetScaleRunner::HostStepBlock(int block, int t,
+                                     obs::MetricShard* shard) {
+  const int begin = block * options_.block_size;
+  const int end = std::min(begin + options_.block_size, options_.num_tenants);
+  FleetAggregate& agg = block_aggs_[static_cast<size_t>(block)];
+  obs::MetricSink sink{shard};
+  const obs::PipelineMetrics* pm =
+      shard != nullptr ? &options_.obs->pipeline() : nullptr;
+  const FlashCrowdOptions& fc = options_.flash_crowd;
+  const bool crowd_now = fc.enabled() && t >= fc.start_interval &&
+                         t < fc.start_interval + fc.duration_intervals;
+  constexpr size_t kSeries = 4;  // util, wait_ms, wait_pct, wait_per_req
+  const size_t tenant_stride = static_cast<size_t>(container::kNumResources) *
+                               kSeries *
+                               static_cast<size_t>(kIntervalsPerHour);
+  std::vector<double> median_scratch;
+  median_scratch.reserve(static_cast<size_t>(kIntervalsPerHour));
+
+  for (int tenant = begin; tenant < end; ++tenant) {
+    const size_t idx = static_cast<size_t>(tenant);
+    Rng rng = Rng::FromState(state_.ModelRngAt(idx));
+    const TenantParams& params = state_.params[idx];
+    TenantDynamics dyn{state_.ar_state[idx], state_.burst_active[idx] != 0};
+
+    if (t == 0 && pm != nullptr) sink.Add(pm->fleet_tenants_total, 1.0);
+
+    const double demand_scale =
+        (crowd_now && flash_affected_[idx] != 0) ? fc.demand_multiplier : 1.0;
+    TenantInterval interval =
+        StepTenant(catalog_, options_.tenant, params, dyn, rng, t,
+                   state_.applied_rung[idx], demand_scale);
+    assigned_scratch_[idx] = interval.assigned_rung;
+    state_.prev_demand_cpu[idx] = interval.demand.cpu_cores;
+
+    // Noisy-neighbor + blackout inflation. A uniform factor across
+    // dimensions leaves the wait shares (wait_pct) untouched.
+    const double throttle = tenant_throttle_[idx];
+    // Exact-1.0 guard (not an epsilon test): skipping the multiply when no
+    // inflation applies keeps unthrottled streams bit-identical.
+    if (throttle != 1.0) {  // dbscale-lint: allow(float-equality)
+      for (int ri = 0; ri < container::kNumResources; ++ri) {
+        interval.wait_ms[static_cast<size_t>(ri)] *= throttle;
+      }
+    }
+
+    const int observed_rung = state_.applied_rung[idx];
+    int prev_rung = state_.prev_rung[idx];
+    int last_change_interval = state_.last_change_interval[idx];
+    int changes = state_.changes[idx];
+    Fnv64Stream tenant_hash{state_.tenant_digest[idx]};
+
+    if (prev_rung >= 0 && observed_rung != prev_rung) {
+      ++changes;
+      const int step = std::abs(observed_rung - prev_rung);
+      const int gap = last_change_interval >= 0 ? t - last_change_interval : 0;
+      agg.AddChangeEvent(step, gap);
+      tenant_hash.I32(step);
+      tenant_hash.I32(gap);
+      if (pm != nullptr) {
+        sink.Add(pm->fleet_container_changes_total, 1.0);
+        sink.Observe(pm->fleet_change_step_rungs, static_cast<double>(step));
+        if (gap > 0) {
+          sink.Observe(pm->fleet_inter_event_minutes,
+                       static_cast<double>(gap) * kIntervalMinutes);
+        }
+      }
+      last_change_interval = t;
+    }
+    prev_rung = observed_rung;
+    if (pm != nullptr) sink.Add(pm->fleet_tenant_intervals_total, 1.0);
+
+    // Persistent per-tenant hour buffers: interval-major execution visits
+    // a tenant once per interval, so the hour's 12 samples accumulate in
+    // the flat scratch and flush on the hour boundary exactly as the
+    // block-major path's local buffers do.
+    double* hour = hour_scratch_.data() + idx * tenant_stride;
+    const size_t slot = static_cast<size_t>(t % kIntervalsPerHour);
+    for (int ri = 0; ri < container::kNumResources; ++ri) {
+      const size_t r = static_cast<size_t>(ri);
+      double* series = hour + r * kSeries * kIntervalsPerHour;
+      series[0 * kIntervalsPerHour + slot] = interval.utilization_pct[r];
+      series[1 * kIntervalsPerHour + slot] = interval.wait_ms[r];
+      series[2 * kIntervalsPerHour + slot] = interval.wait_pct[r];
+      series[3 * kIntervalsPerHour + slot] =
+          interval.wait_ms[r] /
+          static_cast<double>(std::max<int64_t>(1, interval.completed));
+    }
+    if ((t + 1) % kIntervalsPerHour == 0) {
+      HourlyRecord record;
+      record.tenant_id = tenant;
+      record.hour = t / kIntervalsPerHour;
+      for (int ri = 0; ri < container::kNumResources; ++ri) {
+        const size_t r = static_cast<size_t>(ri);
+        double* series = hour + r * kSeries * kIntervalsPerHour;
+        auto median_of = [&](size_t s) {
+          median_scratch.assign(series + s * kIntervalsPerHour,
+                                series + (s + 1) * kIntervalsPerHour);
+          return stats::MedianInPlace(median_scratch).value_or(0.0);
+        };
+        record.utilization_pct[r] = median_of(0);
+        record.wait_ms[r] = median_of(1);
+        record.wait_pct[r] = median_of(2);
+        record.wait_ms_per_request[r] = median_of(3);
+        tenant_hash.Dbl(record.utilization_pct[r]);
+        tenant_hash.Dbl(record.wait_ms[r]);
+        tenant_hash.Dbl(record.wait_pct[r]);
+        tenant_hash.Dbl(record.wait_ms_per_request[r]);
+      }
+      agg.AddHourlyRecord(record);
+      if (pm != nullptr) sink.Add(pm->fleet_hourly_records_total, 1.0);
+    }
+
+    if (t + 1 == options_.num_intervals) {
+      agg.AddTenantChanges(changes);
+      tenant_hash.I32(changes);
+      agg.ChainDigest(tenant_hash.value);
+    }
+    state_.tenant_digest[idx] = tenant_hash.value;
+    state_.SetModelRngAt(idx, rng.SaveState());
+    state_.ar_state[idx] = dyn.ar_state;
+    state_.burst_active[idx] = dyn.burst_active ? 1 : 0;
+    state_.prev_rung[idx] = prev_rung;
+    state_.last_change_interval[idx] = last_change_interval;
+    state_.changes[idx] = changes;
+  }
+}
+
+void FleetScaleRunner::HostBeginActuations(int t) {
+  (void)t;
+  const int n = options_.num_tenants;
+  const int migration_latency = options_.host.migration_latency_intervals +
+                                options_.host.migration_downtime_intervals;
+  const obs::PipelineMetrics* pm =
+      options_.obs != nullptr ? &options_.obs->pipeline() : nullptr;
+
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    if (state_.act_pending[idx] != 0) continue;
+    const int assigned = assigned_scratch_[idx];
+    if (assigned < 0 || assigned == state_.applied_rung[idx]) continue;
+
+    const container::ContainerSpec& target = catalog_.rung(assigned);
+    const container::ResourceVector old_bundle =
+        catalog_.rung(state_.applied_rung[idx]).resources;
+    const container::ResourceVector up_delta =
+        host::UpDelta(old_bundle, target.resources);
+
+    FleetAggregate& agg =
+        block_aggs_[static_cast<size_t>(i / options_.block_size)];
+    obs::MetricShard* shard =
+        shard_pool_.attached()
+            ? &shard_pool_.shard(static_cast<size_t>(i / options_.block_size))
+            : nullptr;
+    obs::MetricSink sink{shard};
+
+    // Placement decision: a scale-up that does not fit next to the host's
+    // current allocation + reservations must migrate; scale-downs always
+    // fit (their up-delta is zero).
+    const bool migrate = !host_map_->FitsOn(state_.host_of[idx], up_delta);
+    int dest = -1;
+    if (migrate) {
+      dest = placement_->ChooseHost(*host_map_, target.resources,
+                                    state_.host_of[idx]);
+      if (dest < 0) {
+        // No host in the fleet has room: hold the scale-up without
+        // consuming a fault draw, so the tenant retries next interval with
+        // an unchanged fault stream.
+        host_map_->AddPlacementHold();
+        if (pm != nullptr && shard != nullptr) {
+          sink.Add(pm->host_placement_holds_total, 1.0);
+        }
+        continue;
+      }
+    }
+
+    fault::FaultPlan plan;
+    if (fault_enabled_) {
+      plan = fault::FaultPlan(options_.fault,
+                              Rng::FromState(state_.PlanRngAt(idx)));
+    }
+    fault::ResizeActuator actuator(&plan);
+    fault::ResizeActuator::State act;
+    act.pending = false;
+    act.target_rung = state_.act_target_rung[idx];
+    act.fate = static_cast<fault::ResizeFate>(state_.act_fate[idx]);
+    act.remaining_intervals = state_.act_remaining[idx];
+    act.attempt = state_.act_attempt[idx];
+    act.last_target_id = state_.act_last_target[idx];
+    actuator.RestoreState(act, catalog_);
+
+    const fault::ResizeEvent ev =
+        actuator.Begin(target, migrate ? migration_latency : 0);
+    if (ev.attempt > 1) {
+      ++agg.resize_retries;
+      if (pm != nullptr && shard != nullptr) {
+        sink.Add(pm->fleet_resize_retries_total, 1.0);
+      }
+    }
+    if (ev.kind == fault::ResizeEventKind::kRejected) {
+      // Control-plane rejection before any host accounting was touched.
+      ++agg.resize_failures;
+      if (pm != nullptr && shard != nullptr) {
+        sink.Add(pm->fleet_resize_failures_total, 1.0);
+      }
+    } else if (migrate) {
+      // extra latency >= 1 forces kPending: a migration can never apply or
+      // fail in its Begin interval.
+      host_map_->BeginMigration(dest, target.resources);
+      state_.act_kind[idx] = 1;
+      state_.act_dest[idx] = dest;
+      if (pm != nullptr && shard != nullptr) {
+        sink.Add(pm->host_migrations_begun_total, 1.0);
+      }
+    } else {
+      state_.act_kind[idx] = 0;
+      state_.act_dest[idx] = -1;
+      if (ev.kind == fault::ResizeEventKind::kApplied) {
+        // Zero-latency local resize: applied within the interval.
+        host_map_->CommitLocal(state_.host_of[idx], up_delta, old_bundle,
+                               target.resources);
+        state_.applied_rung[idx] = target.base_rung;
+      } else if (ev.kind == fault::ResizeEventKind::kFailed) {
+        ++agg.resize_failures;
+        if (pm != nullptr && shard != nullptr) {
+          sink.Add(pm->fleet_resize_failures_total, 1.0);
+        }
+      } else {
+        // Pending local resize: reserve its up-delta until it resolves.
+        host_map_->ReserveLocal(state_.host_of[idx], up_delta);
+      }
+    }
+
+    const fault::ResizeActuator::State saved = actuator.SaveState();
+    state_.act_pending[idx] = saved.pending ? 1 : 0;
+    state_.act_target_rung[idx] = saved.target_rung;
+    state_.act_fate[idx] = static_cast<uint8_t>(saved.fate);
+    state_.act_remaining[idx] = saved.remaining_intervals;
+    state_.act_attempt[idx] = saved.attempt;
+    state_.act_last_target[idx] = saved.last_target_id;
+    if (fault_enabled_) state_.SetPlanRngAt(idx, plan.SaveRngState());
+  }
+}
+
 Result<FleetScaleOutcome> FleetScaleRunner::RunFrom(int start_interval) {
   const int total = options_.num_intervals;
   const int num_blocks = options_.NumBlocks();
@@ -458,17 +930,39 @@ Result<FleetScaleOutcome> FleetScaleRunner::RunFrom(int start_interval) {
   while (completed_intervals_ < stop) {
     const int t0 = completed_intervals_;
     const int t1 = std::min(t0 + options_.epoch_intervals, total);
-    auto run_block = [&](int64_t block) {
-      obs::MetricShard* shard =
-          shard_pool_.attached()
-              ? &shard_pool_.shard(static_cast<size_t>(block))
-              : nullptr;
-      RunBlockEpoch(static_cast<int>(block), t0, t1, shard);
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(0, num_blocks, run_block);
+    if (host_enabled_) {
+      // Interval-major: serial tick, parallel step, serial begin. Hour
+      // buffers live in hour_scratch_ and are empty at every epoch
+      // boundary (epochs are hour-aligned), so they need no checkpointing.
+      for (int t = t0; t < t1; ++t) {
+        HostTickActuations(t);
+        auto step_block = [&](int64_t block) {
+          obs::MetricShard* shard =
+              shard_pool_.attached()
+                  ? &shard_pool_.shard(static_cast<size_t>(block))
+                  : nullptr;
+          HostStepBlock(static_cast<int>(block), t, shard);
+        };
+        if (pool != nullptr) {
+          pool->ParallelFor(0, num_blocks, step_block);
+        } else {
+          ThreadPool::Global().ParallelFor(0, num_blocks, step_block);
+        }
+        HostBeginActuations(t);
+      }
     } else {
-      ThreadPool::Global().ParallelFor(0, num_blocks, run_block);
+      auto run_block = [&](int64_t block) {
+        obs::MetricShard* shard =
+            shard_pool_.attached()
+                ? &shard_pool_.shard(static_cast<size_t>(block))
+                : nullptr;
+        RunBlockEpoch(static_cast<int>(block), t0, t1, shard);
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, num_blocks, run_block);
+      } else {
+        ThreadPool::Global().ParallelFor(0, num_blocks, run_block);
+      }
     }
     completed_intervals_ = t1;
     ++epochs_done;
@@ -476,22 +970,36 @@ Result<FleetScaleOutcome> FleetScaleRunner::RunFrom(int start_interval) {
     const bool at_stop = completed_intervals_ >= stop;
     if (!options_.checkpoint_path.empty() &&
         (at_stop || epochs_done % options_.checkpoint_every_epochs == 0)) {
-      DBSCALE_RETURN_IF_ERROR(
-          SaveFleetCheckpoint(options_.checkpoint_path, fingerprint,
-                              completed_intervals_, state_, block_aggs_));
+      DBSCALE_RETURN_IF_ERROR(SaveFleetCheckpoint(
+          options_.checkpoint_path, fingerprint, completed_intervals_,
+          state_, block_aggs_, host_map_ ? &*host_map_ : nullptr));
     }
   }
 
   // Merge per-block results in block order: bit-identical at any thread
-  // count and across checkpoint/resume.
+  // count and across checkpoint/resume. The host digest (when the plane
+  // ran) chains in before any block: host-then-tenant order.
   FleetScaleOutcome outcome;
   outcome.completed_intervals = completed_intervals_;
   outcome.complete = completed_intervals_ == total;
   outcome.aggregate.Init(catalog_.num_rungs(), total);
+  if (host_enabled_) {
+    outcome.host = host_map_->counters();
+    outcome.host_digest = host_map_->Digest();
+    outcome.aggregate.ChainDigest(outcome.host_digest);
+  }
   for (const FleetAggregate& agg : block_aggs_) {
     outcome.aggregate.MergeFrom(agg);
   }
   if (options_.obs != nullptr) {
+    if (host_enabled_) {
+      // Fleet-level host counters that have no per-interval recording
+      // site: saturated-host intervals accumulate inside the map.
+      obs::MetricSink primary{&options_.obs->primary()};
+      primary.Add(options_.obs->pipeline().host_saturated_host_intervals_total,
+                  static_cast<double>(
+                      host_map_->counters().saturated_host_intervals));
+    }
     shard_pool_.MergeInto(&options_.obs->primary());
   }
   return outcome;
@@ -516,12 +1024,19 @@ Result<FleetScaleOutcome> FleetScaleRunner::Resume(
       LoadFleetCheckpoint(checkpoint_path, fingerprint));
 
   if (data.state.num_tenants() != runner.options_.num_tenants ||
-      data.state.fault_sized() != runner.fault_enabled_ ||
+      data.state.fault_sized() !=
+          (runner.fault_enabled_ || runner.host_enabled_) ||
+      data.state.host_sized() != runner.host_enabled_ ||
       static_cast<int>(data.block_aggs.size()) !=
           runner.options_.NumBlocks() ||
       data.completed_intervals > runner.options_.num_intervals) {
     return Status::FailedPrecondition(
         "checkpoint shape does not match the run options");
+  }
+  if (runner.host_enabled_ &&
+      static_cast<int>(data.hosts.size()) != runner.options_.host.num_hosts) {
+    return Status::FailedPrecondition(
+        "checkpoint host count does not match the run options");
   }
   if (data.completed_intervals % runner.options_.epoch_intervals != 0 &&
       data.completed_intervals != runner.options_.num_intervals) {
@@ -530,12 +1045,21 @@ Result<FleetScaleOutcome> FleetScaleRunner::Resume(
   }
 
   // Rebuild the derived per-tenant constants from the seed, then lay the
-  // checkpointed hot state over them.
+  // checkpointed hot state over them. InitTenants also re-runs the seed
+  // placement (deterministic from the seed), which rebuilds the host map
+  // and the flash-crowd membership; the checkpointed per-host accounting
+  // then overwrites the seed-time accounting.
   DBSCALE_RETURN_IF_ERROR(runner.InitTenants());
   std::vector<TenantParams> params = std::move(runner.state_.params);
   runner.state_ = std::move(data.state);
   runner.state_.params = std::move(params);
   runner.block_aggs_ = std::move(data.block_aggs);
+  if (runner.host_enabled_) {
+    for (int id = 0; id < runner.options_.host.num_hosts; ++id) {
+      runner.host_map_->RestoreHost(id, data.hosts[static_cast<size_t>(id)]);
+    }
+    runner.host_map_->RestoreCounters(data.host_counters);
+  }
   return runner.RunFrom(data.completed_intervals);
 }
 

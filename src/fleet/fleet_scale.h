@@ -34,6 +34,8 @@
 #define DBSCALE_FLEET_FLEET_SCALE_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,8 @@
 #include "src/fault/fault_plan.h"
 #include "src/fleet/fleet_aggregate.h"
 #include "src/fleet/tenant_model.h"
+#include "src/host/host_map.h"
+#include "src/host/placement.h"
 #include "src/obs/pipeline.h"
 
 namespace dbscale::fleet {
@@ -68,9 +72,10 @@ struct FleetSoaState {
   /// (tenant order within a block, block order at the merge), which is
   /// what makes the digest independent of threads and epoch slicing.
   std::vector<uint64_t> tenant_digest;
-  // Fault channel: the applied rung, the fault stream's generator position
-  // and the in-flight resize. Sized only when the fault plan is enabled —
-  // a null-fault million-tenant run does not pay for them.
+  // Actuation channel: the applied rung, the fault stream's generator
+  // position and the in-flight resize. Sized when the fault plan OR the
+  // host plane is enabled (the host plane routes every resize through the
+  // actuator so migrations can be slow) — a null run does not pay for them.
   std::vector<int32_t> applied_rung;
   std::vector<uint64_t> plan_rng_state;
   std::vector<uint64_t> plan_rng_inc;
@@ -82,13 +87,22 @@ struct FleetSoaState {
   std::vector<int32_t> act_remaining;
   std::vector<int32_t> act_attempt;
   std::vector<int32_t> act_last_target;
+  // Host plane (sized only when it is enabled): tenant residency plus the
+  // in-flight actuation's shape (kind + migration destination) and the
+  // previous interval's CPU demand, which drives next interval's
+  // interference pressure.
+  std::vector<int32_t> host_of;
+  std::vector<uint8_t> act_kind;   ///< host::ActuationKind of the pending act
+  std::vector<int32_t> act_dest;   ///< migration destination host (-1 = none)
+  std::vector<double> prev_demand_cpu;
   /// Per-tenant constants: rebuilt deterministically from the seed on
   /// resume, never checkpointed.
   std::vector<TenantParams> params;
 
-  void Resize(int num_tenants, bool fault_enabled);
+  void Resize(int num_tenants, bool act_enabled, bool host_enabled);
   int num_tenants() const { return static_cast<int>(rng_state.size()); }
   bool fault_sized() const { return !applied_rung.empty(); }
+  bool host_sized() const { return !host_of.empty(); }
 
   Rng::State ModelRngAt(size_t i) const;
   void SetModelRngAt(size_t i, const Rng::State& s);
@@ -98,6 +112,22 @@ struct FleetSoaState {
   /// Bytes in the checkpointed (hot) arrays / in everything incl. params.
   uint64_t HotBytes() const;
   uint64_t TotalBytes() const;
+};
+
+/// Correlated-demand injection: every tenant seed-placed on hosts
+/// [0, num_hosts_hit) has its demand multiplied during the window, so a
+/// handful of machines saturate together — the "flash crowd" that turns
+/// scale-ups into migrations. Requires the host plane.
+struct FlashCrowdOptions {
+  /// First interval of the crowd; -1 disables it.
+  int start_interval = -1;
+  int duration_intervals = 12;
+  double demand_multiplier = 2.5;
+  /// Number of seed hosts whose residents are affected.
+  int num_hosts_hit = 1;
+
+  bool enabled() const { return start_interval >= 0; }
+  Status Validate() const;
 };
 
 struct FleetScaleOptions {
@@ -123,6 +153,12 @@ struct FleetScaleOptions {
   int stop_after_intervals = 0;
   TenantModelOptions tenant;
   fault::FaultPlanOptions fault;
+  /// Host placement & interference plane. Disabled (num_hosts == 0) keeps
+  /// the block-major fast path and pre-host digests bit-identical; enabled
+  /// switches the runner to the interval-major loop (hosts couple tenants
+  /// within an interval, so blocks can no longer run whole epochs apart).
+  host::HostOptions host;
+  FlashCrowdOptions flash_crowd;
   /// Not owned; nullptr = off. One metric shard per BLOCK (not per
   /// tenant), merged in block order: bit-identical at any thread count.
   obs::Observability* obs = nullptr;
@@ -141,8 +177,14 @@ struct FleetScaleOutcome {
   bool complete = false;
   int completed_intervals = 0;
   /// Block aggregates merged in block order. Partial (and without the
-  /// per-tenant change totals) when !complete.
+  /// per-tenant change totals) when !complete. When the host plane ran,
+  /// the host digest is chained in FIRST (host-then-tenant order), so the
+  /// digest covers placement state as well as telemetry.
   FleetAggregate aggregate;
+  /// Host-plane totals (all zero when the plane is disabled).
+  host::HostMap::Counters host;
+  /// HostMap::Digest() at the end of the run (0 when disabled).
+  uint64_t host_digest = 0;
 };
 
 /// Hash of everything that defines a run's bit stream: catalog shape,
@@ -178,13 +220,36 @@ class FleetScaleRunner {
   Result<FleetScaleOutcome> RunFrom(int start_interval);
   void RunBlockEpoch(int block, int t0, int t1, obs::MetricShard* shard);
 
+  // -- Host-mode (interval-major) machinery --------------------------------
+  /// Serial pre-step: ticks every pending actuation in tenant order
+  /// (migration cutover / abort with host accounting), then refreshes
+  /// interference throttles from the previous interval's demand.
+  void HostTickActuations(int t);
+  /// Parallel step: one block's tenants for interval `t` (demand, wait
+  /// inflation, hour folds, change tracking).
+  void HostStepBlock(int block, int t, obs::MetricShard* shard);
+  /// Serial post-step: begins local resizes / migrations in tenant order.
+  void HostBeginActuations(int t);
+
   container::Catalog catalog_;
   FleetScaleOptions options_;
   bool fault_enabled_ = false;
+  bool host_enabled_ = false;
   FleetSoaState state_;
   std::vector<FleetAggregate> block_aggs_;
   obs::ShardPool shard_pool_;
   int completed_intervals_ = 0;
+
+  // Host-mode runtime state. The map is rebuilt on Resume from the
+  // checkpointed per-host states; everything below except the map is
+  // derived per interval (or at init) and never checkpointed.
+  std::optional<host::HostMap> host_map_;
+  std::unique_ptr<host::PlacementPolicy> placement_;
+  std::vector<uint8_t> flash_affected_;   ///< seed-placement derived
+  std::vector<double> host_demand_;       ///< per-host CPU demand scratch
+  std::vector<double> tenant_throttle_;   ///< per-tenant wait inflation
+  std::vector<int32_t> assigned_scratch_; ///< this interval's assigned rung
+  std::vector<double> hour_scratch_;      ///< per-tenant hour buffers
 };
 
 }  // namespace dbscale::fleet

@@ -132,9 +132,14 @@ double WaitPerRequestMs(const TenantModelOptions& options,
 TenantInterval StepTenant(const container::Catalog& catalog,
                           const TenantModelOptions& options,
                           const TenantParams& params, TenantDynamics& dyn,
-                          Rng& rng, int t, int applied_rung) {
+                          Rng& rng, int t, int applied_rung,
+                          double demand_scale) {
   TenantInterval out;
-  const double multiplier = PatternMultiplier(options, params, dyn, rng, t);
+  // demand_scale == 1.0 is bitwise exact (x * 1.0 == x), so the host-free
+  // stream is untouched; the AR(1) recurrence inside PatternMultiplier sees
+  // only its own state, so scaling cannot leak into later intervals either.
+  const double multiplier =
+      PatternMultiplier(options, params, dyn, rng, t) * demand_scale;
   for (ResourceKind kind : container::kAllResources) {
     out.demand.Set(kind, params.base_demand.Get(kind) * multiplier);
   }
@@ -184,9 +189,10 @@ TenantModel::TenantModel(int tenant_id, const container::Catalog* catalog,
   params_ = DrawTenantParams(*catalog_, options_, rng_);
 }
 
-TenantInterval TenantModel::Step(int t, int applied_rung) {
+TenantInterval TenantModel::Step(int t, int applied_rung,
+                                 double demand_scale) {
   return StepTenant(*catalog_, options_, params_, dyn_, rng_, t,
-                    applied_rung);
+                    applied_rung, demand_scale);
 }
 
 }  // namespace dbscale::fleet

@@ -110,11 +110,14 @@ TenantParams DrawTenantParams(const container::Catalog& catalog,
 /// the tenant actually runs on (the fault layer's delayed/failed resizes
 /// leave it lagging the assigned rung); utilization and waits then follow
 /// the applied container while demand and the RNG draw sequence stay
-/// exactly as without the override.
+/// exactly as without the override. `demand_scale` multiplies the demand
+/// multiplier (flash-crowd injection); 1.0 is bitwise identical to not
+/// passing it, and the RNG draw sequence never depends on it.
 TenantInterval StepTenant(const container::Catalog& catalog,
                           const TenantModelOptions& options,
                           const TenantParams& params, TenantDynamics& dyn,
-                          Rng& rng, int t, int applied_rung = -1);
+                          Rng& rng, int t, int applied_rung = -1,
+                          double demand_scale = 1.0);
 
 /// \brief One synthetic tenant (owning wrapper over the shared kernels).
 class TenantModel {
@@ -123,7 +126,8 @@ class TenantModel {
               const TenantModelOptions& options, Rng rng);
 
   /// See StepTenant.
-  TenantInterval Step(int t, int applied_rung = -1);
+  TenantInterval Step(int t, int applied_rung = -1,
+                      double demand_scale = 1.0);
 
   int tenant_id() const { return tenant_id_; }
   DemandPattern pattern() const { return params_.pattern; }

@@ -1,0 +1,80 @@
+#include "src/host/placement.h"
+
+#include "src/common/check.h"
+
+namespace dbscale::host {
+
+namespace {
+
+class FirstFitPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "first_fit"; }
+
+  // dbscale-hot
+  int ChooseHost(const HostMap& map, const container::ResourceVector& need,
+                 int exclude_host) const override {
+    for (int id = 0; id < map.num_hosts(); ++id) {
+      if (id == exclude_host) continue;
+      if (map.FitsOn(id, need)) return id;
+    }
+    return -1;
+  }
+};
+
+/// Shared scan for the headroom-scoring policies: CPU headroom left after
+/// the placement, minimized (best-fit packs tight) or maximized (worst-fit
+/// leaves slack for the next burst). Strict comparisons keep the
+/// lowest-index winner on ties.
+// dbscale-hot
+int ChooseByHeadroom(const HostMap& map, const container::ResourceVector& need,
+                     int exclude_host, bool prefer_tightest) {
+  int best = -1;
+  double best_headroom = 0.0;
+  for (int id = 0; id < map.num_hosts(); ++id) {
+    if (id == exclude_host) continue;
+    if (!map.FitsOn(id, need)) continue;
+    const double headroom = map.FreeOn(id).cpu_cores - need.cpu_cores;
+    if (best < 0 || (prefer_tightest ? headroom < best_headroom
+                                     : headroom > best_headroom)) {
+      best = id;
+      best_headroom = headroom;
+    }
+  }
+  return best;
+}
+
+class BestFitPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "best_fit"; }
+  int ChooseHost(const HostMap& map, const container::ResourceVector& need,
+                 int exclude_host) const override {
+    return ChooseByHeadroom(map, need, exclude_host, /*prefer_tightest=*/true);
+  }
+};
+
+class WorstFitPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "worst_fit"; }
+  int ChooseHost(const HostMap& map, const container::ResourceVector& need,
+                 int exclude_host) const override {
+    return ChooseByHeadroom(map, need, exclude_host,
+                            /*prefer_tightest=*/false);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kFirstFit:
+      return std::make_unique<FirstFitPolicy>();
+    case PlacementPolicyKind::kBestFit:
+      return std::make_unique<BestFitPolicy>();
+    case PlacementPolicyKind::kWorstFit:
+      return std::make_unique<WorstFitPolicy>();
+  }
+  DBSCALE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dbscale::host

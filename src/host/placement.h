@@ -1,0 +1,39 @@
+// Pluggable destination choice for migrations.
+//
+// Seed placement is fixed (first-fit-decreasing, HostMap::SeedPlace); the
+// PlacementPolicy only governs where a scale-up that does not fit locally
+// moves to. Policies are pure functions of the map's current accounting,
+// iterate hosts in index order, and break ties on the lowest index — so a
+// given map state always yields the same choice, independent of thread
+// count or history.
+
+#ifndef DBSCALE_HOST_PLACEMENT_H_
+#define DBSCALE_HOST_PLACEMENT_H_
+
+#include <memory>
+
+#include "src/container/container.h"
+#include "src/host/host_map.h"
+
+namespace dbscale::host {
+
+/// \brief Chooses the destination host for a bundle that must move.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Returns the host to migrate onto, or -1 when no host fits `need`.
+  /// `exclude_host` (the tenant's current host, where the bundle already
+  /// failed to fit) is never chosen; pass -1 to consider every host.
+  virtual int ChooseHost(const HostMap& map,
+                         const container::ResourceVector& need,
+                         int exclude_host) const = 0;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind);
+
+}  // namespace dbscale::host
+
+#endif  // DBSCALE_HOST_PLACEMENT_H_

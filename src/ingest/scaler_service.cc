@@ -242,7 +242,7 @@ void ScalerService::EvaluateDue(const obs::Sink& sink) {
     slot.input.current = t->current;
     slot.input.interval_index = t->interval_index;
     slot.input.charged_cost = t->current.price_per_interval;
-    slot.input.resize = t->feedback;
+    slot.input.actuation = t->feedback;
     // Workers must not share the drainer's primary shard; the service's
     // instruments live at the drain/decide stages instead.
     slot.input.obs = obs::Sink{};
@@ -268,10 +268,10 @@ void ScalerService::EvaluateDue(const obs::Sink& sink) {
     t->digest.I32(static_cast<int32_t>(d.explanation.code));
     t->digest.Dbl(d.memory_limit_mb.has_value() ? *d.memory_limit_mb
                                                 : -1.0);
-    t->feedback = scaler::ResizeFeedback{};
+    t->feedback = scaler::ActuationFeedback{};
     if (d.target.id != t->current.id) {
       t->current = d.target;
-      t->feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
+      t->feedback.phase = scaler::ActuationPhase::kApplied;
       t->feedback.target = t->current;
       t->feedback.attempt = 1;
     }

@@ -161,7 +161,7 @@ class ScalerService {
     telemetry::SignalScratch scratch;
     std::unique_ptr<scaler::ScalingPolicy> policy;
     container::ContainerSpec current;
-    scaler::ResizeFeedback feedback;
+    scaler::ActuationFeedback feedback;
     int interval_index = 0;
     size_t samples_in_interval = 0;
     int64_t last_period_end_us = 0;

@@ -92,6 +92,24 @@ PipelineMetrics PipelineMetrics::Register(MetricRegistry* registry) {
       "dbscale_balloon_completions_total",
       "Balloon passes confirming low memory demand");
 
+  m.host_migrations_begun_total = r.Counter(
+      "dbscale_host_migrations_begun_total",
+      "Migrations issued by the placement-aware actuation path");
+  m.host_migrations_total = r.Counter(
+      "dbscale_host_migrations_total", "Migrations completed (cutover)");
+  m.host_migration_failures_total = r.Counter(
+      "dbscale_host_migration_failures_total",
+      "Migrations that failed at cutover");
+  m.host_migration_downtime_intervals_total = r.Counter(
+      "dbscale_host_migration_downtime_intervals_total",
+      "Migration blackout intervals billed against tenants");
+  m.host_placement_holds_total = r.Counter(
+      "dbscale_host_placement_holds_total",
+      "Scale-ups held because no host had capacity");
+  m.host_saturated_host_intervals_total = r.Counter(
+      "dbscale_host_saturated_host_intervals_total",
+      "Host-intervals with CPU demand pressure above capacity");
+
   m.fleet_tenants_total = r.Counter(
       "dbscale_fleet_tenants_total", "Tenants simulated by the fleet");
   m.fleet_tenant_intervals_total = r.Counter(

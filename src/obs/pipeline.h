@@ -61,6 +61,14 @@ struct PipelineMetrics {
   MetricId balloon_aborts_total;
   MetricId balloon_completions_total;
 
+  // Host placement & interference plane.
+  MetricId host_migrations_begun_total;
+  MetricId host_migrations_total;
+  MetricId host_migration_failures_total;
+  MetricId host_migration_downtime_intervals_total;
+  MetricId host_placement_holds_total;
+  MetricId host_saturated_host_intervals_total;
+
   // Fleet simulator.
   MetricId fleet_tenants_total;
   MetricId fleet_tenant_intervals_total;

@@ -169,6 +169,28 @@ ScalingDecision AutoScaler::Decide(const PolicyInput& input) {
     if (clamped) sink.metrics.Add(sink.pipeline->budget_clamps_total, 1.0);
   }
 
+  if (input.placement.present && d.target.id != input.current.id &&
+      d.target.price_per_interval > input.current.price_per_interval) {
+    // With a host plane attached, a scale-up whose resource delta exceeds
+    // the host's headroom will be actuated as a migration. The target
+    // stands — placement is the harness's job — but the explanation says
+    // what the tenant is in for (copy latency + blackout).
+    bool fits_locally = true;
+    for (const auto kind : container::kAllResources) {
+      const double delta = d.target.resources.Get(kind) -
+                           input.current.resources.Get(kind);
+      if (delta > input.placement.free.Get(kind)) {
+        fits_locally = false;
+        break;
+      }
+    }
+    if (!fits_locally) {
+      Explanation e(ExplanationCode::kScaleTriggersMigration, d.target.name);
+      e.args[0] = static_cast<double>(d.target.base_rung);
+      d.explanation = std::move(e);
+    }
+  }
+
   audit_.Record(input, last_cats_, last_estimate_, d, decision_attempt_);
   return d;
 }
@@ -185,34 +207,46 @@ int AutoScaler::BackoffIntervals(int failed_attempts) const {
   return std::max(1, static_cast<int>(intervals));
 }
 
-std::optional<ScalingDecision> AutoScaler::HandleResizeFeedback(
+std::optional<ScalingDecision> AutoScaler::HandleActuationFeedback(
     const PolicyInput& input) {
-  const ResizeFeedback& fb = input.resize;
+  const ActuationFeedback& fb = input.actuation;
+  const bool migration = fb.kind == ActuationKind::kMigration;
   switch (fb.phase) {
-    case ResizeFeedback::Phase::kNone:
+    case ActuationPhase::kNone:
       break;
-    case ResizeFeedback::Phase::kApplied:
+    case ActuationPhase::kApplied:
       retry_.reset();
       audit_.NoteResizeOutcome(ResizeOutcome::kApplied, fb.attempt);
       break;  // The normal decision cycle proceeds from the new container.
-    case ResizeFeedback::Phase::kPending:
+    case ActuationPhase::kPending:
       // One actuation channel: never issue another request while one is in
-      // flight.
+      // flight. A pending migration gets its own code so tenants (and the
+      // per-code counters) see the copy + blackout, not a generic resize.
+      if (migration) {
+        return HoldCurrent(
+            input, Explanation(ExplanationCode::kHoldMigrationPending,
+                               static_cast<double>(fb.attempt),
+                               static_cast<double>(fb.downtime_intervals)));
+      }
       return HoldCurrent(input,
                          Explanation(ExplanationCode::kHoldResizePending,
                                      static_cast<double>(fb.attempt)));
-    case ResizeFeedback::Phase::kRejected: {
+    case ActuationPhase::kRejected: {
       retry_.reset();
       audit_.NoteResizeOutcome(ResizeOutcome::kRejected, fb.attempt);
       rejected_target_id_ = fb.target.id;
       rejected_until_interval_ =
           input.interval_index + options_.resize_rejection_cooldown_intervals;
-      Explanation e(ExplanationCode::kHoldResizeRejected, fb.target.name);
+      // A rejected migration means no host in the fleet had capacity —
+      // same cooldown bookkeeping, distinct explanation.
+      Explanation e(migration ? ExplanationCode::kHoldHostSaturated
+                              : ExplanationCode::kHoldResizeRejected,
+                    fb.target.name);
       e.args[0] =
           static_cast<double>(options_.resize_rejection_cooldown_intervals);
       return HoldCurrent(input, std::move(e));
     }
-    case ResizeFeedback::Phase::kFailed: {
+    case ActuationPhase::kFailed: {
       // A failed resize aborts ballooning mid-flight: the memory override
       // was staged toward a container that will not arrive.
       std::optional<double> memory_restore;
@@ -277,9 +311,9 @@ std::optional<ScalingDecision> AutoScaler::HandleResizeFeedback(
 ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
   const telemetry::SignalSnapshot& signals = input.signals;
   const obs::Sink& sink = input.obs;
-  // Resize-lifecycle feedback first: an in-flight, backing-off, rejected or
-  // abandoned resize preempts the signal-driven cycle.
-  if (std::optional<ScalingDecision> d = HandleResizeFeedback(input)) {
+  // Actuation-lifecycle feedback first: an in-flight, backing-off, rejected
+  // or abandoned resize/migration preempts the signal-driven cycle.
+  if (std::optional<ScalingDecision> d = HandleActuationFeedback(input)) {
     low_streak_ = 0;
     return *std::move(d);
   }

@@ -112,10 +112,11 @@ class AutoScaler : public ScalingPolicy {
              std::unique_ptr<BudgetManager> budget);
 
   ScalingDecision DecideUnclamped(const PolicyInput& input);
-  /// Processes `input.resize` lifecycle feedback; returns a hold decision
-  /// (pending / backoff / rejected / abandoned) or nullopt when the normal
-  /// decision cycle should proceed.
-  std::optional<ScalingDecision> HandleResizeFeedback(
+  /// Processes `input.actuation` lifecycle feedback (local resizes and
+  /// migrations alike); returns a hold decision (pending / backoff /
+  /// rejected / abandoned / saturated) or nullopt when the normal decision
+  /// cycle should proceed.
+  std::optional<ScalingDecision> HandleActuationFeedback(
       const PolicyInput& input);
   /// Backoff before attempt `failed_attempts + 1`, in intervals (>= 1).
   int BackoffIntervals(int failed_attempts) const;

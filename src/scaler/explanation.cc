@@ -111,6 +111,12 @@ const char* ExplanationCodeToken(ExplanationCode code) {
       return "util_scale_down";
     case ExplanationCode::kUtilDownCooldown:
       return "util_down_cooldown";
+    case ExplanationCode::kHoldMigrationPending:
+      return "hold_migration_pending";
+    case ExplanationCode::kScaleTriggersMigration:
+      return "scale_triggers_migration";
+    case ExplanationCode::kHoldHostSaturated:
+      return "hold_host_saturated";
   }
   return "unknown";
 }
@@ -271,6 +277,21 @@ std::string Explanation::ToString() const {
           args[0]);
     case ExplanationCode::kUtilDownCooldown:
       return "cooldown before scale-down";
+
+    case ExplanationCode::kHoldMigrationPending:
+      return StrFormat(
+          "Hold: migration in flight (attempt %d, %d downtime intervals so "
+          "far)",
+          static_cast<int>(args[0]), static_cast<int>(args[1]));
+    case ExplanationCode::kScaleTriggersMigration:
+      return StrFormat(
+          "Scale-up to %s does not fit on the current host — migrating "
+          "(target rung %d)",
+          detail.c_str(), static_cast<int>(args[0]));
+    case ExplanationCode::kHoldHostSaturated:
+      return StrFormat(
+          "Hold: no host has capacity for %s — cooling down %d intervals",
+          detail.c_str(), static_cast<int>(args[0]));
   }
   return "(no explanation)";
 }

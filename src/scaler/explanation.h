@@ -84,10 +84,17 @@ enum class ExplanationCode : uint8_t {
   kUtilAtMaxContainer,
   kUtilScaleDown,       ///< args: latency ms
   kUtilDownCooldown,
+
+  // -------- Host placement / migration (appended: codes index counter
+  // blocks, so existing values must not shift) --------
+  kHoldMigrationPending,    ///< args: attempt, downtime intervals so far
+  kScaleTriggersMigration,  ///< detail = target name; args: target rung
+  kHoldHostSaturated,       ///< detail = target name; args: cooldown
+                            ///  intervals remaining
 };
 
 inline constexpr size_t kNumExplanationCodes =
-    static_cast<size_t>(ExplanationCode::kUtilDownCooldown) + 1;
+    static_cast<size_t>(ExplanationCode::kHoldHostSaturated) + 1;
 
 /// Stable snake_case token for metrics labels / trace attributes.
 const char* ExplanationCodeToken(ExplanationCode code);

@@ -10,30 +10,21 @@
 #include <string>
 
 #include "src/container/catalog.h"
+#include "src/host/actuation.h"
 #include "src/obs/pipeline.h"
 #include "src/scaler/explanation.h"
 #include "src/telemetry/manager.h"
 
 namespace dbscale::scaler {
 
-/// Outcome feedback for a resize requested by an earlier decision. The
-/// harness drives the asynchronous resize lifecycle (Pending -> Applied |
-/// Failed) and reports the most recent transition here before each Decide;
+/// The actuation vocabulary policies speak (one surface for local resizes
+/// and migrations — see src/host/actuation.h). The harness drives the
+/// asynchronous lifecycle (Pending -> Applied | Failed) and reports the
+/// most recent transition in PolicyInput.actuation before each Decide;
 /// policies that ignore it simply keep requesting their preferred target.
-struct ResizeFeedback {
-  enum class Phase : uint8_t {
-    kNone,     ///< no resize outstanding
-    kPending,  ///< still in flight (actuation latency)
-    kApplied,  ///< applied at the start of this interval
-    kFailed,   ///< failed transiently; retrying may succeed
-    kRejected  ///< rejected permanently; retrying the same target is futile
-  };
-  Phase phase = Phase::kNone;
-  /// Target of the attempt the feedback refers to.
-  container::ContainerSpec target;
-  /// 1-based attempt number toward that target.
-  int attempt = 0;
-};
+using host::ActuationFeedback;
+using host::ActuationKind;
+using host::ActuationPhase;
 
 /// What a policy sees at the end of each billing interval.
 struct PolicyInput {
@@ -48,8 +39,12 @@ struct PolicyInput {
   /// billed, e.g. a dry run). Budget-aware policies account for it at the
   /// top of Decide() — there is no separate charge callback.
   double charged_cost = 0.0;
-  /// Resize-lifecycle feedback for the previously requested resize.
-  ResizeFeedback resize;
+  /// Actuation-lifecycle feedback for the previously requested change
+  /// (local resize or migration).
+  ActuationFeedback actuation;
+  /// The tenant's placement (host id, headroom, interference) when a host
+  /// plane is attached; `placement.present == false` otherwise.
+  host::PlacementView placement;
   /// Observability handle (no-ops when disabled). Policies record decision
   /// metrics and nest spans under `obs.trace.parent`.
   obs::Sink obs;

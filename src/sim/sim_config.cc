@@ -9,6 +9,7 @@ SimulationOptions SimConfig::EffectiveSimulationOptions() const {
     // signals in a different aggregate is a classic mis-wiring.
     out.telemetry.latency_aggregate = knobs.latency_goal->aggregate;
   }
+  if (host.enabled()) out.host = host;
   return out;
 }
 
@@ -33,6 +34,8 @@ Status SimConfig::Validate() const {
     DBSCALE_RETURN_IF_ERROR(probe.Validate());
   }
   DBSCALE_RETURN_IF_ERROR(simulation.fault.Validate());
+  DBSCALE_RETURN_IF_ERROR(simulation.host.Validate());
+  DBSCALE_RETURN_IF_ERROR(host.Validate());
   if (scaler.resize_max_attempts < 1) {
     return Status::InvalidArgument("resize_max_attempts must be >= 1");
   }

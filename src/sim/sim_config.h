@@ -30,6 +30,11 @@ struct SimConfigRun {
 struct SimConfig {
   /// Harness options — catalog, workload, trace, telemetry, fault plan.
   SimulationOptions simulation;
+  /// Host placement & interference plane (the canonical place to configure
+  /// it; copied over `simulation.host` by EffectiveSimulationOptions).
+  /// Disabled by default — num_hosts == 0 keeps runs bit-identical to the
+  /// host-free world.
+  host::HostOptions host;
   /// Tenant-facing knobs (budget, latency goal, sensitivity).
   scaler::TenantKnobs knobs;
   /// Auto-policy internals (thresholds, ballooning, resize retries).
@@ -40,7 +45,8 @@ struct SimConfig {
   Status Validate() const;
 
   /// `simulation` with derived consistency applied: the telemetry latency
-  /// aggregate follows the latency goal's aggregate when a goal is set.
+  /// aggregate follows the latency goal's aggregate when a goal is set,
+  /// and `host` overrides `simulation.host`.
   SimulationOptions EffectiveSimulationOptions() const;
 
   /// Validates, then builds the Auto policy for `simulation.catalog`.

@@ -5,6 +5,9 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/fault/actuator.h"
+#include "src/host/actuation.h"
+#include "src/host/host_map.h"
+#include "src/host/placement.h"
 #include "src/stats/cdf.h"
 
 namespace dbscale::sim {
@@ -48,6 +51,7 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     DBSCALE_RETURN_IF_ERROR(probe.Validate());
   }
   DBSCALE_RETURN_IF_ERROR(options_.fault.Validate());
+  DBSCALE_RETURN_IF_ERROR(options_.host.Validate());
 
   Rng rng(options_.seed);
   engine::EventQueue events;
@@ -80,7 +84,31 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
   }
   const bool faulty = fault_plan.enabled();
   fault::ResizeActuator actuator(&fault_plan);
-  scaler::ResizeFeedback feedback;
+  // The placement-aware actuation channel: local resizes pass straight
+  // through to the fault actuator; migrations add copy latency + blackout
+  // on top of its draws.
+  host::ActuationChannel channel(&actuator,
+                                 options_.host.migration_latency_intervals,
+                                 options_.host.migration_downtime_intervals);
+  host::ActuationFeedback feedback;
+
+  // Host plane (optional): the single tenant seed-placed next to the
+  // configured background load. Disabled, none of this state exists and
+  // the run is bit-identical to a build without the host layer.
+  const bool host_enabled = options_.host.enabled();
+  std::optional<host::HostMap> host_map;
+  std::unique_ptr<host::PlacementPolicy> placement;
+  int tenant_host = -1;
+  std::vector<double> host_demand;
+  double prev_cpu_demand = 0.0;
+  if (host_enabled) {
+    host_map.emplace(options_.host);
+    placement = host::MakePlacementPolicy(options_.host.placement);
+    Result<std::vector<int>> placed = host_map->SeedPlace({current});
+    if (!placed.ok()) return placed.status();
+    tenant_host = placed.value()[0];
+    host_demand.assign(static_cast<size_t>(host_map->num_hosts()), 0.0);
+  }
   // Last sample that passed ingestion unfaulted; replayed on stale reads.
   telemetry::TelemetrySample last_good;
   bool have_good = false;
@@ -135,15 +163,36 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
       ob->trace().BeginInterval(static_cast<int>(i), interval_start);
     }
 
-    // Asynchronous resize lifecycle: an in-flight resize resolves at the
-    // START of an interval — the new container (if the actuation succeeded)
-    // is in effect, and therefore billed, for the whole interval.
-    if (faulty && actuator.pending()) {
-      const fault::ResizeEvent ev = actuator.Tick();
-      switch (ev.kind) {
-        case fault::ResizeEventKind::kApplied:
+    // Asynchronous actuation lifecycle: an in-flight resize or migration
+    // resolves at the START of an interval — the new container (if the
+    // actuation succeeded) is in effect, and therefore billed, for the
+    // whole interval.
+    if (channel.pending()) {
+      const bool was_migration =
+          channel.request().kind == host::ActuationKind::kMigration;
+      const host::ActuationOutcome ev = channel.Tick();
+      switch (ev.phase) {
+        case host::ActuationPhase::kApplied:
           DBSCALE_CHECK(engine.CompleteResize().ok());
           ++result.container_changes;
+          if (host_enabled) {
+            if (was_migration) {
+              // Cutover: the tenant leaves its source host and lands on
+              // the destination under the new container.
+              host_map->CompleteMigration(tenant_host, ev.to_host,
+                                          current.resources,
+                                          ev.target.resources);
+              tenant_host = ev.to_host;
+              if (sink.pipeline != nullptr) {
+                sink.metrics.Add(sink.pipeline->host_migrations_total, 1.0);
+              }
+            } else {
+              host_map->CommitLocal(
+                  tenant_host,
+                  host::UpDelta(current.resources, ev.target.resources),
+                  current.resources, ev.target.resources);
+            }
+          }
           if (sink.pipeline != nullptr) {
             sink.metrics.Add(sink.pipeline->sim_resizes_total, 1.0);
             sink.metrics.Add(ev.target.base_rung > current.base_rung
@@ -153,28 +202,38 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
             sink.metrics.Add(sink.pipeline->resize_applies_total, 1.0);
           }
           current = ev.target;
-          feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
-          feedback.target = ev.target;
-          feedback.attempt = ev.attempt;
+          feedback = ev;
           break;
-        case fault::ResizeEventKind::kFailed:
+        case host::ActuationPhase::kFailed:
           DBSCALE_CHECK(engine.AbortResize().ok());
           ++result.resize_failures;
+          if (host_enabled) {
+            if (was_migration) {
+              // Failure is revealed at cutover (the tenant already
+              // suffered the blackout); the destination reservation is
+              // released, the source accounting was never touched.
+              host_map->AbortMigration(ev.to_host, ev.target.resources);
+              if (sink.pipeline != nullptr) {
+                sink.metrics.Add(
+                    sink.pipeline->host_migration_failures_total, 1.0);
+              }
+            } else {
+              host_map->AbortLocal(
+                  tenant_host,
+                  host::UpDelta(current.resources, ev.target.resources));
+            }
+          }
           if (sink.pipeline != nullptr) {
             sink.metrics.Add(sink.pipeline->resize_failures_total, 1.0);
           }
-          feedback.phase = scaler::ResizeFeedback::Phase::kFailed;
-          feedback.target = ev.target;
-          feedback.attempt = ev.attempt;
+          feedback = ev;
           break;
-        case fault::ResizeEventKind::kPending:
+        case host::ActuationPhase::kPending:
           if (sink.pipeline != nullptr) {
             sink.metrics.Add(sink.pipeline->resize_pending_intervals_total,
                              1.0);
           }
-          feedback.phase = scaler::ResizeFeedback::Phase::kPending;
-          feedback.target = actuator.target();
-          feedback.attempt = ev.attempt;
+          feedback = ev;
           break;
         default:
           break;
@@ -185,6 +244,31 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     record.index = static_cast<int>(i);
     record.container = current;
     record.cost = current.price_per_interval;
+
+    if (host_enabled) {
+      // Noisy neighbors: fold the previous interval's CPU demand (clamped
+      // to the container) into per-host pressure, then throttle this
+      // interval's observed waits accordingly. A tenant inside its own
+      // migration blackout is additionally degraded by the downtime
+      // factor.
+      host_demand.assign(host_demand.size(), 0.0);
+      host_demand[static_cast<size_t>(tenant_host)] =
+          std::min(prev_cpu_demand, current.resources.cpu_cores);
+      host_map->UpdateInterference(host_demand);
+      const bool in_downtime = channel.pending() && channel.in_downtime();
+      if (in_downtime) {
+        host_map->AddDowntimeInterval();
+        if (sink.pipeline != nullptr) {
+          sink.metrics.Add(
+              sink.pipeline->host_migration_downtime_intervals_total, 1.0);
+        }
+      }
+      double throttle = host_map->throttle(tenant_host);
+      if (in_downtime) throttle *= options_.host.migration_downtime_wait_factor;
+      engine.SetHostThrottle(throttle);
+      record.throttle_factor = throttle;
+      record.in_migration_downtime = in_downtime;
+    }
 
     // Advance sample by sample, collecting telemetry.
     container::ResourceVector usage_sum;
@@ -285,6 +369,9 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
       record.usage.Set(kind, usage_sum.Get(kind) * inv);
     }
     record.memory_used_mb = memory_used_sum * inv;
+    if (host_enabled) {
+      prev_cpu_demand = record.usage.Get(ResourceKind::kCpu);
+    }
     if (interval_latency.count() > 0) {
       record.latency_avg_ms = interval_latency.mean();
       record.latency_p95_ms = interval_latency.ValueAtPercentile(95.0);
@@ -310,8 +397,15 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     // container actually in effect, so budget tokens are only charged for
     // successfully applied resizes.
     input.charged_cost = current.price_per_interval;
-    input.resize = feedback;
-    feedback = scaler::ResizeFeedback{};
+    input.actuation = feedback;
+    feedback = host::ActuationFeedback{};
+    if (host_enabled) {
+      input.placement.present = true;
+      input.placement.host_id = tenant_host;
+      input.placement.free = host_map->FreeOn(tenant_host);
+      input.placement.throttle_factor = host_map->throttle(tenant_host);
+      input.placement.saturated = host_map->saturated(tenant_host);
+    }
     if (input.signals.degraded) ++result.degraded_windows;
     isink.trace.Attr(tele_span, "valid", input.signals.valid ? 1.0 : 0.0);
     isink.trace.Attr(tele_span, "latency_ms", input.signals.latency_ms);
@@ -332,7 +426,7 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     record.decision_code = decision.explanation.code;
     record.decision_explanation = decision.explanation.ToString();
 
-    if (decision.target.id != current.id && !actuator.pending()) {
+    if (decision.target.id != current.id && !channel.pending()) {
       record.resized = true;
       ++result.resize_attempts;
       const obs::SpanId resize_span = isink.trace.Start("resize", now);
@@ -341,7 +435,7 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
       if (isink.pipeline != nullptr) {
         isink.metrics.Add(isink.pipeline->resize_requests_total, 1.0);
       }
-      if (!faulty) {
+      if (!faulty && !host_enabled) {
         ++result.container_changes;
         if (isink.pipeline != nullptr) {
           isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
@@ -356,60 +450,105 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
         DBSCALE_CHECK(engine.CompleteResize().ok());
         // Settle the audit trail's outcome even without fault injection
         // (the kApplied feedback branch is decision-neutral).
-        feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
+        feedback.phase = host::ActuationPhase::kApplied;
         feedback.target = current;
         feedback.attempt = 1;
       } else {
-        const fault::ResizeEvent ev = actuator.Begin(decision.target);
-        switch (ev.kind) {
-          case fault::ResizeEventKind::kApplied:
-            // Zero actuation latency: in effect from the next interval,
-            // exactly like the null path.
-            DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
-            DBSCALE_CHECK(engine.CompleteResize().ok());
-            ++result.container_changes;
-            if (isink.pipeline != nullptr) {
-              isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
-              isink.metrics.Add(ev.target.base_rung > current.base_rung
-                                    ? isink.pipeline->sim_scale_ups_total
-                                    : isink.pipeline->sim_scale_downs_total,
-                                1.0);
-              isink.metrics.Add(isink.pipeline->resize_applies_total, 1.0);
+        // Placement-aware actuation: classify the decision as a local
+        // resize (delta fits next to the host's other commitments) or a
+        // migration to the policy's chosen destination.
+        host::ActuationRequest req;
+        req.target = decision.target;
+        req.target_rung = decision.target.base_rung;
+        container::ResourceVector up_delta;
+        bool held_by_placement = false;
+        if (host_enabled) {
+          up_delta =
+              host::UpDelta(current.resources, decision.target.resources);
+          if (!host_map->FitsOn(tenant_host, up_delta)) {
+            req.kind = host::ActuationKind::kMigration;
+            req.host_hint = placement->ChooseHost(
+                *host_map, decision.target.resources, tenant_host);
+            if (req.host_hint < 0) {
+              // No host in the fleet has capacity: held before actuation
+              // (nothing is drawn from the fault plan), reported to the
+              // policy as a rejected migration so its cooldown applies.
+              host_map->AddPlacementHold();
+              feedback.phase = host::ActuationPhase::kRejected;
+              feedback.kind = host::ActuationKind::kMigration;
+              feedback.target = decision.target;
+              feedback.attempt = 1;
+              held_by_placement = true;
+              if (isink.pipeline != nullptr) {
+                isink.metrics.Add(isink.pipeline->host_placement_holds_total,
+                                  1.0);
+              }
             }
-            current = ev.target;
-            feedback.phase = scaler::ResizeFeedback::Phase::kApplied;
-            feedback.target = ev.target;
-            feedback.attempt = ev.attempt;
-            break;
-          case fault::ResizeEventKind::kPending:
-            // Stage the resize in the engine; it completes (or aborts) when
-            // the actuation latency elapses.
-            DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
-            feedback.phase = scaler::ResizeFeedback::Phase::kPending;
-            feedback.target = ev.target;
-            feedback.attempt = ev.attempt;
-            break;
-          case fault::ResizeEventKind::kFailed:
-            ++result.resize_failures;
-            if (isink.pipeline != nullptr) {
-              isink.metrics.Add(isink.pipeline->resize_failures_total, 1.0);
+          }
+        }
+        if (!held_by_placement) {
+          const host::ActuationOutcome ev = channel.Begin(req, tenant_host);
+          if (host_enabled && ev.phase != host::ActuationPhase::kRejected) {
+            if (req.kind == host::ActuationKind::kMigration) {
+              host_map->BeginMigration(req.host_hint,
+                                       decision.target.resources);
+              if (isink.pipeline != nullptr) {
+                isink.metrics.Add(isink.pipeline->host_migrations_begun_total,
+                                  1.0);
+              }
+            } else {
+              host_map->ReserveLocal(tenant_host, up_delta);
             }
-            feedback.phase = scaler::ResizeFeedback::Phase::kFailed;
-            feedback.target = ev.target;
-            feedback.attempt = ev.attempt;
-            break;
-          case fault::ResizeEventKind::kRejected:
-            ++result.resize_rejections;
-            if (isink.pipeline != nullptr) {
-              isink.metrics.Add(isink.pipeline->resize_rejections_total,
-                                1.0);
-            }
-            feedback.phase = scaler::ResizeFeedback::Phase::kRejected;
-            feedback.target = ev.target;
-            feedback.attempt = ev.attempt;
-            break;
-          default:
-            break;
+          }
+          switch (ev.phase) {
+            case host::ActuationPhase::kApplied:
+              // Zero actuation latency (local resizes only — a migration
+              // always spends its copy + blackout intervals pending): in
+              // effect from the next interval, exactly like the null path.
+              DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
+              DBSCALE_CHECK(engine.CompleteResize().ok());
+              ++result.container_changes;
+              if (host_enabled) {
+                host_map->CommitLocal(tenant_host, up_delta,
+                                      current.resources,
+                                      ev.target.resources);
+              }
+              if (isink.pipeline != nullptr) {
+                isink.metrics.Add(isink.pipeline->sim_resizes_total, 1.0);
+                isink.metrics.Add(ev.target.base_rung > current.base_rung
+                                      ? isink.pipeline->sim_scale_ups_total
+                                      : isink.pipeline->sim_scale_downs_total,
+                                  1.0);
+                isink.metrics.Add(isink.pipeline->resize_applies_total, 1.0);
+              }
+              current = ev.target;
+              feedback = ev;
+              break;
+            case host::ActuationPhase::kPending:
+              // Stage the change in the engine; it completes (or aborts)
+              // when the actuation latency elapses.
+              DBSCALE_CHECK(engine.BeginResize(ev.target).ok());
+              feedback = ev;
+              break;
+            case host::ActuationPhase::kFailed:
+              ++result.resize_failures;
+              if (host_enabled) host_map->AbortLocal(tenant_host, up_delta);
+              if (isink.pipeline != nullptr) {
+                isink.metrics.Add(isink.pipeline->resize_failures_total, 1.0);
+              }
+              feedback = ev;
+              break;
+            case host::ActuationPhase::kRejected:
+              ++result.resize_rejections;
+              if (isink.pipeline != nullptr) {
+                isink.metrics.Add(isink.pipeline->resize_rejections_total,
+                                  1.0);
+              }
+              feedback = ev;
+              break;
+            default:
+              break;
+          }
         }
       }
       isink.trace.End(resize_span, now);
@@ -459,6 +598,15 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     result.latency_max_ms = run_latency.max_seen();
   }
   result.events_processed = events.events_processed();
+  if (host_enabled) {
+    const host::HostMap::Counters& hc = host_map->counters();
+    result.migrations_begun = hc.migrations_begun;
+    result.migrations_completed = hc.migrations_completed;
+    result.migration_failures = hc.migrations_failed;
+    result.migration_downtime_intervals = hc.downtime_intervals;
+    result.host_saturated_holds = hc.placement_holds;
+    result.host_digest = host_map->Digest();
+  }
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "src/container/catalog.h"
 #include "src/engine/engine.h"
 #include "src/fault/fault_plan.h"
+#include "src/host/host_map.h"
 #include "src/scaler/policy.h"
 #include "src/telemetry/manager.h"
 #include "src/workload/generator.h"
@@ -54,6 +55,9 @@ struct IntervalRecord {
   scaler::ExplanationCode decision_code = scaler::ExplanationCode::kUnset;
   std::string decision_explanation;
   bool resized = false;
+  /// Host-plane state during the interval (1.0 / false without hosts).
+  double throttle_factor = 1.0;
+  bool in_migration_downtime = false;
 };
 
 /// \brief Complete result of one simulated run.
@@ -91,6 +95,17 @@ struct RunResult {
   /// Intervals whose signal window was below the confidence floor.
   uint64_t degraded_windows = 0;
 
+  /// Host-plane counters (all zero without hosts; see SimulationOptions::
+  /// host). Migration failures also count toward resize_failures.
+  uint64_t migrations_begun = 0;
+  uint64_t migrations_completed = 0;
+  uint64_t migration_failures = 0;
+  uint64_t migration_downtime_intervals = 0;
+  /// Scale-ups held because no host (current or other) had capacity.
+  uint64_t host_saturated_holds = 0;
+  /// Final HostMap::Digest() (0 without hosts).
+  uint64_t host_digest = 0;
+
   /// Per-interval absolute usage (input for OfflineProfiler).
   std::vector<container::ResourceVector> UsageSeries() const;
   /// Latency in the given aggregate.
@@ -123,6 +138,14 @@ struct SimulationOptions {
   /// (disabled) plan draws nothing and leaves the run bit-identical to a
   /// build without the fault layer.
   fault::FaultPlanOptions fault;
+  /// Host placement & interference plane. Disabled by default
+  /// (num_hosts == 0): no map is built, the engine throttle is never
+  /// touched, and the run stays bit-identical to a build without the host
+  /// layer. When enabled, the single tenant is seed-placed next to
+  /// `host.background` load, scale-ups that exceed the host's headroom
+  /// become migrations (copy latency + billed downtime), and saturated
+  /// hosts inflate observed waits.
+  host::HostOptions host;
   bool prewarm_buffer_pool = true;
   /// Retain every telemetry sample in the result (drill-down experiments).
   bool keep_samples = false;

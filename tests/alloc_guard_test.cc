@@ -18,6 +18,8 @@
 
 #include "src/fault/actuator.h"
 #include "src/fault/fault_plan.h"
+#include "src/host/host_map.h"
+#include "src/host/placement.h"
 #include "src/ingest/ingest_ring.h"
 #include "src/ingest/producer.h"
 #include "src/ingest/wire_sample.h"
@@ -687,6 +689,49 @@ TEST(AllocGuardTest, DecideBatchAllocatingPolicyIsObserved) {
   AllocSpan span;
   scaler::DecideBatch(slots.data(), kSlots, nullptr);
   EXPECT_GT(span.allocations(), 0u);
+}
+
+// -------- PR-9 host legs: placement scans and interference kernel --------
+
+// The host plane's per-interval kernels run once per interval per fleet
+// (interference) and once per scale-up (fit checks, destination scans), so
+// they must never touch the heap after construction.
+TEST(AllocGuardTest, HostMapHotPathsAreAllocationFree) {
+  host::HostOptions options;
+  options.num_hosts = 64;
+  options.background.cpu_cores = 2.0;
+  options.hot_hosts = 16;
+  options.hot_extra.cpu_cores = 6.0;
+  host::HostMap map(options);
+  const container::ResourceVector bundle{3.0, 4096.0, 300.0, 12.0};
+  const container::ResourceVector big{6.0, 16384.0, 800.0, 32.0};
+  const container::ResourceVector delta = host::UpDelta(bundle, big);
+  for (int id = 0; id < map.num_hosts(); ++id) {
+    map.Place(id % map.num_hosts(), bundle);
+  }
+  auto first = host::MakePlacementPolicy(host::PlacementPolicyKind::kFirstFit);
+  auto best = host::MakePlacementPolicy(host::PlacementPolicyKind::kBestFit);
+  std::vector<double> demand(static_cast<size_t>(map.num_hosts()), 9.0);
+
+  AllocSpan span;
+  for (int i = 0; i < 200; ++i) {
+    const int id = i % map.num_hosts();
+    // dbscale-lint: allow(discarded-status)
+    (void)map.FitsOn(id, delta);
+    // dbscale-lint: allow(discarded-status)
+    (void)first->ChooseHost(map, big, id);
+    // dbscale-lint: allow(discarded-status)
+    (void)best->ChooseHost(map, big, id);
+    map.ReserveLocal(id, delta);
+    map.CommitLocal(id, delta, bundle, big);
+    map.ReserveLocal(id, host::UpDelta(big, bundle));
+    map.CommitLocal(id, host::UpDelta(big, bundle), big, bundle);
+    map.UpdateInterference(demand);
+    // dbscale-lint: allow(discarded-status)
+    (void)map.Digest();
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "HostMap hot paths allocated in steady state";
 }
 
 TEST(AllocGuardTest, AsciiChartIntoWithWarmBuffersIsAllocationFree) {

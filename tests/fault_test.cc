@@ -275,11 +275,11 @@ class AutoScalerFaultTest : public ::testing::Test {
   }
 
   scaler::PolicyInput WithFeedback(scaler::PolicyInput input,
-                                   scaler::ResizeFeedback::Phase phase,
+                                   scaler::ActuationPhase phase,
                                    int target_rung, int attempt) {
-    input.resize.phase = phase;
-    input.resize.target = catalog_.rung(target_rung);
-    input.resize.attempt = attempt;
+    input.actuation.phase = phase;
+    input.actuation.target = catalog_.rung(target_rung);
+    input.actuation.attempt = attempt;
     return input;
   }
 
@@ -291,7 +291,7 @@ TEST_F(AutoScalerFaultTest, PendingResizeHoldsTheChannel) {
   auto s = Snapshot(3, 400);
   SetCpuBottleneck(&s);  // Would scale up if the channel were free.
   auto d = scaler->Decide(WithFeedback(
-      Input(s, 3, 5), scaler::ResizeFeedback::Phase::kPending, 4, 1));
+      Input(s, 3, 5), scaler::ActuationPhase::kPending, 4, 1));
   EXPECT_EQ(d.target.base_rung, 3);
   EXPECT_EQ(d.explanation.code,
             scaler::ExplanationCode::kHoldResizePending);
@@ -304,7 +304,7 @@ TEST_F(AutoScalerFaultTest, FailedResizeBacksOffThenRetries) {
 
   // Attempt 1 toward rung 4 failed: back off one interval.
   auto hold = scaler->Decide(WithFeedback(
-      Input(s, 3, 10), scaler::ResizeFeedback::Phase::kFailed, 4, 1));
+      Input(s, 3, 10), scaler::ActuationPhase::kFailed, 4, 1));
   EXPECT_EQ(hold.target.base_rung, 3);
   EXPECT_EQ(hold.explanation.code,
             scaler::ExplanationCode::kHoldResizeBackoff);
@@ -328,7 +328,7 @@ TEST_F(AutoScalerFaultTest, ExponentialBackoffGrowsBetweenRetries) {
 
   // Attempt 2 failed: backoff = base * multiplier^(2-1) = 2 intervals.
   auto hold = scaler->Decide(WithFeedback(
-      Input(s, 3, 10), scaler::ResizeFeedback::Phase::kFailed, 4, 2));
+      Input(s, 3, 10), scaler::ActuationPhase::kFailed, 4, 2));
   EXPECT_EQ(hold.explanation.code,
             scaler::ExplanationCode::kHoldResizeBackoff);
   // Interval 11: still backing off.
@@ -350,7 +350,7 @@ TEST_F(AutoScalerFaultTest, AbandonsAfterMaxAttempts) {
   SetCpuBottleneck(&s);
 
   auto abandoned = scaler->Decide(WithFeedback(
-      Input(s, 3, 10), scaler::ResizeFeedback::Phase::kFailed, 4, 2));
+      Input(s, 3, 10), scaler::ActuationPhase::kFailed, 4, 2));
   EXPECT_EQ(abandoned.target.base_rung, 3);
   EXPECT_EQ(abandoned.explanation.code,
             scaler::ExplanationCode::kHoldResizeAbandoned);
@@ -367,7 +367,7 @@ TEST_F(AutoScalerFaultTest, RejectedTargetCoolsDown) {
   SetCpuBottleneck(&s);
 
   auto rejected = scaler->Decide(WithFeedback(
-      Input(s, 3, 10), scaler::ResizeFeedback::Phase::kRejected, 4, 1));
+      Input(s, 3, 10), scaler::ActuationPhase::kRejected, 4, 1));
   EXPECT_EQ(rejected.target.base_rung, 3);
   EXPECT_EQ(rejected.explanation.code,
             scaler::ExplanationCode::kHoldResizeRejected);
@@ -399,7 +399,7 @@ TEST_F(AutoScalerFaultTest, FailedResizeAbortsBallooning) {
   // A resize failure mid-balloon aborts the pass and restores the full
   // allocation.
   auto d1 = scaler->Decide(WithFeedback(
-      Input(s, 5, 1), scaler::ResizeFeedback::Phase::kFailed, 4, 1));
+      Input(s, 5, 1), scaler::ActuationPhase::kFailed, 4, 1));
   EXPECT_FALSE(scaler->balloon().active());
   ASSERT_TRUE(d1.memory_limit_mb.has_value());
   EXPECT_DOUBLE_EQ(*d1.memory_limit_mb,
@@ -434,7 +434,7 @@ TEST_F(AutoScalerFaultTest, AppliedFeedbackSettlesAuditOutcome) {
   auto healthy = Snapshot(up.target.base_rung, 100);
   // dbscale-lint: allow(discarded-status)
   (void)scaler->Decide(WithFeedback(Input(healthy, up.target.base_rung, 1),
-                                    scaler::ResizeFeedback::Phase::kApplied,
+                                    scaler::ActuationPhase::kApplied,
                                     up.target.base_rung, 1));
   const auto resizes = scaler->audit().Resizes();
   ASSERT_FALSE(resizes.empty());

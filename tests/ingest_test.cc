@@ -79,7 +79,7 @@ class StepPolicy : public scaler::ScalingPolicy {
   explicit StepPolicy(uint64_t salt) : salt_(salt) {}
 
   scaler::ScalingDecision Decide(const scaler::PolicyInput& input) override {
-    if (input.resize.phase == scaler::ResizeFeedback::Phase::kApplied) {
+    if (input.actuation.phase == scaler::ActuationPhase::kApplied) {
       ++applied_;
     }
     const double load =

@@ -114,6 +114,9 @@ ORDER_SENSITIVE_PREFIXES = (
     # at any producer/thread count; unordered containers or clock reads in
     # the drain/evaluate path would break that equivalence.
     "src/ingest/",
+    # Placement scans, migration state, and interference folds feed the
+    # host digest; iteration order over hosts/tenants must be fixed.
+    "src/host/",
 )
 
 NODISCARD_GUARDS = {
