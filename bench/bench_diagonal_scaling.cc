@@ -1,0 +1,325 @@
+// Diagonal-scaling evaluation: cost at equal-or-better latency-goal
+// attainment versus the paper's Auto, the Util baseline, and Max.
+//
+// The setup mirrors the Figure 1 extension experiment (I/O-skewed CPUIO
+// mix: demand concentrated in disk I/O, so every lock-step rung overbuys
+// CPU and memory): per paper trace,
+//
+//   1. run Max on the lock-step catalog and set goal = 2 x Max p95;
+//   2. run Auto and Util on the lock-step catalog, Diagonal on the
+//      flexible per-dimension catalog (same rung span, subdivided grid,
+//      prices that sum exactly to the rung prices on the diagonal);
+//   3. compare average cost per interval and latency-goal attainment (the
+//      fraction of intervals with interval p95 <= goal).
+//
+// The claim under test (PAPERS.md, arxiv 2511.21612): diagonal scaling is
+// strictly cheaper than Auto at equal-or-better attainment. The bench
+// CHECKs that the claim holds on at least two paper traces, re-pins the
+// fixed-rung fleet digests at threads {1, 2, 4} (the Catalog API redesign
+// must not move them), and CHECKs diagonal runs are digest-identical when
+// repeated. Results merge into BENCH_perf.json as "diagonal_scaling"
+// (--out=PATH overrides; --quick shrinks the sweep to two traces).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+#include "src/container/catalog.h"
+#include "src/fleet/fleet_scale.h"
+#include "src/scaler/diagonal.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+namespace dbscale::bench {
+namespace {
+
+// Pinned fixed-rung baselines (tests/host_test.cc holds the unit-test
+// twins); the first-class Catalog interface must keep them bit-identical.
+constexpr uint64_t kNullFleetDigest = 0xf8a4a039e6b0fee9ull;
+
+double RunDigest(const sim::RunResult& run) {
+  double sum = 0.0;
+  for (const auto& interval : run.intervals) {
+    sum += interval.cost + interval.latency_p95_ms +
+           static_cast<double>(interval.completed) +
+           1000.0 * interval.container.base_rung + (interval.resized ? 7 : 0);
+    for (double u : interval.utilization_pct) sum += u;
+  }
+  return sum;
+}
+
+/// Fraction of intervals whose p95 met the goal (intervals that completed
+/// no requests count as meeting it: there was nothing to be late).
+double Attainment(const sim::RunResult& run, double goal_ms) {
+  if (run.intervals.empty()) return 0.0;
+  int met = 0;
+  for (const auto& interval : run.intervals) {
+    if (interval.completed == 0 || interval.latency_p95_ms <= goal_ms) {
+      ++met;
+    }
+  }
+  return static_cast<double>(met) /
+         static_cast<double>(run.intervals.size());
+}
+
+struct PolicyOutcome {
+  std::string name;
+  double p95_ms = 0.0;
+  double attainment = 0.0;
+  double cost = 0.0;
+  double digest = 0.0;
+};
+
+struct TraceOutcome {
+  std::string trace;
+  double goal_ms = 0.0;
+  std::vector<PolicyOutcome> policies;
+  bool diagonal_beats_auto = false;
+};
+
+const PolicyOutcome& Find(const TraceOutcome& outcome,
+                          const std::string& name) {
+  for (const PolicyOutcome& p : outcome.policies) {
+    if (p.name == name) return p;
+  }
+  DBSCALE_CHECK(false);
+  return outcome.policies.front();
+}
+
+sim::SimulationOptions BaseOptions(const workload::Trace& trace, bool full) {
+  // The Figure 1 I/O-skew: disk demand runs rungs ahead of CPU demand.
+  workload::CpuioOptions skew;
+  skew.cpu_weight = 0.08;
+  skew.io_weight = 0.77;
+  skew.log_weight = 0.05;
+  skew.mixed_weight = 0.10;
+  sim::SimulationOptions options;
+  options.workload = workload::MakeCpuioWorkload(skew);
+  options.trace = full ? trace : trace.Subsampled(4).value();
+  options.interval_duration = Duration::Seconds(20);
+  options.seed = 17;
+  return options;
+}
+
+TraceOutcome EvaluateTrace(const workload::Trace& trace, bool full) {
+  TraceOutcome outcome;
+  outcome.trace = trace.name();
+
+  sim::SimulationOptions base =
+      BaseOptions(trace, full);
+  base.catalog = container::Catalog::MakeLockStep();
+  auto max_run = sim::RunMax(base);
+  DBSCALE_CHECK_OK(max_run.status());
+  const scaler::LatencyGoal goal{telemetry::LatencyAggregate::kP95,
+                                 2.0 * max_run->latency_p95_ms};
+  outcome.goal_ms = goal.target_ms;
+  base.telemetry.latency_aggregate = goal.aggregate;
+
+  container::FlexibleCatalogOptions fopts;
+  fopts.subdivisions = 1;
+  auto flexible = container::Catalog::MakeFlexible(fopts);
+  DBSCALE_CHECK_OK(flexible.status());
+
+  PolicyOutcome max_outcome;
+  max_outcome.name = "Max";
+  max_outcome.p95_ms = max_run->latency_p95_ms;
+  max_outcome.attainment = Attainment(*max_run, goal.target_ms);
+  max_outcome.cost = max_run->avg_cost_per_interval;
+  max_outcome.digest = RunDigest(*max_run);
+  outcome.policies.push_back(max_outcome);
+
+  for (const std::string& name : sim::RegisteredPolicyNames()) {
+    sim::SimulationOptions options = base;
+    // Diagonal shops the flexible per-dimension catalog; the lock-step
+    // policies cannot (their rung arithmetic assumes coupled sizes).
+    options.catalog = name == "Diagonal"
+                          ? *flexible
+                          : container::Catalog::MakeLockStep();
+    scaler::TenantKnobs knobs;
+    knobs.latency_goal = goal;
+    auto policy =
+        sim::MakeRegisteredPolicy(name, options.catalog, knobs);
+    DBSCALE_CHECK_OK(policy.status());
+    auto run = sim::RunWithPolicy(options, policy->get(), 3);
+    DBSCALE_CHECK_OK(run.status());
+    PolicyOutcome p;
+    p.name = name;
+    p.p95_ms = run->latency_p95_ms;
+    p.attainment = Attainment(*run, goal.target_ms);
+    p.cost = run->avg_cost_per_interval;
+    p.digest = RunDigest(*run);
+    outcome.policies.push_back(p);
+
+    if (name == "Diagonal") {
+      // Determinism: an identical diagonal run reproduces the digest.
+      auto again_policy =
+          sim::MakeRegisteredPolicy(name, options.catalog, knobs);
+      DBSCALE_CHECK_OK(again_policy.status());
+      auto again = sim::RunWithPolicy(options, again_policy->get(), 3);
+      DBSCALE_CHECK_OK(again.status());
+      DBSCALE_CHECK(RunDigest(*again) == p.digest);
+    }
+  }
+
+  const PolicyOutcome& diagonal = Find(outcome, "Diagonal");
+  const PolicyOutcome& auto_outcome = Find(outcome, "Auto");
+  outcome.diagonal_beats_auto =
+      diagonal.cost < auto_outcome.cost &&
+      diagonal.attainment >= auto_outcome.attainment;
+  return outcome;
+}
+
+/// Merges the diagonal_scaling object into BENCH_perf.json (same splice
+/// contract as the host-placement bench).
+void WriteSection(const std::string& path, const std::string& section) {
+  std::string existing;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(in);
+  }
+  size_t end = existing.find_last_of('}');
+  std::string merged;
+  if (end == std::string::npos || existing.find('{') == std::string::npos) {
+    merged = "{\n" + section + "\n}\n";
+  } else {
+    const size_t prior = existing.rfind("\"diagonal_scaling\"");
+    if (prior != std::string::npos) {
+      size_t cut = existing.find_last_of(",{", prior);
+      DBSCALE_CHECK(cut != std::string::npos);
+      existing.erase(cut + 1);
+      merged = existing + "\n" + section + "\n}\n";
+    } else {
+      merged = existing.substr(0, end);
+      while (!merged.empty() &&
+             (merged.back() == '\n' || merged.back() == ' ')) {
+        merged.pop_back();
+      }
+      merged += ",\n" + section + "\n}\n";
+    }
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  DBSCALE_CHECK(out != nullptr);
+  std::fwrite(merged.data(), 1, merged.size(), out);
+  std::fclose(out);
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  bool quick = false;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    }
+  }
+
+  std::printf(
+      "=== Diagonal scaling: per-dimension bundles vs the rung ladder ===\n"
+      "I/O-skewed CPUIO mix; goal = 2 x Max p95 per trace; Diagonal shops\n"
+      "the flexible catalog (1 subdivision), Auto/Util the lock-step one.\n\n");
+
+  std::vector<workload::Trace> traces = {workload::MakeTrace2LongBurst(),
+                                         workload::MakeTrace3ShortBurst()};
+  if (!quick) {
+    traces.push_back(workload::MakeTrace4ManyBursts());
+  }
+
+  std::vector<TraceOutcome> outcomes;
+  int wins = 0;
+  for (const workload::Trace& trace : traces) {
+    outcomes.push_back(EvaluateTrace(trace, full));
+    const TraceOutcome& outcome = outcomes.back();
+    std::printf("%s (goal p95 <= %.0f ms):\n", outcome.trace.c_str(),
+                outcome.goal_ms);
+    sim::TextTable table(
+        {"policy", "p95 ms", "attainment", "cost/interval", "vs Auto"});
+    const double auto_cost = Find(outcome, "Auto").cost;
+    for (const PolicyOutcome& p : outcome.policies) {
+      table.AddRow({p.name, StrFormat("%.0f", p.p95_ms),
+                    StrFormat("%.1f%%", 100.0 * p.attainment),
+                    StrFormat("%.1f", p.cost),
+                    StrFormat("%+.1f%%", 100.0 * (p.cost / auto_cost - 1.0))});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("  diagonal beats Auto (cheaper at >= attainment): %s\n\n",
+                outcome.diagonal_beats_auto ? "yes" : "no");
+    if (outcome.diagonal_beats_auto) ++wins;
+  }
+  // The acceptance bar: strictly cheaper at equal-or-better attainment on
+  // at least two paper traces.
+  DBSCALE_CHECK(wins >= 2);
+
+  // The Catalog redesign must not move the fixed-rung fleet digests at any
+  // thread count.
+  container::Catalog lockstep = container::Catalog::MakeLockStep();
+  std::printf("fixed-rung fleet digest pins:\n");
+  std::vector<int> thread_counts = quick ? std::vector<int>{1, 2}
+                                         : std::vector<int>{1, 2, 4};
+  for (int threads : thread_counts) {
+    fleet::FleetScaleOptions options;
+    options.num_tenants = 512;
+    options.num_intervals = 288;
+    options.seed = 7;
+    options.block_size = 128;
+    options.num_threads = threads;
+    auto fleet_outcome = fleet::FleetScaleRunner(lockstep, options).Run();
+    DBSCALE_CHECK(fleet_outcome.ok());
+    const bool match = fleet_outcome->aggregate.digest == kNullFleetDigest;
+    std::printf("  threads=%d  %016llx  %s\n", threads,
+                static_cast<unsigned long long>(
+                    fleet_outcome->aggregate.digest),
+                match ? "MATCH" : "DRIFT");
+    DBSCALE_CHECK(match);
+  }
+
+  // ---- JSON. -------------------------------------------------------------
+  std::string section = "  \"diagonal_scaling\": {\n";
+  section += StrFormat("    \"quick\": %s,\n", quick ? "true" : "false");
+  section += StrFormat("    \"wins_vs_auto\": %d,\n", wins);
+  section += StrFormat(
+      "    \"fleet_digest_baseline\": \"%016llx\",\n"
+      "    \"fleet_digest_matches_at_threads_124\": true,\n",
+      static_cast<unsigned long long>(kNullFleetDigest));
+  section += "    \"traces\": [\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const TraceOutcome& outcome = outcomes[i];
+    section += StrFormat(
+        "      {\"trace\": \"%s\", \"goal_ms\": %.1f, "
+        "\"diagonal_beats_auto\": %s,\n       \"policies\": [",
+        outcome.trace.c_str(), outcome.goal_ms,
+        outcome.diagonal_beats_auto ? "true" : "false");
+    for (size_t j = 0; j < outcome.policies.size(); ++j) {
+      const PolicyOutcome& p = outcome.policies[j];
+      section += StrFormat(
+          "\n        {\"policy\": \"%s\", \"p95_ms\": %.2f, "
+          "\"attainment\": %.4f, \"cost_per_interval\": %.4f, "
+          "\"digest\": %.10f}%s",
+          p.name.c_str(), p.p95_ms, p.attainment, p.cost, p.digest,
+          j + 1 < outcome.policies.size() ? "," : "");
+    }
+    section += StrFormat("]}%s\n", i + 1 < outcomes.size() ? "," : "");
+  }
+  section += "    ]\n  }";
+  WriteSection(out_path, section);
+  std::printf("\nmerged diagonal_scaling section into %s\n",
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbscale::bench
+
+int main(int argc, char** argv) { return dbscale::bench::Main(argc, argv); }

@@ -8,13 +8,24 @@
 // catalog, once against the per-dimension catalog (single-dimension
 // variants priced between rungs) — and measure the savings.
 
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "src/scaler/autoscaler.h"
+#include "src/sim/experiment.h"
 
 using namespace dbscale;
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  // --policy=NAME runs the drilldown under any registered online policy
+  // (Auto, Util, Diagonal); default Auto.
+  std::string policy_name = "Auto";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      policy_name = argv[i] + 9;
+    }
+  }
   bench::PrintHeader("Extension: Figure 1",
                      "per-dimension vs lock-step container scaling");
 
@@ -33,8 +44,8 @@ int main(int argc, char** argv) {
   scaler::LatencyGoal goal{telemetry::LatencyAggregate::kP95,
                            2.0 * max_run->latency_p95_ms};
   base.telemetry.latency_aggregate = goal.aggregate;
-  std::printf("I/O-skewed CPUIO on Trace 2; goal p95 <= %.0f ms\n\n",
-              goal.target_ms);
+  std::printf("I/O-skewed CPUIO on Trace 2; policy %s; goal p95 <= %.0f ms\n\n",
+              policy_name.c_str(), goal.target_ms);
 
   sim::TextTable table({"catalog", "containers", "p95 ms", "p95/goal",
                         "cost/interval", "variant intervals"});
@@ -46,9 +57,10 @@ int main(int argc, char** argv) {
                           : container::Catalog::MakeLockStep();
     scaler::TenantKnobs knobs;
     knobs.latency_goal = goal;
-    auto scaler = scaler::AutoScaler::Create(options.catalog, knobs);
-    DBSCALE_CHECK_OK(scaler.status());
-    auto run = sim::RunWithPolicy(options, scaler->get(), 3);
+    auto policy =
+        sim::MakeRegisteredPolicy(policy_name, options.catalog, knobs);
+    DBSCALE_CHECK_OK(policy.status());
+    auto run = sim::RunWithPolicy(options, policy->get(), 3);
     DBSCALE_CHECK_OK(run.status());
     int variant_intervals = 0;
     for (const auto& r : run->intervals) {

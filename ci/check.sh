@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, eleven stages:
+# Full correctness gate, twelve stages:
 #   1. normal build + complete test suite (includes dbscale_lint ctest leg)
 #   2. ThreadSanitizer build, concurrency-sensitive tests (incl. the fault
 #      retry path exercised by the Fleet/Fault suites)
@@ -26,6 +26,10 @@
 #      migration (downtime == D per completed migration), host-mode runs
 #      are run-twice bit-identical, and a null host plan reproduces the
 #      pre-host fleet digest exactly
+#  12. diagonal smoke: the per-resource policy is run-twice digest
+#      identical on both the fixed-rung and flexible catalogs, and on
+#      skewed demand the flexible grid is strictly cheaper than Auto at
+#      equal-or-better latency-goal attainment
 # Any finding in any stage exits non-zero.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
@@ -36,13 +40,13 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc)"
 
-echo "=== [1/11] normal build + full test suite ==="
+echo "=== [1/12] normal build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [2/11] ThreadSanitizer build (concurrency tests) ==="
+echo "=== [2/12] ThreadSanitizer build (concurrency tests) ==="
 # Benchmarks/examples are skipped under TSan: they triple the build for no
 # extra race coverage beyond what the targeted tests exercise.
 cmake -B "${PREFIX}-tsan" -S . \
@@ -54,7 +58,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'ThreadPool|Fault|Fleet|Comparison|Experiment|Ingest'
 
 echo
-echo "=== [3/11] UndefinedBehaviorSanitizer build (full test suite) ==="
+echo "=== [3/12] UndefinedBehaviorSanitizer build (full test suite) ==="
 # -fno-sanitize-recover (set by CMake for SANITIZE=undefined) turns every
 # UB diagnostic into a test failure, so a green run means zero reports.
 cmake -B "${PREFIX}-ubsan" -S . \
@@ -65,7 +69,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== [4/11] clang-tidy (checks from .clang-tidy) ==="
+echo "=== [4/12] clang-tidy (checks from .clang-tidy) ==="
 TIDY=""
 for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
             clang-tidy-15 clang-tidy-14; do
@@ -80,11 +84,11 @@ else
 fi
 
 echo
-echo "=== [5/11] custom invariant lint ==="
+echo "=== [5/12] custom invariant lint ==="
 ci/lint.sh
 
 echo
-echo "=== [6/11] perf-pipeline smoke (quick mode) ==="
+echo "=== [6/12] perf-pipeline smoke (quick mode) ==="
 # Small workloads, large signal: any steady-state allocation on a hot path
 # or any bit-level divergence between the incremental signal engine and the
 # batch oracle fails the gate, regardless of throughput numbers.
@@ -138,7 +142,7 @@ print("observability overhead (quick, noisy): "
 PY
 
 echo
-echo "=== [7/11] observability smoke (decision trace + exporter schemas) ==="
+echo "=== [7/12] observability smoke (decision trace + exporter schemas) ==="
 # The quickstart example runs an instrumented closed loop and dumps all
 # three exports; the schema checker then validates every artifact. Catches
 # exporter format regressions that unit goldens (single metrics) miss.
@@ -151,7 +155,7 @@ python3 tools/obs/check_obs_output.py \
   "${OBS_DIR}/decision_trace.metrics.csv"
 
 echo
-echo "=== [8/11] fault-matrix smoke (determinism + resilience) ==="
+echo "=== [8/12] fault-matrix smoke (determinism + resilience) ==="
 # The faulty_resize example runs the closed loop twice with a null plan and
 # twice with the acceptance fault profile, then dumps digests, counters,
 # and an audit summary. The checker enforces the resilience contract.
@@ -214,7 +218,7 @@ print(f"fault smoke ok: null and faulty digests stable, "
 PY
 
 echo
-echo "=== [9/11] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
+echo "=== [9/12] fleet-scale smoke (SoA runner determinism + checkpoints) ==="
 # The fleet_scale example runs a 10^4-tenant day twice, round-trips a
 # checkpoint at a different thread count, and corrupts the checkpoint.
 FLEET_JSON="${PREFIX}/fleet_scale_smoke.json"
@@ -252,7 +256,7 @@ print(f"fleet-scale smoke ok: digest {report['digest_a']} stable across "
 PY
 
 echo
-echo "=== [10/11] ingest smoke (scaler-as-a-service determinism + backpressure) ==="
+echo "=== [10/12] ingest smoke (scaler-as-a-service determinism + backpressure) ==="
 # The ingest_daemon example runs the ring -> drain -> batched-decision
 # pipeline twice plus a direct-feed serial reference, then floods a tiny
 # ring. The checker enforces the service equivalence contract and the
@@ -306,7 +310,7 @@ print(f"ingest smoke ok: digest {report['digest_a']} stable across rerun "
 PY
 
 echo
-echo "=== [11/11] host-placement smoke (migrations + null-plan identity) ==="
+echo "=== [11/12] host-placement smoke (migrations + null-plan identity) ==="
 # The host_placement example runs a single tenant on a hot host (its
 # scale-up must become a migration), the fleet flash-crowd scenario twice,
 # and a host-free fleet that must still hit the pre-host digest pin.
@@ -362,6 +366,50 @@ print(f"host smoke ok: sim migration billed exactly, fleet "
       f"{flt['migrations_completed']} migrations / "
       f"{flt['downtime_intervals']} downtime intervals, digests stable, "
       f"null plan matches the pre-host pin")
+PY
+
+echo
+echo "=== [12/12] diagonal smoke (catalog equivalence + per-dimension savings) ==="
+# The diagonal_scaling example runs the per-resource policy twice against
+# the fixed-rung ladder and twice against the flexible per-dimension
+# catalog. The checker enforces determinism and the headline claim: on
+# skewed demand the flexible grid is cheaper than Auto without giving up
+# latency-goal attainment.
+DIAG_JSON="${PREFIX}/diag_smoke.json"
+"${PREFIX}/examples/diagonal_scaling" --json="${DIAG_JSON}" >/dev/null
+python3 - "${DIAG_JSON}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+failures = []
+for key in ("auto_fixed", "diagonal_fixed", "diagonal_flexible"):
+    run = report[key]
+    if run["digest"] != run["digest_repeat"]:
+        failures.append(f"{key} run is not run-twice deterministic")
+
+flexible = report["diagonal_flexible"]
+auto_fixed = report["auto_fixed"]
+if not report["flexible_cheaper_than_auto"]:
+    failures.append("flexible-catalog diagonal run is not cheaper than Auto")
+if flexible["cost"] >= auto_fixed["cost"]:
+    failures.append(
+        f"diagonal cost {flexible['cost']} not below Auto {auto_fixed['cost']}")
+if flexible["attainment"] < auto_fixed["attainment"]:
+    failures.append(
+        f"diagonal attainment {flexible['attainment']} fell below "
+        f"Auto {auto_fixed['attainment']}")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"diagonal smoke ok: digests stable on both catalogs, flexible grid "
+      f"{100.0 * (1.0 - flexible['cost'] / auto_fixed['cost']):.0f}% cheaper "
+      f"than Auto at {100.0 * flexible['attainment']:.1f}% attainment "
+      f"(Auto {100.0 * auto_fixed['attainment']:.1f}%)")
 PY
 
 echo

@@ -66,9 +66,32 @@ ResourceVector ResourceVector::Max(const ResourceVector& a,
       std::max(a.disk_iops, b.disk_iops), std::max(a.log_mbps, b.log_mbps)};
 }
 
+ResourceVector ResourceVector::Min(const ResourceVector& a,
+                                   const ResourceVector& b) {
+  return ResourceVector{
+      std::min(a.cpu_cores, b.cpu_cores), std::min(a.memory_mb, b.memory_mb),
+      std::min(a.disk_iops, b.disk_iops), std::min(a.log_mbps, b.log_mbps)};
+}
+
 ResourceVector ResourceVector::Scaled(double factor) const {
   return ResourceVector{cpu_cores * factor, memory_mb * factor,
                         disk_iops * factor, log_mbps * factor};
+}
+
+double ResourceVector::Sum() const {
+  return ((cpu_cores + memory_mb) + disk_iops) + log_mbps;
+}
+
+bool ResourceVector::AnyPositive() const {
+  return cpu_cores > 0.0 || memory_mb > 0.0 || disk_iops > 0.0 ||
+         log_mbps > 0.0;
+}
+
+void ResourceVector::Fold(Fnv64Stream* stream) const {
+  stream->Dbl(cpu_cores);
+  stream->Dbl(memory_mb);
+  stream->Dbl(disk_iops);
+  stream->Dbl(log_mbps);
 }
 
 std::string ResourceVector::ToString() const {

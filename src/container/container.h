@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/fnv.h"
+
 namespace dbscale::container {
 
 /// The resource dimensions a container guarantees. Matches the classes the
@@ -46,8 +48,22 @@ struct ResourceVector {
   /// Element-wise maximum.
   static ResourceVector Max(const ResourceVector& a, const ResourceVector& b);
 
+  /// Element-wise minimum.
+  static ResourceVector Min(const ResourceVector& a, const ResourceVector& b);
+
   /// Element-wise scale.
   ResourceVector Scaled(double factor) const;
+
+  /// Sum of the four components (dimension-order left fold).
+  double Sum() const;
+
+  /// True when at least one component is > 0 (a non-empty demand vector).
+  bool AnyPositive() const;
+
+  /// Folds the four components into an FNV-1a stream (bit patterns, in
+  /// dimension order) — the digest primitive the fleet/host accounting
+  /// digests are built from.
+  void Fold(Fnv64Stream* stream) const;
 
   bool operator==(const ResourceVector& other) const = default;
 

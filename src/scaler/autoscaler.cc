@@ -419,6 +419,7 @@ ScalingDecision AutoScaler::DecideUnclamped(const PolicyInput& input) {
 
     ScalingDecision d;
     d.target = *within_budget;
+    d.demand = desired;
     d.memory_limit_mb = memory_restore;
     if (d.target.id != input.current.id &&
         d.target.id == rejected_target_id_ &&

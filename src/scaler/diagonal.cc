@@ -1,0 +1,968 @@
+#include "src/scaler/diagonal.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/telemetry/wait_class.h"
+
+namespace dbscale::scaler {
+
+using container::ContainerSpec;
+using container::GridLevels;
+using container::ResourceKind;
+using container::ResourceVector;
+
+// ---------------------------------------------------------------------------
+// DiagonalOptions
+// ---------------------------------------------------------------------------
+
+Status DiagonalOptions::Validate() const {
+  DBSCALE_RETURN_IF_ERROR(thresholds.Validate());
+  if (target_utilization_pct <= 0.0 || target_utilization_pct > 100.0) {
+    return Status::InvalidArgument(
+        "target_utilization_pct must be in (0, 100]");
+  }
+  if (down_latency_slack_ratio >= 1.0) {
+    return Status::InvalidArgument(
+        "down_latency_slack_ratio must be < 1 (<= 0 disables)");
+  }
+  if (down_patience_high < 1 || down_patience_medium < 1 ||
+      down_patience_low < 1) {
+    return Status::InvalidArgument("down patience values must be >= 1");
+  }
+  if (up_patience_low_sensitivity < 1) {
+    return Status::InvalidArgument(
+        "up_patience_low_sensitivity must be >= 1");
+  }
+  if (up_cooldown_intervals < 0) {
+    return Status::InvalidArgument("up_cooldown_intervals must be >= 0");
+  }
+  if (down_projected_util_guard_pct <= 0.0 ||
+      down_projected_util_guard_pct > 100.0) {
+    return Status::InvalidArgument(
+        "down_projected_util_guard_pct must be in (0, 100]");
+  }
+  if (wait_directed_up_min_pct > 100.0) {
+    return Status::InvalidArgument(
+        "wait_directed_up_min_pct must be <= 100 (<= 0 disables)");
+  }
+  if (down_latency_gate_ratio >= 1.0) {
+    return Status::InvalidArgument(
+        "down_latency_gate_ratio must be < 1 (<= 0 disables)");
+  }
+  if (down_max_levels_per_move < 1) {
+    return Status::InvalidArgument("down_max_levels_per_move must be >= 1");
+  }
+  if (down_breach_window_intervals < 0) {
+    return Status::InvalidArgument(
+        "down_breach_window_intervals must be >= 0");
+  }
+  if (budget_conservative_k < 1) {
+    return Status::InvalidArgument("budget_conservative_k must be >= 1");
+  }
+  if (resize_max_attempts < 1) {
+    return Status::InvalidArgument("resize_max_attempts must be >= 1");
+  }
+  if (resize_backoff_base_intervals < 1 || resize_backoff_multiplier < 1.0 ||
+      resize_backoff_max_intervals < resize_backoff_base_intervals) {
+    return Status::InvalidArgument("invalid resize backoff options");
+  }
+  if (resize_rejection_cooldown_intervals < 0) {
+    return Status::InvalidArgument(
+        "resize_rejection_cooldown_intervals must be >= 0");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DiagonalOptimizer
+// ---------------------------------------------------------------------------
+
+DiagonalOptimizer::DiagonalOptimizer(const container::Catalog& catalog)
+    : catalog_(catalog), flexible_(catalog.flexible()) {
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t d = static_cast<size_t>(kind);
+    const int n = catalog.GridSize(kind);
+    DBSCALE_CHECK(n >= 1 && n <= container::kMaxGridLevels);
+    grid_size_[d] = n;
+    for (int l = 0; l < n; ++l) {
+      grid_value_[d][l] = catalog.GridValue(kind, l);
+      dim_price_[d][l] = catalog.DimensionPrice(kind, l);
+    }
+  }
+  min_rest_[container::kNumResources] = 0.0;
+  for (int d = container::kNumResources - 1; d >= 0; --d) {
+    min_rest_[d] = min_rest_[d + 1] + dim_price_[d][0];
+  }
+  if (catalog.num_rungs() > 1) {
+    levels_per_rung_ =
+        std::max(1, (grid_size_[0] - 1) / (catalog.num_rungs() - 1));
+  }
+  if (!flexible_) {
+    const std::vector<ContainerSpec>& specs = catalog.specs();
+    spec_price_.reserve(specs.size());
+    spec_res_.reserve(specs.size());
+    spec_cover_.reserve(specs.size());
+    for (const ContainerSpec& spec : specs) {
+      spec_price_.push_back(spec.price_per_interval);
+      spec_res_.push_back(spec.resources);
+      GridLevels cover{};
+      for (ResourceKind kind : container::kAllResources) {
+        cover[static_cast<size_t>(kind)] =
+            LevelWithin(kind, spec.resources.Get(kind));
+      }
+      spec_cover_.push_back(cover);
+    }
+  }
+}
+
+// dbscale-hot
+int DiagonalOptimizer::LevelFor(ResourceKind kind, double demand) const {
+  const size_t d = static_cast<size_t>(kind);
+  const int n = grid_size_[d];
+  for (int l = 0; l < n; ++l) {
+    if (grid_value_[d][l] >= demand) return l;
+  }
+  return n - 1;
+}
+
+// dbscale-hot
+int DiagonalOptimizer::LevelWithin(ResourceKind kind, double value) const {
+  const size_t d = static_cast<size_t>(kind);
+  for (int l = grid_size_[d] - 1; l >= 0; --l) {
+    if (grid_value_[d][l] <= value) return l;
+  }
+  return 0;
+}
+
+double DiagonalOptimizer::ValueAt(ResourceKind kind, int level) const {
+  const size_t d = static_cast<size_t>(kind);
+  DBSCALE_CHECK(level >= 0 && level < grid_size_[d]);
+  return grid_value_[d][level];
+}
+
+// dbscale-hot
+DiagonalOptimizer::Target DiagonalOptimizer::Solve(
+    const ResourceVector& demand, double budget) const {
+  GridLevels need{};
+  for (ResourceKind kind : container::kAllResources) {
+    need[static_cast<size_t>(kind)] = LevelFor(kind, demand.Get(kind));
+  }
+  return flexible_ ? SolveFlexible(need, budget) : SolveFixed(need, budget);
+}
+
+// dbscale-hot
+DiagonalOptimizer::Target DiagonalOptimizer::SolveFlexible(
+    const GridLevels& need, double budget) const {
+  Target t;
+  // Covering bundle: because every per-dimension price component is
+  // nondecreasing in level and a dominating bundle needs level >= need[d]
+  // in every dimension, the bundle AT need is the cheapest dominating one.
+  double cover_price = 0.0;
+  for (int d = 0; d < container::kNumResources; ++d) {
+    cover_price += dim_price_[d][need[d]];
+  }
+  if (cover_price <= budget) {
+    t.levels = need;
+    t.price = cover_price;
+    t.feasible = true;
+    return t;
+  }
+
+  // Budget binds: exact search over levels <= need for the bundle
+  // minimizing (total shortfall steps, then price). Iterating each
+  // dimension downward from need makes the running shortfall monotone, so
+  // a partial shortfall above the best is a subtree-wide prune (break);
+  // price lower bounds use the cheapest completion of the remaining
+  // dimensions (min_rest_).
+  int best_short = std::numeric_limits<int>::max();
+  double best_price = std::numeric_limits<double>::infinity();
+  GridLevels best_levels{};
+  bool found = false;
+  for (int l0 = need[0]; l0 >= 0; --l0) {
+    const int s0 = need[0] - l0;
+    if (s0 > best_short) break;
+    const double q0 = dim_price_[0][l0];
+    if (q0 + min_rest_[1] > budget) continue;
+    if (s0 == best_short && q0 + min_rest_[1] >= best_price) continue;
+    for (int l1 = need[1]; l1 >= 0; --l1) {
+      const int s1 = s0 + (need[1] - l1);
+      if (s1 > best_short) break;
+      const double q1 = q0 + dim_price_[1][l1];
+      if (q1 + min_rest_[2] > budget) continue;
+      if (s1 == best_short && q1 + min_rest_[2] >= best_price) continue;
+      for (int l2 = need[2]; l2 >= 0; --l2) {
+        const int s2 = s1 + (need[2] - l2);
+        if (s2 > best_short) break;
+        const double q2 = q1 + dim_price_[2][l2];
+        if (q2 + min_rest_[3] > budget) continue;
+        if (s2 == best_short && q2 + min_rest_[3] >= best_price) continue;
+        for (int l3 = need[3]; l3 >= 0; --l3) {
+          const int s3 = s2 + (need[3] - l3);
+          if (s3 > best_short) break;
+          const double q3 = q2 + dim_price_[3][l3];
+          if (q3 > budget) continue;
+          if (s3 < best_short || (s3 == best_short && q3 < best_price)) {
+            best_short = s3;
+            best_price = q3;
+            best_levels = {l0, l1, l2, l3};
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  if (!found) return t;  // not even the cheapest bundle fits the budget
+  t.levels = best_levels;
+  t.price = best_price;
+  t.shortfall_steps = best_short;
+  t.budget_limited = true;
+  t.feasible = true;
+  int worst = -1;
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t d = static_cast<size_t>(kind);
+    const int sd = need[d] - best_levels[d];
+    if (sd > worst) {
+      worst = sd;
+      t.binding_dimension = kind;
+    }
+  }
+  return t;
+}
+
+// dbscale-hot
+DiagonalOptimizer::Target DiagonalOptimizer::SolveFixed(
+    const GridLevels& need, double budget) const {
+  Target t;
+  const int n = static_cast<int>(spec_price_.size());
+  // Fixed grids expose exactly the listed specs' per-dimension values, so
+  // "spec dominates the demand" is "spec covers need in every dimension" —
+  // the ascending-price scan reproduces Catalog::CheapestDominating.
+  for (int i = 0; i < n; ++i) {
+    if (spec_price_[i] > budget) break;  // specs are price-sorted
+    const GridLevels& cover = spec_cover_[i];
+    bool dominates = true;
+    for (int d = 0; d < container::kNumResources; ++d) {
+      if (cover[d] < need[d]) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) {
+      t.levels = cover;
+      t.spec_index = i;
+      t.price = spec_price_[i];
+      t.feasible = true;
+      return t;
+    }
+  }
+  // Budget binds (or demand exceeds every listed spec): among affordable
+  // specs minimize (total shortfall steps, then price). Ascending price
+  // order makes the first spec at a given shortfall the cheapest.
+  int best_short = std::numeric_limits<int>::max();
+  int best_index = -1;
+  for (int i = 0; i < n; ++i) {
+    if (spec_price_[i] > budget) break;
+    const GridLevels& cover = spec_cover_[i];
+    int short_steps = 0;
+    for (int d = 0; d < container::kNumResources; ++d) {
+      short_steps += std::max(0, need[d] - cover[d]);
+    }
+    if (short_steps < best_short) {
+      best_short = short_steps;
+      best_index = i;
+    }
+  }
+  if (best_index < 0) return t;
+  t.levels = spec_cover_[best_index];
+  t.spec_index = best_index;
+  t.price = spec_price_[best_index];
+  t.shortfall_steps = best_short;
+  t.budget_limited = best_short > 0;
+  t.feasible = true;
+  int worst = -1;
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t d = static_cast<size_t>(kind);
+    const int sd = std::max(0, need[d] - t.levels[d]);
+    if (sd > worst) {
+      worst = sd;
+      t.binding_dimension = kind;
+    }
+  }
+  return t;
+}
+
+ContainerSpec DiagonalOptimizer::Materialize(const Target& target) const {
+  DBSCALE_CHECK(target.feasible);
+  if (target.spec_index >= 0) {
+    return catalog_.specs()[static_cast<size_t>(target.spec_index)];
+  }
+  return catalog_.BundleAt(target.levels);
+}
+
+// ---------------------------------------------------------------------------
+// DiagonalScaler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DominantWait {
+  telemetry::WaitClass wait_class = telemetry::WaitClass::kSystem;
+  double pct = -1.0;
+};
+
+DominantWait FindDominantWait(const telemetry::SignalSnapshot& signals) {
+  DominantWait dominant;
+  for (telemetry::WaitClass wc : telemetry::kAllWaitClasses) {
+    const double pct = signals.wait_pct_by_class[static_cast<size_t>(wc)];
+    if (pct > dominant.pct) {
+      dominant.pct = pct;
+      dominant.wait_class = wc;
+    }
+  }
+  return dominant;
+}
+
+std::string DominantWaitNote(const telemetry::SignalSnapshot& signals) {
+  const DominantWait dominant = FindDominantWait(signals);
+  if (dominant.pct <= 0.0) return "no waits observed";
+  return StrFormat("dominant waits: %s %.0f%%",
+                   telemetry::WaitClassToString(dominant.wait_class),
+                   dominant.pct);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiagonalScaler>> DiagonalScaler::Create(
+    const container::Catalog& catalog, const TenantKnobs& knobs,
+    const DiagonalOptions& options) {
+  DBSCALE_RETURN_IF_ERROR(knobs.Validate());
+  DBSCALE_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<BudgetManager> budget;
+  if (knobs.budget.has_value()) {
+    BudgetManagerOptions bm;
+    bm.total_budget = knobs.budget->total_budget;
+    bm.num_intervals = knobs.budget->num_intervals;
+    bm.min_cost = catalog.smallest().price_per_interval;
+    bm.max_cost = catalog.largest().price_per_interval;
+    bm.strategy = options.budget_strategy;
+    bm.conservative_k = options.budget_conservative_k;
+    DBSCALE_ASSIGN_OR_RETURN(BudgetManager manager,
+                             BudgetManager::Create(bm));
+    budget = std::make_unique<BudgetManager>(std::move(manager));
+  }
+  return std::unique_ptr<DiagonalScaler>(
+      new DiagonalScaler(catalog, knobs, options, std::move(budget)));
+}
+
+// Validation happens in Create(); this constructor is private and only
+// reachable through it.
+// dbscale-lint: allow(options-validate)
+DiagonalScaler::DiagonalScaler(const container::Catalog& catalog,
+                               const TenantKnobs& knobs,
+                               const DiagonalOptions& options,
+                               std::unique_ptr<BudgetManager> budget)
+    : catalog_(catalog),
+      knobs_(knobs),
+      options_(options),
+      estimator_(options.estimator),
+      budget_(std::move(budget)),
+      optimizer_(catalog) {}
+
+int DiagonalScaler::DownPatience() const {
+  switch (knobs_.sensitivity) {
+    case Sensitivity::kHigh:
+      return options_.down_patience_high;
+    case Sensitivity::kMedium:
+      return options_.down_patience_medium;
+    case Sensitivity::kLow:
+      return options_.down_patience_low;
+  }
+  return options_.down_patience_medium;
+}
+
+double DiagonalScaler::AvailableBudget() const {
+  return budget_ ? budget_->available()
+                 : std::numeric_limits<double>::infinity();
+}
+
+ScalingDecision DiagonalScaler::HoldCurrent(const PolicyInput& input,
+                                            Explanation explanation) const {
+  ScalingDecision d;
+  d.target = input.current;
+  d.explanation = std::move(explanation);
+  return d;
+}
+
+ResourceVector DiagonalScaler::UsageVector(const PolicyInput& input) const {
+  if (input.usage.AnyPositive()) return input.usage;
+  ResourceVector usage;
+  for (ResourceKind kind : container::kAllResources) {
+    usage.Set(kind, input.signals.resource(kind).utilization_pct / 100.0 *
+                        input.current.resources.Get(kind));
+  }
+  return usage;
+}
+
+int DiagonalScaler::BackoffIntervals(int failed_attempts) const {
+  double intervals =
+      static_cast<double>(options_.resize_backoff_base_intervals);
+  for (int i = 1; i < failed_attempts; ++i) {
+    intervals *= options_.resize_backoff_multiplier;
+  }
+  intervals = std::min(
+      intervals, static_cast<double>(options_.resize_backoff_max_intervals));
+  return std::max(1, static_cast<int>(intervals));
+}
+
+std::optional<ScalingDecision> DiagonalScaler::HandleActuationFeedback(
+    const PolicyInput& input) {
+  const ActuationFeedback& fb = input.actuation;
+  const bool migration = fb.kind == ActuationKind::kMigration;
+  switch (fb.phase) {
+    case ActuationPhase::kNone:
+      break;
+    case ActuationPhase::kApplied:
+      retry_.reset();
+      audit_.NoteResizeOutcome(ResizeOutcome::kApplied, fb.attempt);
+      break;
+    case ActuationPhase::kPending:
+      if (migration) {
+        return HoldCurrent(
+            input, Explanation(ExplanationCode::kHoldMigrationPending,
+                               static_cast<double>(fb.attempt),
+                               static_cast<double>(fb.downtime_intervals)));
+      }
+      return HoldCurrent(input,
+                         Explanation(ExplanationCode::kHoldResizePending,
+                                     static_cast<double>(fb.attempt)));
+    case ActuationPhase::kRejected: {
+      retry_.reset();
+      audit_.NoteResizeOutcome(ResizeOutcome::kRejected, fb.attempt);
+      rejected_target_id_ = fb.target.id;
+      rejected_until_interval_ =
+          input.interval_index + options_.resize_rejection_cooldown_intervals;
+      Explanation e(migration ? ExplanationCode::kHoldHostSaturated
+                              : ExplanationCode::kHoldResizeRejected,
+                    fb.target.name);
+      e.args[0] =
+          static_cast<double>(options_.resize_rejection_cooldown_intervals);
+      return HoldCurrent(input, std::move(e));
+    }
+    case ActuationPhase::kFailed: {
+      if (fb.attempt >= options_.resize_max_attempts) {
+        retry_.reset();
+        audit_.NoteResizeOutcome(ResizeOutcome::kAbandoned, fb.attempt);
+        return HoldCurrent(
+            input, Explanation(ExplanationCode::kHoldResizeAbandoned,
+                               static_cast<double>(fb.attempt)));
+      }
+      audit_.NoteResizeOutcome(ResizeOutcome::kFailed, fb.attempt);
+      const int backoff = BackoffIntervals(fb.attempt);
+      retry_ =
+          RetryPlan{fb.target, fb.attempt, input.interval_index + backoff};
+      return HoldCurrent(input,
+                         Explanation(ExplanationCode::kHoldResizeBackoff,
+                                     static_cast<double>(fb.attempt),
+                                     static_cast<double>(backoff)));
+    }
+  }
+
+  if (retry_.has_value()) {
+    if (input.interval_index < retry_->retry_at_interval) {
+      return HoldCurrent(
+          input,
+          Explanation(ExplanationCode::kHoldResizeBackoff,
+                      static_cast<double>(retry_->failed_attempts),
+                      static_cast<double>(retry_->retry_at_interval -
+                                          input.interval_index)));
+    }
+    const RetryPlan plan = *retry_;
+    retry_.reset();
+    const int attempt = plan.failed_attempts + 1;
+    const obs::Sink& sink = input.obs;
+    const obs::SpanId retry_span = sink.trace.Start("decide.retry", input.now);
+    sink.trace.Attr(retry_span, "attempt", attempt);
+    sink.trace.Attr(retry_span, "target_rung", plan.target.base_rung);
+    sink.trace.End(retry_span, input.now);
+    if (sink.pipeline != nullptr) {
+      sink.metrics.Add(sink.pipeline->resize_retries_total, 1.0);
+    }
+    decision_attempt_ = attempt;
+    ScalingDecision d;
+    d.target = plan.target;
+    d.explanation =
+        Explanation(ExplanationCode::kScaleRetryResize, plan.target.name);
+    d.explanation.args[0] = static_cast<double>(attempt);
+    return d;
+  }
+  return std::nullopt;
+}
+
+ScalingDecision DiagonalScaler::Decide(const PolicyInput& input) {
+  if (budget_ && input.charged_cost > 0.0) {
+    const Status status = budget_->ChargeAndRefill(input.charged_cost);
+    if (!status.ok()) {
+      DBSCALE_LOG(kError) << "budget charge failed: " << status.ToString();
+    }
+  }
+
+  decision_attempt_ = 1;
+  const obs::Sink& sink = input.obs;
+  const obs::SpanId diag_span = sink.trace.Start("decide.diagonal", input.now);
+  ScalingDecision d = DecideUnclamped(input);
+  d.demand = last_estimate_demand_;
+  sink.trace.AttrStr(diag_span, "code",
+                     ExplanationCodeToken(d.explanation.code));
+  sink.trace.AttrStr(diag_span, "backend", catalog_.backend().backend_name());
+  sink.trace.Attr(diag_span, "price", d.target.price_per_interval);
+  sink.trace.End(diag_span, input.now);
+
+  const obs::SpanId budget_span = sink.trace.Start("budget_check", input.now);
+  const double budget = AvailableBudget();
+  bool clamped = false;
+  if (d.target.price_per_interval > budget) {
+    // The budget is a hard constraint: even "hold" must fit the interval's
+    // tokens. Re-solve for the current resources under the remaining budget
+    // — on a flexible catalog this sheds exactly the binding dimensions
+    // instead of dropping a whole rung.
+    const DiagonalOptimizer::Target forced_target =
+        optimizer_.Solve(d.target.resources, budget);
+    if (forced_target.feasible) {
+      d.target = optimizer_.Materialize(forced_target);
+      Explanation forced(ExplanationCode::kScaleDownForcedByBudget, budget);
+      forced.detail = d.explanation.ToString();
+      d.explanation = std::move(forced);
+      low_streak_ = 0;
+      clamped = true;
+    }
+    // No affordable bundle at all would mean Create() admitted an
+    // infeasible budget; keep the current container in that case.
+  }
+  if (budget_) sink.trace.Attr(budget_span, "available", budget);
+  sink.trace.Attr(budget_span, "price", d.target.price_per_interval);
+  sink.trace.Attr(budget_span, "clamped", clamped ? 1.0 : 0.0);
+  sink.trace.End(budget_span, input.now);
+  if (sink.pipeline != nullptr && budget_ != nullptr) {
+    sink.metrics.Set(sink.pipeline->budget_available, budget_->available());
+    sink.metrics.Set(sink.pipeline->budget_spent, budget_->spent());
+    if (clamped) sink.metrics.Add(sink.pipeline->budget_clamps_total, 1.0);
+  }
+
+  if (input.placement.present && d.target.id != input.current.id &&
+      d.target.price_per_interval > input.current.price_per_interval) {
+    bool fits_locally = true;
+    for (const auto kind : container::kAllResources) {
+      const double delta = d.target.resources.Get(kind) -
+                           input.current.resources.Get(kind);
+      if (delta > input.placement.free.Get(kind)) {
+        fits_locally = false;
+        break;
+      }
+    }
+    if (!fits_locally) {
+      Explanation e(ExplanationCode::kScaleTriggersMigration, d.target.name);
+      e.args[0] = static_cast<double>(d.target.base_rung);
+      d.explanation = std::move(e);
+    }
+  }
+
+  // Remember any move that lowered a dimension (rule shed, slack shed,
+  // rebalance, budget clamp): if latency breaks inside the breach window,
+  // DecideUnclamped floors the shed dimensions at their pre-move levels.
+  if (d.target.id != input.current.id) {
+    container::GridLevels from{};
+    container::GridLevels to{};
+    bool any_down = false;
+    for (ResourceKind kind : container::kAllResources) {
+      const size_t dd = static_cast<size_t>(kind);
+      from[dd] = optimizer_.LevelWithin(kind, input.current.resources.Get(kind));
+      to[dd] = optimizer_.LevelWithin(kind, d.target.resources.Get(kind));
+      if (to[dd] < from[dd]) any_down = true;
+    }
+    if (any_down) {
+      last_down_interval_ = input.interval_index;
+      last_down_from_ = from;
+      last_down_to_ = to;
+    }
+  }
+
+  audit_.Record(input, last_cats_, last_estimate_, d, decision_attempt_);
+  return d;
+}
+
+ScalingDecision DiagonalScaler::DecideUnclamped(const PolicyInput& input) {
+  const telemetry::SignalSnapshot& signals = input.signals;
+  const obs::Sink& sink = input.obs;
+  last_estimate_demand_ = ResourceVector{};
+
+  if (std::optional<ScalingDecision> d = HandleActuationFeedback(input)) {
+    low_streak_ = 0;
+    return *std::move(d);
+  }
+  if (!signals.valid) {
+    return HoldCurrent(input, Explanation(ExplanationCode::kHoldWarmup));
+  }
+  if (signals.degraded) {
+    low_streak_ = 0;
+    bad_streak_ = 0;
+    return HoldCurrent(
+        input, Explanation(ExplanationCode::kHoldDegradedTelemetry,
+                           100.0 * signals.confidence));
+  }
+
+  const obs::SpanId cat_span = sink.trace.Start("categorize", input.now);
+  last_cats_ = Categorize(signals, options_.thresholds, knobs_.latency_goal,
+                          options_.categorize);
+  last_estimate_ = estimator_.Estimate(last_cats_);
+  sink.trace.AttrStr(cat_span, "latency",
+                     LatencyCategoryToString(last_cats_.latency));
+  sink.trace.End(cat_span, input.now);
+  const CategorizedSignals& cats = last_cats_;
+  const DemandEstimate& est = last_estimate_;
+
+  // The per-resource demand vector: the allocation at which current usage
+  // would sit at the target utilization. This is what the optimizer covers;
+  // the Section 4 rule steps steer how far past it an up-move reaches.
+  const ResourceVector usage = UsageVector(input);
+  ResourceVector demand;
+  for (ResourceKind kind : container::kAllResources) {
+    demand.Set(kind,
+               usage.Get(kind) / (options_.target_utilization_pct / 100.0));
+  }
+  last_estimate_demand_ = demand;
+
+  GridLevels cur{};
+  GridLevels util_level{};
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t d = static_cast<size_t>(kind);
+    cur[d] = optimizer_.LevelWithin(kind, input.current.resources.Get(kind));
+    util_level[d] = optimizer_.LevelFor(kind, demand.Get(kind));
+  }
+  const int step = optimizer_.levels_per_rung();
+
+  const bool has_goal = knobs_.latency_goal.has_value();
+  const bool latency_bad = has_goal && cats.latency == LatencyCategory::kBad;
+  const bool degrading = has_goal && cats.latency_degrading;
+  bad_streak_ = latency_bad ? bad_streak_ + 1 : 0;
+
+  // Floor learning: a breach right after a down move indicts the shed
+  // dimensions. Floor them at their pre-shed levels for the TTL — the
+  // probe is not repeated the next time latency dips under the gate —
+  // and revert immediately rather than recovering one corrective level
+  // at a time (every extra interval of recovery is a missed goal).
+  if (latency_bad && options_.down_floor_ttl_intervals > 0 &&
+      input.interval_index - last_down_interval_ <=
+          options_.down_breach_window_intervals) {
+    GridLevels revert = cur;
+    bool grew = false;
+    for (int d = 0; d < container::kNumResources; ++d) {
+      if (last_down_to_[d] < last_down_from_[d]) {
+        down_floor_[d] = std::max(down_floor_[d], last_down_from_[d]);
+        down_floor_until_[d] =
+            input.interval_index + options_.down_floor_ttl_intervals;
+        const int top =
+            optimizer_.grid_size(static_cast<ResourceKind>(d)) - 1;
+        revert[d] = std::max(revert[d], std::min(top, last_down_from_[d]));
+        if (revert[d] > cur[d]) grew = true;
+      }
+    }
+    last_down_interval_ = -1000;
+    if (grew) {
+      ResourceVector want;
+      for (ResourceKind kind : container::kAllResources) {
+        want.Set(kind,
+                 optimizer_.ValueAt(kind, revert[static_cast<size_t>(kind)]));
+      }
+      const DiagonalOptimizer::Target solved =
+          optimizer_.Solve(want, AvailableBudget());
+      if (solved.feasible) {
+        ScalingDecision d;
+        d.target = optimizer_.Materialize(solved);
+        if (d.target.id != input.current.id &&
+            !(d.target.id == rejected_target_id_ &&
+              input.interval_index < rejected_until_interval_)) {
+          low_streak_ = 0;
+          last_up_interval_ = input.interval_index;
+          d.explanation = Explanation(ExplanationCode::kScaleDiagonalUp,
+                                      "revert: latency broke after shed");
+          d.explanation.args[0] = d.target.price_per_interval;
+          d.explanation.args[1] = input.current.price_per_interval;
+          return d;
+        }
+      }
+    }
+  }
+  // Expired floors drop back to zero.
+  for (int d = 0; d < container::kNumResources; ++d) {
+    if (input.interval_index >= down_floor_until_[d]) down_floor_[d] = 0;
+  }
+
+  // -------- Scale-up / rebalance path --------
+  bool perf_trigger = false;
+  if (!has_goal) {
+    perf_trigger = true;
+  } else if (knobs_.sensitivity == Sensitivity::kLow) {
+    perf_trigger =
+        latency_bad && bad_streak_ >= options_.up_patience_low_sensitivity;
+  } else {
+    perf_trigger = latency_bad || degrading;
+  }
+
+  // Wait-directed correction: per-dimension sheds can manufacture a state
+  // the Section 4 rules never see on the rung ladder — latency bad, waits
+  // piled on one resource, yet that resource's utilization low because the
+  // queue ahead of it throttles throughput. When no rule fires, grow the
+  // dimension behind the dominant wait class by one grid level.
+  const DominantWait dominant = FindDominantWait(signals);
+  std::optional<ResourceKind> wait_dim =
+      telemetry::WaitClassResource(dominant.wait_class);
+  const bool wait_directed =
+      perf_trigger && !est.AnyIncrease() && wait_dim.has_value() &&
+      options_.wait_directed_up_min_pct > 0.0 &&
+      dominant.pct >= options_.wait_directed_up_min_pct &&
+      cur[static_cast<size_t>(*wait_dim)] <
+          optimizer_.grid_size(*wait_dim) - 1;
+  const bool wants_up = perf_trigger && (est.AnyIncrease() || wait_directed);
+
+  const bool in_up_cooldown =
+      input.interval_index - last_up_interval_ <
+      options_.up_cooldown_intervals;
+  if (wants_up && in_up_cooldown) {
+    low_streak_ = 0;
+    return HoldCurrent(input, Explanation(ExplanationCode::kHoldUpCooldown));
+  }
+
+  if (wants_up) {
+    low_streak_ = 0;
+    GridLevels need = cur;
+    for (ResourceKind kind : container::kAllResources) {
+      const size_t d = static_cast<size_t>(kind);
+      const int top = optimizer_.grid_size(kind) - 1;
+      const int steps = est.For(kind).steps;
+      if (wait_directed && kind == *wait_dim) {
+        // One corrective level (or up to the utilization-implied demand):
+        // small because it is inference from waits, not a rule hit, and
+        // the next interval re-evaluates.
+        need[d] = std::min(top, std::max(cur[d] + 1, util_level[d]));
+      } else if (steps > 0) {
+        // Grow: the rule's rung steps, or further if the utilization-implied
+        // demand already sits above that.
+        need[d] = std::min(top, std::max(cur[d] + steps * step, util_level[d]));
+      } else if (steps == 0) {
+        // A dimension without a rule hit still rises to its utilization-
+        // implied level while latency is bad: bursts push several
+        // dimensions at once and the rules rarely flag them all in the
+        // same interval.
+        need[d] = std::min(top, std::max(cur[d], util_level[d]));
+      } else if (steps < 0 && util_level[d] < cur[d]) {
+        // Rebalance: a dimension with an explicit low-demand rule hit may
+        // shed while others grow — guarded by projected utilization.
+        int cand = std::max(util_level[d], cur[d] + steps * step);
+        cand = std::max(cand, std::min(cur[d], down_floor_[d]));
+        cand = std::max(0, cand);
+        while (cand < cur[d]) {
+          const double alloc = optimizer_.ValueAt(kind, cand);
+          if (alloc <= 0.0 || 100.0 * usage.Get(kind) / alloc <=
+                                  options_.down_projected_util_guard_pct) {
+            break;
+          }
+          ++cand;
+        }
+        need[d] = cand;
+      }
+    }
+
+    ResourceVector want;
+    for (ResourceKind kind : container::kAllResources) {
+      want.Set(kind,
+               optimizer_.ValueAt(kind, need[static_cast<size_t>(kind)]));
+    }
+    const DiagonalOptimizer::Target solved =
+        optimizer_.Solve(want, AvailableBudget());
+    if (!solved.feasible) {
+      return HoldCurrent(
+          input, Explanation(ExplanationCode::kHoldNoAffordableContainer));
+    }
+    ScalingDecision d;
+    d.target = optimizer_.Materialize(solved);
+    if (d.target.id != input.current.id &&
+        d.target.id == rejected_target_id_ &&
+        input.interval_index < rejected_until_interval_) {
+      Explanation e(ExplanationCode::kHoldResizeRejected, d.target.name);
+      e.args[0] = static_cast<double>(rejected_until_interval_ -
+                                      input.interval_index);
+      return HoldCurrent(input, std::move(e));
+    }
+    if (d.target.id == input.current.id) {
+      if (solved.budget_limited) {
+        Explanation e(ExplanationCode::kHoldBudgetBindingDimension,
+                      solved.binding_dimension);
+        e.args[0] = static_cast<double>(solved.shortfall_steps);
+        e.args[1] = AvailableBudget();
+        return HoldCurrent(input, std::move(e));
+      }
+      return HoldCurrent(input,
+                         Explanation(ExplanationCode::kHoldNoLargerAffordable,
+                                     est.SummaryIncrease()));
+    }
+    last_up_interval_ = input.interval_index;
+    int ups = 0;
+    int downs = 0;
+    for (int dd = 0; dd < container::kNumResources; ++dd) {
+      if (solved.levels[dd] > cur[dd]) ++ups;
+      if (solved.levels[dd] < cur[dd]) ++downs;
+    }
+    if (solved.budget_limited) {
+      const DiagonalOptimizer::Target unconstrained =
+          optimizer_.Solve(want, std::numeric_limits<double>::infinity());
+      d.explanation =
+          Explanation(ExplanationCode::kScaleUpBudgetConstrained,
+                      optimizer_.Materialize(unconstrained).name);
+      d.explanation.args[0] = unconstrained.price;
+      d.explanation.args[1] = AvailableBudget();
+    } else if (ups > 0 && downs > 0) {
+      d.explanation = Explanation(ExplanationCode::kScaleDiagonalRebalance,
+                                  d.target.name);
+      d.explanation.args[0] = static_cast<double>(ups);
+      d.explanation.args[1] = static_cast<double>(downs);
+    } else {
+      d.explanation = Explanation(
+          ExplanationCode::kScaleDiagonalUp,
+          wait_directed
+              ? StrFormat("wait-directed: %s %.0f%% of waits",
+                          telemetry::WaitClassToString(dominant.wait_class),
+                          dominant.pct)
+              : est.SummaryIncrease());
+      d.explanation.args[0] = d.target.price_per_interval;
+      d.explanation.args[1] = input.current.price_per_interval;
+    }
+    return d;
+  }
+
+  if (latency_bad || degrading) {
+    low_streak_ = 0;
+    return HoldCurrent(
+        input, Explanation(ExplanationCode::kHoldLatencyNotResource,
+                           DominantWaitNote(signals)));
+  }
+
+  if (has_goal && est.AnyIncrease()) {
+    low_streak_ = 0;
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldGoalMetSavings,
+                                   est.SummaryIncrease()));
+  }
+
+  // -------- Scale-down path --------
+  const bool slack_low =
+      has_goal && options_.down_latency_slack_ratio > 0.0 &&
+      signals.latency_ms <= options_.down_latency_slack_ratio *
+                                knobs_.latency_goal->target_ms;
+  // Utilization headroom is low-demand evidence of its own here: with
+  // per-dimension pricing, every grid step of headroom is money on the
+  // table even when no Section 4 shrink rule fires.
+  bool util_at_or_below = true;
+  bool util_strictly_below = false;
+  for (int d = 0; d < container::kNumResources; ++d) {
+    if (util_level[d] > cur[d]) util_at_or_below = false;
+    if (util_level[d] < cur[d]) util_strictly_below = true;
+  }
+  const bool util_headroom = util_at_or_below && util_strictly_below;
+  const bool demand_low =
+      est.SuggestsShrink() || slack_low || util_headroom;
+  if (!demand_low) {
+    low_streak_ = 0;
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldDemandSteady));
+  }
+  // Shedding is only safe with latency headroom: near the goal, even a
+  // one-level shed of an "idle" dimension can tip p95 over (queueing at
+  // low utilization — the engine's bursty arrivals). Declining the saving
+  // here is what keeps attainment at Auto's level while costing less.
+  if (has_goal && options_.down_latency_gate_ratio > 0.0 &&
+      signals.latency_ms > options_.down_latency_gate_ratio *
+                               knobs_.latency_goal->target_ms) {
+    low_streak_ = 0;
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldGoalMetSavings,
+                                   "keeping latency headroom"));
+  }
+  ++low_streak_;
+  if (low_streak_ < DownPatience()) {
+    return HoldCurrent(
+        input, Explanation(ExplanationCode::kHoldDownPatience,
+                           static_cast<double>(low_streak_),
+                           static_cast<double>(DownPatience())));
+  }
+
+  // Memory shrinks on the same per-dimension evidence as everything else:
+  // no balloon pass — the flexible grid's fine steps (and the projected
+  // utilization guard below) bound the risk a full rung drop would carry.
+  GridLevels need = cur;
+  for (ResourceKind kind : container::kAllResources) {
+    const size_t d = static_cast<size_t>(kind);
+    int cand = cur[d];
+    const int steps = est.For(kind).steps;
+    if (steps < 0) cand = cur[d] + steps * step;
+    if (slack_low) cand = std::min(cand, cur[d] - step);
+    if (util_level[d] < cur[d]) {
+      // Pure utilization headroom sheds at most one rung-step at a time.
+      cand = std::min(cand, std::max(util_level[d], cur[d] - step));
+    }
+    // Sub-rung grids make small sheds cheap to take and cheap to undo;
+    // descending one grid level per move keeps each step's latency impact
+    // observable before the next.
+    cand = std::max(cand, cur[d] - options_.down_max_levels_per_move);
+    cand = std::max(cand, std::min(cur[d], down_floor_[d]));
+    cand = std::max(0, std::min(cand, cur[d]));
+    while (cand < cur[d]) {
+      const double alloc = optimizer_.ValueAt(kind, cand);
+      if (alloc <= 0.0 || 100.0 * usage.Get(kind) / alloc <=
+                              options_.down_projected_util_guard_pct) {
+        break;
+      }
+      ++cand;
+    }
+    need[d] = cand;
+  }
+
+  ResourceVector want;
+  for (ResourceKind kind : container::kAllResources) {
+    want.Set(kind, optimizer_.ValueAt(kind, need[static_cast<size_t>(kind)]));
+  }
+  const DiagonalOptimizer::Target solved =
+      optimizer_.Solve(want, AvailableBudget());
+  if (!solved.feasible) {
+    return HoldCurrent(
+        input, Explanation(ExplanationCode::kHoldNoAffordableContainer));
+  }
+  ScalingDecision d;
+  d.target = optimizer_.Materialize(solved);
+  if (d.target.id != input.current.id &&
+      d.target.id == rejected_target_id_ &&
+      input.interval_index < rejected_until_interval_) {
+    Explanation e(ExplanationCode::kHoldResizeRejected, d.target.name);
+    e.args[0] = static_cast<double>(rejected_until_interval_ -
+                                    input.interval_index);
+    return HoldCurrent(input, std::move(e));
+  }
+  if (d.target.id == input.current.id ||
+      d.target.price_per_interval >= input.current.price_per_interval) {
+    return HoldCurrent(input,
+                       Explanation(ExplanationCode::kHoldDemandSteady));
+  }
+  low_streak_ = 0;
+  d.explanation = Explanation(
+      ExplanationCode::kScaleDiagonalDown,
+      est.AnyDecrease() ? est.SummaryDecrease()
+                        : std::string("latency slack"));
+  d.explanation.args[0] = d.target.price_per_interval;
+  d.explanation.args[1] = input.current.price_per_interval;
+  return d;
+}
+
+}  // namespace dbscale::scaler

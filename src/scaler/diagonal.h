@@ -1,0 +1,261 @@
+// Diagonal scaling (PAPERS.md, arxiv 2511.21612): size each resource
+// dimension independently instead of walking the lock-step rung ladder.
+//
+// Where Auto answers "which rung?", the diagonal scaler answers "how much
+// CPU, how much memory, how much disk I/O, how much log I/O?" — a
+// per-resource demand vector estimated from the same Section 4 signals —
+// and then buys the cheapest purchasable bundle that covers the vector
+// within the interval's token-bucket budget. On a FlexibleCatalog any grid
+// combination is purchasable and the optimizer searches the per-dimension
+// grids exactly; on a FixedRungCatalog the purchasable set is the listed
+// specs and the same optimizer degenerates to the paper's
+// cheapest-dominating search.
+//
+// The optimizer is a small exact branch-and-bound (<= 4 dimensions x <= 41
+// grid levels): when the covering bundle fits the budget it is provably the
+// cheapest dominating bundle (prices are separable and per-dimension
+// monotone); when the budget binds it minimizes first the total demand
+// shortfall (in grid steps) and then price, reporting the binding dimension
+// so the tenant's explanation names what the budget is starving.
+
+#ifndef DBSCALE_SCALER_DIAGONAL_H_
+#define DBSCALE_SCALER_DIAGONAL_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/container/catalog.h"
+#include "src/scaler/audit.h"
+#include "src/scaler/budget_manager.h"
+#include "src/scaler/categories.h"
+#include "src/scaler/demand_estimator.h"
+#include "src/scaler/knobs.h"
+#include "src/scaler/policy.h"
+#include "src/scaler/thresholds.h"
+
+namespace dbscale::scaler {
+
+struct DiagonalOptions {
+  SignalThresholds thresholds = SignalThresholds::Default();
+  DemandEstimatorOptions estimator;
+  CategorizeOptions categorize;
+  /// Demand for a dimension is usage / (target_utilization_pct / 100): the
+  /// allocation at which observed usage would sit at the target utilization
+  /// (the "buffer for performance" Section 7.3 keeps).
+  double target_utilization_pct = 70.0;
+  /// Consecutive low-demand intervals required before shrinking, by
+  /// sensitivity (same knob semantics as Auto).
+  int down_patience_high = 5;
+  int down_patience_medium = 3;
+  int down_patience_low = 1;
+  /// With LOW sensitivity, consecutive BAD intervals required to scale up.
+  int up_patience_low_sensitivity = 2;
+  /// Latency-slack scale-down: latency at or below this fraction of the
+  /// goal allows shedding one grid step per dimension even without
+  /// low-demand rule hits. <= 0 disables.
+  double down_latency_slack_ratio = 0.5;
+  /// Intervals to wait after a scale-up before scaling up again.
+  int up_cooldown_intervals = 2;
+  /// A dimension only shrinks if projected utilization on the smaller
+  /// allocation stays below this percentage.
+  double down_projected_util_guard_pct = 75.0;
+  /// No shed happens while latency exceeds this fraction of the goal:
+  /// near the goal, queueing at low utilization means an "idle"
+  /// dimension can still be load-bearing. <= 0 disables.
+  double down_latency_gate_ratio = 0.65;
+  /// Grid levels a dimension may shed in a single down move.
+  int down_max_levels_per_move = 1;
+  /// A latency breach within this many intervals of a down move floors
+  /// the shed dimensions at their pre-shed levels...
+  int down_breach_window_intervals = 3;
+  /// ...for this long. Floors expire so post-burst descents are not
+  /// locked out forever. <= 0 disables floor learning.
+  int down_floor_ttl_intervals = 90;
+  /// Wait-directed correction: when latency is bad but no Section 4 rule
+  /// fires (waits pile up in a dimension whose utilization looks idle —
+  /// exactly the state a per-dimension shed can create), the dimension
+  /// behind the dominant wait class grows one grid level, provided that
+  /// class holds at least this share of waits. <= 0 disables.
+  double wait_directed_up_min_pct = 25.0;
+  BudgetStrategy budget_strategy = BudgetStrategy::kAggressive;
+  int budget_conservative_k = 4;
+  /// Resize-lifecycle resilience (same semantics as AutoScalerOptions).
+  int resize_max_attempts = 4;
+  int resize_backoff_base_intervals = 1;
+  double resize_backoff_multiplier = 2.0;
+  int resize_backoff_max_intervals = 8;
+  int resize_rejection_cooldown_intervals = 10;
+
+  Status Validate() const;
+};
+
+/// \brief Exact budgeted multi-dimensional bundle search over a Catalog's
+/// per-dimension offer grids.
+///
+/// Construction snapshots the catalog's grids and price components into
+/// fixed arrays; Solve() is then deterministic and allocation-free
+/// (alloc-guard enforced), suitable for the per-tenant decision hot path.
+class DiagonalOptimizer {
+ public:
+  /// The cheapest bundle covering a demand vector within a budget.
+  struct Target {
+    /// Per-dimension grid levels of the chosen bundle.
+    container::GridLevels levels{};
+    /// Listed-spec index on fixed catalogs; -1 on flexible ones.
+    int spec_index = -1;
+    /// Purchase price of the bundle.
+    double price = 0.0;
+    /// Total grid steps of unmet demand (0 when demand is fully covered).
+    int shortfall_steps = 0;
+    /// Dimension with the largest shortfall when the budget binds.
+    container::ResourceKind binding_dimension = container::ResourceKind::kCpu;
+    /// True when the budget prevented covering the full demand vector.
+    bool budget_limited = false;
+    /// False when not even the cheapest bundle fits the budget.
+    bool feasible = false;
+  };
+
+  explicit DiagonalOptimizer(const container::Catalog& catalog);
+
+  /// Solves for the cheapest purchasable bundle dominating `demand` with
+  /// price <= `budget`; when none exists, the feasible bundle minimizing
+  /// (total shortfall steps, then price). Deterministic: ties break toward
+  /// the first candidate in fixed enumeration order.
+  Target Solve(const container::ResourceVector& demand, double budget) const;
+
+  /// The container for a solved target (grid bundle or listed spec).
+  container::ContainerSpec Materialize(const Target& target) const;
+
+  /// Smallest grid level covering `demand` in `kind` (top level if none).
+  int LevelFor(container::ResourceKind kind, double demand) const;
+  /// Largest grid level with value <= `value` ("cover" of an allocation).
+  int LevelWithin(container::ResourceKind kind, double value) const;
+  /// Grid value at a level.
+  double ValueAt(container::ResourceKind kind, int level) const;
+  int grid_size(container::ResourceKind kind) const {
+    return grid_size_[static_cast<size_t>(kind)];
+  }
+  /// Grid levels per lock-step rung step (1 on fixed catalogs).
+  int levels_per_rung() const { return levels_per_rung_; }
+  bool flexible() const { return flexible_; }
+
+ private:
+  Target SolveFlexible(const container::GridLevels& need,
+                       double budget) const;
+  Target SolveFixed(const container::GridLevels& need, double budget) const;
+
+  container::Catalog catalog_;
+  bool flexible_ = false;
+  int levels_per_rung_ = 1;
+  std::array<int, container::kNumResources> grid_size_{};
+  std::array<std::array<double, container::kMaxGridLevels>,
+             container::kNumResources>
+      grid_value_{};
+  std::array<std::array<double, container::kMaxGridLevels>,
+             container::kNumResources>
+      dim_price_{};
+  /// Cheapest completion of dimensions [d, kNumResources): sum of each
+  /// remaining dimension's level-0 price component (budget lower bound).
+  std::array<double, container::kNumResources + 1> min_rest_{};
+  /// Fixed-path tables (empty on flexible catalogs): per listed spec
+  /// (ascending price), its price, resources, and the largest grid level
+  /// each dimension covers.
+  std::vector<double> spec_price_;
+  std::vector<container::ResourceVector> spec_res_;
+  std::vector<container::GridLevels> spec_cover_;
+};
+
+/// \brief The diagonal scaling policy: per-resource demand vector +
+/// budgeted multi-dimensional optimizer, with Auto's operational guardrails
+/// (warmup, actuation lifecycle, cooldowns, patience, saturation guard).
+///
+/// Differences from Auto, by design:
+///   * Each dimension moves independently — one decision can grow CPU while
+///     shedding disk I/O (kScaleDiagonalRebalance).
+///   * Memory shrinks on the same evidence as other dimensions (projected
+///     utilization under the guard); there is no balloon pass — the
+///     flexible grid's fine memory steps make the probe's risk window
+///     smaller than a full rung drop.
+///   * When the budget binds, the decision reports the binding dimension
+///     and the shortfall in grid steps (kHoldBudgetBindingDimension).
+class DiagonalScaler : public ScalingPolicy {
+ public:
+  /// Errors if knobs or options are invalid or the budget cannot cover the
+  /// period.
+  static Result<std::unique_ptr<DiagonalScaler>> Create(
+      const container::Catalog& catalog, const TenantKnobs& knobs,
+      const DiagonalOptions& options = {});
+
+  ScalingDecision Decide(const PolicyInput& input) override;
+  std::string name() const override { return "Diagonal"; }
+
+  /// Introspection (tests, drill-down experiments).
+  const BudgetManager* budget() const { return budget_.get(); }
+  const DiagonalOptimizer& optimizer() const { return optimizer_; }
+  const TenantKnobs& knobs() const { return knobs_; }
+  const CategorizedSignals& last_categories() const { return last_cats_; }
+  const DemandEstimate& last_estimate() const { return last_estimate_; }
+  const AuditLog& audit() const { return audit_; }
+
+ private:
+  DiagonalScaler(const container::Catalog& catalog, const TenantKnobs& knobs,
+                 const DiagonalOptions& options,
+                 std::unique_ptr<BudgetManager> budget);
+
+  ScalingDecision DecideUnclamped(const PolicyInput& input);
+  std::optional<ScalingDecision> HandleActuationFeedback(
+      const PolicyInput& input);
+  int BackoffIntervals(int failed_attempts) const;
+  int DownPatience() const;
+  double AvailableBudget() const;
+  ScalingDecision HoldCurrent(const PolicyInput& input,
+                              Explanation explanation) const;
+  /// Mean absolute per-resource usage for the ended interval: engine truth
+  /// when the harness provides it, utilization x allocation otherwise.
+  container::ResourceVector UsageVector(const PolicyInput& input) const;
+
+  container::Catalog catalog_;
+  TenantKnobs knobs_;
+  DiagonalOptions options_;
+  DemandEstimator estimator_;
+  std::unique_ptr<BudgetManager> budget_;
+  DiagonalOptimizer optimizer_;
+
+  struct RetryPlan {
+    container::ContainerSpec target;
+    int failed_attempts = 0;
+    int retry_at_interval = 0;
+  };
+  std::optional<RetryPlan> retry_;
+  int rejected_target_id_ = -1;
+  int rejected_until_interval_ = -1000;
+  int decision_attempt_ = 1;
+
+  int low_streak_ = 0;
+  int bad_streak_ = 0;
+  int last_up_interval_ = -1000;
+
+  /// Shed-floor learning: the last decision that lowered any dimension,
+  /// and per-dimension floors raised when latency broke within
+  /// down_breach_window_intervals of it. A bad shed gets probed once, not
+  /// every time latency dips back under the gate.
+  int last_down_interval_ = -1000;
+  container::GridLevels last_down_from_{};
+  container::GridLevels last_down_to_{};
+  container::GridLevels down_floor_{};
+  std::array<int, container::kNumResources> down_floor_until_{};
+
+  CategorizedSignals last_cats_;
+  DemandEstimate last_estimate_;
+  /// Demand vector computed during the last Decide (zero before the signal
+  /// window warms up); copied into every decision's `demand` field.
+  container::ResourceVector last_estimate_demand_;
+  AuditLog audit_;
+};
+
+}  // namespace dbscale::scaler
+
+#endif  // DBSCALE_SCALER_DIAGONAL_H_

@@ -117,6 +117,14 @@ const char* ExplanationCodeToken(ExplanationCode code) {
       return "scale_triggers_migration";
     case ExplanationCode::kHoldHostSaturated:
       return "hold_host_saturated";
+    case ExplanationCode::kScaleDiagonalUp:
+      return "scale_diagonal_up";
+    case ExplanationCode::kScaleDiagonalDown:
+      return "scale_diagonal_down";
+    case ExplanationCode::kScaleDiagonalRebalance:
+      return "scale_diagonal_rebalance";
+    case ExplanationCode::kHoldBudgetBindingDimension:
+      return "hold_budget_binding_dimension";
   }
   return "unknown";
 }
@@ -292,6 +300,24 @@ std::string Explanation::ToString() const {
       return StrFormat(
           "Hold: no host has capacity for %s — cooling down %d intervals",
           detail.c_str(), static_cast<int>(args[0]));
+
+    case ExplanationCode::kScaleDiagonalUp:
+      return StrFormat(
+          "Diagonal scale-up: %s (%.1f -> %.1f units/interval)",
+          detail.c_str(), args[1], args[0]);
+    case ExplanationCode::kScaleDiagonalDown:
+      return StrFormat(
+          "Diagonal scale-down: %s (%.1f -> %.1f units/interval)",
+          detail.c_str(), args[1], args[0]);
+    case ExplanationCode::kScaleDiagonalRebalance:
+      return StrFormat(
+          "Diagonal rebalance to %s: %d dimension(s) up, %d down",
+          detail.c_str(), static_cast<int>(args[0]),
+          static_cast<int>(args[1]));
+    case ExplanationCode::kHoldBudgetBindingDimension:
+      return StrFormat(
+          "Hold: budget %.1f binds on %s (%d grid step(s) short of demand)",
+          args[1], ResourceName(*this), static_cast<int>(args[0]));
   }
   return "(no explanation)";
 }

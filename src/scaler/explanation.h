@@ -91,10 +91,21 @@ enum class ExplanationCode : uint8_t {
   kScaleTriggersMigration,  ///< detail = target name; args: target rung
   kHoldHostSaturated,       ///< detail = target name; args: cooldown
                             ///  intervals remaining
+
+  // -------- Diagonal scaling (appended: codes index counter blocks, so
+  // existing values must not shift) --------
+  kScaleDiagonalUp,         ///< detail = demand summary; args: new price,
+                            ///  old price
+  kScaleDiagonalDown,       ///< detail = demand summary; args: new price,
+                            ///  old price
+  kScaleDiagonalRebalance,  ///< detail = target bundle name; args: dims
+                            ///  scaled up, dims scaled down
+  kHoldBudgetBindingDimension,  ///< resource = binding dimension; args:
+                                ///  shortfall grid steps, available budget
 };
 
 inline constexpr size_t kNumExplanationCodes =
-    static_cast<size_t>(ExplanationCode::kHoldHostSaturated) + 1;
+    static_cast<size_t>(ExplanationCode::kHoldBudgetBindingDimension) + 1;
 
 /// Stable snake_case token for metrics labels / trace attributes.
 const char* ExplanationCodeToken(ExplanationCode code);

@@ -26,6 +26,11 @@ using host::ActuationFeedback;
 using host::ActuationKind;
 using host::ActuationPhase;
 
+/// The per-resource vector type policies reason in (CPU cores, memory MB,
+/// disk IOPS, log MB/s): a fixed 4-dim POD with per-dimension ops and an
+/// FNV digest fold (ResourceVector::Fold).
+using ResourceVector = container::ResourceVector;
+
 /// What a policy sees at the end of each billing interval.
 struct PolicyInput {
   SimTime now;
@@ -39,6 +44,11 @@ struct PolicyInput {
   /// billed, e.g. a dry run). Budget-aware policies account for it at the
   /// top of Decide() — there is no separate charge callback.
   double charged_cost = 0.0;
+  /// Mean absolute per-resource usage over the interval that just ended
+  /// (cores, active MB, IOPS, log MB/s). Filled by harnesses with engine
+  /// truth (the sim loop); zero when the harness only has signals — demand
+  /// estimators must fall back to utilization x allocation then.
+  ResourceVector usage;
   /// Actuation-lifecycle feedback for the previously requested change
   /// (local resize or migration).
   ActuationFeedback actuation;
@@ -53,6 +63,10 @@ struct PolicyInput {
 /// A policy's choice for the next billing interval.
 struct ScalingDecision {
   container::ContainerSpec target;
+  /// The per-resource demand estimate behind the decision, in absolute
+  /// units (zero where the policy had no per-resource estimate). The
+  /// diagonal scaler always fills it; Auto fills it on scale-ups.
+  ResourceVector demand;
   /// Structured reason for the decision; Explanation::ToString() renders
   /// the text the paper surfaces to tenants.
   Explanation explanation;

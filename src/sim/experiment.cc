@@ -10,6 +10,7 @@
 #include "src/baselines/trace_policy.h"
 #include "src/baselines/util_policy.h"
 #include "src/common/string_util.h"
+#include "src/scaler/diagonal.h"
 #include "src/common/thread_pool.h"
 
 namespace dbscale::sim {
@@ -24,6 +25,35 @@ bool WantTechnique(const ComparisonOptions& options,
 }
 
 }  // namespace
+
+const std::vector<std::string>& RegisteredPolicyNames() {
+  static const std::vector<std::string> kNames = {"Auto", "Util", "Diagonal"};
+  return kNames;
+}
+
+Result<std::unique_ptr<scaler::ScalingPolicy>> MakeRegisteredPolicy(
+    const std::string& name, const container::Catalog& catalog,
+    const scaler::TenantKnobs& knobs) {
+  if (name == "Auto") {
+    DBSCALE_ASSIGN_OR_RETURN(auto policy,
+                             scaler::AutoScaler::Create(catalog, knobs));
+    return std::unique_ptr<scaler::ScalingPolicy>(std::move(policy));
+  }
+  if (name == "Util") {
+    if (!knobs.latency_goal.has_value()) {
+      return Status::InvalidArgument("Util requires a latency goal");
+    }
+    return std::unique_ptr<scaler::ScalingPolicy>(
+        std::make_unique<baselines::UtilPolicy>(catalog,
+                                                *knobs.latency_goal));
+  }
+  if (name == "Diagonal") {
+    DBSCALE_ASSIGN_OR_RETURN(auto policy,
+                             scaler::DiagonalScaler::Create(catalog, knobs));
+    return std::unique_ptr<scaler::ScalingPolicy>(std::move(policy));
+  }
+  return Status::InvalidArgument("unknown policy name: " + name);
+}
 
 const TechniqueResult* ComparisonResult::Find(const std::string& name) const {
   for (const TechniqueResult& t : techniques) {

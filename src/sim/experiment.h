@@ -13,6 +13,7 @@
 #ifndef DBSCALE_SIM_EXPERIMENT_H_
 #define DBSCALE_SIM_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,20 @@ struct ComparisonOptions {
   /// same seeded simulation and results are assembled in canonical order.
   int num_threads = 0;
 };
+
+/// Names accepted by MakeRegisteredPolicy, in canonical order.
+const std::vector<std::string>& RegisteredPolicyNames();
+
+/// Creates a named online policy over `catalog` with the given knobs:
+/// "Auto" (the paper's autoscaler), "Util" (utilization baseline; requires
+/// knobs.latency_goal), or "Diagonal" (per-dimension demand vectors +
+/// budgeted multi-dimensional optimizer). Errors on unknown names, so
+/// drill-down benches can take a --policy flag without hand-rolled
+/// factories.
+[[nodiscard]] Result<std::unique_ptr<scaler::ScalingPolicy>>
+MakeRegisteredPolicy(const std::string& name,
+                     const container::Catalog& catalog,
+                     const scaler::TenantKnobs& knobs);
 
 /// Runs one policy over `base` with the given starting rung.
 [[nodiscard]] Result<RunResult> RunWithPolicy(const SimulationOptions& base,

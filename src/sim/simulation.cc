@@ -392,6 +392,9 @@ Result<RunResult> Simulation::Run(scaler::ScalingPolicy* policy) {
     input.signals = manager.Compute(store, now, &signal_scratch, isink);
     input.current = current;
     input.interval_index = static_cast<int>(i);
+    // Engine-truth mean usage of the ended interval (service harnesses
+    // that only see signals leave this zero).
+    input.usage = record.usage;
     // The decision cycle carries the billing of the interval that just
     // ended (there is no separate charge callback). Billing follows the
     // container actually in effect, so budget tokens are only charged for

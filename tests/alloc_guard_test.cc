@@ -10,12 +10,14 @@
 #include "tests/alloc_guard.h"
 
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/container/catalog.h"
 #include "src/fault/actuator.h"
 #include "src/fault/fault_plan.h"
 #include "src/host/host_map.h"
@@ -24,6 +26,7 @@
 #include "src/ingest/producer.h"
 #include "src/ingest/wire_sample.h"
 #include "src/scaler/batch_eval.h"
+#include "src/scaler/diagonal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/pipeline.h"
 #include "src/obs/trace.h"
@@ -732,6 +735,36 @@ TEST(AllocGuardTest, HostMapHotPathsAreAllocationFree) {
   }
   EXPECT_EQ(span.allocations(), 0u)
       << "HostMap hot paths allocated in steady state";
+}
+
+TEST(AllocGuardTest, DiagonalOptimizerSolveIsAllocationFree) {
+  container::FlexibleCatalogOptions fopts;
+  fopts.subdivisions = 3;  // largest grid: worst case for the search
+  auto flexible = container::Catalog::MakeFlexible(fopts);
+  ASSERT_TRUE(flexible.ok());
+  const container::Catalog fixed = container::Catalog::MakePerDimension();
+  const scaler::DiagonalOptimizer flex_opt(*flexible);
+  const scaler::DiagonalOptimizer fixed_opt(fixed);
+  const container::ResourceVector top = flexible->largest().resources;
+
+  AllocSpan span;
+  for (int i = 0; i < 100; ++i) {
+    container::ResourceVector demand;
+    for (container::ResourceKind kind : container::kAllResources) {
+      const double frac = 0.01 * static_cast<double>((i * 13) % 100);
+      demand.Set(kind, frac * top.Get(kind));
+    }
+    // Unbudgeted fast path, tight-budget branch-and-bound, and the fixed
+    // catalog's spec scan must all run without touching the heap.
+    const auto unbudgeted =
+        flex_opt.Solve(demand, std::numeric_limits<double>::infinity());
+    const auto tight = flex_opt.Solve(demand, 20.0 + i);
+    const auto listed = fixed_opt.Solve(demand, 20.0 + i);
+    ASSERT_TRUE(unbudgeted.feasible);
+    ASSERT_LE(tight.shortfall_steps + listed.shortfall_steps, 1000);
+  }
+  EXPECT_EQ(span.allocations(), 0u)
+      << "DiagonalOptimizer::Solve allocated in steady state";
 }
 
 TEST(AllocGuardTest, AsciiChartIntoWithWarmBuffersIsAllocationFree) {

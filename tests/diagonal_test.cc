@@ -1,0 +1,412 @@
+// Diagonal scaling: optimizer exactness against brute force, fixed-path
+// equivalence with Catalog::CheapestDominating, the catalog-backend
+// equivalence contract (a coupled FlexibleCatalog is bit-identical to
+// MakeLockStep under Auto), Validate() rejections, and determinism of full
+// diagonal runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "src/container/catalog.h"
+#include "src/scaler/diagonal.h"
+#include "src/sim/experiment.h"
+#include "src/sim/sim_config.h"
+#include "src/workload/mix.h"
+#include "src/workload/paper_traces.h"
+
+namespace dbscale {
+namespace {
+
+using container::Catalog;
+using container::ContainerSpec;
+using container::FlexibleCatalogOptions;
+using container::GridLevels;
+using container::ResourceKind;
+using container::ResourceVector;
+using scaler::DiagonalOptimizer;
+using scaler::DiagonalOptions;
+using scaler::DiagonalScaler;
+using scaler::ExplanationCode;
+
+// ---------------------------------------------------------------------------
+// Optimizer exactness.
+// ---------------------------------------------------------------------------
+
+struct BruteResult {
+  int shortfall = 0;
+  double price = 0.0;
+  bool feasible = false;
+  bool budget_limited = false;
+};
+
+// Exhaustive reference: enumerate every grid combination, keep the
+// cheapest dominating bundle within budget, else the affordable bundle
+// minimizing (total shortfall steps, then price).
+BruteResult BruteForce(const Catalog& catalog, const ResourceVector& demand,
+                       double budget) {
+  GridLevels need{};
+  for (ResourceKind kind : container::kAllResources) {
+    need[static_cast<size_t>(kind)] = catalog.GridLevelFor(
+        kind, demand.Get(kind));
+  }
+  BruteResult best;
+  int best_short = std::numeric_limits<int>::max();
+  double best_price = std::numeric_limits<double>::infinity();
+  const int n = catalog.GridSize(ResourceKind::kCpu);
+  GridLevels levels{};
+  for (levels[0] = 0; levels[0] < n; ++levels[0]) {
+    for (levels[1] = 0; levels[1] < n; ++levels[1]) {
+      for (levels[2] = 0; levels[2] < n; ++levels[2]) {
+        for (levels[3] = 0; levels[3] < n; ++levels[3]) {
+          const double price = catalog.BundlePrice(levels);
+          if (price > budget) continue;
+          int shortfall = 0;
+          for (int d = 0; d < container::kNumResources; ++d) {
+            shortfall += std::max(0, need[d] - levels[d]);
+          }
+          if (shortfall < best_short ||
+              (shortfall == best_short && price < best_price)) {
+            best_short = shortfall;
+            best_price = price;
+            best.feasible = true;
+          }
+        }
+      }
+    }
+  }
+  if (!best.feasible) return best;
+  best.shortfall = best_short;
+  best.price = best_price;
+  best.budget_limited = best_short > 0;
+  return best;
+}
+
+TEST(DiagonalOptimizerTest, MatchesBruteForceOnRandomizedGrids) {
+  std::mt19937 rng(20260807u);
+  for (const int max_rungs : {2, 3, 5}) {
+    for (const int subdivisions : {0, 1, 2}) {
+      FlexibleCatalogOptions fopts;
+      fopts.max_rungs = max_rungs;
+      fopts.subdivisions = subdivisions;
+      auto catalog = Catalog::MakeFlexible(fopts);
+      ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+      DiagonalOptimizer optimizer(*catalog);
+      const double min_price = catalog->smallest().price_per_interval;
+      const double max_price = catalog->largest().price_per_interval;
+      std::uniform_real_distribution<double> budget_dist(0.5 * min_price,
+                                                         1.3 * max_price);
+      std::uniform_real_distribution<double> frac(0.0, 1.3);
+      for (int trial = 0; trial < 60; ++trial) {
+        ResourceVector demand;
+        for (ResourceKind kind : container::kAllResources) {
+          demand.Set(kind, frac(rng) * catalog->largest().resources.Get(kind));
+        }
+        const double budget = budget_dist(rng);
+        const DiagonalOptimizer::Target got =
+            optimizer.Solve(demand, budget);
+        const BruteResult want = BruteForce(*catalog, demand, budget);
+        ASSERT_EQ(got.feasible, want.feasible)
+            << "rungs=" << max_rungs << " sub=" << subdivisions
+            << " trial=" << trial;
+        if (!want.feasible) continue;
+        EXPECT_EQ(got.shortfall_steps, want.shortfall);
+        EXPECT_DOUBLE_EQ(got.price, want.price);
+        EXPECT_EQ(got.budget_limited, want.budget_limited);
+        EXPECT_LE(got.price, budget);
+      }
+    }
+  }
+}
+
+TEST(DiagonalOptimizerTest, FixedPathMatchesCheapestDominating) {
+  std::mt19937 rng(7u);
+  for (const Catalog& catalog :
+       {Catalog::MakeLockStep(), Catalog::MakePerDimension()}) {
+    DiagonalOptimizer optimizer(catalog);
+    ASSERT_FALSE(optimizer.flexible());
+    std::uniform_real_distribution<double> frac(0.0, 1.0);
+    for (int trial = 0; trial < 200; ++trial) {
+      ResourceVector demand;
+      for (ResourceKind kind : container::kAllResources) {
+        demand.Set(kind, frac(rng) * catalog.largest().resources.Get(kind));
+      }
+      const ContainerSpec want = catalog.CheapestDominating(demand);
+      const DiagonalOptimizer::Target got = optimizer.Solve(
+          demand, std::numeric_limits<double>::infinity());
+      ASSERT_TRUE(got.feasible);
+      EXPECT_EQ(optimizer.Materialize(got).id, want.id) << want.name;
+      EXPECT_FALSE(got.budget_limited);
+    }
+    // Budgeted: whenever a dominating spec is affordable the two searches
+    // agree exactly.
+    for (int trial = 0; trial < 200; ++trial) {
+      ResourceVector demand;
+      for (ResourceKind kind : container::kAllResources) {
+        demand.Set(kind,
+                   0.6 * frac(rng) * catalog.largest().resources.Get(kind));
+      }
+      const double budget =
+          catalog.smallest().price_per_interval +
+          frac(rng) * (catalog.largest().price_per_interval -
+                       catalog.smallest().price_per_interval);
+      auto want = catalog.CheapestDominating(demand, budget);
+      const DiagonalOptimizer::Target got = optimizer.Solve(demand, budget);
+      if (want.ok() && want->resources.Dominates(demand)) {
+        ASSERT_TRUE(got.feasible);
+        EXPECT_EQ(got.shortfall_steps, 0);
+        EXPECT_EQ(optimizer.Materialize(got).id, want->id);
+      }
+    }
+  }
+}
+
+TEST(DiagonalOptimizerTest, ReportsBindingDimensionUnderTightBudget) {
+  FlexibleCatalogOptions fopts;
+  auto catalog = Catalog::MakeFlexible(fopts);
+  ASSERT_TRUE(catalog.ok());
+  DiagonalOptimizer optimizer(*catalog);
+  // Demand the top of every dimension with only a mid-range budget: the
+  // solve must be feasible, budget-limited, and attribute the shortfall.
+  const ResourceVector demand = catalog->largest().resources;
+  const DiagonalOptimizer::Target t = optimizer.Solve(demand, 60.0);
+  ASSERT_TRUE(t.feasible);
+  EXPECT_TRUE(t.budget_limited);
+  EXPECT_GT(t.shortfall_steps, 0);
+  EXPECT_LE(t.price, 60.0);
+  // Not even the cheapest bundle fits: infeasible, never a crash.
+  const DiagonalOptimizer::Target broke = optimizer.Solve(demand, 0.01);
+  EXPECT_FALSE(broke.feasible);
+}
+
+TEST(DiagonalOptimizerTest, DiagonalBundlePricesMatchRungsExactly) {
+  FlexibleCatalogOptions fopts;
+  fopts.subdivisions = 2;
+  auto catalog = Catalog::MakeFlexible(fopts);
+  ASSERT_TRUE(catalog.ok());
+  const Catalog lockstep = Catalog::MakeLockStep();
+  const int step = 3;  // subdivisions + 1 grid levels per rung
+  for (int r = 0; r < lockstep.num_rungs(); ++r) {
+    GridLevels diag{};
+    for (int d = 0; d < container::kNumResources; ++d) diag[d] = r * step;
+    // Separable components re-sum to the rung price bit for bit, and the
+    // diagonal bundle materializes as the listed rung spec.
+    EXPECT_DOUBLE_EQ(catalog->BundlePrice(diag),
+                     lockstep.rung(r).price_per_interval);
+    const ContainerSpec bundle = catalog->BundleAt(diag);
+    EXPECT_EQ(bundle.name, lockstep.rung(r).name);
+    EXPECT_EQ(bundle.price_per_interval,
+              lockstep.rung(r).price_per_interval);
+  }
+  // Off-diagonal bundles synthesize deterministic ids past the listed
+  // specs and price as the sum of their components.
+  GridLevels off{};
+  off[0] = 4;
+  off[1] = 1;
+  off[2] = 0;
+  off[3] = 2;
+  const ContainerSpec a = catalog->BundleAt(off);
+  const ContainerSpec b = catalog->BundleAt(off);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_GE(a.id, catalog->size());
+  EXPECT_DOUBLE_EQ(a.price_per_interval, catalog->BundlePrice(off));
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST(FlexibleCatalogOptionsTest, ValidateRejections) {
+  FlexibleCatalogOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.max_rungs = 1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.max_rungs = 12;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.subdivisions = -1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.subdivisions = 4;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.price_markup = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  EXPECT_FALSE(Catalog::MakeFlexible(opts).ok());
+}
+
+TEST(DiagonalOptionsTest, ValidateRejections) {
+  DiagonalOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.target_utilization_pct = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.target_utilization_pct = 101.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.down_latency_slack_ratio = 1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.down_patience_medium = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.up_cooldown_intervals = -1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.down_projected_util_guard_pct = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.resize_max_attempts = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = {};
+  opts.resize_backoff_multiplier = 0.5;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  // Create surfaces the same rejections.
+  scaler::TenantKnobs knobs;
+  DiagonalOptions bad;
+  bad.target_utilization_pct = -5.0;
+  auto catalog = Catalog::MakeFlexible(FlexibleCatalogOptions{});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_FALSE(DiagonalScaler::Create(*catalog, knobs, bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop contracts.
+// ---------------------------------------------------------------------------
+
+SimConfig BaseSimConfig() {
+  SimConfig config;
+  config.simulation.catalog = container::Catalog::MakeLockStep();
+  config.simulation.workload = workload::MakeCpuioWorkload();
+  config.simulation.trace = *workload::MakeTrace2LongBurst().Subsampled(4);
+  config.simulation.interval_duration = Duration::Seconds(20);
+  config.simulation.seed = 17;
+  config.simulation.initial_rung = 3;
+  config.knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 900.0};
+  return config;
+}
+
+double RunDigest(const sim::RunResult& run) {
+  double sum = 0.0;
+  for (const auto& interval : run.intervals) {
+    sum += interval.cost + interval.latency_p95_ms +
+           static_cast<double>(interval.completed) +
+           1000.0 * interval.container.base_rung + (interval.resized ? 7 : 0);
+    for (double u : interval.utilization_pct) sum += u;
+  }
+  return sum;
+}
+
+// The catalog-backend equivalence contract: Auto over a coupled
+// FlexibleCatalog (markup 1) is bit-identical to Auto over MakeLockStep —
+// including the digest pinned before the Catalog API existed.
+TEST(DiagonalSimTest, CoupledFlexibleCatalogReproducesLockStepDigest) {
+  auto lockstep_run = BaseSimConfig().Run();
+  ASSERT_TRUE(lockstep_run.ok()) << lockstep_run.status().message();
+  EXPECT_DOUBLE_EQ(RunDigest(lockstep_run->result), 2094099.7125696521);
+
+  FlexibleCatalogOptions coupled;
+  coupled.coupled = true;
+  auto coupled_catalog = Catalog::MakeFlexible(coupled);
+  ASSERT_TRUE(coupled_catalog.ok());
+  EXPECT_FALSE(coupled_catalog->flexible());
+  SimConfig config = BaseSimConfig();
+  config.simulation.catalog = *coupled_catalog;
+  auto coupled_run = config.Run();
+  ASSERT_TRUE(coupled_run.ok()) << coupled_run.status().message();
+  EXPECT_DOUBLE_EQ(RunDigest(coupled_run->result), 2094099.7125696521);
+}
+
+sim::SimulationOptions DiagonalSimOptions(const Catalog& catalog) {
+  SimConfig config = BaseSimConfig();
+  config.simulation.catalog = catalog;
+  return config.EffectiveSimulationOptions();
+}
+
+TEST(DiagonalSimTest, DiagonalRunIsDeterministicAndUsesDiagonalCodes) {
+  FlexibleCatalogOptions fopts;
+  fopts.subdivisions = 1;
+  auto catalog = Catalog::MakeFlexible(fopts);
+  ASSERT_TRUE(catalog.ok());
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 900.0};
+
+  double first_digest = 0.0;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    auto policy = DiagonalScaler::Create(*catalog, knobs);
+    ASSERT_TRUE(policy.ok()) << policy.status().message();
+    auto run = sim::RunWithPolicy(DiagonalSimOptions(*catalog),
+                                  policy->get(), 3);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const double digest = RunDigest(*run);
+    if (repeat == 0) {
+      first_digest = digest;
+      bool saw_diagonal_move = false;
+      for (const auto& interval : run->intervals) {
+        if (interval.decision_code == ExplanationCode::kScaleDiagonalUp ||
+            interval.decision_code == ExplanationCode::kScaleDiagonalDown ||
+            interval.decision_code ==
+                ExplanationCode::kScaleDiagonalRebalance) {
+          saw_diagonal_move = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(saw_diagonal_move);
+      // Every decision fills the demand vector once signals warm up.
+      EXPECT_GT((*policy)->audit().size(), 0u);
+    } else {
+      EXPECT_DOUBLE_EQ(digest, first_digest);
+    }
+  }
+}
+
+// A diagonal run must never violate the budget: the hard clamp holds
+// interval cost within the token bucket.
+TEST(DiagonalSimTest, BudgetIsAHardConstraint) {
+  FlexibleCatalogOptions fopts;
+  auto catalog = Catalog::MakeFlexible(fopts);
+  ASSERT_TRUE(catalog.ok());
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 900.0};
+  const sim::SimulationOptions options = DiagonalSimOptions(*catalog);
+  const int intervals = static_cast<int>(options.trace.num_steps());
+  scaler::BudgetKnob budget;
+  budget.num_intervals = intervals;
+  // Enough for a mid-size bundle on average, far below the burst's demand.
+  budget.total_budget = 40.0 * intervals;
+  knobs.budget = budget;
+  auto policy = DiagonalScaler::Create(*catalog, knobs);
+  ASSERT_TRUE(policy.ok()) << policy.status().message();
+  auto run = sim::RunWithPolicy(options, policy->get(), 3);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  double total_cost = 0.0;
+  for (const auto& interval : run->intervals) total_cost += interval.cost;
+  EXPECT_LE(total_cost, budget.total_budget + 1e-9);
+}
+
+TEST(RegisteredPolicyTest, MakesEveryRegisteredPolicy) {
+  const Catalog catalog = Catalog::MakeLockStep();
+  scaler::TenantKnobs knobs;
+  knobs.latency_goal =
+      scaler::LatencyGoal{telemetry::LatencyAggregate::kP95, 900.0};
+  for (const std::string& name : sim::RegisteredPolicyNames()) {
+    auto policy = sim::MakeRegisteredPolicy(name, catalog, knobs);
+    ASSERT_TRUE(policy.ok()) << name << ": " << policy.status().message();
+    EXPECT_EQ((*policy)->name(), name);
+  }
+  EXPECT_FALSE(sim::MakeRegisteredPolicy("Peak", catalog, knobs).ok());
+  scaler::TenantKnobs no_goal;
+  EXPECT_FALSE(sim::MakeRegisteredPolicy("Util", catalog, no_goal).ok());
+  EXPECT_TRUE(sim::MakeRegisteredPolicy("Auto", catalog, no_goal).ok());
+}
+
+}  // namespace
+}  // namespace dbscale

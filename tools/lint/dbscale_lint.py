@@ -117,6 +117,11 @@ ORDER_SENSITIVE_PREFIXES = (
     # Placement scans, migration state, and interference folds feed the
     # host digest; iteration order over hosts/tenants must be fixed.
     "src/host/",
+    # The diagonal optimizer's branch-and-bound must visit candidates in a
+    # fixed order: ties break toward the first candidate found, so any
+    # unordered traversal (or clock/RNG leak) changes which bundle wins and
+    # moves every pinned digest downstream.
+    "src/scaler/diagonal",
 )
 
 NODISCARD_GUARDS = {
